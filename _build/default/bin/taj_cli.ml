@@ -1,0 +1,462 @@
+(* taj — command-line front end for the TAJ taint analysis.
+
+   Subcommands:
+     analyze   run taint analysis over .mjava source files
+     dump-ir   print the SSA IR of a compiled program
+     generate  emit one of the 22 synthetic benchmark applications
+     apps      list the benchmark applications
+     score     generate an app, analyze it and score against ground truth *)
+
+open Cmdliner
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let algorithm_conv =
+  let parse s =
+    match s with
+    | "hybrid" | "hybrid-unbounded" -> Ok Config.Hybrid_unbounded
+    | "prioritized" | "hybrid-prioritized" -> Ok Config.Hybrid_prioritized
+    | "optimized" | "hybrid-optimized" -> Ok Config.Hybrid_optimized
+    | "cs" -> Ok Config.Cs_thin_slicing
+    | "ci" -> Ok Config.Ci_thin_slicing
+    | _ ->
+      Error
+        (`Msg
+           "expected one of: hybrid, prioritized, optimized, cs, ci")
+  in
+  let print ppf a = Fmt.string ppf (Config.algorithm_name a) in
+  Arg.conv (parse, print)
+
+let algorithm =
+  let doc =
+    "Analysis configuration: hybrid (unbounded), prioritized, optimized, \
+     cs, or ci."
+  in
+  Arg.(value & opt algorithm_conv Config.Hybrid_optimized
+       & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let scale =
+  let doc = "Scale factor for workload sizes and analysis bounds." in
+  Arg.(value & opt float 0.05 & info [ "scale" ] ~docv:"FLOAT" ~doc)
+
+let descriptor_file =
+  let doc = "Deployment descriptor file (servlet/action/ejb lines)." in
+  Arg.(value & opt (some file) None & info [ "d"; "descriptor" ] ~docv:"FILE" ~doc)
+
+let sources =
+  let doc = "MJava source files to analyze." in
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+
+let app_name =
+  let doc = "Benchmark application name (see 'taj apps')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_input ~name ~srcs ~descriptor_file =
+  { Taj.name;
+    app_sources = List.map read_file srcs;
+    descriptor =
+      (match descriptor_file with Some f -> read_file f | None -> "") }
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit_json builder (report : Report.t) =
+  let issue_json (ir : Report.issue_report) =
+    let stmt_str s = Fmt.str "%a" (Report.pp_stmt builder) s in
+    let path =
+      ir.Report.ir_representative.Flows.fl_path
+      |> List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape (stmt_str s)))
+      |> String.concat ", "
+    in
+    Printf.sprintf
+      "    { \"issue\": \"%s\", \"flows\": %d, \"sink\": \"%s\",\n\
+      \      \"remediation\": %s,\n\
+      \      \"witness\": [%s] }"
+      (Rules.issue_name ir.Report.ir_issue)
+      ir.Report.ir_flow_count
+      (json_escape (stmt_str ir.Report.ir_representative.Flows.fl_sink))
+      (match ir.Report.ir_lcp with
+       | Some lcp -> Printf.sprintf "\"%s\"" (json_escape (stmt_str lcp))
+       | None -> "null")
+      path
+  in
+  Printf.printf "{\n  \"issues\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map issue_json report.Report.issues))
+
+let analyze_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Print analysis statistics to stderr.")
+  in
+  let csrf =
+    Arg.(value & flag
+         & info [ "csrf" ]
+             ~doc:"Also run the CSRF reachability check on GET handlers.")
+  in
+  let run algorithm scale descriptor_file srcs json stats csrf =
+    let input = load_input ~name:"cli" ~srcs ~descriptor_file in
+    let loaded =
+      match Taj.load input with
+      | loaded -> loaded
+      | exception Taj.Load_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    match Taj.run loaded (Config.preset ~scale algorithm) with
+    | { Taj.result = Taj.Did_not_complete reason; _ } ->
+      Printf.eprintf "analysis did not complete: %s\n" reason;
+      exit 3
+    | { Taj.result = Taj.Completed c; _ } ->
+      if stats then begin
+        Printf.eprintf
+          "call-graph: %d nodes, %d edges; pointer %.3fs, sdg %.3fs, \
+           taint %.3fs\n"
+          c.Taj.cg_nodes c.Taj.cg_edges c.Taj.times.Taj.t_pointer
+          c.Taj.times.Taj.t_sdg c.Taj.times.Taj.t_taint
+      end;
+      if json then emit_json c.Taj.builder c.Taj.report
+      else begin
+        Fmt.pr "%a@." (Report.pp c.Taj.builder) c.Taj.report;
+        (* string-context diagnostics where a template is recoverable *)
+        List.iter
+          (fun ir ->
+             match
+               String_context.diagnose c.Taj.builder
+                 ir.Report.ir_representative
+             with
+             | Some d ->
+               Fmt.pr "  context [%s]: %s@."
+                 (Rules.issue_name ir.Report.ir_issue) d
+             | None -> ())
+          c.Taj.report.Report.issues
+      end;
+      let csrf_findings =
+        if csrf then begin
+          let fs =
+            Csrf.detect ~prog:loaded.Taj.program ~builder:c.Taj.builder
+              c.Taj.andersen
+          in
+          List.iter
+            (fun f -> Fmt.pr "%a@." (Csrf.pp_finding c.Taj.builder) f)
+            fs;
+          List.length fs
+        end
+        else 0
+      in
+      if Report.issue_count c.Taj.report > 0 || csrf_findings > 0 then exit 2
+  in
+  let doc = "Run taint analysis over MJava sources." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ algorithm $ scale $ descriptor_file $ sources $ json
+          $ stats $ csrf)
+
+(* ------------------------------------------------------------------ *)
+(* dump-ir                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dump_ir_cmd =
+  let meth_filter =
+    Arg.(value & opt (some string) None
+         & info [ "m"; "method" ] ~docv:"ID"
+             ~doc:"Only print the method with this id (Class.name/arity).")
+  in
+  let run descriptor_file srcs meth_filter =
+    let input = load_input ~name:"cli" ~srcs ~descriptor_file in
+    match Taj.load input with
+    | exception Taj.Load_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    | loaded ->
+      let prog = loaded.Taj.program in
+      let ids =
+        match meth_filter with
+        | Some id -> [ id ]
+        | None ->
+          List.filter
+            (fun id ->
+               match Jir.Program.find_method prog id with
+               | Some m -> not m.Jir.Tac.m_library
+               | None -> false)
+            (Jir.Program.all_method_ids prog)
+      in
+      List.iter
+        (fun id ->
+           match Jir.Program.find_method prog id with
+           | Some m -> Fmt.pr "%a@." Jir.Tac.pp_meth m
+           | None -> Printf.eprintf "no such method: %s\n" id)
+        ids
+  in
+  let doc = "Print the SSA IR of the compiled program." in
+  Cmd.v (Cmd.info "dump-ir" ~doc)
+    Term.(const run $ descriptor_file $ sources $ meth_filter)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run scale descriptor_file srcs =
+    let input = load_input ~name:"cli" ~srcs ~descriptor_file in
+    let loaded =
+      match Taj.load input with
+      | loaded -> loaded
+      | exception Taj.Load_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    match Taj.run loaded (Config.preset ~scale Config.Hybrid_unbounded) with
+    | { Taj.result = Taj.Did_not_complete reason; _ } ->
+      Printf.eprintf "analysis did not complete: %s\n" reason;
+      exit 3
+    | { Taj.result = Taj.Completed c; _ } ->
+      let b = c.Taj.builder in
+      let table = loaded.Taj.program.Jir.Program.table in
+      let m = Rules.matcher table in
+      List.iteri
+        (fun i (ir : Report.issue_report) ->
+           let fl = ir.Report.ir_representative in
+           Fmt.pr "@.== issue %d [%a] sink %a@." (i + 1) Rules.pp_issue
+             ir.Report.ir_issue (Report.pp_stmt b) fl.Flows.fl_sink;
+           (* backward-slice every sensitive argument of the sink *)
+           (match Sdg.Builder.call_of b fl.Flows.fl_sink with
+            | Some call ->
+              let sensitive =
+                match Rules.sink_of m fl.Flows.fl_rule call.Jir.Tac.target with
+                | Some sink -> sink.Rules.snk_params
+                | None -> [ List.length call.Jir.Tac.args - 1 ]
+              in
+              List.iter
+                (fun arg ->
+                   let r =
+                     Sdg.Backward.slice b ~table ~from:fl.Flows.fl_sink ~arg
+                       ~max_stmts:2000 ()
+                   in
+                   let producers =
+                     Sdg.Backward.source_endpoints b r ~is_source:(fun t ->
+                         List.exists
+                           (fun rule -> Rules.source_of m rule t <> None)
+                           Rules.default_rules)
+                   in
+                   Fmt.pr "  argument %d: %d producer statement(s), %d \
+                           untrusted source(s)@."
+                     arg
+                     (Sdg.Stmt.Set.cardinal r.Sdg.Backward.slice)
+                     (List.length producers);
+                   List.iter
+                     (fun s -> Fmt.pr "    source: %a@." (Report.pp_stmt b) s)
+                     producers)
+                sensitive
+            | None -> ()))
+        c.Taj.report.Report.issues;
+      if c.Taj.report.Report.issues = [] then
+        print_endline "no issues to explain"
+  in
+  let doc =
+    "Explain reported issues: backward thin slices from each sink showing \
+     every contributing untrusted source."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ scale $ descriptor_file $ sources)
+
+(* ------------------------------------------------------------------ *)
+(* jsp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let jsp_cmd =
+  let pages =
+    let doc = "JSP files to translate (the class name is the basename)." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"PAGE" ~doc)
+  in
+  let analyze_flag =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Analyze the translated pages instead of printing them.")
+  in
+  let class_name_of path =
+    let base = Filename.remove_extension (Filename.basename path) in
+    String.mapi
+      (fun i c ->
+         if i = 0 then Char.uppercase_ascii c
+         else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                 || (c >= '0' && c <= '9')
+         then c
+         else '_')
+      base
+  in
+  let run algorithm scale pages analyze_flag =
+    let sources =
+      List.map
+        (fun path ->
+           match
+             Models.Jsp.translate ~name:(class_name_of path) (read_file path)
+           with
+           | src -> src
+           | exception Models.Jsp.Jsp_error msg ->
+             Printf.eprintf "%s: %s\n" path msg;
+             exit 1)
+        pages
+    in
+    if not analyze_flag then List.iter print_string sources
+    else begin
+      let input = { Taj.name = "jsp"; app_sources = sources; descriptor = "" } in
+      match Taj.analyze ~config:(Config.preset ~scale algorithm) input with
+      | exception Taj.Load_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+      | { Taj.result = Taj.Did_not_complete reason; _ } ->
+        Printf.eprintf "analysis did not complete: %s\n" reason;
+        exit 3
+      | { Taj.result = Taj.Completed c; _ } ->
+        Fmt.pr "%a@." (Report.pp c.Taj.builder) c.Taj.report;
+        if Report.issue_count c.Taj.report > 0 then exit 2
+    end
+  in
+  let doc = "Translate JSP pages to servlets (and optionally analyze them)." in
+  Cmd.v (Cmd.info "jsp" ~doc)
+    Term.(const run $ algorithm $ scale $ pages $ analyze_flag)
+
+(* ------------------------------------------------------------------ *)
+(* graph                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let graph_cmd =
+  let what =
+    Arg.(value & opt (enum [ ("callgraph", `Callgraph); ("flows", `Flows) ])
+           `Flows
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"What to render: 'callgraph' or 'flows' (default).")
+  in
+  let run scale descriptor_file srcs what =
+    let input = load_input ~name:"cli" ~srcs ~descriptor_file in
+    let loaded =
+      match Taj.load input with
+      | loaded -> loaded
+      | exception Taj.Load_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    match Taj.run loaded (Config.preset ~scale Config.Hybrid_unbounded) with
+    | { Taj.result = Taj.Did_not_complete reason; _ } ->
+      Printf.eprintf "analysis did not complete: %s\n" reason;
+      exit 3
+    | { Taj.result = Taj.Completed c; _ } ->
+      (match what with
+       | `Callgraph -> print_string (Dot.callgraph c.Taj.andersen)
+       | `Flows -> print_string (Dot.report c.Taj.builder c.Taj.report))
+  in
+  let doc = "Emit Graphviz DOT for the call graph or the reported flows." in
+  Cmd.v (Cmd.info "graph" ~doc)
+    Term.(const run $ scale $ descriptor_file $ sources $ what)
+
+(* ------------------------------------------------------------------ *)
+(* generate / apps / score                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let run name scale =
+    match Workloads.Apps.find name with
+    | None ->
+      Printf.eprintf "unknown app %s (see 'taj apps')\n" name;
+      exit 1
+    | Some app ->
+      let g = Workloads.Apps.generate ~scale app in
+      List.iteri
+        (fun i src -> Printf.printf "// ---- unit %d ----\n%s\n" i src)
+        g.Workloads.Codegen.g_sources;
+      if g.Workloads.Codegen.g_descriptor <> "" then
+        Printf.printf "// ---- deployment descriptor ----\n%s"
+          g.Workloads.Codegen.g_descriptor;
+      Printf.eprintf "planted ground truth:\n";
+      List.iter
+        (fun p -> Fmt.epr "  %a@." Workloads.Ground_truth.pp_planted p)
+        g.Workloads.Codegen.g_truth
+  in
+  let doc = "Emit the MJava source of a synthetic benchmark application." in
+  Cmd.v (Cmd.info "generate" ~doc) Term.(const run $ app_name $ scale)
+
+let apps_cmd =
+  let run () =
+    Printf.printf "%-14s %-12s %8s %8s %7s\n" "name" "version" "classes"
+      "methods" "scored";
+    List.iter
+      (fun (a : Workloads.Apps.app) ->
+         Printf.printf "%-14s %-12s %8d %8d %7s\n" a.Workloads.Apps.name
+           a.Workloads.Apps.version a.Workloads.Apps.classes_app
+           a.Workloads.Apps.methods_app
+           (if a.Workloads.Apps.scored then "yes" else "-"))
+      Workloads.Apps.table2
+  in
+  let doc = "List the 22 benchmark applications of Table 2." in
+  Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
+
+let score_cmd =
+  let run name scale =
+    match Workloads.Apps.find name with
+    | None ->
+      Printf.eprintf "unknown app %s\n" name;
+      exit 1
+    | Some app ->
+      let runs = Workloads.Score.run_app ~scale app in
+      Printf.printf "%-20s %7s %5s %5s %5s %9s %8s\n" "configuration"
+        "issues" "TP" "FP" "FN" "accuracy" "time";
+      List.iter
+        (fun (r : Workloads.Score.run) ->
+           match r.Workloads.Score.r_classification with
+           | None ->
+             Printf.printf "%-20s (did not complete)\n"
+               (Config.algorithm_name r.Workloads.Score.r_algorithm)
+           | Some c ->
+             Printf.printf "%-20s %7d %5d %5d %5d %9.2f %7.2fs\n"
+               (Config.algorithm_name r.Workloads.Score.r_algorithm)
+               r.Workloads.Score.r_issues c.Workloads.Score.true_positives
+               c.Workloads.Score.false_positives
+               c.Workloads.Score.false_negatives
+               (Workloads.Score.accuracy c) r.Workloads.Score.r_seconds)
+        runs
+  in
+  let doc =
+    "Generate a benchmark app, run all five configurations and score them \
+     against the ground truth."
+  in
+  Cmd.v (Cmd.info "score" ~doc) Term.(const run $ app_name $ scale)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "TAJ: taint analysis for (M)Java web applications" in
+  let info = Cmd.info "taj" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; explain_cmd; graph_cmd; jsp_cmd; dump_ir_cmd;
+            generate_cmd; apps_cmd; score_cmd ]))

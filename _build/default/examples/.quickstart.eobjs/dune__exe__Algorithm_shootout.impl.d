@@ -1,0 +1,1 @@
+examples/algorithm_shootout.ml: Config Core List Printf Report Taj

@@ -1,0 +1,1 @@
+examples/bounded_analysis.ml: Apps Codegen Config Core Ground_truth List Option Printf Report Score Taj Workloads

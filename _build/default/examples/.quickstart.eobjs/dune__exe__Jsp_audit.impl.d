@@ -1,0 +1,1 @@
+examples/jsp_audit.ml: Config Core Fmt List Models Printf Report Rules String_context Taj

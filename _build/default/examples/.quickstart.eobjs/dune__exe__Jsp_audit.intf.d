@@ -1,0 +1,1 @@
+examples/jsp_audit.mli:

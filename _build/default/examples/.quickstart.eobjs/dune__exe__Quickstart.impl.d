@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Core Fmt Models Printf Report Taj

@@ -1,0 +1,1 @@
+examples/webapp_audit.ml: Config Core Fmt List Printf Report Rules Taj

@@ -1,0 +1,99 @@
+(* Algorithm shootout: one program, five analyses.
+
+   The program packs the three discriminating situations from the paper
+   into one servlet family:
+   - a context-confusion trap through a shared helper (CI reports a false
+     positive, the context-sensitive configurations do not);
+   - a heap-merge trap through a shared factory (hybrid and CI report a
+     false positive; the CS emulation's context-qualified heap does not);
+   - a cross-thread flow through a static field (hybrid and CI report the
+     true positive; CS misses it — its flow-sensitive heap treatment is
+     unsound for multi-threaded code, exactly as §3.2 concedes).
+
+   Run with: dune exec examples/algorithm_shootout.exe *)
+
+open Core
+
+let program =
+  [ {|class Relay {
+        String relay(String s) { return s; }
+      }
+      class HelperPage extends HttpServlet {
+        public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+          Relay r = new Relay();
+          String dirty = r.relay(req.getParameter("input"));
+          String clean = r.relay("static text");
+          PrintWriter w = resp.getWriter();
+          w.println(dirty);
+          w.println(clean);
+        }
+      }|};
+    {|class Pouch { String v; }
+      class PouchFactory {
+        static Pouch fill(String s) {
+          Pouch p = new Pouch();
+          p.v = s;
+          return p;
+        }
+      }
+      class FactoryPage extends HttpServlet {
+        public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+          Pouch dirty = PouchFactory.fill(req.getParameter("input"));
+          Pouch clean = PouchFactory.fill("static text");
+          PrintWriter w = resp.getWriter();
+          w.println(dirty.v);
+          w.println(clean.v);
+        }
+      }|};
+    {|class Mailbox { static String message; }
+      class Courier extends Thread {
+        HttpServletRequest req;
+        public Courier(HttpServletRequest r) { this.req = r; }
+        public void run() { Mailbox.message = this.req.getParameter("payload"); }
+      }
+      class ThreadPage extends HttpServlet {
+        public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+          Courier c = new Courier(req);
+          c.start();
+          resp.getWriter().println(Mailbox.message);
+        }
+      }|} ]
+
+(* the semantically real flows: HelperPage println(dirty),
+   FactoryPage println(dirty.v), ThreadPage println(Mailbox.message) *)
+let real_flows = 3
+
+let () =
+  print_endline "=== TAJ algorithm shootout ===\n";
+  let input =
+    { Taj.name = "shootout"; app_sources = program; descriptor = "" }
+  in
+  let loaded = Taj.load input in
+  Printf.printf "%-22s %7s   %s\n" "configuration" "issues"
+    (Printf.sprintf "(semantically real flows: %d)" real_flows);
+  List.iter
+    (fun alg ->
+       let analysis = Taj.run loaded (Config.preset alg) in
+       match analysis.Taj.result with
+       | Taj.Did_not_complete reason ->
+         Printf.printf "%-22s %7s   (%s)\n" (Config.algorithm_name alg) "-"
+           reason
+       | Taj.Completed c ->
+         let n = Report.issue_count c.Taj.report in
+         let comment =
+           match alg with
+           | Config.Ci_thin_slicing ->
+             "all 3 real + helper FP + factory FP"
+           | Config.Cs_thin_slicing ->
+             "precise heap, but misses the cross-thread flow"
+           | Config.Hybrid_unbounded | Config.Hybrid_prioritized
+           | Config.Hybrid_optimized ->
+             "all 3 real + factory FP (context-free heap)"
+         in
+         Printf.printf "%-22s %7d   %s\n" (Config.algorithm_name alg) n comment)
+    Config.all_algorithms;
+  Printf.printf
+    "\nThis is the tradeoff Table 3 and Figure 4 quantify: CI is cheap and\n\
+     noisy, CS is precise but unsound for threads and does not scale, and\n\
+     the hybrid algorithm sits between them — sound like CI, with most of\n\
+     the local-flow precision of CS.\n"

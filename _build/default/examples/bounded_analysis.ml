@@ -1,0 +1,60 @@
+(* Bounded analysis (§6): analyzing a large application under a fixed
+   call-graph budget, with and without the locality-of-taint priority
+   heuristic, and with the optimized slicing bounds.
+
+   The workload is the synthetic stand-in for GridSphere, the largest
+   benchmark: mostly taint-free "cold" servlet code plus planted flows.
+   Under a tight node budget, chaotic (FIFO) constraint adding drowns in
+   cold code while the priority-driven scheme (§6.1) reaches the taint.
+
+   Run with: dune exec examples/bounded_analysis.exe *)
+
+open Core
+open Workloads
+
+let () =
+  print_endline "=== TAJ bounded analysis: a large app under budget ===\n";
+  let scale = 0.05 in
+  let app = Option.get (Apps.find "GridSphere") in
+  let g = Apps.generate ~scale app in
+  let loaded = Taj.load (Codegen.to_input g) in
+  let truth = g.Codegen.g_truth in
+  Printf.printf "workload: %d compilation units, %d planted flows (%d real)\n\n"
+    (List.length g.Codegen.g_sources)
+    (List.length truth)
+    (Ground_truth.real_count truth);
+  (* reference: unbounded *)
+  let describe label config =
+    match (Taj.run loaded config).Taj.result with
+    | Taj.Completed c ->
+      let cl = Score.classify truth c.Taj.builder c.Taj.report in
+      Printf.printf "%-34s nodes=%5d issues=%4d TP=%3d FP=%3d FN=%3d (%.2fs)\n"
+        label c.Taj.cg_nodes
+        (Report.issue_count c.Taj.report)
+        cl.Score.true_positives cl.Score.false_positives
+        cl.Score.false_negatives c.Taj.times.Taj.t_total
+    | Taj.Did_not_complete reason ->
+      Printf.printf "%-34s did not complete: %s\n" label reason
+  in
+  describe "unbounded" (Config.preset ~scale Config.Hybrid_unbounded);
+  print_newline ();
+  let budgets = [ 800; 1000; 1400 ] in
+  List.iter
+    (fun budget ->
+       let prioritized =
+         { (Config.preset ~scale Config.Hybrid_prioritized) with
+           Config.max_cg_nodes = Some budget }
+       in
+       let chaotic = { prioritized with Config.prioritized = false } in
+       describe
+         (Printf.sprintf "budget %d, priority-driven" budget)
+         prioritized;
+       describe (Printf.sprintf "budget %d, chaotic (FIFO)" budget) chaotic;
+       print_newline ())
+    budgets;
+  describe "fully optimized (all Sec. 6 bounds)"
+    (Config.preset ~scale Config.Hybrid_optimized);
+  Printf.printf
+    "\nThe priority heuristic recovers most true positives at budgets where\n\
+     chaotic iteration finds none, and the optimized bounds additionally\n\
+     trim false positives (long spurious flows, deep nested taint).\n"

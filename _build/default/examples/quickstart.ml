@@ -1,0 +1,82 @@
+(* Quickstart: analyze the paper's Figure 1 motivating program.
+
+   The program reads two servlet parameters, routes them through reflection
+   (Class.forName / getMethods / Method.invoke) and a HashMap with constant
+   keys, sanitizes one of them, and prints three wrapper objects. Exactly
+   one of the three println calls is vulnerable — the one whose wrapped
+   string came from an unsanitized parameter.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Core
+
+let motivating_program =
+  {|class Internal {
+      String s;
+      public Internal(String s) { this.s = s; }
+      public String toString() { return this.s; }
+    }
+    class Motivating extends HttpServlet {
+      public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+        String t1 = req.getParameter("fName");
+        String t2 = req.getParameter("lName");
+        PrintWriter writer = resp.getWriter();
+        Method idMethod = null;
+        try {
+          Class k = Class.forName("Motivating");
+          Method[] methods = k.getMethods();
+          for (int i = 0; i < methods.length; i = i + 1) {
+            Method method = methods[i];
+            if (method.getName().equals("id")) {
+              idMethod = method;
+              break;
+            }
+          }
+          Map m = new HashMap();
+          m.put("fName", t1);
+          m.put("lName", t2);
+          m.put("date", Date.getDate());
+          String s1 = (String) idMethod.invoke(this, new Object[] { m.get("fName") });
+          String s2 = (String) idMethod.invoke(this,
+              new Object[] { URLEncoder.encode((String) m.get("lName")) });
+          String s3 = (String) idMethod.invoke(this, new Object[] { m.get("date") });
+          Internal i1 = new Internal(s1);
+          Internal i2 = new Internal(s2);
+          Internal i3 = new Internal(s3);
+          writer.println(i1); // BAD
+          writer.println(i2); // OK
+          writer.println(i3); // OK
+        } catch (Exception e) {
+          e.printStackTrace();
+        }
+      }
+      public String id(String string) { return string; }
+    }|}
+
+let () =
+  print_endline "=== TAJ quickstart: the Figure 1 motivating program ===\n";
+  let input =
+    { Taj.name = "motivating";
+      app_sources = [ motivating_program ];
+      descriptor = "" }
+  in
+  (* load once: parse, lower to SSA, resolve reflection, model exceptions *)
+  let loaded = Taj.load input in
+  Printf.printf
+    "frontend: %d reflective invokes resolved, %d synthesized exception \
+     sources\n\n"
+    loaded.Taj.reflection_stats.Models.Reflection.invokes_resolved
+    loaded.Taj.synthesized_sources;
+  (* analyze with the fully optimized configuration of Table 1 *)
+  let analysis = Taj.run loaded (Config.preset Config.Hybrid_optimized) in
+  match analysis.Taj.result with
+  | Taj.Did_not_complete reason ->
+    Printf.printf "analysis did not complete: %s\n" reason
+  | Taj.Completed c ->
+    Fmt.pr "%a@.@." (Report.pp c.Taj.builder) c.Taj.report;
+    Printf.printf
+      "Expected: exactly one XSS issue — the println(i1) carrying the\n\
+       unsanitized 'fName' parameter inside the Internal wrapper. The\n\
+       'lName' flow is endorsed by URLEncoder.encode and the 'date' flow\n\
+       is never tainted; the constant-key dictionary model keeps the three\n\
+       map entries apart.\n"

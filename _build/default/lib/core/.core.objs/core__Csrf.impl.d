@@ -1,0 +1,1 @@
+lib/core/csrf.ml: Array Fmt Hashtbl Jir List Models Pointer Program Report Rules Sdg String Tac

@@ -1,0 +1,1 @@
+lib/core/csrf.mli: Format Jir Pointer Sdg

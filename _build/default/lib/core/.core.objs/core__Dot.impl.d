@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Flows Fmt Jir List Pointer Printf Report Rules Sdg String Tac

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Config Flows Int Jir List Pointer Program Rules Sdg Set Tac

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Flows Jir Pointer Rules Sdg

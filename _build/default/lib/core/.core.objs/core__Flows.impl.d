@@ -1,0 +1,1 @@
+lib/core/flows.ml: Fmt Hashtbl Jir List Option Rules Sdg Tac

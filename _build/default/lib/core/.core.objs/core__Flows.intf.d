@@ -1,0 +1,1 @@
+lib/core/flows.mli: Format Jir Rules Sdg

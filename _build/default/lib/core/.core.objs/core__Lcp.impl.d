@@ -1,0 +1,1 @@
+lib/core/lcp.ml: Flows Hashtbl Jir List Option Rules Sdg Tac

@@ -1,0 +1,1 @@
+lib/core/lcp.mli: Flows Rules Sdg

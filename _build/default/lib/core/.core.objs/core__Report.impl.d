@@ -1,0 +1,1 @@
+lib/core/report.ml: Flows Fmt Jir Lcp List Rules Sdg Tac

@@ -1,0 +1,1 @@
+lib/core/rules.ml: Classtable Fmt Hashtbl Jir List Printf String Tac

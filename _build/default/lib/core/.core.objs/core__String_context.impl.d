@@ -1,0 +1,1 @@
+lib/core/string_context.ml: Flows Fmt Jir List Printf Rules Sdg String

@@ -1,0 +1,1 @@
+lib/core/string_context.mli: Flows Format Sdg

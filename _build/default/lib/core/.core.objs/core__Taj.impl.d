@@ -1,0 +1,1 @@
+lib/core/taj.ml: Ast Classtable Config Engine Fmt Jir Lazy Lexer List Lower Models Parser Pointer Program Report Rules Sdg Ssa Sys

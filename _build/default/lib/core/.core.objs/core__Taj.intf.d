@@ -1,0 +1,1 @@
+lib/core/taj.mli: Config Engine Jir Models Pointer Report Rules Sdg

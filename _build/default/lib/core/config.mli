@@ -1,0 +1,37 @@
+(** Analysis configurations: the five algorithm settings of Table 1. *)
+
+type algorithm =
+  | Hybrid_unbounded
+  | Hybrid_prioritized
+  | Hybrid_optimized
+  | Cs_thin_slicing
+  | Ci_thin_slicing
+
+val algorithm_name : algorithm -> string
+
+type t = {
+  algorithm : algorithm;
+  max_cg_nodes : int option;          (** §6.1 call-graph node budget *)
+  prioritized : bool;                 (** §6.1 priority-driven scheme *)
+  max_heap_transitions : int option;  (** §6.2.1 slice-size bound *)
+  max_slice_steps : int option;
+      (** §6.2.1's alternative no-heap-SDG bound, kept for the ablation *)
+  max_flow_length : int option;       (** §6.2.2 flow-length filter *)
+  nested_taint_depth : int;           (** §6.2.3; -1 = unbounded *)
+  cs_budget : int option;             (** emulates the CS memory ceiling *)
+  excluded_classes : string list;     (** §4.2.1 whitelist *)
+}
+
+val default_whitelist : string list
+
+(** The published bounds of §7.1. *)
+val paper_cg_bound : int
+val paper_heap_bound : int
+val paper_flow_length : int
+val paper_nested_depth : int
+
+(** Build a Table-1 preset; [scale] shrinks the big budgets together with
+    workload size (default 1.0). *)
+val preset : ?scale:float -> algorithm -> t
+
+val all_algorithms : algorithm list

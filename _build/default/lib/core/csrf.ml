@@ -1,0 +1,130 @@
+(** Cross-site request forgery detection — the second §9 future-work item
+    ("we plan to extend our coverage of security rules by investigating
+    ways for statically identifying cross-site request forgery").
+
+    Unlike taint rules, CSRF is a control-reachability property: a
+    state-changing operation (database update, file write, command
+    execution) reachable from an HTTP GET handler is forgeable — GET
+    requests carry no same-origin protection and must be idempotent. The
+    detector walks the call graph from every [doGet] entry and flags
+    state-changing library calls, unless the handler's reachable region
+    performs a recognizable anti-forgery token check (a session/request
+    attribute read whose constant key mentions "token", or a call to a
+    method named like [checkToken]/[validateToken]). *)
+
+open Jir
+
+(** State-changing library methods (canonical ids). *)
+let default_mutators =
+  [ "Statement.executeUpdate/2";
+    "Statement.execute/2";
+    "FileOutputStream.<init>/2";
+    "FileWriter.<init>/2";
+    "Runtime.exec/2";
+    "HttpSession.invalidate/1";
+    "File.delete/1" ]
+
+type finding = {
+  cf_entry : string;            (** the GET handler's method id *)
+  cf_sink : Sdg.Stmt.t;         (** the state-changing call *)
+  cf_target : string;           (** canonical id of the mutator *)
+}
+
+let pp_finding b ppf f =
+  Fmt.pf ppf "[CSRF] GET handler %s reaches %s at %a" f.cf_entry f.cf_target
+    (Report.pp_stmt b) f.cf_sink
+
+(* does a method name look like an anti-forgery check? *)
+let is_token_check_name name =
+  let lower = String.lowercase_ascii name in
+  let contains needle =
+    let nl = String.length needle and l = String.length lower in
+    let rec go i = i + nl <= l && (String.sub lower i nl = needle || go (i + 1)) in
+    go 0
+  in
+  contains "token" || contains "csrf" || contains "nonce"
+
+let key_mentions_token key =
+  let lower = String.lowercase_ascii key in
+  let contains needle =
+    let nl = String.length needle and l = String.length lower in
+    let rec go i = i + nl <= l && (String.sub lower i nl = needle || go (i + 1)) in
+    go 0
+  in
+  contains "token" || contains "csrf" || contains "nonce"
+
+(* nodes reachable in the call graph from [root] *)
+let reachable_nodes cg root =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      List.iter go (Pointer.Callgraph.successors cg n)
+    end
+  in
+  go root;
+  seen
+
+(** Detect CSRF-prone state changes. [mutators] overrides the default
+    state-changing method list. *)
+let detect ?(mutators = default_mutators) ~(prog : Program.t)
+    ~(builder : Sdg.Builder.t) (andersen : Pointer.Andersen.t) :
+  finding list =
+  let cg = Pointer.Andersen.call_graph andersen in
+  let m = Rules.matcher prog.Program.table in
+  (* GET handlers: application doGet implementations in the call graph *)
+  let entries = ref [] in
+  Pointer.Callgraph.iter_nodes cg (fun n ->
+      let meth = n.Pointer.Callgraph.n_method in
+      if String.equal meth.Tac.m_name "doGet" && not meth.Tac.m_library then
+        entries := n.Pointer.Callgraph.n_id :: !entries);
+  let findings = ref [] in
+  List.iter
+    (fun entry ->
+       let entry_meth =
+         Tac.method_id (Pointer.Callgraph.node cg entry).Pointer.Callgraph.n_method
+       in
+       let region = reachable_nodes cg entry in
+       (* scan the region once for both mutators and token checks *)
+       let guarded = ref false in
+       let hits = ref [] in
+       Hashtbl.iter
+         (fun node () ->
+            let meth = (Pointer.Callgraph.node cg node).Pointer.Callgraph.n_method in
+            let const_of = Models.Dict_model.const_of_meth meth in
+            Array.iteri
+              (fun bi (b : Tac.block) ->
+                 Array.iteri
+                   (fun ii ins ->
+                      match ins with
+                      | Tac.Call c ->
+                        let canon = Rules.canonical m c.Tac.target in
+                        if List.mem canon mutators then
+                          hits :=
+                            ( Sdg.Stmt.instr ~node ~block:bi ~index:ii,
+                              canon )
+                            :: !hits;
+                        if is_token_check_name c.Tac.target.Tac.rname then
+                          guarded := true;
+                        (match
+                           Models.Dict_model.classify ~const_of c
+                         with
+                         | Some (Models.Dict_model.Dict_get
+                                   { key = Models.Dict_model.Const_key k; _ })
+                           when key_mentions_token k ->
+                           guarded := true
+                         | _ -> ())
+                      | _ -> ())
+                   b.Tac.instrs)
+              meth.Tac.m_blocks)
+         region;
+       if not !guarded then
+         List.iter
+           (fun (sink, canon) ->
+              findings :=
+                { cf_entry = entry_meth; cf_sink = sink; cf_target = canon }
+                :: !findings)
+           !hits)
+    !entries;
+  ignore builder;
+  List.sort_uniq compare !findings

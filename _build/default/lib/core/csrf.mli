@@ -1,0 +1,20 @@
+(** Cross-site request forgery detection — a §9 future-work item. Flags
+    state-changing library calls (database updates, file writes, command
+    execution) reachable in the call graph from an HTTP GET handler, unless
+    the handler's reachable region performs a recognizable anti-forgery
+    token check. *)
+
+(** State-changing library methods (canonical ids). *)
+val default_mutators : string list
+
+type finding = {
+  cf_entry : string;            (** the GET handler's method id *)
+  cf_sink : Sdg.Stmt.t;         (** the state-changing call *)
+  cf_target : string;           (** canonical id of the mutator *)
+}
+
+val pp_finding : Sdg.Builder.t -> Format.formatter -> finding -> unit
+
+val detect :
+  ?mutators:string list -> prog:Jir.Program.t -> builder:Sdg.Builder.t ->
+  Pointer.Andersen.t -> finding list

@@ -1,0 +1,99 @@
+(** Graphviz (DOT) export of call graphs and witness flows, for report
+    consumption and debugging. Exposed through [taj graph]. *)
+
+open Jir
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+          match c with
+          | '"' -> "\\\""
+          | '\\' -> "\\\\"
+          | '\n' -> "\\n"
+          | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(** The context-sensitive call graph. Nodes are method clones; library
+    clones are drawn dashed; the edge label is the call-site id. *)
+let callgraph (a : Pointer.Andersen.t) : string =
+  let cg = Pointer.Andersen.call_graph a in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  Pointer.Callgraph.iter_nodes cg (fun n ->
+      let m = n.Pointer.Callgraph.n_method in
+      let label =
+        Fmt.str "%s@;%a" (Tac.method_id m) Pointer.Keys.pp_context
+          n.Pointer.Callgraph.n_ctx
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" n.Pointer.Callgraph.n_id
+           (escape label)
+           (if m.Tac.m_library then ", style=dashed" else "")));
+  Pointer.Callgraph.iter_edges cg (fun ~caller ~site ~callee ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"@%d\", fontsize=8];\n" caller
+           callee site));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** One witness flow as a chain: source (green) through the slice to the
+    sink (red), statements labeled with their rendered instruction. *)
+let flow (b : Sdg.Builder.t) (fl : Flows.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph flow {\n  node [shape=box, fontsize=10];\n";
+  let stmt_label s = Fmt.str "%a" (Report.pp_stmt b) s in
+  let n = List.length fl.Flows.fl_path in
+  List.iteri
+    (fun i s ->
+       let color =
+         if i = 0 then ", color=darkgreen, penwidth=2"
+         else if i = n - 1 then ", color=red, penwidth=2"
+         else ""
+       in
+       Buffer.add_string buf
+         (Printf.sprintf "  s%d [label=\"%s\"%s];\n" i
+            (escape (stmt_label s)) color))
+    fl.Flows.fl_path;
+  for i = 0 to n - 2 do
+    Buffer.add_string buf (Printf.sprintf "  s%d -> s%d;\n" i (i + 1))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "  label=\"%s flow (%d hops)\";\n"
+       (Rules.issue_name fl.Flows.fl_rule.Rules.issue)
+       fl.Flows.fl_length);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** All reported issues as one digraph with a cluster per issue. *)
+let report (b : Sdg.Builder.t) (r : Report.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph report {\n  node [shape=box, fontsize=10];\n";
+  List.iteri
+    (fun k (ir : Report.issue_report) ->
+       let fl = ir.Report.ir_representative in
+       Buffer.add_string buf
+         (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s (%d flows)\";\n"
+            k
+            (Rules.issue_name ir.Report.ir_issue)
+            ir.Report.ir_flow_count);
+       let n = List.length fl.Flows.fl_path in
+       List.iteri
+         (fun i s ->
+            let color =
+              if i = 0 then ", color=darkgreen" else if i = n - 1 then ", color=red"
+              else ""
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "    c%d_s%d [label=\"%s\"%s];\n" k i
+                 (escape (Fmt.str "%a" (Report.pp_stmt b) s))
+                 color))
+         fl.Flows.fl_path;
+       for i = 0 to n - 2 do
+         Buffer.add_string buf
+           (Printf.sprintf "    c%d_s%d -> c%d_s%d;\n" k i k (i + 1))
+       done;
+       Buffer.add_string buf "  }\n")
+    r.Report.issues;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Graphviz (DOT) export of call graphs and witness flows. *)
+
+(** The context-sensitive call graph; library clones drawn dashed. *)
+val callgraph : Pointer.Andersen.t -> string
+
+(** One witness flow as a chain from source (green) to sink (red). *)
+val flow : Sdg.Builder.t -> Flows.t -> string
+
+(** All reported issues, one cluster per issue. *)
+val report : Sdg.Builder.t -> Report.t -> string

@@ -1,0 +1,162 @@
+(** The taint engine: per security rule, seed the slicer at source calls and
+    collect the flows that reach sinks, including taint-carrier flows
+    (§4.1.1). *)
+
+module Int_set = Set.Make (Int)
+module Keys = Pointer.Keys
+open Jir
+
+type rule_stats = {
+  rs_rule : string;
+  rs_seeds : int;
+  rs_visited : int;
+  rs_heap_transitions : int;
+  rs_exhausted : bool;
+}
+
+type outcome = {
+  flows : Flows.t list;
+  filtered_by_length : int;       (* flows dropped by the §6.2.2 bound *)
+  rule_stats : rule_stats list;
+  exhausted : bool;               (* some rule hit the step budget *)
+}
+
+let mode_of (config : Config.t) : Sdg.Tabulation.mode =
+  match config.Config.algorithm with
+  | Config.Ci_thin_slicing -> Sdg.Tabulation.ci_mode
+  | Config.Cs_thin_slicing ->
+    { Sdg.Tabulation.cs_mode with
+      Sdg.Tabulation.max_steps = config.Config.cs_budget }
+  | Config.Hybrid_unbounded | Config.Hybrid_prioritized
+  | Config.Hybrid_optimized ->
+    { Sdg.Tabulation.hybrid_mode with
+      Sdg.Tabulation.max_heap_transitions = config.Config.max_heap_transitions;
+      max_steps = config.Config.max_slice_steps }
+
+(* Seeds for one rule: source call statements (return taint) and, for
+   by-reference sources, the loads reading the tainted parameter's object. *)
+let seeds_of (b : Sdg.Builder.t) (m : Rules.matcher) (rule : Rules.rule) :
+  Sdg.Stmt.t list =
+  List.concat_map
+    (fun (s, (c : Tac.call)) ->
+       match Rules.source_of m rule c.Tac.target with
+       | Some { Rules.src_kind = Rules.Tainted_return; _ } ->
+         (* when the source returns a container (e.g. a parameter array),
+            its contents are tainted too: seed the loads of its pointees *)
+         let content_loads =
+           match c.Tac.ret with
+           | Some r ->
+             let pts = Sdg.Builder.pts_of_var b ~node:s.Sdg.Stmt.node r in
+             Int_set.fold
+               (fun ik acc -> Sdg.Builder.loads_of_ik b ~ik @ acc)
+               pts []
+           | None -> []
+         in
+         s :: content_loads
+       | Some { Rules.src_kind = Rules.Taints_param i; _ } ->
+         (match List.nth_opt c.Tac.args i with
+          | Some arg ->
+            let pts = Sdg.Builder.pts_of_var b ~node:s.Sdg.Stmt.node arg in
+            Int_set.fold
+              (fun ik acc -> Sdg.Builder.loads_of_ik b ~ik @ acc)
+              pts []
+          | None -> [])
+       | None -> [])
+    (Sdg.Builder.all_call_stmts b)
+
+(* Sink call statements with the instance keys reachable from their
+   sensitive arguments (§4.1.1 steps 1-2), bounded by the nested-taint
+   depth (§6.2.3). *)
+let carrier_sets_of (b : Sdg.Builder.t) (hg : Pointer.Heapgraph.t)
+    (m : Rules.matcher) (rule : Rules.rule) ~depth :
+  (Sdg.Stmt.t * Tac.mref * Int_set.t) list =
+  if depth = 0 then []
+  else
+    List.filter_map
+      (fun (s, (c : Tac.call)) ->
+         match Rules.sink_of m rule c.Tac.target with
+         | None -> None
+         | Some sink ->
+           let roots =
+             List.fold_left
+               (fun acc i ->
+                  match List.nth_opt c.Tac.args i with
+                  | Some arg ->
+                    Int_set.union acc
+                      (Sdg.Builder.pts_of_var b ~node:s.Sdg.Stmt.node arg)
+                  | None -> acc)
+               Int_set.empty sink.Rules.snk_params
+           in
+           if Int_set.is_empty roots then None
+           else
+             Some (s, c.Tac.target, Pointer.Heapgraph.reachable hg ~depth roots))
+      (Sdg.Builder.all_call_stmts b)
+
+let dedup_path (path : Sdg.Stmt.t list) =
+  let rec go = function
+    | a :: b :: rest when Sdg.Stmt.equal a b -> go (b :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go path
+
+let run ~(prog : Program.t) ~(builder : Sdg.Builder.t)
+    ~(heapgraph : Pointer.Heapgraph.t) ~(rules : Rules.rule list)
+    ~(config : Config.t) : outcome =
+  let m = Rules.matcher prog.Program.table in
+  let mode = mode_of config in
+  let filtered = ref 0 in
+  let exhausted = ref false in
+  let stats = ref [] in
+  let flows =
+    List.concat_map
+      (fun rule ->
+         let seeds = seeds_of builder m rule in
+         let carrier_sets =
+           carrier_sets_of builder heapgraph m rule
+             ~depth:config.Config.nested_taint_depth
+         in
+         let callbacks =
+           { Sdg.Tabulation.is_sink_arg =
+               (fun target i -> Rules.is_sink_arg m rule target i);
+             is_sanitizer = (fun target -> Rules.is_sanitizer m rule target);
+             carrier_sets }
+         in
+         let res = Sdg.Tabulation.run builder ~mode ~callbacks ~seeds in
+         if res.Sdg.Tabulation.exhausted then exhausted := true;
+         stats :=
+           { rs_rule = rule.Rules.rule_name;
+             rs_seeds = List.length seeds;
+             rs_visited = res.Sdg.Tabulation.visited;
+             rs_heap_transitions = res.Sdg.Tabulation.heap_transitions;
+             rs_exhausted = res.Sdg.Tabulation.exhausted }
+           :: !stats;
+         List.filter_map
+           (fun (h : Sdg.Tabulation.hit) ->
+              let path =
+                dedup_path
+                  (Sdg.Tabulation.path_of res h.Sdg.Tabulation.h_via
+                   @ [ h.Sdg.Tabulation.h_sink ])
+              in
+              let fl =
+                { Flows.fl_rule = rule;
+                  fl_source =
+                    (match path with s :: _ -> s | [] -> h.Sdg.Tabulation.h_via);
+                  fl_sink = h.Sdg.Tabulation.h_sink;
+                  fl_sink_target = h.Sdg.Tabulation.h_sink_target;
+                  fl_kind = h.Sdg.Tabulation.h_kind;
+                  fl_path = path;
+                  fl_length = List.length path }
+              in
+              match config.Config.max_flow_length with
+              | Some cap when fl.Flows.fl_length > cap ->
+                incr filtered;
+                None
+              | _ -> Some fl)
+           res.Sdg.Tabulation.hits)
+      rules
+  in
+  { flows;
+    filtered_by_length = !filtered;
+    rule_stats = List.rev !stats;
+    exhausted = !exhausted }

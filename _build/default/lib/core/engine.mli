@@ -1,0 +1,29 @@
+(** The taint engine: per security rule, seed the slicer at source calls
+    and collect flows that reach sinks, including taint-carrier flows
+    (§4.1.1). *)
+
+type rule_stats = {
+  rs_rule : string;
+  rs_seeds : int;
+  rs_visited : int;
+  rs_heap_transitions : int;
+  rs_exhausted : bool;
+}
+
+type outcome = {
+  flows : Flows.t list;
+  filtered_by_length : int;       (** flows dropped by the §6.2.2 bound *)
+  rule_stats : rule_stats list;
+  exhausted : bool;               (** some rule hit the step budget *)
+}
+
+(** Slicing mode implied by a configuration. *)
+val mode_of : Config.t -> Sdg.Tabulation.mode
+
+val run :
+  prog:Jir.Program.t ->
+  builder:Sdg.Builder.t ->
+  heapgraph:Pointer.Heapgraph.t ->
+  rules:Rules.rule list ->
+  config:Config.t ->
+  outcome

@@ -1,0 +1,34 @@
+(** Tainted flows: a witness path from a source call to a sink call. *)
+
+open Jir
+
+type t = {
+  fl_rule : Rules.rule;
+  fl_source : Sdg.Stmt.t;
+  fl_sink : Sdg.Stmt.t;
+  fl_sink_target : Tac.mref;
+  fl_kind : Sdg.Tabulation.hit_kind;
+  fl_path : Sdg.Stmt.t list;          (* source first, sink last *)
+  fl_length : int;
+}
+
+let length fl = fl.fl_length
+
+(** Bucket flows by path length; used by the §6.2.2 ablation. *)
+let length_histogram (flows : t list) : (int * int) list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun fl ->
+       let prev = Option.value ~default:0 (Hashtbl.find_opt tbl fl.fl_length) in
+       Hashtbl.replace tbl fl.fl_length (prev + 1))
+    flows;
+  Hashtbl.fold (fun len n acc -> (len, n) :: acc) tbl []
+  |> List.sort compare
+
+let pp_brief ppf fl =
+  Fmt.pf ppf "%a: %a --(%d)--> %a [%s]"
+    Rules.pp_issue fl.fl_rule.Rules.issue
+    Sdg.Stmt.pp fl.fl_source fl.fl_length Sdg.Stmt.pp fl.fl_sink
+    (match fl.fl_kind with
+     | Sdg.Tabulation.Direct -> "direct"
+     | Sdg.Tabulation.Carrier -> "carrier")

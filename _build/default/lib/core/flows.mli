@@ -1,0 +1,18 @@
+(** Tainted flows: a witness path from a source call to a sink call. *)
+
+type t = {
+  fl_rule : Rules.rule;
+  fl_source : Sdg.Stmt.t;
+  fl_sink : Sdg.Stmt.t;
+  fl_sink_target : Jir.Tac.mref;
+  fl_kind : Sdg.Tabulation.hit_kind;
+  fl_path : Sdg.Stmt.t list;          (** source first, sink last *)
+  fl_length : int;
+}
+
+val length : t -> int
+
+(** Bucket flows by path length (§6.2.2 ablation). *)
+val length_histogram : t list -> (int * int) list
+
+val pp_brief : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(** Library-call-point (LCP) report minimization (§5).
+
+    The LCP of a flow is the last statement on the path where data crosses
+    from application code into library code. Two flows are equivalent when
+    they share an LCP and require the same remediation action (the same
+    issue type): inserting one sanitizer at the LCP fixes the whole class,
+    so only a representative is reported. *)
+
+open Jir
+
+let stmt_in_library (b : Sdg.Builder.t) (s : Sdg.Stmt.t) : bool =
+  (Sdg.Builder.node_meth b s.Sdg.Stmt.node).Tac.m_library
+
+(** The LCP of a flow: the last app-code statement on the path whose
+    successor lies in library code, or the sink call itself when the sink
+    method is a library method invoked from application code. *)
+let compute (b : Sdg.Builder.t) (fl : Flows.t) : Sdg.Stmt.t option =
+  let rec scan last = function
+    | a :: (b' :: _ as rest) ->
+      let last =
+        if (not (stmt_in_library b a)) && stmt_in_library b b' then Some a
+        else last
+      in
+      scan last rest
+    | [ final ] ->
+      (* the sink call statement: app code calling a library sink *)
+      if not (stmt_in_library b final) then Some final else last
+    | [] -> last
+  in
+  scan None fl.Flows.fl_path
+
+type group = {
+  g_lcp : Sdg.Stmt.t option;
+  g_issue : Rules.issue;
+  g_representative : Flows.t;
+  g_members : Flows.t list;
+}
+
+(** Group flows into ~-equivalence classes per §5 and pick representatives.
+    The shortest member represents its class (most consumable report). *)
+let dedup (b : Sdg.Builder.t) (flows : Flows.t list) : group list =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun fl ->
+       let key = (compute b fl, fl.Flows.fl_rule.Rules.issue) in
+       let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+       Hashtbl.replace tbl key (fl :: prev))
+    flows;
+  Hashtbl.fold
+    (fun (lcp, issue) members acc ->
+       let sorted =
+         List.sort
+           (fun a b -> compare a.Flows.fl_length b.Flows.fl_length)
+           members
+       in
+       match sorted with
+       | [] -> acc
+       | rep :: _ ->
+         { g_lcp = lcp; g_issue = issue; g_representative = rep;
+           g_members = sorted }
+         :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare (a.g_issue, a.g_lcp) (b.g_issue, b.g_lcp))

@@ -1,0 +1,19 @@
+(** Library-call-point (LCP) report minimization (§5): flows sharing an LCP
+    and a remediation action (issue type) collapse to one representative. *)
+
+val stmt_in_library : Sdg.Builder.t -> Sdg.Stmt.t -> bool
+
+(** The LCP of a flow: the last application-code statement on the path
+    whose successor lies in library code (the sink call itself when the
+    sink method is a library method invoked from application code). *)
+val compute : Sdg.Builder.t -> Flows.t -> Sdg.Stmt.t option
+
+type group = {
+  g_lcp : Sdg.Stmt.t option;
+  g_issue : Rules.issue;
+  g_representative : Flows.t;           (** shortest member *)
+  g_members : Flows.t list;
+}
+
+(** Group flows into ~-equivalence classes per §5. *)
+val dedup : Sdg.Builder.t -> Flows.t list -> group list

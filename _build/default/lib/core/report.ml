@@ -1,0 +1,60 @@
+(** Consumable reports: LCP-deduplicated issues with witness paths. *)
+
+open Jir
+
+type issue_report = {
+  ir_issue : Rules.issue;
+  ir_lcp : Sdg.Stmt.t option;
+  ir_representative : Flows.t;
+  ir_flow_count : int;
+}
+
+type t = {
+  issues : issue_report list;
+  raw_flows : Flows.t list;
+}
+
+let make (b : Sdg.Builder.t) (flows : Flows.t list) : t =
+  let groups = Lcp.dedup b flows in
+  { issues =
+      List.map
+        (fun (g : Lcp.group) ->
+           { ir_issue = g.Lcp.g_issue;
+             ir_lcp = g.Lcp.g_lcp;
+             ir_representative = g.Lcp.g_representative;
+             ir_flow_count = List.length g.Lcp.g_members })
+        groups;
+    raw_flows = flows }
+
+let issue_count t = List.length t.issues
+let flow_count t = List.length t.raw_flows
+
+let pp_stmt (b : Sdg.Builder.t) ppf (s : Sdg.Stmt.t) =
+  let m = Sdg.Builder.node_meth b s.Sdg.Stmt.node in
+  match Sdg.Builder.instr_of b s with
+  | Some ins -> Fmt.pf ppf "%s: %a" (Tac.method_id m) Tac.pp_instr ins
+  | None ->
+    (match s.Sdg.Stmt.kind with
+     | Sdg.Stmt.K_param i -> Fmt.pf ppf "%s: param %d" (Tac.method_id m) i
+     | Sdg.Stmt.K_ret -> Fmt.pf ppf "%s: return" (Tac.method_id m)
+     | Sdg.Stmt.K_phi (blk, i) ->
+       Fmt.pf ppf "%s: B%d.phi%d" (Tac.method_id m) blk i
+     | Sdg.Stmt.K_instr (blk, _) ->
+       Fmt.pf ppf "%s: B%d.<throw>" (Tac.method_id m) blk)
+
+let pp_issue_report (b : Sdg.Builder.t) ppf (ir : issue_report) =
+  Fmt.pf ppf "@[<v2>[%a] %d flow(s); sink %a@,"
+    Rules.pp_issue ir.ir_issue ir.ir_flow_count
+    (pp_stmt b) ir.ir_representative.Flows.fl_sink;
+  (match ir.ir_lcp with
+   | Some lcp -> Fmt.pf ppf "remediate at: %a@," (pp_stmt b) lcp
+   | None -> ());
+  Fmt.pf ppf "@[<v2>witness:@,%a@]@]"
+    (Fmt.list ~sep:Fmt.cut (pp_stmt b))
+    ir.ir_representative.Flows.fl_path
+
+let pp (b : Sdg.Builder.t) ppf (t : t) =
+  Fmt.pf ppf "@[<v>%d issue(s) from %d flow(s)@,%a@]"
+    (issue_count t) (flow_count t)
+    (Fmt.list ~sep:Fmt.cut (pp_issue_report b))
+    t.issues

@@ -1,0 +1,21 @@
+(** Consumable reports: LCP-deduplicated issues with witness paths. *)
+
+type issue_report = {
+  ir_issue : Rules.issue;
+  ir_lcp : Sdg.Stmt.t option;
+  ir_representative : Flows.t;
+  ir_flow_count : int;
+}
+
+type t = {
+  issues : issue_report list;
+  raw_flows : Flows.t list;
+}
+
+val make : Sdg.Builder.t -> Flows.t list -> t
+val issue_count : t -> int
+val flow_count : t -> int
+
+val pp_stmt : Sdg.Builder.t -> Format.formatter -> Sdg.Stmt.t -> unit
+val pp_issue_report : Sdg.Builder.t -> Format.formatter -> issue_report -> unit
+val pp : Sdg.Builder.t -> Format.formatter -> t -> unit

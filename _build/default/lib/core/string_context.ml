@@ -1,0 +1,165 @@
+(** String-specific taint diagnostics — the §9 future-work extension
+    ("enhancing our analysis with string-specific taint-detection
+    capabilities, in the spirit of Minamide's string analysis").
+
+    For a reported flow we reconstruct an abstract template of the string
+    value reaching the sink: the constant fragments surrounding the tainted
+    part, recovered by walking SSA definitions back through concatenations.
+    The template classifies the *syntactic context* the attacker controls —
+    HTML text vs. attribute value, quoted vs. raw SQL position — which is
+    what determines the concrete exploit shape and the right remediation.
+
+    This is deliberately a lightweight single-method analysis: templates
+    stop at holes (calls, loads, parameters) rather than crossing the whole
+    program the way Minamide's grammar-based analysis does. *)
+
+type piece =
+  | Lit of string     (** a known constant fragment *)
+  | Tainted           (** the attacker-controlled part (on the flow path) *)
+  | Hole              (** statically unknown fragment *)
+
+type template = piece list
+
+let pp_piece ppf = function
+  | Lit s -> Fmt.pf ppf "%S" s
+  | Tainted -> Fmt.string ppf "TAINT"
+  | Hole -> Fmt.string ppf "?"
+
+let pp_template = Fmt.list ~sep:(Fmt.any " ++ ") pp_piece
+
+(* merge adjacent literals, drop empty ones *)
+let normalize (t : template) : template =
+  let rec go = function
+    | Lit a :: Lit b :: rest -> go (Lit (a ^ b) :: rest)
+    | Lit "" :: rest -> go rest
+    | p :: rest -> p :: go rest
+    | [] -> []
+  in
+  go t
+
+(** Reconstruct the template of the value flowing into the sink of [fl].
+    Returns [None] when the sink argument cannot be recovered. *)
+let template_of (b : Sdg.Builder.t) (fl : Flows.t) : template option =
+  let path_set = Sdg.Stmt.Set.of_list fl.Flows.fl_path in
+  let node = fl.Flows.fl_sink.Sdg.Stmt.node in
+  let rec walk v fuel : template =
+    if fuel = 0 then [ Hole ]
+    else
+      match Sdg.Builder.def_of b ~node v with
+      | None -> [ Hole ]
+      | Some def ->
+        (* concatenations and copies are traversed even when they lie on the
+           flow path: the taint marker belongs to the atomic fragment *)
+        (match Sdg.Builder.instr_of b def with
+         | Some (Jir.Tac.Strcat (_, x, y)) ->
+           walk x (fuel - 1) @ walk y (fuel - 1)
+         | Some (Jir.Tac.Move (_, s)) | Some (Jir.Tac.Cast (_, _, s)) ->
+           walk s (fuel - 1)
+         | Some (Jir.Tac.Const (_, Jir.Tac.Cstr s)) -> [ Lit s ]
+         | Some (Jir.Tac.Const (_, Jir.Tac.Cint n)) ->
+           [ Lit (string_of_int n) ]
+         | Some _ | None ->
+           if Sdg.Stmt.Set.mem def path_set then [ Tainted ] else [ Hole ])
+  in
+  match Sdg.Builder.call_of b fl.Flows.fl_sink with
+  | None -> None
+  | Some call ->
+    (* find the sensitive argument: prefer one whose def lies on the path;
+       fall back to the last argument *)
+    let args = call.Jir.Tac.args in
+    let on_path v =
+      match Sdg.Builder.def_of b ~node v with
+      | Some def -> Sdg.Stmt.Set.mem def path_set
+      | None -> false
+    in
+    let arg =
+      match List.find_opt on_path (List.tl args @ [ List.hd args ]) with
+      | Some v -> Some v
+      | None -> List.nth_opt args (List.length args - 1)
+    in
+    (match arg with
+     | Some v -> Some (normalize (walk v 64))
+     | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Context classification                                              *)
+(* ------------------------------------------------------------------ *)
+
+type html_context =
+  | Html_text          (** taint lands between tags: classic script XSS *)
+  | Html_attribute     (** taint lands inside an attribute value *)
+  | Html_unknown
+
+type sql_context =
+  | Sql_quoted         (** taint lands inside a '...' string literal *)
+  | Sql_raw            (** taint lands in a raw position (numeric, keyword) *)
+  | Sql_unknown
+
+let prefix_before_taint (t : template) : string option =
+  let rec go acc = function
+    | Lit s :: rest -> go (acc ^ s) rest
+    | Tainted :: _ -> Some acc
+    | Hole :: _ -> None
+    | [] -> None
+  in
+  go "" t
+
+(** Classify where in the surrounding HTML the tainted data lands. *)
+let html_context (t : template) : html_context =
+  match prefix_before_taint t with
+  | None -> Html_unknown
+  | Some prefix ->
+    (* inside a tag if a '<' is open; inside an attribute if additionally a
+       quote is open after the last '=' *)
+    let lt = ref false and quote = ref None in
+    String.iter
+      (fun c ->
+         match c with
+         | '<' -> lt := true
+         | '>' -> lt := false; quote := None
+         | '"' | '\'' when !lt ->
+           (match !quote with
+            | Some q when q = c -> quote := None
+            | Some _ -> ()
+            | None -> quote := Some c)
+         | _ -> ())
+      prefix;
+    if !lt && !quote <> None then Html_attribute
+    else if !lt then Html_unknown   (* inside a tag but unquoted: odd spot *)
+    else Html_text
+
+(** Classify whether the tainted data lands inside a SQL string literal. *)
+let sql_context (t : template) : sql_context =
+  match prefix_before_taint t with
+  | None -> Sql_unknown
+  | Some prefix ->
+    let quotes = ref 0 in
+    String.iter (fun c -> if c = '\'' then incr quotes) prefix;
+    if !quotes mod 2 = 1 then Sql_quoted else Sql_raw
+
+(** One-line diagnostic for a flow, or [None] when no template is
+    recoverable or the rule is not string-shaped. *)
+let diagnose (b : Sdg.Builder.t) (fl : Flows.t) : string option =
+  match template_of b fl with
+  | None -> None
+  | Some t ->
+    let tpl = Fmt.str "%a" pp_template t in
+    (match fl.Flows.fl_rule.Rules.issue with
+     | Rules.Xss ->
+       let ctx =
+         match html_context t with
+         | Html_text -> "HTML text context"
+         | Html_attribute -> "HTML attribute context"
+         | Html_unknown -> "unknown HTML context"
+       in
+       Some (Printf.sprintf "%s; sink value: %s" ctx tpl)
+     | Rules.Sqli ->
+       let ctx =
+         match sql_context t with
+         | Sql_quoted -> "quoted SQL string position"
+         | Sql_raw -> "raw SQL position (numeric/keyword injection)"
+         | Sql_unknown -> "unknown SQL position"
+       in
+       Some (Printf.sprintf "%s; sink value: %s" ctx tpl)
+     | Rules.Command_injection | Rules.Malicious_file | Rules.Info_leak ->
+       Some (Printf.sprintf "sink value: %s" tpl))

@@ -1,0 +1,35 @@
+(** String-specific taint diagnostics — the §9 future-work extension.
+
+    Reconstructs an abstract template (constant fragments around the
+    tainted part) of the string reaching a sink, by walking SSA definitions
+    back through concatenations, and classifies the syntactic context the
+    attacker controls. *)
+
+type piece =
+  | Lit of string     (** a known constant fragment *)
+  | Tainted           (** the attacker-controlled part (on the flow path) *)
+  | Hole              (** statically unknown fragment *)
+
+type template = piece list
+
+val pp_piece : Format.formatter -> piece -> unit
+val pp_template : Format.formatter -> template -> unit
+
+(** Template of the value flowing into the sink of a flow. *)
+val template_of : Sdg.Builder.t -> Flows.t -> template option
+
+type html_context =
+  | Html_text          (** taint lands between tags: classic script XSS *)
+  | Html_attribute     (** taint lands inside an attribute value *)
+  | Html_unknown
+
+type sql_context =
+  | Sql_quoted         (** taint lands inside a '...' string literal *)
+  | Sql_raw            (** raw position: numeric/keyword injection *)
+  | Sql_unknown
+
+val html_context : template -> html_context
+val sql_context : template -> sql_context
+
+(** One-line diagnostic for a flow. *)
+val diagnose : Sdg.Builder.t -> Flows.t -> string option

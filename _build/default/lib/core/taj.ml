@@ -1,0 +1,183 @@
+(** TAJ: the end-to-end taint analysis pipeline.
+
+    {[
+      let loaded = Taj.load { name; app_sources; descriptor } in
+      let analysis = Taj.run loaded (Config.preset Config.Hybrid_optimized) in
+      match analysis.result with
+      | Completed c -> Report.pp c.builder Fmt.stdout c.report
+      | Did_not_complete reason -> ...
+    ]}
+
+    [load] parses the model JDK and the application, synthesizes framework
+    entrypoints from the deployment descriptor (§4.2.2), converts to SSA and
+    applies the reflection (§4.2.3) and exception (§4.1.2) rewrites — all
+    configuration-independent work that can be shared across algorithm runs.
+    [run] executes pointer analysis, dependence-graph construction, slicing
+    and reporting under one {!Config.t}. *)
+
+open Jir
+
+type input = {
+  name : string;
+  app_sources : string list;        (** MJava source texts *)
+  descriptor : string;              (** deployment descriptor, may be "" *)
+}
+
+type loaded = {
+  input : input;
+  program : Program.t;
+  reflection_stats : Models.Reflection.stats;
+  synthesized_sources : int;        (** getMessage sources from catch blocks *)
+  frontend_seconds : float;
+}
+
+type phase_times = {
+  t_pointer : float;
+  t_sdg : float;
+  t_taint : float;
+  t_total : float;
+}
+
+type completed = {
+  report : Report.t;
+  outcome : Engine.outcome;
+  andersen : Pointer.Andersen.t;
+  builder : Sdg.Builder.t;
+  heapgraph : Pointer.Heapgraph.t;
+  cg_nodes : int;
+  cg_edges : int;
+  times : phase_times;
+}
+
+type result =
+  | Completed of completed
+  | Did_not_complete of string
+
+type analysis = {
+  loaded : loaded;
+  config : Config.t;
+  rules : Rules.rule list;
+  result : result;
+}
+
+exception Load_error of string
+
+let wrap_frontend_errors name f =
+  try f () with
+  | Lexer.Lex_error (msg, pos) ->
+    raise (Load_error (Fmt.str "%s: lex error at %a: %s" name Ast.pp_pos pos msg))
+  | Parser.Parse_error (msg, pos) ->
+    raise
+      (Load_error (Fmt.str "%s: parse error at %a: %s" name Ast.pp_pos pos msg))
+  | Lower.Lower_error (msg, pos) ->
+    raise
+      (Load_error (Fmt.str "%s: lowering error at %a: %s" name Ast.pp_pos pos msg))
+  | Classtable.Unknown_class c ->
+    raise (Load_error (Fmt.str "%s: unknown class %s" name c))
+  | Classtable.Hierarchy_error msg -> raise (Load_error (name ^ ": " ^ msg))
+
+(** Parse, lower, synthesize and rewrite. Configuration-independent. *)
+let load (input : input) : loaded =
+  wrap_frontend_errors input.name @@ fun () ->
+  let t0 = Sys.time () in
+  let prog = Program.create () in
+  let jdk_units = Lazy.force Models.Jdklib.units in
+  let app_units = List.map Parser.parse input.app_sources in
+  List.iter (Lower.declare prog ~library:true) jdk_units;
+  List.iter (Lower.declare prog ~library:false) app_units;
+  (* framework synthesis needs declarations but not bodies *)
+  let descriptor = Models.Frameworks.parse_descriptor input.descriptor in
+  let cast_constraints = Models.Frameworks.form_cast_constraints app_units in
+  let synth_src =
+    Models.Frameworks.synthesize ~cast_constraints prog.Program.table
+      descriptor
+  in
+  let synth_units = [ Parser.parse synth_src ] in
+  List.iter (Lower.declare prog ~library:false) synth_units;
+  List.iter (Lower.define prog ~library:true) jdk_units;
+  List.iter (Lower.define prog ~library:false) app_units;
+  List.iter (Lower.define prog ~library:false) synth_units;
+  Program.add_entrypoint prog Models.Frameworks.entry_method;
+  Ssa.convert_program prog;
+  let ejb_registry = Models.Frameworks.ejb_registry descriptor in
+  let reflection_stats =
+    Models.Reflection.rewrite_program ~ejb_registry prog
+  in
+  let synthesized_sources = Models.Exceptions.rewrite_program prog in
+  { input;
+    program = prog;
+    reflection_stats;
+    synthesized_sources;
+    frontend_seconds = Sys.time () -. t0 }
+
+let pointer_config (loaded : loaded) (config : Config.t)
+    (rules : Rules.rule list) : Pointer.Andersen.config =
+  let m = Rules.matcher loaded.program.Program.table in
+  let taint_api id = Rules.is_source_method_id rules m id in
+  let policy =
+    (* CS/CI/hybrid share the same preliminary pointer analysis family
+       (§3.1); they differ in the slicing stage. The CS emulation
+       additionally context-qualifies the heap (its heap-as-parameters
+       treatment), which is where its cost and precision come from. *)
+    match config.Config.algorithm with
+    | Config.Cs_thin_slicing -> Pointer.Policy.deep ~taint_api ()
+    | Config.Ci_thin_slicing | Config.Hybrid_unbounded
+    | Config.Hybrid_prioritized | Config.Hybrid_optimized ->
+      Pointer.Policy.default ~taint_api ()
+  in
+  { Pointer.Andersen.policy;
+    max_nodes = config.Config.max_cg_nodes;
+    prioritized = config.Config.prioritized;
+    is_source_method = taint_api;
+    excluded_class =
+      (fun cls -> List.mem cls config.Config.excluded_classes);
+    max_work =
+      (match config.Config.algorithm with
+       | Config.Cs_thin_slicing -> config.Config.cs_budget
+       | _ -> None) }
+
+(** Run the configured analysis over a loaded program. *)
+let run ?(rules = Rules.default_rules) (loaded : loaded) (config : Config.t) :
+  analysis =
+  let t_start = Sys.time () in
+  match
+    Pointer.Andersen.run ~config:(pointer_config loaded config rules)
+      loaded.program
+  with
+  | exception Pointer.Andersen.Out_of_budget ->
+    { loaded; config; rules;
+      result = Did_not_complete "pointer analysis exceeded its budget" }
+  | andersen ->
+    let t_pointer = Sys.time () -. t_start in
+    let t1 = Sys.time () in
+    let builder = Sdg.Builder.build loaded.program andersen in
+    let heapgraph = Pointer.Heapgraph.build andersen in
+    let t_sdg = Sys.time () -. t1 in
+    let t2 = Sys.time () in
+    let outcome =
+      Engine.run ~prog:loaded.program ~builder ~heapgraph ~rules ~config
+    in
+    let t_taint = Sys.time () -. t2 in
+    if outcome.Engine.exhausted
+       && config.Config.algorithm = Config.Cs_thin_slicing
+    then
+      { loaded; config; rules;
+        result = Did_not_complete "slicing exceeded the CS memory budget" }
+    else begin
+      let report = Report.make builder outcome.Engine.flows in
+      let cg = Pointer.Andersen.call_graph andersen in
+      { loaded; config; rules;
+        result =
+          Completed
+            { report; outcome; andersen; builder; heapgraph;
+              cg_nodes = Pointer.Callgraph.node_count cg;
+              cg_edges = Pointer.Callgraph.edge_count cg;
+              times =
+                { t_pointer; t_sdg; t_taint;
+                  t_total = Sys.time () -. t_start } } }
+    end
+
+(** Convenience: load and analyze in one call. *)
+let analyze ?rules ?(config = Config.preset Config.Hybrid_unbounded)
+    (input : input) : analysis =
+  run ?rules (load input) config

@@ -1,0 +1,64 @@
+(** TAJ: the end-to-end taint analysis pipeline.
+
+    {!load} performs all configuration-independent work: parse the model
+    JDK and the application, synthesize framework entrypoints from the
+    deployment descriptor (§4.2.2), convert to SSA, apply the reflection
+    (§4.2.3) and exception (§4.1.2) rewrites. {!run} executes pointer
+    analysis, dependence-graph construction, slicing and reporting under
+    one {!Config.t}; a loaded program can be reanalyzed under many
+    configurations. *)
+
+type input = {
+  name : string;
+  app_sources : string list;        (** MJava source texts *)
+  descriptor : string;              (** deployment descriptor, may be "" *)
+}
+
+type loaded = {
+  input : input;
+  program : Jir.Program.t;
+  reflection_stats : Models.Reflection.stats;
+  synthesized_sources : int;        (** getMessage sources from catches *)
+  frontend_seconds : float;
+}
+
+type phase_times = {
+  t_pointer : float;
+  t_sdg : float;
+  t_taint : float;
+  t_total : float;
+}
+
+type completed = {
+  report : Report.t;
+  outcome : Engine.outcome;
+  andersen : Pointer.Andersen.t;
+  builder : Sdg.Builder.t;
+  heapgraph : Pointer.Heapgraph.t;
+  cg_nodes : int;
+  cg_edges : int;
+  times : phase_times;
+}
+
+type result =
+  | Completed of completed
+  | Did_not_complete of string
+      (** a pointer-analysis or slicing budget was exceeded — the fate of
+          the CS configuration on large applications (Table 3) *)
+
+type analysis = {
+  loaded : loaded;
+  config : Config.t;
+  rules : Rules.rule list;
+  result : result;
+}
+
+(** Raised on malformed input with a human-readable location. *)
+exception Load_error of string
+
+val load : input -> loaded
+
+val run : ?rules:Rules.rule list -> loaded -> Config.t -> analysis
+
+(** [load] + [run]. *)
+val analyze : ?rules:Rules.rule list -> ?config:Config.t -> input -> analysis

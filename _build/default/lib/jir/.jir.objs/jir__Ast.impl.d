@@ -1,0 +1,1 @@
+lib/jir/ast.ml: Fmt List Option String

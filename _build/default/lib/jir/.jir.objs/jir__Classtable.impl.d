@@ -1,0 +1,1 @@
+lib/jir/classtable.ml: Ast Hashtbl List String

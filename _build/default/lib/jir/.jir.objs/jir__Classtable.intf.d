@@ -1,0 +1,1 @@
+lib/jir/classtable.mli: Ast Hashtbl

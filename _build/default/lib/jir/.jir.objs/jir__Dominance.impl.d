@@ -1,0 +1,1 @@
+lib/jir/dominance.ml: Array Cfg List

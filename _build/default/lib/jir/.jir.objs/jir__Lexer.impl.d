@@ -1,0 +1,1 @@
+lib/jir/lexer.ml: Ast Buffer Fmt List Printf String

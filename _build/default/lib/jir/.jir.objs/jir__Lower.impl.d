@@ -1,0 +1,1 @@
+lib/jir/lower.ml: Array Ast Classtable Fmt Hashtbl List Printf Program String Tac

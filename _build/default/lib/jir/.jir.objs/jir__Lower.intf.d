@@ -1,0 +1,1 @@
+lib/jir/lower.mli: Ast Program

@@ -1,0 +1,1 @@
+lib/jir/pretty.ml: Ast Buffer Fmt List String

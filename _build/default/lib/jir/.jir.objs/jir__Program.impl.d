@@ -1,0 +1,1 @@
+lib/jir/program.ml: Array Classtable Hashtbl List String Tac

@@ -1,0 +1,1 @@
+lib/jir/ssa.ml: Array Cfg Dominance Int List Program Set Tac

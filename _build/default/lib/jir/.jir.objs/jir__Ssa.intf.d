@@ -1,0 +1,1 @@
+lib/jir/ssa.mli: Program Tac

@@ -1,0 +1,1 @@
+lib/jir/tac.ml: Array Ast Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/jir/verify.ml: Array Fmt Hashtbl List Printf Program Tac

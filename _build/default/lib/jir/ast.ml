@@ -1,0 +1,224 @@
+(** Abstract syntax for MJava, the Java-like input language of the analysis.
+
+    MJava covers the Java subset that TAJ's techniques target: classes with
+    single inheritance and interfaces, instance and static fields and methods,
+    constructors, arrays, strings with [+] concatenation, exceptions with
+    [try]/[catch]/[throw], casts and [instanceof], and the reflection and
+    servlet API surfaces (which are ordinary classes of the model JDK).
+    Generics are absent, as in pre-Java-5 enterprise code; raw collections
+    plus casts are used instead. *)
+
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+(** Types as written in source. Reference types are not resolved yet. *)
+type typ =
+  | Tint
+  | Tbool
+  | Tchar
+  | Tvoid
+  | Tclass of string
+  | Tarray of typ
+
+let rec pp_typ ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tbool -> Fmt.string ppf "boolean"
+  | Tchar -> Fmt.string ppf "char"
+  | Tvoid -> Fmt.string ppf "void"
+  | Tclass c -> Fmt.string ppf c
+  | Tarray t -> Fmt.pf ppf "%a[]" pp_typ t
+
+let rec typ_equal a b =
+  match a, b with
+  | Tint, Tint | Tbool, Tbool | Tchar, Tchar | Tvoid, Tvoid -> true
+  | Tclass c, Tclass d -> String.equal c d
+  | Tarray s, Tarray t -> typ_equal s t
+  | (Tint | Tbool | Tchar | Tvoid | Tclass _ | Tarray _), _ -> false
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+     | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+     | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+     | Eq -> "==" | Ne -> "!="
+     | And -> "&&" | Or -> "||")
+
+type unop = Neg | Not
+
+type expr = { e : expr_node; epos : pos }
+
+and expr_node =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Str_lit of string
+  | Char_lit of char
+  | Null_lit
+  | Var of string                          (* local, param, or implicit field *)
+  | This
+  | Field_access of expr * string
+  | Static_field of string * string        (* Class.field *)
+  | Array_index of expr * expr
+  | Array_length of expr
+  | Call of call
+  | New of string * expr list
+  | New_array of typ * expr
+  | New_array_init of typ * expr list      (* new T[] { e1, e2, ... } *)
+  | Class_lit of string                    (* Foo.class *)
+  | Binary of binop * expr * expr
+  | Unary of unop * expr
+  | Cast of typ * expr
+  | Instance_of of expr * string
+  | Assign of expr * expr                  (* lhs must be lvalue *)
+  | Cond of expr * expr * expr             (* e ? a : b *)
+
+and call = {
+  recv : receiver;
+  mname : string;
+  args : expr list;
+}
+
+and receiver =
+  | Implicit                                (* this.m(..) or static in class *)
+  | Super
+  | On of expr
+  | Cls of string                           (* static call Class.m(..) *)
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | Block of stmt list
+  | Var_decl of typ * string * expr option
+  | Expr of expr
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | For of stmt option * expr option * expr option * stmt
+  | Return of expr option
+  | Throw of expr
+  | Try of stmt list * (string * string * stmt list) list
+      (* try body, [catch (ExnClass name) body] clauses *)
+  | Switch of expr * (expr list * stmt list) list * stmt list option
+      (* scrutinee, cases (labels, body), default body. MJava switch has no
+         fall-through: each case body is implicitly terminated. *)
+  | Do_while of stmt * expr
+  | Break
+  | Continue
+  | Empty
+
+type modifier =
+  | Public | Private | Protected | Static | Native | Abstract | Final
+  | Synchronized
+
+type field_decl = {
+  f_mods : modifier list;
+  f_typ : typ;
+  f_name : string;
+  f_init : expr option;
+  f_pos : pos;
+}
+
+type method_decl = {
+  md_mods : modifier list;
+  md_ret : typ;
+  md_name : string;
+  md_params : (typ * string) list;
+  md_throws : string list;
+  md_body : stmt list option;              (* None for abstract/native *)
+  md_pos : pos;
+}
+
+type ctor_decl = {
+  cd_mods : modifier list;
+  cd_params : (typ * string) list;
+  cd_body : stmt list;
+  cd_pos : pos;
+}
+
+type class_decl = {
+  c_name : string;
+  c_super : string option;
+  c_ifaces : string list;
+  c_fields : field_decl list;
+  c_methods : method_decl list;
+  c_ctors : ctor_decl list;
+  c_abstract : bool;
+  c_pos : pos;
+}
+
+type iface_decl = {
+  i_name : string;
+  i_supers : string list;
+  i_methods : method_decl list;            (* bodies are None *)
+  i_pos : pos;
+}
+
+type decl = Class of class_decl | Interface of iface_decl
+
+type compilation_unit = decl list
+
+let has_mod m mods = List.exists (fun x -> x = m) mods
+
+let decl_name = function
+  | Class c -> c.c_name
+  | Interface i -> i.i_name
+
+(** Apply [f] to every expression (pre-order) in a statement list. *)
+let rec iter_exprs (f : expr -> unit) (stmts : stmt list) : unit =
+  List.iter (iter_stmt_exprs f) stmts
+
+and iter_stmt_exprs f (s : stmt) : unit =
+  match s.s with
+  | Block stmts -> iter_exprs f stmts
+  | Var_decl (_, _, init) -> Option.iter (iter_expr f) init
+  | Expr e -> iter_expr f e
+  | If (c, t, e) ->
+    iter_expr f c;
+    iter_stmt_exprs f t;
+    Option.iter (iter_stmt_exprs f) e
+  | While (c, body) -> iter_expr f c; iter_stmt_exprs f body
+  | For (init, cond, step, body) ->
+    Option.iter (iter_stmt_exprs f) init;
+    Option.iter (iter_expr f) cond;
+    Option.iter (iter_expr f) step;
+    iter_stmt_exprs f body
+  | Return e -> Option.iter (iter_expr f) e
+  | Throw e -> iter_expr f e
+  | Try (body, clauses) ->
+    iter_exprs f body;
+    List.iter (fun (_, _, cbody) -> iter_exprs f cbody) clauses
+  | Switch (e, cases, default) ->
+    iter_expr f e;
+    List.iter
+      (fun (labels, body) ->
+         List.iter (iter_expr f) labels;
+         iter_exprs f body)
+      cases;
+    Option.iter (iter_exprs f) default
+  | Do_while (body, cond) -> iter_stmt_exprs f body; iter_expr f cond
+  | Break | Continue | Empty -> ()
+
+and iter_expr f (e : expr) : unit =
+  f e;
+  match e.e with
+  | Int_lit _ | Bool_lit _ | Str_lit _ | Char_lit _ | Null_lit | This
+  | Var _ | Static_field _ | Class_lit _ -> ()
+  | Field_access (o, _) | Array_length o | Unary (_, o)
+  | Cast (_, o) | Instance_of (o, _) -> iter_expr f o
+  | Array_index (a, i) -> iter_expr f a; iter_expr f i
+  | Call { recv; args; _ } ->
+    (match recv with
+     | On o -> iter_expr f o
+     | Implicit | Super | Cls _ -> ());
+    List.iter (iter_expr f) args
+  | New (_, args) -> List.iter (iter_expr f) args
+  | New_array (_, len) -> iter_expr f len
+  | New_array_init (_, elems) -> List.iter (iter_expr f) elems
+  | Binary (_, a, b) | Assign (a, b) -> iter_expr f a; iter_expr f b
+  | Cond (c, a, b) -> iter_expr f c; iter_expr f a; iter_expr f b

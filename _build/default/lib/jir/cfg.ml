@@ -1,0 +1,75 @@
+(** Control-flow graph utilities over {!Tac.meth} bodies.
+
+    Edges include exceptional successors (block → handler), so dominance and
+    SSA renaming see defs that may be live into catch blocks. *)
+
+type t = {
+  nblocks : int;
+  succs : int list array;
+  preds : int list array;
+  rpo : int array;           (** reverse postorder sequence of block ids *)
+  rpo_index : int array;     (** position of each block in [rpo], or -1 *)
+}
+
+let build (m : Tac.meth) : t =
+  let n = Array.length m.Tac.m_blocks in
+  let succs = Array.init n (fun i -> Tac.all_successors m.Tac.m_blocks.(i)) in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+    succs;
+  (* reverse postorder from block 0 *)
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs succs.(b);
+      order := b :: !order
+    end
+  in
+  if n > 0 then dfs 0;
+  let rpo = Array.of_list !order in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  { nblocks = n; succs; preds; rpo; rpo_index }
+
+let reachable t b = t.rpo_index.(b) >= 0
+
+(** Remove unreachable blocks and renumber the survivors in place, keeping
+    block 0 as entry. Returns the rebuilt CFG. Statement lowering produces
+    dead blocks after [return]/[break]; dropping them keeps SSA renaming
+    total. *)
+let compact (m : Tac.meth) : t =
+  let t = build m in
+  let n = t.nblocks in
+  let keep = Array.init n (fun b -> reachable t b) in
+  let remap = Array.make n (-1) in
+  let count = ref 0 in
+  for b = 0 to n - 1 do
+    if keep.(b) then begin
+      remap.(b) <- !count;
+      incr count
+    end
+  done;
+  if !count = n then t
+  else begin
+    let blocks =
+      Array.of_list
+        (List.filteri (fun b _ -> keep.(b)) (Array.to_list m.Tac.m_blocks))
+    in
+    Array.iter
+      (fun (b : Tac.block) ->
+         b.Tac.term <-
+           (match b.Tac.term with
+            | Tac.Goto x -> Tac.Goto remap.(x)
+            | Tac.If (c, x, y) -> Tac.If (c, remap.(x), remap.(y))
+            | (Tac.Return _ | Tac.Throw _ | Tac.Unreachable) as tm -> tm);
+         b.Tac.handlers <-
+           List.filter_map
+             (fun h -> if remap.(h) >= 0 then Some remap.(h) else None)
+             b.Tac.handlers)
+      blocks;
+    m.Tac.m_blocks <- blocks;
+    build m
+  end

@@ -1,0 +1,19 @@
+(** Control-flow graph utilities over {!Tac.meth} bodies. Edges include
+    exceptional successors (block → handler). *)
+
+type t = {
+  nblocks : int;
+  succs : int list array;
+  preds : int list array;
+  rpo : int array;           (** reverse postorder sequence of block ids *)
+  rpo_index : int array;     (** position of each block in [rpo], or -1 *)
+}
+
+val build : Tac.meth -> t
+
+(** Is the block reachable from the entry? *)
+val reachable : t -> int -> bool
+
+(** Remove unreachable blocks and renumber in place; returns the rebuilt
+    CFG. *)
+val compact : Tac.meth -> t

@@ -1,0 +1,80 @@
+(** Dominator tree and dominance frontiers.
+
+    Implements Cooper, Harvey and Kennedy, "A Simple, Fast Dominance
+    Algorithm": iterative intersection over reverse postorder. All blocks are
+    assumed reachable from block 0 (run {!Cfg.compact} first). *)
+
+type t = {
+  idom : int array;            (** immediate dominator; idom.(0) = 0 *)
+  children : int list array;   (** dominator-tree children *)
+  frontier : int list array;   (** dominance frontier per block *)
+}
+
+let compute (cfg : Cfg.t) : t =
+  let n = cfg.Cfg.nblocks in
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  (* intersect walks up the dominator tree using rpo positions *)
+  let rec intersect b1 b2 =
+    if b1 = b2 then b1
+    else begin
+      let f1 = ref b1 and f2 = ref b2 in
+      while cfg.Cfg.rpo_index.(!f1) > cfg.Cfg.rpo_index.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while cfg.Cfg.rpo_index.(!f2) > cfg.Cfg.rpo_index.(!f1) do
+        f2 := idom.(!f2)
+      done;
+      intersect !f1 !f2
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+         if b <> 0 then begin
+           let processed_preds =
+             List.filter (fun p -> idom.(p) >= 0) cfg.Cfg.preds.(b)
+           in
+           match processed_preds with
+           | [] -> ()
+           | first :: rest ->
+             let new_idom = List.fold_left intersect first rest in
+             if idom.(b) <> new_idom then begin
+               idom.(b) <- new_idom;
+               changed := true
+             end
+         end)
+      cfg.Cfg.rpo
+  done;
+  let children = Array.make n [] in
+  for b = n - 1 downto 1 do
+    if idom.(b) >= 0 then children.(idom.(b)) <- b :: children.(idom.(b))
+  done;
+  (* dominance frontiers, the standard two-finger walk *)
+  let frontier = Array.make n [] in
+  let add_df b x =
+    if not (List.mem x frontier.(b)) then frontier.(b) <- x :: frontier.(b)
+  in
+  for b = 0 to n - 1 do
+    match cfg.Cfg.preds.(b) with
+    | _ :: _ :: _ as preds ->
+      List.iter
+        (fun p ->
+           if idom.(p) >= 0 then begin
+             let runner = ref p in
+             while !runner <> idom.(b) do
+               add_df !runner b;
+               runner := idom.(!runner)
+             done
+           end)
+        preds
+    | _ -> ()
+  done;
+  { idom; children; frontier }
+
+(** [dominates t a b]: does block [a] dominate block [b]? *)
+let dominates t a b =
+  let rec up x = if x = a then true else if x = 0 then a = 0 else up t.idom.(x) in
+  up b

@@ -1,0 +1,13 @@
+(** Dominator tree and dominance frontiers (Cooper-Harvey-Kennedy).
+    All blocks must be reachable from block 0 (run {!Cfg.compact} first). *)
+
+type t = {
+  idom : int array;            (** immediate dominator; [idom.(0) = 0] *)
+  children : int list array;   (** dominator-tree children *)
+  frontier : int list array;   (** dominance frontier per block *)
+}
+
+val compute : Cfg.t -> t
+
+(** [dominates t a b]: does block [a] dominate block [b]? *)
+val dominates : t -> int -> int -> bool

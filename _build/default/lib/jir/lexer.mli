@@ -1,0 +1,23 @@
+(** Lexer for MJava source text. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | CHAR of char
+  | KW of string          (** reserved word, kept as its spelling *)
+  | PUNCT of string       (** operator or delimiter, kept as its spelling *)
+  | EOF
+
+type 'a located = { tok : 'a; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+(** The reserved words of MJava. *)
+val keywords : string list
+
+(** Tokenize a whole source string. The result always ends with [EOF].
+    Raises {!Lex_error} on malformed input. *)
+val tokenize : string -> token located list
+
+val pp_token : Format.formatter -> token -> unit

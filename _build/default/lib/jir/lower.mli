@@ -1,0 +1,18 @@
+(** Lowering from MJava AST to three-address code, including the
+    string-carrier intrinsics of §4.2.1, implicit constructor chaining,
+    default constructors, field initializers and per-class [<clinit>]
+    synthesis. *)
+
+exception Lower_error of string * Ast.pos
+
+(** Register declarations in the class table without lowering bodies.
+    Two-phase loading lets mutually recursive classes across files
+    resolve. *)
+val declare : Program.t -> library:bool -> Ast.compilation_unit -> unit
+
+(** Lower all class bodies of a previously declared compilation unit. *)
+val define : Program.t -> library:bool -> Ast.compilation_unit -> unit
+
+(** Declare then define a batch of [(library, unit)] pairs; all units are
+    declared before any body is lowered. *)
+val load : Program.t -> (bool * Ast.compilation_unit) list -> unit

@@ -1,0 +1,662 @@
+(** Recursive-descent parser for MJava.
+
+    Expression parsing uses precedence climbing. The only genuinely tricky
+    corner is distinguishing a parenthesized cast [(Foo) x] from a
+    parenthesized expression [(a) + b]; we resolve it with one token of
+    lookahead after the closing parenthesis, as a Java-1.4-style parser would.
+*)
+
+open Ast
+
+exception Parse_error of string * pos
+
+type state = {
+  toks : Lexer.token Lexer.located array;
+  mutable cur : int;
+}
+
+let peek st = st.toks.(st.cur).Lexer.tok
+let peek2 st =
+  if st.cur + 1 < Array.length st.toks then st.toks.(st.cur + 1).Lexer.tok
+  else Lexer.EOF
+let pos st = st.toks.(st.cur).Lexer.pos
+let advance st = st.cur <- st.cur + 1
+
+let error st msg = raise (Parse_error (msg, pos st))
+
+let errorf st fmt = Fmt.kstr (error st) fmt
+
+let expect_punct st s =
+  match peek st with
+  | Lexer.PUNCT p when String.equal p s -> advance st
+  | t -> errorf st "expected '%s' but found %a" s Lexer.pp_token t
+
+let expect_kw st s =
+  match peek st with
+  | Lexer.KW k when String.equal k s -> advance st
+  | t -> errorf st "expected '%s' but found %a" s Lexer.pp_token t
+
+let eat_punct st s =
+  match peek st with
+  | Lexer.PUNCT p when String.equal p s -> advance st; true
+  | _ -> false
+
+let eat_kw st s =
+  match peek st with
+  | Lexer.KW k when String.equal k s -> advance st; true
+  | _ -> false
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> errorf st "expected identifier but found %a" Lexer.pp_token t
+
+let is_punct st s =
+  match peek st with Lexer.PUNCT p -> String.equal p s | _ -> false
+
+let is_kw st s =
+  match peek st with Lexer.KW k -> String.equal k s | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let base_type st =
+  match peek st with
+  | Lexer.KW "int" -> advance st; Tint
+  | Lexer.KW "boolean" -> advance st; Tbool
+  | Lexer.KW "char" -> advance st; Tchar
+  | Lexer.KW "void" -> advance st; Tvoid
+  | Lexer.IDENT c -> advance st; Tclass c
+  | t -> errorf st "expected a type but found %a" Lexer.pp_token t
+
+let rec array_suffix st t =
+  if is_punct st "[" && (match peek2 st with
+                         | Lexer.PUNCT "]" -> true
+                         | _ -> false)
+  then (advance st; advance st; array_suffix st (Tarray t))
+  else t
+
+let parse_type st = array_suffix st (base_type st)
+
+(* A type can start a declaration only if followed by an identifier; used to
+   disambiguate [Foo x = ...;] from the expression statement [Foo.bar();]. *)
+let looks_like_decl st =
+  match peek st with
+  | Lexer.KW ("int" | "boolean" | "char") -> true
+  | Lexer.IDENT _ ->
+    (match peek2 st with
+     | Lexer.IDENT _ -> true
+     | Lexer.PUNCT "[" ->
+       (* Foo[] x — need the token after "[]" to be an identifier *)
+       (match st.toks.(st.cur + 2).Lexer.tok with
+        | Lexer.PUNCT "]" -> true
+        | _ -> false)
+     | _ -> false)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk p e = { e; epos = p }
+
+(* Precedence levels, loosest first. *)
+let binop_of_punct = function
+  | "||" -> Some (Or, 1)
+  | "&&" -> Some (And, 2)
+  | "==" -> Some (Eq, 3) | "!=" -> Some (Ne, 3)
+  | "<" -> Some (Lt, 4) | "<=" -> Some (Le, 4)
+  | ">" -> Some (Gt, 4) | ">=" -> Some (Ge, 4)
+  | "+" -> Some (Add, 5) | "-" -> Some (Sub, 5)
+  | "*" -> Some (Mul, 6) | "/" -> Some (Div, 6) | "%" -> Some (Mod, 6)
+  | _ -> None
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  if is_punct st "=" then begin
+    let p = pos st in
+    advance st;
+    let rhs = parse_assign st in
+    mk p (Assign (lhs, rhs))
+  end
+  else if is_punct st "+=" || is_punct st "-=" || is_punct st "*="
+          || is_punct st "/=" then begin
+    let p = pos st in
+    let op = match peek st with
+      | Lexer.PUNCT "+=" -> Add | Lexer.PUNCT "-=" -> Sub
+      | Lexer.PUNCT "*=" -> Mul | _ -> Div
+    in
+    advance st;
+    let rhs = parse_assign st in
+    mk p (Assign (lhs, mk p (Binary (op, lhs, rhs))))
+  end
+  else lhs
+
+and parse_cond st =
+  let c = parse_binary st 1 in
+  if is_punct st "?" then begin
+    let p = pos st in
+    advance st;
+    let a = parse_expr st in
+    expect_punct st ":";
+    let b = parse_cond st in
+    mk p (Cond (c, a, b))
+  end else c
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    (match peek st with
+     | Lexer.PUNCT p ->
+       (match binop_of_punct p with
+        | Some (op, prec) when prec >= min_prec ->
+          let at = pos st in
+          advance st;
+          let rhs = parse_binary st (prec + 1) in
+          lhs := mk at (Binary (op, !lhs, rhs))
+        | _ -> continue := false)
+     | Lexer.KW "instanceof" when min_prec <= 4 ->
+       let at = pos st in
+       advance st;
+       let c = expect_ident st in
+       lhs := mk at (Instance_of (!lhs, c))
+     | _ -> continue := false)
+  done;
+  !lhs
+
+and parse_unary st =
+  let p = pos st in
+  if eat_punct st "!" then mk p (Unary (Not, parse_unary st))
+  else if eat_punct st "-" then mk p (Unary (Neg, parse_unary st))
+  else if is_punct st "(" && cast_ahead st then begin
+    advance st;
+    let t = parse_type st in
+    expect_punct st ")";
+    mk p (Cast (t, parse_unary st))
+  end
+  else parse_postfix st
+
+(* After "(", a cast looks like: Type ")" <unary-start>. We check that the
+   parenthesized content is a plausible type and the next token can begin an
+   operand (so "(a) + b" is not a cast while "(Foo) x" is). *)
+and cast_ahead st =
+  let save = st.cur in
+  let ok =
+    try
+      advance st;  (* "(" *)
+      (match peek st with
+       | Lexer.KW ("int" | "boolean" | "char") | Lexer.IDENT _ ->
+         let _ = parse_type st in
+         if is_punct st ")" then begin
+           advance st;
+           (match peek st with
+            | Lexer.IDENT _ | Lexer.STRING _ | Lexer.INT _ | Lexer.CHAR _
+            | Lexer.KW ("this" | "new" | "null" | "true" | "false"
+                       | "super") -> true
+            | Lexer.PUNCT "(" -> true
+            | _ -> false)
+         end else false
+       | _ -> false)
+    with Parse_error _ -> false
+  in
+  st.cur <- save;
+  ok
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    let p = pos st in
+    if is_punct st "." then begin
+      advance st;
+      let name = expect_ident st in
+      if is_punct st "(" then begin
+        let args = parse_args st in
+        e := mk p (Call { recv = On !e; mname = name; args })
+      end
+      else if String.equal name "length"
+              && (match !e with { e = Array_index _; _ } | _ -> true) then
+        (* Disambiguated during typing; treat .length on arrays specially
+           in the lowering phase. Here we record a field access and let the
+           lowerer decide; but array length is common enough to special-case
+           syntactically when the receiver is known to be an array literal
+           expression is impossible, so keep Field_access. *)
+        e := mk p (Field_access (!e, name))
+      else e := mk p (Field_access (!e, name))
+    end
+    else if is_punct st "[" then begin
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      e := mk p (Array_index (!e, idx))
+    end
+    else if is_punct st "++" || is_punct st "--" then begin
+      let op = if is_punct st "++" then Add else Sub in
+      advance st;
+      (* x++ as statement-position sugar: x = x + 1 (value semantics of the
+         postfix result are not preserved; MJava programs use it only in
+         statement position, as [for] steps). *)
+      e := mk p (Assign (!e, mk p (Binary (op, !e, mk p (Int_lit 1)))))
+    end
+    else continue := false
+  done;
+  !e
+
+and parse_args st =
+  expect_punct st "(";
+  if eat_punct st ")" then []
+  else begin
+    let rec loop acc =
+      let a = parse_expr st in
+      if eat_punct st "," then loop (a :: acc)
+      else begin expect_punct st ")"; List.rev (a :: acc) end
+    in
+    loop []
+  end
+
+and parse_primary st =
+  let p = pos st in
+  match peek st with
+  | Lexer.INT v -> advance st; mk p (Int_lit v)
+  | Lexer.STRING s -> advance st; mk p (Str_lit s)
+  | Lexer.CHAR c -> advance st; mk p (Char_lit c)
+  | Lexer.KW "true" -> advance st; mk p (Bool_lit true)
+  | Lexer.KW "false" -> advance st; mk p (Bool_lit false)
+  | Lexer.KW "null" -> advance st; mk p Null_lit
+  | Lexer.KW "this" -> advance st; mk p This
+  | Lexer.KW "super" ->
+    advance st;
+    if is_punct st "(" then begin
+      (* constructor chaining: super(args) *)
+      let args = parse_args st in
+      mk p (Call { recv = Super; mname = "<init>"; args })
+    end else begin
+      expect_punct st ".";
+      let name = expect_ident st in
+      let args = parse_args st in
+      mk p (Call { recv = Super; mname = name; args })
+    end
+  | Lexer.KW "new" ->
+    advance st;
+    let t = base_type st in
+    (match t with
+     | Tclass c when is_punct st "(" ->
+       let args = parse_args st in
+       mk p (New (c, args))
+     | _ ->
+       expect_punct st "[";
+       if eat_punct st "]" then begin
+         (* array literal: new T[] { e1, e2, ... } *)
+         expect_punct st "{";
+         let elems = ref [] in
+         if not (is_punct st "}") then begin
+           let rec loop () =
+             elems := parse_expr st :: !elems;
+             if eat_punct st "," then loop ()
+           in
+           loop ()
+         end;
+         expect_punct st "}";
+         mk p (New_array_init (t, List.rev !elems))
+       end
+       else begin
+         let len = parse_expr st in
+         expect_punct st "]";
+         (* trailing [] pairs for multi-dim arrays: only outer dim sized *)
+         let t = ref t in
+         while is_punct st "[" do
+           advance st; expect_punct st "]"; t := Tarray !t
+         done;
+         mk p (New_array (!t, len))
+       end)
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | Lexer.IDENT name ->
+    advance st;
+    if is_punct st "(" then
+      let args = parse_args st in
+      mk p (Call { recv = Implicit; mname = name; args })
+    else if is_punct st "."
+            && (match peek2 st with Lexer.KW "class" -> true | _ -> false)
+            && name_is_classlike name st
+    then begin
+      advance st;
+      advance st;
+      mk p (Class_lit name)
+    end
+    else if is_punct st "."
+            && (match peek2 st with Lexer.IDENT _ -> true | _ -> false)
+            && name_is_classlike name st
+    then begin
+      (* Class.member — static field or static call *)
+      advance st;
+      let member = expect_ident st in
+      if is_punct st "(" then
+        let args = parse_args st in
+        mk p (Call { recv = Cls name; mname = member; args })
+      else mk p (Static_field (name, member))
+    end
+    else mk p (Var name)
+  | t -> errorf st "expected an expression but found %a" Lexer.pp_token t
+
+(* Heuristic used before name resolution: a dotted name whose head starts
+   with an uppercase letter is treated as a class reference. The lowering
+   phase re-checks against locals and fields, so a local named [Foo] would
+   still shadow the class there; MJava code follows Java naming style. *)
+and name_is_classlike name _st =
+  String.length name > 0
+  && ((name.[0] >= 'A' && name.[0] <= 'Z') || name.[0] = '$')
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st : stmt =
+  let p = pos st in
+  if is_punct st "{" then { s = Block (parse_block st); spos = p }
+  else if eat_kw st "if" then begin
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_stmt st in
+    let else_ = if eat_kw st "else" then Some (parse_stmt st) else None in
+    { s = If (c, then_, else_); spos = p }
+  end
+  else if eat_kw st "while" then begin
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let body = parse_stmt st in
+    { s = While (c, body); spos = p }
+  end
+  else if eat_kw st "for" then begin
+    expect_punct st "(";
+    let init =
+      if is_punct st ";" then None
+      else if looks_like_decl st then Some (parse_decl_stmt st)
+      else Some { s = Expr (parse_expr st); spos = p }
+    in
+    expect_punct st ";";
+    let cond = if is_punct st ";" then None else Some (parse_expr st) in
+    expect_punct st ";";
+    let step = if is_punct st ")" then None else Some (parse_expr st) in
+    expect_punct st ")";
+    let body = parse_stmt st in
+    { s = For (init, cond, step, body); spos = p }
+  end
+  else if eat_kw st "return" then begin
+    let v = if is_punct st ";" then None else Some (parse_expr st) in
+    expect_punct st ";";
+    { s = Return v; spos = p }
+  end
+  else if eat_kw st "throw" then begin
+    let v = parse_expr st in
+    expect_punct st ";";
+    { s = Throw v; spos = p }
+  end
+  else if eat_kw st "try" then begin
+    let body = parse_block st in
+    let clauses = ref [] in
+    while is_kw st "catch" do
+      advance st;
+      expect_punct st "(";
+      let cls = expect_ident st in
+      let name = expect_ident st in
+      expect_punct st ")";
+      let cbody = parse_block st in
+      clauses := (cls, name, cbody) :: !clauses
+    done;
+    if !clauses = [] then error st "try without catch";
+    { s = Try (body, List.rev !clauses); spos = p }
+  end
+  else if eat_kw st "switch" then begin
+    expect_punct st "(";
+    let scrutinee = parse_expr st in
+    expect_punct st ")";
+    expect_punct st "{";
+    let cases = ref [] in
+    let default = ref None in
+    let case_body () =
+      (* statements until the next case/default label or the closing brace;
+         a trailing break is consumed and dropped (no fall-through) *)
+      let stmts = ref [] in
+      let continue = ref true in
+      while !continue do
+        if is_punct st "}" || is_kw st "case" || is_kw st "default" then
+          continue := false
+        else if is_kw st "break"
+                && (match peek2 st with Lexer.PUNCT ";" -> true | _ -> false)
+        then begin
+          advance st; advance st;
+          continue := false
+        end
+        else stmts := parse_stmt st :: !stmts
+      done;
+      List.rev !stmts
+    in
+    while not (is_punct st "}") do
+      if eat_kw st "case" then begin
+        let labels = ref [ parse_expr st ] in
+        expect_punct st ":";
+        (* adjacent labels share one body *)
+        while is_kw st "case" do
+          advance st;
+          labels := parse_expr st :: !labels;
+          expect_punct st ":"
+        done;
+        cases := (List.rev !labels, case_body ()) :: !cases
+      end
+      else if eat_kw st "default" then begin
+        expect_punct st ":";
+        default := Some (case_body ())
+      end
+      else error st "expected 'case' or 'default' in switch"
+    done;
+    advance st;
+    { s = Switch (scrutinee, List.rev !cases, !default); spos = p }
+  end
+  else if eat_kw st "do" then begin
+    let body = parse_stmt st in
+    expect_kw st "while";
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    expect_punct st ";";
+    { s = Do_while (body, cond); spos = p }
+  end
+  else if eat_kw st "break" then begin
+    expect_punct st ";"; { s = Break; spos = p }
+  end
+  else if eat_kw st "continue" then begin
+    expect_punct st ";"; { s = Continue; spos = p }
+  end
+  else if eat_punct st ";" then { s = Empty; spos = p }
+  else if looks_like_decl st then begin
+    let d = parse_decl_stmt st in
+    expect_punct st ";";
+    d
+  end
+  else begin
+    let e = parse_expr st in
+    expect_punct st ";";
+    { s = Expr e; spos = p }
+  end
+
+and parse_decl_stmt st =
+  let p = pos st in
+  let t = parse_type st in
+  let name = expect_ident st in
+  let t = array_suffix st t in (* tolerate C-style "Foo x[]" *)
+  let init = if eat_punct st "=" then Some (parse_expr st) else None in
+  { s = Var_decl (t, name, init); spos = p }
+
+and parse_block st : stmt list =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (is_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  advance st;
+  List.rev !stmts
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_modifiers st =
+  let mods = ref [] in
+  let continue = ref true in
+  while !continue do
+    (match peek st with
+     | Lexer.KW "public" -> mods := Public :: !mods; advance st
+     | Lexer.KW "private" -> mods := Private :: !mods; advance st
+     | Lexer.KW "protected" -> mods := Protected :: !mods; advance st
+     | Lexer.KW "static" -> mods := Static :: !mods; advance st
+     | Lexer.KW "native" -> mods := Native :: !mods; advance st
+     | Lexer.KW "abstract" -> mods := Abstract :: !mods; advance st
+     | Lexer.KW "final" -> mods := Final :: !mods; advance st
+     | Lexer.KW "synchronized" -> mods := Synchronized :: !mods; advance st
+     | _ -> continue := false)
+  done;
+  List.rev !mods
+
+let parse_params st =
+  expect_punct st "(";
+  if eat_punct st ")" then []
+  else begin
+    let rec loop acc =
+      let t = parse_type st in
+      let name = expect_ident st in
+      let t = array_suffix st t in
+      if eat_punct st "," then loop ((t, name) :: acc)
+      else begin expect_punct st ")"; List.rev ((t, name) :: acc) end
+    in
+    loop []
+  end
+
+let parse_throws st =
+  if eat_kw st "throws" then begin
+    let rec loop acc =
+      let c = expect_ident st in
+      if eat_punct st "," then loop (c :: acc) else List.rev (c :: acc)
+    in
+    loop []
+  end else []
+
+let parse_member st ~class_name =
+  let p = pos st in
+  let mods = parse_modifiers st in
+  (* constructor: Name ( ... ) *)
+  match peek st, peek2 st with
+  | Lexer.IDENT n, Lexer.PUNCT "(" when String.equal n class_name ->
+    advance st;
+    let params = parse_params st in
+    let _ = parse_throws st in
+    let body = parse_block st in
+    `Ctor { cd_mods = mods; cd_params = params; cd_body = body; cd_pos = p }
+  | _ ->
+    let t = parse_type st in
+    let name = expect_ident st in
+    if is_punct st "(" then begin
+      let params = parse_params st in
+      let throws = parse_throws st in
+      let body =
+        if eat_punct st ";" then None
+        else Some (parse_block st)
+      in
+      `Method { md_mods = mods; md_ret = t; md_name = name;
+                md_params = params; md_throws = throws; md_body = body;
+                md_pos = p }
+    end
+    else begin
+      let t = array_suffix st t in
+      let init = if eat_punct st "=" then Some (parse_expr st) else None in
+      expect_punct st ";";
+      `Field { f_mods = mods; f_typ = t; f_name = name; f_init = init;
+               f_pos = p }
+    end
+
+let parse_class st ~abstract =
+  let p = pos st in
+  expect_kw st "class";
+  let name = expect_ident st in
+  let super = if eat_kw st "extends" then Some (expect_ident st) else None in
+  let ifaces =
+    if eat_kw st "implements" then begin
+      let rec loop acc =
+        let c = expect_ident st in
+        if eat_punct st "," then loop (c :: acc) else List.rev (c :: acc)
+      in
+      loop []
+    end else []
+  in
+  expect_punct st "{";
+  let fields = ref [] and methods = ref [] and ctors = ref [] in
+  while not (is_punct st "}") do
+    match parse_member st ~class_name:name with
+    | `Field f -> fields := f :: !fields
+    | `Method m -> methods := m :: !methods
+    | `Ctor c -> ctors := c :: !ctors
+  done;
+  advance st;
+  { c_name = name; c_super = super; c_ifaces = ifaces;
+    c_fields = List.rev !fields; c_methods = List.rev !methods;
+    c_ctors = List.rev !ctors; c_abstract = abstract; c_pos = p }
+
+let parse_interface st =
+  let p = pos st in
+  expect_kw st "interface";
+  let name = expect_ident st in
+  let supers =
+    if eat_kw st "extends" then begin
+      let rec loop acc =
+        let c = expect_ident st in
+        if eat_punct st "," then loop (c :: acc) else List.rev (c :: acc)
+      in
+      loop []
+    end else []
+  in
+  expect_punct st "{";
+  let methods = ref [] in
+  while not (is_punct st "}") do
+    match parse_member st ~class_name:name with
+    | `Method m ->
+      if m.md_body <> None then
+        raise (Parse_error ("interface method with body: " ^ m.md_name, p));
+      methods := m :: !methods
+    | `Field _ | `Ctor _ ->
+      raise (Parse_error ("only method signatures allowed in interface", p))
+  done;
+  advance st;
+  { i_name = name; i_supers = supers; i_methods = List.rev !methods;
+    i_pos = p }
+
+let parse_unit st : compilation_unit =
+  let decls = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.EOF -> continue := false
+    | _ ->
+      let mods = parse_modifiers st in
+      let abstract = List.mem Abstract mods in
+      if is_kw st "class" then decls := Class (parse_class st ~abstract) :: !decls
+      else if is_kw st "interface" then
+        decls := Interface (parse_interface st) :: !decls
+      else errorf st "expected class or interface but found %a"
+             Lexer.pp_token (peek st)
+  done;
+  List.rev !decls
+
+(** Parse a whole source string into a compilation unit.
+    Raises {!Parse_error} or {!Lexer.Lex_error} on malformed input. *)
+let parse (src : string) : compilation_unit =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  parse_unit { toks; cur = 0 }

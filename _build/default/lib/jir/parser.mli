@@ -1,0 +1,7 @@
+(** Recursive-descent parser for MJava. *)
+
+exception Parse_error of string * Ast.pos
+
+(** Parse a whole source string into a compilation unit.
+    Raises {!Parse_error} or {!Lexer.Lex_error} on malformed input. *)
+val parse : string -> Ast.compilation_unit

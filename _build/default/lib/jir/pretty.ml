@@ -1,0 +1,228 @@
+(** Pretty-printing of MJava ASTs back to parseable source.
+
+    Guarantees the round-trip property [parse (print (parse s)) = parse s]
+    (up to positions), which the test-suite checks over the corpus and over
+    random programs. Output is fully parenthesized where precedence could
+    bite, so printing needs no precedence bookkeeping. *)
+
+open Ast
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\000' -> Buffer.add_string buf "\\0"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_char c =
+  match c with
+  | '\'' -> "\\'"
+  | '\\' -> "\\\\"
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | c -> String.make 1 c
+
+let rec typ_to_string = function
+  | Tint -> "int"
+  | Tbool -> "boolean"
+  | Tchar -> "char"
+  | Tvoid -> "void"
+  | Tclass c -> c
+  | Tarray t -> typ_to_string t ^ "[]"
+
+let rec pp_expr ppf (e : expr) =
+  match e.e with
+  | Int_lit v ->
+    if v < 0 then Fmt.pf ppf "(-%d)" (-v) else Fmt.int ppf v
+  | Bool_lit b -> Fmt.bool ppf b
+  | Str_lit s -> Fmt.pf ppf "\"%s\"" (escape_string s)
+  | Char_lit c -> Fmt.pf ppf "'%s'" (escape_char c)
+  | Null_lit -> Fmt.string ppf "null"
+  | This -> Fmt.string ppf "this"
+  | Var v -> Fmt.string ppf v
+  | Field_access (o, f) -> Fmt.pf ppf "%a.%s" pp_expr o f
+  | Static_field (c, f) -> Fmt.pf ppf "%s.%s" c f
+  | Array_index (a, i) -> Fmt.pf ppf "%a[%a]" pp_expr a pp_expr i
+  | Array_length a -> Fmt.pf ppf "%a.length" pp_expr a
+  | Class_lit c -> Fmt.pf ppf "%s.class" c
+  | Call { recv; mname; args } ->
+    (match recv with
+     | Implicit -> Fmt.pf ppf "%s(%a)" mname pp_args args
+     | Super ->
+       if String.equal mname "<init>" then Fmt.pf ppf "super(%a)" pp_args args
+       else Fmt.pf ppf "super.%s(%a)" mname pp_args args
+     | On o -> Fmt.pf ppf "%a.%s(%a)" pp_expr o mname pp_args args
+     | Cls c -> Fmt.pf ppf "%s.%s(%a)" c mname pp_args args)
+  | New (c, args) -> Fmt.pf ppf "new %s(%a)" c pp_args args
+  | New_array (t, len) ->
+    (* multi-dimensional arrays print inner [] after the sized dimension *)
+    let rec base_and_dims t dims =
+      match t with Tarray t' -> base_and_dims t' (dims + 1) | _ -> (t, dims)
+    in
+    let base, dims = base_and_dims t 0 in
+    Fmt.pf ppf "new %s[%a]%s" (typ_to_string base) pp_expr len
+      (String.concat "" (List.init dims (fun _ -> "[]")))
+  | New_array_init (t, elems) ->
+    Fmt.pf ppf "new %s[] { %a }" (typ_to_string t) pp_args elems
+  | Binary (op, a, b) ->
+    Fmt.pf ppf "(%a %a %a)" pp_expr a Ast.pp_binop op pp_expr b
+  | Unary (Neg, a) -> Fmt.pf ppf "(-%a)" pp_expr a
+  | Unary (Not, a) -> Fmt.pf ppf "(!%a)" pp_expr a
+  | Cast (t, a) -> Fmt.pf ppf "((%s) %a)" (typ_to_string t) pp_expr a
+  | Instance_of (a, c) -> Fmt.pf ppf "(%a instanceof %s)" pp_expr a c
+  | Assign (lhs, rhs) -> Fmt.pf ppf "%a = %a" pp_expr lhs pp_expr rhs
+  | Cond (c, a, b) ->
+    Fmt.pf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+and pp_args ppf args = Fmt.(list ~sep:(any ", ") pp_expr) ppf args
+
+(* bodies of if/while/for always print braced; a body that is already a
+   block is spliced rather than re-wrapped so no nested block appears *)
+let rec pp_body ppf (s : stmt) =
+  match s.s with
+  | Block stmts -> Fmt.list ~sep:Fmt.cut pp_stmt ppf stmts
+  | _ -> pp_stmt ppf s
+
+and pp_stmt ppf (s : stmt) =
+  match s.s with
+  | Block stmts ->
+    Fmt.pf ppf "@[<v2>{@,%a@]@,}" (Fmt.list ~sep:Fmt.cut pp_stmt) stmts
+  | Var_decl (t, name, init) ->
+    (match init with
+     | Some e -> Fmt.pf ppf "%s %s = %a;" (typ_to_string t) name pp_expr e
+     | None -> Fmt.pf ppf "%s %s;" (typ_to_string t) name)
+  | Expr e -> Fmt.pf ppf "%a;" pp_expr e
+  | If (c, t, e) ->
+    (match e with
+     | Some e ->
+       Fmt.pf ppf "@[<v2>if (%a) {@,%a@]@,@[<v2>} else {@,%a@]@,}" pp_expr c
+         pp_body t pp_body e
+     | None -> Fmt.pf ppf "@[<v2>if (%a) {@,%a@]@,}" pp_expr c pp_body t)
+  | While (c, body) ->
+    Fmt.pf ppf "@[<v2>while (%a) {@,%a@]@,}" pp_expr c pp_body body
+  | For (init, cond, step, body) ->
+    let pp_init ppf = function
+      | Some { s = Var_decl (t, n, Some e); _ } ->
+        Fmt.pf ppf "%s %s = %a" (typ_to_string t) n pp_expr e
+      | Some { s = Var_decl (t, n, None); _ } ->
+        Fmt.pf ppf "%s %s" (typ_to_string t) n
+      | Some { s = Expr e; _ } -> pp_expr ppf e
+      | Some _ | None -> ()
+    in
+    Fmt.pf ppf "@[<v2>for (%a; %a; %a) {@,%a@]@,}" pp_init init
+      (Fmt.option pp_expr) cond (Fmt.option pp_expr) step pp_body body
+  | Return None -> Fmt.string ppf "return;"
+  | Return (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | Throw e -> Fmt.pf ppf "throw %a;" pp_expr e
+  | Try (body, clauses) ->
+    Fmt.pf ppf "@[<v2>try {@,%a@]@,}" (Fmt.list ~sep:Fmt.cut pp_stmt) body;
+    List.iter
+      (fun (cls, name, cbody) ->
+         Fmt.pf ppf "@ @[<v2>catch (%s %s) {@,%a@]@,}" cls name
+           (Fmt.list ~sep:Fmt.cut pp_stmt) cbody)
+      clauses
+  | Switch (e, cases, default) ->
+    Fmt.pf ppf "@[<v2>switch (%a) {@," pp_expr e;
+    List.iter
+      (fun (labels, body) ->
+         List.iter (fun l -> Fmt.pf ppf "case %a:@," pp_expr l) labels;
+         Fmt.pf ppf "@[<v2>  %a@]@,break;@,"
+           (Fmt.list ~sep:Fmt.cut pp_stmt) body)
+      cases;
+    (match default with
+     | Some body ->
+       Fmt.pf ppf "default:@,@[<v2>  %a@]@,"
+         (Fmt.list ~sep:Fmt.cut pp_stmt) body
+     | None -> ());
+    Fmt.pf ppf "@]@,}"
+  | Do_while (body, cond) ->
+    Fmt.pf ppf "@[<v2>do {@,%a@]@,} while (%a);" pp_body body pp_expr cond
+  | Break -> Fmt.string ppf "break;"
+  | Continue -> Fmt.string ppf "continue;"
+  | Empty -> Fmt.string ppf ";"
+
+let mods_to_string mods =
+  String.concat ""
+    (List.map
+       (fun m ->
+          (match m with
+           | Public -> "public" | Private -> "private"
+           | Protected -> "protected" | Static -> "static"
+           | Native -> "native" | Abstract -> "abstract" | Final -> "final"
+           | Synchronized -> "synchronized")
+          ^ " ")
+       mods)
+
+let pp_params ppf params =
+  Fmt.(list ~sep:(any ", ")
+         (fun ppf (t, n) -> pf ppf "%s %s" (typ_to_string t) n))
+    ppf params
+
+let pp_method ppf (m : method_decl) =
+  let throws =
+    match m.md_throws with
+    | [] -> ""
+    | ts -> " throws " ^ String.concat ", " ts
+  in
+  match m.md_body with
+  | Some body ->
+    Fmt.pf ppf "@[<v2>%s%s %s(%a)%s {@,%a@]@,}" (mods_to_string m.md_mods)
+      (typ_to_string m.md_ret) m.md_name pp_params m.md_params throws
+      (Fmt.list ~sep:Fmt.cut pp_stmt) body
+  | None ->
+    Fmt.pf ppf "%s%s %s(%a)%s;" (mods_to_string m.md_mods)
+      (typ_to_string m.md_ret) m.md_name pp_params m.md_params throws
+
+let pp_field ppf (f : field_decl) =
+  match f.f_init with
+  | Some e ->
+    Fmt.pf ppf "%s%s %s = %a;" (mods_to_string f.f_mods)
+      (typ_to_string f.f_typ) f.f_name pp_expr e
+  | None ->
+    Fmt.pf ppf "%s%s %s;" (mods_to_string f.f_mods) (typ_to_string f.f_typ)
+      f.f_name
+
+let pp_ctor ~cls ppf (c : ctor_decl) =
+  Fmt.pf ppf "@[<v2>%s%s(%a) {@,%a@]@,}" (mods_to_string c.cd_mods) cls
+    pp_params c.cd_params (Fmt.list ~sep:Fmt.cut pp_stmt) c.cd_body
+
+let pp_decl ppf = function
+  | Class c ->
+    let extends =
+      match c.c_super with Some s -> " extends " ^ s | None -> ""
+    in
+    let implements =
+      match c.c_ifaces with
+      | [] -> ""
+      | is -> " implements " ^ String.concat ", " is
+    in
+    Fmt.pf ppf "@[<v2>%sclass %s%s%s {@,%a%a%a@]@,}"
+      (if c.c_abstract then "abstract " else "")
+      c.c_name extends implements
+      Fmt.(list ~sep:Fmt.cut pp_field) c.c_fields
+      Fmt.(list ~sep:Fmt.cut (pp_ctor ~cls:c.c_name)) c.c_ctors
+      Fmt.(list ~sep:Fmt.cut pp_method) c.c_methods
+  | Interface i ->
+    let extends =
+      match i.i_supers with
+      | [] -> ""
+      | ss -> " extends " ^ String.concat ", " ss
+    in
+    Fmt.pf ppf "@[<v2>interface %s%s {@,%a@]@,}" i.i_name extends
+      Fmt.(list ~sep:Fmt.cut pp_method) i.i_methods
+
+let pp_unit ppf (cu : compilation_unit) =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_decl) cu
+
+(** Print a compilation unit to a parseable string. *)
+let to_string (cu : compilation_unit) : string = Fmt.str "%a@." pp_unit cu

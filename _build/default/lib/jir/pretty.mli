@@ -1,0 +1,12 @@
+(** Pretty-printing of MJava ASTs back to parseable source, satisfying the
+    round-trip property [parse (print (parse s)) = parse s] up to positions
+    and body-brace normalization. *)
+
+val typ_to_string : Ast.typ -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_unit : Format.formatter -> Ast.compilation_unit -> unit
+
+(** Print a compilation unit to a parseable string. *)
+val to_string : Ast.compilation_unit -> string

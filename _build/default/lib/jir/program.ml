@@ -1,0 +1,80 @@
+(** A lowered program: class table, method bodies, site registry and
+    entrypoints. This is the unit of work handed to the analyses. *)
+
+type site_kind =
+  | Alloc_site of string          (** allocated class (or "T[]" for arrays) *)
+  | Call_site of Tac.mref
+
+type site_info = {
+  si_id : int;
+  si_method : string;             (** method id of the containing method *)
+  si_kind : site_kind;
+}
+
+type t = {
+  table : Classtable.t;
+  methods : (string, Tac.meth) Hashtbl.t;       (* keyed by Tac.method_id *)
+  sites : (int, site_info) Hashtbl.t;
+  mutable next_site : int;
+  mutable entrypoints : string list;            (* method ids, in order *)
+  mutable clinits : string list;
+}
+
+let create () =
+  { table = Classtable.create ();
+    methods = Hashtbl.create 512;
+    sites = Hashtbl.create 1024;
+    next_site = 0;
+    entrypoints = [];
+    clinits = [] }
+
+let fresh_site p ~meth ~kind =
+  let id = p.next_site in
+  p.next_site <- id + 1;
+  Hashtbl.replace p.sites id { si_id = id; si_method = meth; si_kind = kind };
+  id
+
+let site_info p id = Hashtbl.find_opt p.sites id
+
+let add_method p (m : Tac.meth) =
+  Hashtbl.replace p.methods (Tac.method_id m) m
+
+let find_method p id = Hashtbl.find_opt p.methods id
+
+let add_entrypoint p id =
+  if not (List.mem id p.entrypoints) then p.entrypoints <- p.entrypoints @ [ id ]
+
+let iter_methods p f = Hashtbl.iter (fun _ m -> f m) p.methods
+
+let method_count p = Hashtbl.length p.methods
+
+let all_method_ids p =
+  Hashtbl.fold (fun id _ acc -> id :: acc) p.methods []
+  |> List.sort String.compare
+
+(** Aggregate statistics used by the Table 2 reproduction. *)
+type stats = {
+  st_classes : int;
+  st_methods : int;
+  st_app_classes : int;
+  st_app_methods : int;
+  st_instrs : int;
+}
+
+let stats p =
+  let classes = Classtable.all_classes p.table in
+  let app_classes =
+    List.filter (fun (c : Classtable.cls) -> not c.cl_library) classes
+  in
+  let methods = ref 0 and app_methods = ref 0 and instrs = ref 0 in
+  iter_methods p (fun m ->
+      incr methods;
+      if not m.Tac.m_library then incr app_methods;
+      Array.iter
+        (fun (b : Tac.block) -> instrs := !instrs + Array.length b.instrs)
+        m.Tac.m_blocks);
+  { st_classes = List.length classes;
+    st_methods = !methods;
+    st_app_classes = List.length app_classes;
+    st_app_methods = !app_methods;
+    st_instrs = !instrs }

@@ -1,0 +1,196 @@
+(** SSA construction (Cytron et al.): iterated-dominance-frontier phi
+    placement followed by dominator-tree renaming.
+
+    The method is rewritten in place. After conversion, every register has at
+    most one defining instruction (or phi, or is a formal parameter), which
+    the dependence-graph builder exploits to treat local data flow
+    functionally. Formal parameters keep their original numbers 0..arity-1.
+*)
+
+module Int_set = Set.Make (Int)
+
+type def_site =
+  | Def_param of int            (** parameter index *)
+  | Def_instr of int * int      (** block, instruction index *)
+  | Def_phi of int * int        (** block, phi index *)
+
+(** Map each SSA register of a converted method to its unique definition. *)
+let def_sites (m : Tac.meth) : def_site option array =
+  let defs = Array.make m.Tac.m_nvars None in
+  for p = 0 to m.Tac.m_arity - 1 do
+    defs.(p) <- Some (Def_param p)
+  done;
+  Array.iteri
+    (fun bi (b : Tac.block) ->
+       List.iteri
+         (fun pi (p : Tac.phi) -> defs.(p.Tac.phi_lhs) <- Some (Def_phi (bi, pi)))
+         b.Tac.phis;
+       Array.iteri
+         (fun ii ins ->
+            List.iter (fun v -> defs.(v) <- Some (Def_instr (bi, ii))) (Tac.defs ins))
+         b.Tac.instrs)
+    m.Tac.m_blocks;
+  defs
+
+let convert (m : Tac.meth) : unit =
+  let cfg = Cfg.compact m in
+  let dom = Dominance.compute cfg in
+  let blocks = m.Tac.m_blocks in
+  let n = Array.length blocks in
+  let nvars = m.Tac.m_nvars in
+  (* 1. collect definition blocks per variable *)
+  let def_blocks = Array.make nvars Int_set.empty in
+  for p = 0 to m.Tac.m_arity - 1 do
+    def_blocks.(p) <- Int_set.singleton 0
+  done;
+  Array.iteri
+    (fun bi (b : Tac.block) ->
+       Array.iter
+         (fun ins ->
+            List.iter
+              (fun v -> def_blocks.(v) <- Int_set.add bi def_blocks.(v))
+              (Tac.defs ins))
+         b.Tac.instrs)
+    blocks;
+  (* 2. phi placement via iterated dominance frontiers *)
+  let phi_for = Array.make n Int_set.empty in   (* vars with a phi per block *)
+  for v = 0 to nvars - 1 do
+    if Int_set.cardinal def_blocks.(v) > 1 then begin
+      let work = ref (Int_set.elements def_blocks.(v)) in
+      let placed = ref Int_set.empty in
+      let in_work = ref (Int_set.of_list !work) in
+      while !work <> [] do
+        match !work with
+        | [] -> ()
+        | b :: rest ->
+          work := rest;
+          List.iter
+            (fun d ->
+               if not (Int_set.mem d !placed) then begin
+                 placed := Int_set.add d !placed;
+                 phi_for.(d) <- Int_set.add v phi_for.(d);
+                 if not (Int_set.mem d !in_work) then begin
+                   in_work := Int_set.add d !in_work;
+                   work := d :: !work
+                 end
+               end)
+            dom.Dominance.frontier.(b)
+      done
+    end
+  done;
+  Array.iteri
+    (fun bi (b : Tac.block) ->
+       b.Tac.phis <-
+         Int_set.fold
+           (fun v acc ->
+              { Tac.phi_lhs = v;
+                phi_args =
+                  List.map (fun p -> (p, v)) cfg.Cfg.preds.(bi) }
+              :: acc)
+           phi_for.(bi) [])
+    blocks;
+  (* 3. renaming *)
+  let counter = ref nvars in
+  let fresh () = let v = !counter in incr counter; v in
+  let stacks : int list array = Array.make nvars [] in
+  for p = 0 to m.Tac.m_arity - 1 do
+    stacks.(p) <- [ p ]
+  done;
+  let top v =
+    if v < nvars then (match stacks.(v) with x :: _ -> x | [] -> v) else v
+  in
+  let rename_uses ins =
+    let u = top in
+    match ins with
+    | Tac.Const _ | Tac.New _ | Tac.Sload _ | Tac.Catch_entry _ | Tac.Nop ->
+      ins
+    | Tac.Move (d, s) -> Tac.Move (d, u s)
+    | Tac.Binop (d, op, a, b) -> Tac.Binop (d, op, u a, u b)
+    | Tac.Unop (d, op, a) -> Tac.Unop (d, op, u a)
+    | Tac.New_array (d, t, l, s) -> Tac.New_array (d, t, u l, s)
+    | Tac.Load (d, o, f) -> Tac.Load (d, u o, f)
+    | Tac.Store (o, f, v) -> Tac.Store (u o, f, u v)
+    | Tac.Sstore (f, v) -> Tac.Sstore (f, u v)
+    | Tac.Aload (d, a, i) -> Tac.Aload (d, u a, u i)
+    | Tac.Astore (a, i, v) -> Tac.Astore (u a, u i, u v)
+    | Tac.Array_len (d, a) -> Tac.Array_len (d, u a)
+    | Tac.Call c -> Tac.Call { c with Tac.args = List.map u c.Tac.args }
+    | Tac.Cast (d, t, s) -> Tac.Cast (d, t, u s)
+    | Tac.Instance_of (d, c, s) -> Tac.Instance_of (d, c, u s)
+    | Tac.Strcat (d, a, b) -> Tac.Strcat (d, u a, u b)
+  in
+  let rename_def ~orig_pushes ins =
+    match Tac.defs ins with
+    | [] -> ins
+    | [ d ] when d < nvars ->
+      let nd = fresh () in
+      stacks.(d) <- nd :: stacks.(d);
+      orig_pushes := d :: !orig_pushes;
+      (match ins with
+       | Tac.Const (_, c) -> Tac.Const (nd, c)
+       | Tac.Move (_, s) -> Tac.Move (nd, s)
+       | Tac.Binop (_, op, a, b) -> Tac.Binop (nd, op, a, b)
+       | Tac.Unop (_, op, a) -> Tac.Unop (nd, op, a)
+       | Tac.New (_, c, s) -> Tac.New (nd, c, s)
+       | Tac.New_array (_, t, l, s) -> Tac.New_array (nd, t, l, s)
+       | Tac.Load (_, o, f) -> Tac.Load (nd, o, f)
+       | Tac.Sload (_, f) -> Tac.Sload (nd, f)
+       | Tac.Aload (_, a, i) -> Tac.Aload (nd, a, i)
+       | Tac.Array_len (_, a) -> Tac.Array_len (nd, a)
+       | Tac.Call c -> Tac.Call { c with Tac.ret = Some nd }
+       | Tac.Cast (_, t, s) -> Tac.Cast (nd, t, s)
+       | Tac.Instance_of (_, c, s) -> Tac.Instance_of (nd, c, s)
+       | Tac.Strcat (_, a, b) -> Tac.Strcat (nd, a, b)
+       | Tac.Catch_entry (_, c) -> Tac.Catch_entry (nd, c)
+       | Tac.Store _ | Tac.Sstore _ | Tac.Astore _ | Tac.Nop -> ins)
+    | _ -> ins
+  in
+  let rec walk bi =
+    let b = blocks.(bi) in
+    let pushes = ref [] in
+    (* phi lhs definitions *)
+    b.Tac.phis <-
+      List.map
+        (fun (p : Tac.phi) ->
+           let d = p.Tac.phi_lhs in
+           let nd = fresh () in
+           stacks.(d) <- nd :: stacks.(d);
+           pushes := d :: !pushes;
+           { p with Tac.phi_lhs = nd })
+        b.Tac.phis;
+    (* straight-line code *)
+    b.Tac.instrs <-
+      Array.map
+        (fun ins -> rename_def ~orig_pushes:pushes (rename_uses ins))
+        b.Tac.instrs;
+    b.Tac.term <-
+      (match b.Tac.term with
+       | Tac.If (c, t, e) -> Tac.If (top c, t, e)
+       | Tac.Return (Some v) -> Tac.Return (Some (top v))
+       | Tac.Throw v -> Tac.Throw (top v)
+       | (Tac.Goto _ | Tac.Return None | Tac.Unreachable) as t -> t);
+    (* fill phi operands of successors *)
+    List.iter
+      (fun s ->
+         let sb = blocks.(s) in
+         sb.Tac.phis <-
+           List.map
+             (fun (p : Tac.phi) ->
+                { p with
+                  Tac.phi_args =
+                    List.map
+                      (fun (pred, v) ->
+                         if pred = bi && v < nvars then (pred, top v)
+                         else (pred, v))
+                      p.Tac.phi_args })
+             sb.Tac.phis)
+      (Tac.all_successors b);
+    List.iter walk dom.Dominance.children.(bi);
+    List.iter (fun d -> stacks.(d) <- List.tl stacks.(d)) !pushes
+  in
+  if n > 0 then walk 0;
+  m.Tac.m_nvars <- !counter
+
+(** Convert every method of a program to SSA form. *)
+let convert_program (p : Program.t) =
+  Program.iter_methods p convert

@@ -1,0 +1,16 @@
+(** SSA construction (Cytron et al.) and def-site queries. *)
+
+type def_site =
+  | Def_param of int            (** parameter index *)
+  | Def_instr of int * int      (** block, instruction index *)
+  | Def_phi of int * int        (** block, phi index *)
+
+(** Map each register of an SSA-form method to its unique definition
+    ([None] for dead registers). *)
+val def_sites : Tac.meth -> def_site option array
+
+(** Convert a method to SSA form in place. Formal parameters keep their
+    register numbers 0..arity-1. *)
+val convert : Tac.meth -> unit
+
+val convert_program : Program.t -> unit

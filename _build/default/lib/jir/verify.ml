@@ -1,0 +1,101 @@
+(** Well-formedness checks over lowered (and rewritten) method bodies.
+
+    Used by the test-suite and available to callers after program
+    transformations: the reflection and exception rewrites must preserve
+    every invariant checked here. *)
+
+type violation = {
+  v_method : string;
+  v_where : string;
+  v_message : string;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s at %s: %s" v.v_method v.v_where v.v_message
+
+let check_meth ?(ssa = true) (m : Tac.meth) : violation list =
+  let out = ref [] in
+  let meth_id = Tac.method_id m in
+  let violation where fmt =
+    Fmt.kstr
+      (fun msg ->
+         out := { v_method = meth_id; v_where = where; v_message = msg } :: !out)
+      fmt
+  in
+  let nblocks = Array.length m.Tac.m_blocks in
+  let check_target where t =
+    if t < 0 || t >= nblocks then
+      violation where "branch target B%d out of range (%d blocks)" t nblocks
+  in
+  let defined = Hashtbl.create 64 in
+  let check_var where v =
+    if v < 0 || v >= m.Tac.m_nvars then
+      violation where "register %%%d out of range (%d registers)" v
+        m.Tac.m_nvars
+  in
+  (* pass 1: collect defs, check ranges and single assignment *)
+  for p = 0 to m.Tac.m_arity - 1 do
+    Hashtbl.replace defined p ()
+  done;
+  Array.iteri
+    (fun bi (b : Tac.block) ->
+       let where = Printf.sprintf "B%d" bi in
+       List.iter
+         (fun (phi : Tac.phi) ->
+            check_var where phi.Tac.phi_lhs;
+            if ssa && Hashtbl.mem defined phi.Tac.phi_lhs then
+              violation where "register %%%d assigned twice" phi.Tac.phi_lhs;
+            Hashtbl.replace defined phi.Tac.phi_lhs ())
+         b.Tac.phis;
+       Array.iteri
+         (fun ii ins ->
+            let where = Printf.sprintf "B%d.%d" bi ii in
+            List.iter
+              (fun d ->
+                 check_var where d;
+                 if ssa && Hashtbl.mem defined d then
+                   violation where "register %%%d assigned twice" d;
+                 Hashtbl.replace defined d ())
+              (Tac.defs ins);
+            List.iter (check_var where) (Tac.uses ins))
+         b.Tac.instrs;
+       List.iter (check_var where) (Tac.term_uses b.Tac.term);
+       (match b.Tac.term with
+        | Tac.Goto t -> check_target where t
+        | Tac.If (_, t, e) -> check_target where t; check_target where e
+        | Tac.Return _ | Tac.Throw _ | Tac.Unreachable -> ());
+       List.iter (check_target where) b.Tac.handlers)
+    m.Tac.m_blocks;
+  (* pass 2: every use must have a definition somewhere (in SSA mode) *)
+  if ssa then
+    Array.iteri
+      (fun bi (b : Tac.block) ->
+         let where = Printf.sprintf "B%d" bi in
+         List.iter
+           (fun (phi : Tac.phi) ->
+              List.iter
+                (fun (pred, v) ->
+                   if pred < 0 || pred >= nblocks then
+                     violation where "phi predecessor B%d out of range" pred;
+                   if v >= 0 && v < m.Tac.m_nvars
+                      && not (Hashtbl.mem defined v)
+                   then violation where "phi argument %%%d never defined" v)
+                phi.Tac.phi_args)
+           b.Tac.phis;
+         Array.iteri
+           (fun ii ins ->
+              let where = Printf.sprintf "B%d.%d" bi ii in
+              List.iter
+                (fun v ->
+                   if not (Hashtbl.mem defined v) then
+                     violation where "use of undefined register %%%d" v)
+                (Tac.uses ins))
+           b.Tac.instrs)
+      m.Tac.m_blocks;
+  List.rev !out
+
+(** Check every method; returns all violations. *)
+let check_program ?ssa (p : Program.t) : violation list =
+  let acc = ref [] in
+  Program.iter_methods p (fun m -> acc := check_meth ?ssa m @ !acc);
+  !acc

@@ -1,0 +1,18 @@
+(** Well-formedness checks over lowered (and rewritten) method bodies:
+    branch targets in range, registers in range, and — in SSA mode — single
+    assignment and def-before-use. The reflection and exception rewrites
+    must preserve every invariant checked here. *)
+
+type violation = {
+  v_method : string;
+  v_where : string;
+  v_message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Check one method. [ssa] (default true) additionally checks the SSA
+    invariants. *)
+val check_meth : ?ssa:bool -> Tac.meth -> violation list
+
+val check_program : ?ssa:bool -> Program.t -> violation list

@@ -1,0 +1,1 @@
+lib/models/dict_model.ml: Array Jdklib Jir List Ssa Tac

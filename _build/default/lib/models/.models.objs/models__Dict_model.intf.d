@@ -1,0 +1,1 @@
+lib/models/dict_model.mli: Jir

@@ -1,0 +1,1 @@
+lib/models/exceptions.ml: Array Classtable Jir List Program Tac

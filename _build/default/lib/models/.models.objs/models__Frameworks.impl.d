@@ -1,0 +1,1 @@
+lib/models/frameworks.ml: Ast Buffer Classtable Hashtbl Jir List Printf String

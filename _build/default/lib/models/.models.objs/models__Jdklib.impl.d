@@ -1,0 +1,1 @@
+lib/models/jdklib.ml: Jir Lazy List

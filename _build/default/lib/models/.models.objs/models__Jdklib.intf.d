@@ -1,0 +1,1 @@
+lib/models/jdklib.mli: Jir Lazy

@@ -1,0 +1,1 @@
+lib/models/jsp.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/models/natives.ml: List

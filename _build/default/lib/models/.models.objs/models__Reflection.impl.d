@@ -1,0 +1,1 @@
+lib/models/reflection.ml: Array Ast Classtable Hashtbl Jir List Option Printf Program Ssa String Tac

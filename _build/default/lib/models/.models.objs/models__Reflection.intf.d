@@ -1,0 +1,1 @@
+lib/models/reflection.mli: Jir

@@ -1,0 +1,30 @@
+(** Constant-key modeling of hash dictionaries (§4.2.1).
+
+    [m.put("k", v)] / [m.get("k")] on dictionary classes are interpreted as
+    field stores/loads on the receiver. The field encoding is sound and
+    precise for mixed constant/unknown keys:
+    - put with constant key [K] writes [$key_K] and [$all];
+    - put with unknown key writes [$any];
+    - get with constant key [K] reads [$key_K] and [$any];
+    - get with unknown key reads [$any] and [$all]. *)
+
+type key = Const_key of string | Unknown_key
+
+type op =
+  | Dict_put of { recv : Jir.Tac.var; key : key; value : Jir.Tac.var }
+  | Dict_get of { dst : Jir.Tac.var; recv : Jir.Tac.var; key : key }
+
+val is_dict_class : string -> bool
+
+(** Interpret a call as a dictionary access. [const_of v] returns the string
+    constant register [v] is bound to, if any. *)
+val classify : const_of:(Jir.Tac.var -> string option) -> Jir.Tac.call -> op option
+
+(** Fields written by a put with the given key. *)
+val put_fields : key -> Jir.Tac.field list
+
+(** Fields read by a get with the given key. *)
+val get_fields : key -> Jir.Tac.field list
+
+(** A [const_of] function for a method in SSA form. *)
+val const_of_meth : Jir.Tac.meth -> Jir.Tac.var -> string option

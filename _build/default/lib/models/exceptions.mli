@@ -1,0 +1,12 @@
+(** Exception modeling for information-leakage detection (§4.1.2): after
+    every [catch (C e)], synthesize [t = e.getMessage(); e.msg = t]. With
+    [getMessage] registered as an information-leak source, the caught
+    exception becomes a taint carrier, so [println(e)] idioms are flagged
+    by the carrier detector. *)
+
+(** Rewrite one SSA-form method in place; returns the number of synthesized
+    sources. *)
+val rewrite_method : Jir.Program.t -> Jir.Tac.meth -> int
+
+(** Rewrite every non-library method. *)
+val rewrite_program : Jir.Program.t -> int

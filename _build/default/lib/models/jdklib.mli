@@ -1,0 +1,15 @@
+(** The model JDK: synthetic MJava implementations of the library surface
+    (§4.2). Collection classes store contents in summary fields,
+    [StringBuffer]/[StringBuilder] bottom out in the [String] carrier
+    intrinsics, and security-relevant methods are natives whose semantics
+    come from rules and transfer summaries. All classes load as library
+    code (the LCP boundary of §5). *)
+
+(** The compilation-unit sources, in load order. *)
+val sources : string list
+
+(** Parsed model-JDK compilation units (cached). *)
+val units : Jir.Ast.compilation_unit list Lazy.t
+
+(** Dictionary-like classes subject to the constant-key model (§4.2.1). *)
+val dictionary_classes : string list

@@ -1,0 +1,103 @@
+(** JSP page translation (§1, §4.1.2: TAJ models JSP; containers compile
+    JSP pages to servlets, and so do we).
+
+    Supported JSP subset:
+    - template text (emitted via [out.print("...")]);
+    - [<%= expr %>] expression tags (emitted via [out.print(expr)] — the
+      classic reflected-XSS surface);
+    - [<% code %>] scriptlets (spliced verbatim);
+    - [<%-- comment --%>] comments (dropped);
+    - implicit objects [request], [response], [session], [out].
+
+    [translate ~name page] produces the MJava source of the generated
+    servlet class [name]; load it like any other application source. *)
+
+exception Jsp_error of string
+
+type chunk =
+  | Text of string
+  | Expr of string
+  | Scriptlet of string
+
+let parse_chunks (page : string) : chunk list =
+  let n = String.length page in
+  let chunks = ref [] in
+  let text_start = ref 0 in
+  let flush_text upto =
+    if upto > !text_start then
+      chunks := Text (String.sub page !text_start (upto - !text_start)) :: !chunks
+  in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && page.[!i] = '<' && page.[!i + 1] = '%' then begin
+      flush_text !i;
+      let body_start, kind =
+        if !i + 3 < n && page.[!i + 2] = '-' && page.[!i + 3] = '-' then
+          (!i + 4, `Comment)
+        else if !i + 2 < n && page.[!i + 2] = '=' then (!i + 3, `Expr)
+        else (!i + 2, `Scriptlet)
+      in
+      let close =
+        match kind with `Comment -> "--%>" | `Expr | `Scriptlet -> "%>"
+      in
+      let rec find_close at =
+        if at + String.length close > n then
+          raise (Jsp_error "unterminated JSP tag")
+        else if String.sub page at (String.length close) = close then at
+        else find_close (at + 1)
+      in
+      let body_end = find_close body_start in
+      let body = String.trim (String.sub page body_start (body_end - body_start)) in
+      (match kind with
+       | `Comment -> ()
+       | `Expr -> chunks := Expr body :: !chunks
+       | `Scriptlet -> chunks := Scriptlet body :: !chunks);
+      i := body_end + String.length close;
+      text_start := !i
+    end
+    else incr i
+  done;
+  flush_text n;
+  List.rev !chunks
+
+let escape_mjava_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Translate a JSP page into the MJava source of its generated servlet. *)
+let translate ~(name : string) (page : string) : string =
+  let chunks = parse_chunks page in
+  let buf = Buffer.create (String.length page + 256) in
+  Buffer.add_string buf (Printf.sprintf "class %s extends HttpServlet {\n" name);
+  Buffer.add_string buf
+    "  public void doGet(HttpServletRequest request, HttpServletResponse response) {\n\
+    \    PrintWriter out = response.getWriter();\n\
+    \    HttpSession session = request.getSession();\n";
+  List.iter
+    (fun chunk ->
+       match chunk with
+       | Text t ->
+         if String.trim t <> "" then
+           Buffer.add_string buf
+             (Printf.sprintf "    out.print(\"%s\");\n" (escape_mjava_string t))
+       | Expr e -> Buffer.add_string buf (Printf.sprintf "    out.print(%s);\n" e)
+       | Scriptlet code ->
+         Buffer.add_string buf "    ";
+         Buffer.add_string buf code;
+         if String.length code > 0 && code.[String.length code - 1] <> '}'
+            && code.[String.length code - 1] <> ';'
+         then Buffer.add_char buf ';';
+         Buffer.add_char buf '\n')
+    chunks;
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf

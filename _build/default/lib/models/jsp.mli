@@ -1,0 +1,17 @@
+(** JSP page translation: containers compile JSP to servlets, and so do we.
+    Supports template text, [<%= expr %>] expressions, [<% code %>]
+    scriptlets, [<%-- --%>] comments, and the implicit objects [request],
+    [response], [session] and [out]. *)
+
+exception Jsp_error of string
+
+type chunk =
+  | Text of string
+  | Expr of string
+  | Scriptlet of string
+
+val parse_chunks : string -> chunk list
+
+(** Translate a JSP page into the MJava source of its generated servlet
+    class [name]. *)
+val translate : name:string -> string -> string

@@ -1,0 +1,40 @@
+(** Hand-written taint-transfer summaries for native (body-less) library
+    methods (§4.2.3).
+
+    When the call graph reaches a method with no analyzable body, the
+    dependence-graph builder applies a transfer summary: a set of edges from
+    argument positions to the return value or to by-reference argument
+    positions. The default summary is "the return value derives from every
+    argument", which is sound for taint and what TAJ's succinct models
+    provide; a few natives need sharper or by-reference behaviour. *)
+
+type target = Ret | Param of int
+
+type transfer = { t_from : int; t_to : target }
+(** data flows from argument position [t_from] to [t_to] *)
+
+(** Special-case summaries, keyed by method id ("Class.name/arity"). *)
+let special : (string * transfer list) list =
+  [ (* System.arraycopy(src, srcPos, dst, dstPos, len): src contents flow
+       into dst *)
+    ("System.arraycopy/5", [ { t_from = 0; t_to = Param 2 } ]);
+    (* sanitizers produce clean output: no transfer at all — the taint
+       engine additionally treats them as flow barriers via rules *)
+    ("URLEncoder.encode/1", []);
+    (* Math & friends produce nothing taint-relevant *)
+    ("Math.abs/1", []); ("Math.max/2", []); ("Math.min/2", []);
+    ("Math.random/0", []);
+    ("System.currentTimeMillis/0", []);
+    ("Random.nextInt/2", []);
+    (* Cookie.getValue: the value derives from the cookie object *)
+    ("Cookie.getValue/1", [ { t_from = 0; t_to = Ret } ]) ]
+
+let default ~arity ~has_ret : transfer list =
+  if has_ret then List.init arity (fun i -> { t_from = i; t_to = Ret })
+  else []
+
+(** The transfer summary for a body-less method. *)
+let summary ~meth_id ~arity ~has_ret : transfer list =
+  match List.assoc_opt meth_id special with
+  | Some ts -> ts
+  | None -> default ~arity ~has_ret

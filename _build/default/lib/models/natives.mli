@@ -1,0 +1,16 @@
+(** Taint-transfer summaries for native (body-less) library methods
+    (§4.2.3). The default is "the return value derives from every
+    argument"; a few natives need sharper or by-reference behaviour. *)
+
+type target = Ret | Param of int
+
+type transfer = { t_from : int; t_to : target }
+(** data flows from argument position [t_from] to [t_to] *)
+
+(** Special-case summaries, keyed by method id ("Class.name/arity"). *)
+val special : (string * transfer list) list
+
+val default : arity:int -> has_ret:bool -> transfer list
+
+(** The transfer summary for a body-less method. *)
+val summary : meth_id:string -> arity:int -> has_ret:bool -> transfer list

@@ -1,0 +1,39 @@
+(** Reflection modeling (§4.2.3) and EJB lookup bypass (§4.2.2).
+
+    A per-method abstract interpretation over SSA def-use chains tracks
+    string constants, [Class] objects, [Method] values and [Object[]]
+    argument arrays. Where operands can be inferred, reflective calls are
+    replaced by direct abstractions: [invoke] becomes a direct call or a
+    synthesized [$Reflect.dispatch$N] fan-out, [newInstance] becomes an
+    allocation plus constructor call, and [Context.lookup] of a registered
+    JNDI name becomes an allocation of the mapped home implementation.
+    Unresolvable calls are left to the default native transfer. *)
+
+type absval =
+  | Null
+  | Str of string
+  | Class_obj of string
+  | Methods_of of string
+  | Method_any of string
+  | Method_named of string * string
+  | Obj_array of Jir.Tac.var list
+  | Top
+
+val join : absval -> absval -> absval
+
+type evaluator
+
+val make_evaluator : Jir.Tac.meth -> evaluator
+
+(** Abstract value of a register (memoized; cycles evaluate to [Top]). *)
+val eval : evaluator -> Jir.Tac.var -> absval
+
+type stats = {
+  mutable invokes_resolved : int;
+  mutable invokes_unresolved : int;
+  mutable new_instances : int;
+  mutable lookups : int;
+}
+
+(** Rewrite every method of the program (must be in SSA form). *)
+val rewrite_program : ?ejb_registry:(string * string) list -> Jir.Program.t -> stats

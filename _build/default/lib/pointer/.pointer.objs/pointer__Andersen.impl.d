@@ -1,0 +1,1 @@
+lib/pointer/andersen.ml: Array Ast Callgraph Classtable Fmt Hashtbl Int Jir Keys List Models Policy Pq Printf Program Queue Set Tac

@@ -1,0 +1,1 @@
+lib/pointer/andersen.mli: Callgraph Jir Keys Policy

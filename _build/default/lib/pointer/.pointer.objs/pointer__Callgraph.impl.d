@@ -1,0 +1,1 @@
+lib/pointer/callgraph.ml: Array Hashtbl Int Jir Keys List Set String

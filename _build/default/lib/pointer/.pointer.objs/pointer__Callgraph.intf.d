@@ -1,0 +1,1 @@
+lib/pointer/callgraph.mli: Int Jir Keys Set

@@ -1,0 +1,1 @@
+lib/pointer/heapgraph.ml: Andersen Hashtbl Int Keys List Option Set

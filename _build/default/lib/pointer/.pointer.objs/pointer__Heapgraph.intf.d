@@ -1,0 +1,1 @@
+lib/pointer/heapgraph.mli: Andersen Int Set

@@ -1,0 +1,1 @@
+lib/pointer/keys.ml: Array Fmt Hashtbl Jir

@@ -1,0 +1,1 @@
+lib/pointer/policy.ml: Keys List

@@ -1,0 +1,1 @@
+lib/pointer/pq.mli:

@@ -1,0 +1,41 @@
+(** Context-sensitive call graph built on the fly by the pointer analysis.
+    A node is a method clone (method × context); edges are recorded per
+    call site; call sites whose target has no analyzable body are recorded
+    separately for the transfer-summary machinery. *)
+
+module Int_set : Set.S with type elt = int and type t = Set.Make(Int).t
+
+type node = {
+  n_id : int;
+  n_method : Jir.Tac.meth;
+  n_ctx : Keys.context;
+}
+
+type t
+
+val create : unit -> t
+val node_count : t -> int
+val node : t -> int -> node
+val edge_count : t -> int
+val find_node : t -> string -> Keys.context -> int option
+
+(** Get or create the node for a method clone. [fresh] fires exactly when a
+    new node is created. *)
+val ensure_node : t -> Jir.Tac.meth -> Keys.context -> fresh:(int -> unit) -> int
+
+(** Returns true when the edge is new. *)
+val add_edge : t -> caller:int -> site:int -> callee:int -> bool
+
+val add_native_call : t -> caller:int -> site:int -> target:Jir.Tac.mref -> unit
+val callees : t -> caller:int -> site:int -> int list
+val native_targets : t -> caller:int -> site:int -> Jir.Tac.mref list
+val callers : t -> callee:int -> int list
+
+(** All callee nodes of a caller, across its call sites. *)
+val successors : t -> int -> int list
+
+val iter_nodes : t -> (node -> unit) -> unit
+val iter_edges : t -> (caller:int -> site:int -> callee:int -> unit) -> unit
+
+(** All context clones of a method id. *)
+val clones_of : t -> string -> int list

@@ -1,0 +1,16 @@
+(** The heap graph (§4.1.1): field-reachability queries over the pointer
+    analysis solution, used by taint-carrier detection. *)
+
+module Int_set : Set.S with type elt = int and type t = Set.Make(Int).t
+
+type t
+
+val build : Andersen.t -> t
+
+(** Instance keys directly pointed to by any field of an instance key. *)
+val successors : t -> int -> Int_set.t
+
+(** Instance keys reachable from [roots] through at most [depth] field
+    dereferences (roots included). [depth < 0] means unbounded; terminates
+    at the transitive closure. *)
+val reachable : t -> depth:int -> Int_set.t -> Int_set.t

@@ -1,0 +1,157 @@
+(** Abstract-heap vocabulary of the pointer analysis: calling contexts,
+    instance keys (abstract objects) and pointer keys (abstract pointers),
+    with interning to dense integer ids.
+
+    Contexts implement the paper's custom sensitivity policy (§3.1):
+    - most methods get one level of object sensitivity ([Cx_obj] of the
+      receiver's instance key);
+    - collection-internal classes get unlimited-depth object sensitivity,
+      realized by letting instance keys of container classes embed the full
+      allocating context, so receiver chains compound;
+    - library factory methods and taint APIs get one level of call-string
+      context ([Cx_site]).
+
+    A recursion cap bounds context depth so interning terminates on
+    recursive container structures ("unlimited-depth (up to recursion)"). *)
+
+type context =
+  | Cx_empty
+  | Cx_obj of inst_key
+  | Cx_site of int                      (* call-site id *)
+
+and inst_key =
+  | Ik_alloc of { site : int; cls : string; hctx : context }
+  | Ik_string                           (* summary object for all strings *)
+  | Ik_exn of string
+      (* summary exception per catch class: the runtime (native code, JVM
+         errors) can always throw, even when no application throw reaches
+         the handler — needed for the §4.1.2 leak modeling *)
+
+let inst_class = function
+  | Ik_alloc { cls; _ } -> cls
+  | Ik_string -> "String"
+  | Ik_exn cls -> cls
+
+let rec context_depth = function
+  | Cx_empty | Cx_site _ -> 0
+  | Cx_obj ik -> 1 + inst_depth ik
+
+and inst_depth = function
+  | Ik_alloc { hctx; _ } -> context_depth hctx
+  | Ik_string | Ik_exn _ -> 0
+
+(** Truncate a context to at most [limit] levels of object nesting. *)
+let rec truncate_context ~limit cx =
+  match cx with
+  | Cx_empty | Cx_site _ -> cx
+  | Cx_obj ik ->
+    if limit <= 0 then Cx_empty
+    else Cx_obj (truncate_inst ~limit:(limit - 1) ik)
+
+and truncate_inst ~limit = function
+  | (Ik_string | Ik_exn _) as k -> k
+  | Ik_alloc { site; cls; hctx } ->
+    Ik_alloc { site; cls; hctx = truncate_context ~limit hctx }
+
+(** Fields of the abstract heap. Array contents are field ["$elem"];
+    dictionary contents use the [$Dict] pseudo-fields of {!Models.Dict_model}. *)
+type field = { fclass : string; fname : string }
+
+let elem_field = { fclass = "$Array"; fname = "$elem" }
+
+let field_of_tac (f : Jir.Tac.field) =
+  { fclass = f.Jir.Tac.fclass; fname = f.Jir.Tac.fname }
+
+let pp_field ppf f = Fmt.pf ppf "%s.%s" f.fclass f.fname
+
+type ptr_key =
+  | Pk_var of int * Jir.Tac.var         (* call-graph node id, register *)
+  | Pk_field of int * field             (* instance-key id, field *)
+  | Pk_static of field
+  | Pk_ret of int                       (* return value of a node *)
+  | Pk_exn                              (* global thrown-exception channel *)
+
+let rec pp_context ppf = function
+  | Cx_empty -> Fmt.string ppf "ε"
+  | Cx_site s -> Fmt.pf ppf "site:%d" s
+  | Cx_obj ik -> Fmt.pf ppf "obj:%a" pp_inst ik
+
+and pp_inst ppf = function
+  | Ik_alloc { site; cls; hctx = Cx_empty } -> Fmt.pf ppf "%s@%d" cls site
+  | Ik_alloc { site; cls; hctx } ->
+    Fmt.pf ppf "%s@%d[%a]" cls site pp_context hctx
+  | Ik_string -> Fmt.string ppf "String$"
+  | Ik_exn cls -> Fmt.pf ppf "exn:%s" cls
+
+let pp_ptr ppf = function
+  | Pk_var (n, v) -> Fmt.pf ppf "n%d:%%%d" n v
+  | Pk_field (ik, f) -> Fmt.pf ppf "ik%d.%a" ik pp_field f
+  | Pk_static f -> Fmt.pf ppf "static:%a" pp_field f
+  | Pk_ret n -> Fmt.pf ppf "ret:n%d" n
+  | Pk_exn -> Fmt.string ppf "exn-channel"
+
+(* ------------------------------------------------------------------ *)
+(* Interning                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module type INTERNABLE = sig
+  type t
+end
+
+module Interner (X : sig type t end) = struct
+  type t = {
+    fwd : (X.t, int) Hashtbl.t;
+    mutable back : X.t array;
+    mutable count : int;
+  }
+
+  let create ?(dummy : X.t option) () =
+    { fwd = Hashtbl.create 1024;
+      back = (match dummy with Some d -> Array.make 64 d | None -> [||]);
+      count = 0 }
+
+  let intern t x =
+    match Hashtbl.find_opt t.fwd x with
+    | Some i -> i
+    | None ->
+      let i = t.count in
+      Hashtbl.replace t.fwd x i;
+      if Array.length t.back = 0 then t.back <- Array.make 64 x
+      else if i >= Array.length t.back then begin
+        let bigger = Array.make (2 * Array.length t.back) x in
+        Array.blit t.back 0 bigger 0 (Array.length t.back);
+        t.back <- bigger
+      end;
+      t.back.(i) <- x;
+      t.count <- i + 1;
+      i
+
+  let find_opt t x = Hashtbl.find_opt t.fwd x
+  let get t i = t.back.(i)
+  let count t = t.count
+end
+
+module Ik_interner = Interner (struct type t = inst_key end)
+module Pk_interner = Interner (struct type t = ptr_key end)
+
+(** The shared key universe of one analysis run. *)
+type universe = {
+  iks : Ik_interner.t;
+  pks : Pk_interner.t;
+  depth_limit : int;
+}
+
+let create_universe ?(depth_limit = 8) () =
+  { iks = Ik_interner.create ();
+    pks = Pk_interner.create ();
+    depth_limit }
+
+let ik (u : universe) (k : inst_key) : int =
+  Ik_interner.intern u.iks (truncate_inst ~limit:u.depth_limit k)
+
+let pk (u : universe) (k : ptr_key) : int = Pk_interner.intern u.pks k
+
+let ik_of (u : universe) (i : int) : inst_key = Ik_interner.get u.iks i
+let pk_of (u : universe) (i : int) : ptr_key = Pk_interner.get u.pks i
+let ik_count u = Ik_interner.count u.iks
+let pk_count u = Pk_interner.count u.pks

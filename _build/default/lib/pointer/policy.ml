@@ -1,0 +1,82 @@
+(** The context-sensitivity policy of §3.1.
+
+    - Most instance methods: one level of object sensitivity — the callee
+      context is the receiver's instance key, and allocation sites get no
+      heap context (objects are named by site alone).
+    - Collection classes: unlimited-depth object sensitivity — allocations
+      inside container methods keep the full allocating context, so the
+      internal objects of a collection are cloned per collection instance.
+    - Library factory methods and taint-specific APIs: one level of
+      call-string context, so objects made by factories (which share one
+      allocation site) are disambiguated per call site.
+    - Static methods are context-insensitive unless they are factories.
+
+    The [deep] variant (used by the CS-thin-slicing emulation) keeps the full
+    allocating context for {e every} class: the heap becomes context-
+    qualified everywhere, which is more precise and far more expensive. *)
+
+type t = {
+  container_classes : string list;
+      (** classes whose allocations keep the full heap context *)
+  factory_methods : string list;
+      (** method ids analyzed with one level of call-string context *)
+  taint_api : string -> bool;
+      (** taint-specific APIs (sources/sanitizers/sinks) also get
+          call-string context *)
+  object_sensitive : bool;
+      (** false degrades the policy to context-insensitive everywhere *)
+  deep_heap : bool;
+      (** keep the full allocating context for all classes *)
+}
+
+let default_containers =
+  [ "ArrayList"; "Vector"; "LinkedList"; "HashSet"; "HashMap"; "Hashtable";
+    "SeqIterator"; "SeqEnumeration"; "StringBuffer"; "StringBuilder";
+    "Properties" ]
+
+let default_factories =
+  [ "Runtime.getRuntime/0"; "Logger.getLogger/1"; "Integer.valueOf/1";
+    "DriverManager.getConnection/1" ]
+
+let default ?(taint_api = fun _ -> false) () =
+  { container_classes = default_containers;
+    factory_methods = default_factories;
+    taint_api;
+    object_sensitive = true;
+    deep_heap = false }
+
+(** Fully context-insensitive policy (for the CI configuration). *)
+let insensitive () =
+  { container_classes = []; factory_methods = [];
+    taint_api = (fun _ -> false); object_sensitive = false;
+    deep_heap = false }
+
+(** Deep policy for the CS configuration: context-qualified heap everywhere. *)
+let deep ?(taint_api = fun _ -> false) () =
+  { (default ~taint_api ()) with deep_heap = true }
+
+let is_container t cls = t.deep_heap || List.mem cls t.container_classes
+
+(** Context for a callee at a call site. *)
+let callee_context t ~site ~(callee_id : string)
+    ~(receiver : Keys.inst_key option) : Keys.context =
+  if not t.object_sensitive then Keys.Cx_empty
+  else if List.mem callee_id t.factory_methods || t.taint_api callee_id then
+    Keys.Cx_site site
+  else
+    match receiver with
+    | Some ik -> Keys.Cx_obj ik
+    | None ->
+      (* the deep (CS) policy gives static methods one level of call-string
+         context, approximating fully context-sensitive heap threading *)
+      if t.deep_heap then Keys.Cx_site site else Keys.Cx_empty
+
+(** Heap context for an allocation of [cls] in a method running under
+    [alloc_ctx]. *)
+let heap_context t ~cls ~(alloc_ctx : Keys.context) : Keys.context =
+  if not t.object_sensitive then Keys.Cx_empty
+  else if is_container t cls then alloc_ctx
+  else
+    match alloc_ctx with
+    | Keys.Cx_site _ -> alloc_ctx    (* object made inside a factory *)
+    | Keys.Cx_obj _ | Keys.Cx_empty -> Keys.Cx_empty

@@ -1,0 +1,1 @@
+lib/sdg/backward.ml: Array Builder Classtable Hashtbl Jir List Models Pointer Queue Stmt Tac

@@ -1,0 +1,1 @@
+lib/sdg/backward.mli: Builder Jir Stmt

@@ -1,0 +1,1 @@
+lib/sdg/builder.ml: Array Classtable Hashtbl Int Jir List Models Option Pointer Program Queue Set Stmt String Tac

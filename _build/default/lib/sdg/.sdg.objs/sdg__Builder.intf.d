@@ -1,0 +1,1 @@
+lib/sdg/builder.mli: Int Jir Models Pointer Set Stmt

@@ -1,0 +1,1 @@
+lib/sdg/stmt.ml: Fmt Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/sdg/stmt.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/sdg/tabulation.ml: Builder Hashtbl Int Jir List Models Pointer Queue Set Stmt Tac

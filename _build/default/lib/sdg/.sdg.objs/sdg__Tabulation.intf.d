@@ -1,0 +1,1 @@
+lib/sdg/tabulation.mli: Builder Int Jir Set Stmt

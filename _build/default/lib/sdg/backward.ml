@@ -1,0 +1,231 @@
+(** Backward thin slicing — the original direction of Sridharan, Fink and
+    Bodík's thin slices, which the paper adapts to forward taint tracking
+    (§3.2: "in [33] the term thin slice refers to a backward thin slice").
+
+    Given a value at a program point (typically a sensitive sink argument),
+    the backward slice collects the producer statements the value is
+    data-dependent on, ignoring base-pointer dependencies. Heap dependence
+    follows the HSDG's direct edges in reverse (load → matching stores);
+    interprocedural steps are context-insensitive upward (a formal
+    parameter expands to the corresponding actual at every caller), which
+    is the CI variant of backward thin slicing. The result answers the
+    report-consumption question "where could this value have come from?" —
+    used by the CLI's [explain] command. *)
+
+module Int_set = Builder.Int_set
+module Keys = Pointer.Keys
+open Jir
+
+type result = {
+  slice : Stmt.Set.t;              (** producer statements *)
+  endpoints : Stmt.t list;         (** defs with no further producers:
+                                       constants, natives, allocations *)
+  visited_values : int;
+  truncated : bool;                (** the statement budget was hit *)
+}
+
+type state = {
+  b : Builder.t;
+  table : Classtable.t;
+  max_stmts : int option;
+  mutable slice : Stmt.Set.t;
+  mutable endpoints : Stmt.t list;
+  seen_values : (int * Tac.var, unit) Hashtbl.t;
+  seen_stores : unit Stmt.Table.t;
+  queue : (int * Tac.var) Queue.t;
+  mutable truncated : bool;
+}
+
+let budget_ok st =
+  match st.max_stmts with
+  | Some m when Stmt.Set.cardinal st.slice >= m ->
+    st.truncated <- true;
+    false
+  | _ -> true
+
+let add_stmt st s =
+  if budget_ok st then st.slice <- Stmt.Set.add s st.slice
+
+let push_value st node v =
+  if not (Hashtbl.mem st.seen_values (node, v)) then begin
+    Hashtbl.replace st.seen_values (node, v) ();
+    Queue.add (node, v) st.queue
+  end
+
+let endpoint st s =
+  add_stmt st s;
+  st.endpoints <- s :: st.endpoints
+
+(* the stored value of a store-like statement, for reverse heap edges *)
+let stored_value_of st (s : Stmt.t) : Tac.var option =
+  match Builder.instr_of st.b s with
+  | Some (Tac.Store (_, _, v)) | Some (Tac.Astore (_, _, v))
+  | Some (Tac.Sstore (_, v)) -> Some v
+  | Some (Tac.Call _) ->
+    (match Builder.dict_op_of st.b s with
+     | Some (Models.Dict_model.Dict_put { value; _ }) -> Some value
+     | _ -> None)
+  | _ -> None
+
+let follow_store st (store : Stmt.t) =
+  if not (Stmt.Table.mem st.seen_stores store) then begin
+    Stmt.Table.replace st.seen_stores store ();
+    add_stmt st store;
+    match stored_value_of st store with
+    | Some v -> push_value st store.Stmt.node v
+    | None -> ()
+  end
+
+let expand_load st (def : Stmt.t) base_pts fields =
+  add_stmt st def;
+  Int_set.iter
+    (fun ik ->
+       List.iter
+         (fun field ->
+            List.iter (follow_store st)
+              (Builder.stores_writing st.b ~ik ~field))
+         fields)
+    base_pts
+
+let process_value st (node, v) =
+  match Builder.def_of st.b ~node v with
+  | None -> ()
+  | Some def ->
+    (match def.Stmt.kind with
+     | Stmt.K_param i ->
+       add_stmt st def;
+       (* expand to the matching actual at every caller *)
+       List.iter
+         (fun call_stmt ->
+            match Builder.call_of st.b call_stmt with
+            | Some c ->
+              (match List.nth_opt c.Tac.args i with
+               | Some actual ->
+                 add_stmt st call_stmt;
+                 push_value st call_stmt.Stmt.node actual
+               | None -> ())
+            | None -> ())
+         (Builder.callers_of_node st.b ~callee:node)
+     | Stmt.K_ret -> ()
+     | Stmt.K_phi (bi, pi) ->
+       add_stmt st def;
+       let m = Builder.node_meth st.b node in
+       let phi = List.nth m.Tac.m_blocks.(bi).Tac.phis pi in
+       List.iter (fun (_, a) -> push_value st node a) phi.Tac.phi_args
+     | Stmt.K_instr _ ->
+       (match Builder.instr_of st.b def with
+        | Some (Tac.Const _) | Some (Tac.New _) | Some (Tac.New_array _) ->
+          endpoint st def
+        | Some (Tac.Move (_, s)) | Some (Tac.Cast (_, _, s))
+        | Some (Tac.Unop (_, _, s)) | Some (Tac.Array_len (_, s))
+        | Some (Tac.Instance_of (_, _, s)) ->
+          add_stmt st def;
+          push_value st node s
+        | Some (Tac.Binop (_, _, a, b)) | Some (Tac.Strcat (_, a, b)) ->
+          add_stmt st def;
+          push_value st node a;
+          push_value st node b
+        | Some (Tac.Load (_, o, f)) ->
+          expand_load st def
+            (Builder.pts_of_var st.b ~node o)
+            [ Keys.field_of_tac f ]
+        | Some (Tac.Aload (_, a, _)) ->
+          expand_load st def
+            (Builder.pts_of_var st.b ~node a)
+            [ Keys.elem_field ]
+        | Some (Tac.Sload (_, f)) ->
+          add_stmt st def;
+          List.iter (follow_store st)
+            (Builder.static_stores_of st.b (Keys.field_of_tac f))
+        | Some (Tac.Catch_entry (_, cls)) ->
+          add_stmt st def;
+          List.iter
+            (fun throw_stmt ->
+               add_stmt st throw_stmt;
+               (* the thrown value is the terminator's use *)
+               let m = Builder.node_meth st.b throw_stmt.Stmt.node in
+               (match throw_stmt.Stmt.kind with
+                | Stmt.K_instr (bi, _) ->
+                  (match m.Tac.m_blocks.(bi).Tac.term with
+                   | Tac.Throw tv -> push_value st throw_stmt.Stmt.node tv
+                   | _ -> ())
+                | _ -> ()))
+            (Builder.throws_for st.b ~table:st.table cls)
+        | Some (Tac.Call c) ->
+          add_stmt st def;
+          (match Builder.dict_op_of st.b def with
+           | Some (Models.Dict_model.Dict_get { recv; key; _ }) ->
+             expand_load st def
+               (Builder.pts_of_var st.b ~node recv)
+               (List.map Keys.field_of_tac (Models.Dict_model.get_fields key))
+           | _ ->
+             let callees = Builder.callees_of_call st.b def c in
+             if callees = [] then begin
+               (* native: the return derives from arguments per summary *)
+               endpoint st def;
+               List.iter
+                 (fun (native : Tac.mref) ->
+                    List.iter
+                      (fun (tr : Models.Natives.transfer) ->
+                         if tr.Models.Natives.t_to = Models.Natives.Ret then
+                           match
+                             List.nth_opt c.Tac.args tr.Models.Natives.t_from
+                           with
+                           | Some a -> push_value st node a
+                           | None -> ())
+                      (Models.Natives.summary ~meth_id:(Tac.mref_id native)
+                         ~arity:(List.length c.Tac.args)
+                         ~has_ret:(c.Tac.ret <> None)))
+                 (Builder.native_targets_of_call st.b def c)
+             end
+             else
+               (* the returned value of each callee *)
+               List.iter
+                 (fun callee ->
+                    let m = Builder.node_meth st.b callee in
+                    Array.iter
+                      (fun (blk : Tac.block) ->
+                         match blk.Tac.term with
+                         | Tac.Return (Some rv) -> push_value st callee rv
+                         | _ -> ())
+                      m.Tac.m_blocks)
+                 callees)
+        | Some (Tac.Store _) | Some (Tac.Sstore _) | Some (Tac.Astore _)
+        | Some Tac.Nop | None -> add_stmt st def))
+
+(** Backward thin slice from argument [arg] of the call statement [from]. *)
+let slice (b : Builder.t) ~(table : Classtable.t) ~(from : Stmt.t)
+    ~(arg : int) ?max_stmts () : result =
+  let st =
+    { b; table; max_stmts;
+      slice = Stmt.Set.empty;
+      endpoints = [];
+      seen_values = Hashtbl.create 256;
+      seen_stores = Stmt.Table.create 64;
+      queue = Queue.create ();
+      truncated = false }
+  in
+  (match Builder.call_of b from with
+   | Some c ->
+     (match List.nth_opt c.Tac.args arg with
+      | Some v -> push_value st from.Stmt.node v
+      | None -> ())
+   | None -> ());
+  while not (Queue.is_empty st.queue) && budget_ok st do
+    process_value st (Queue.pop st.queue)
+  done;
+  { slice = st.slice;
+    endpoints = List.rev st.endpoints;
+    visited_values = Hashtbl.length st.seen_values;
+    truncated = st.truncated }
+
+(** Endpoints that are calls to methods satisfying [is_source] — the
+    "where could this come from" answer for a report consumer. *)
+let source_endpoints (b : Builder.t) (r : result)
+    ~(is_source : Tac.mref -> bool) : Stmt.t list =
+  List.filter
+    (fun s ->
+       match Builder.call_of b s with
+       | Some c -> is_source c.Tac.target
+       | None -> false)
+    r.endpoints

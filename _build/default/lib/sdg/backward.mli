@@ -1,0 +1,23 @@
+(** Backward thin slicing — the original direction of the thin-slicing
+    paper: from a value at a program point, collect the producer statements
+    it is data-dependent on, ignoring base-pointer dependencies. Heap
+    dependence follows the direct edges in reverse; interprocedural steps
+    are context-insensitive upward. Answers "where could this value have
+    come from?" for report consumption. *)
+
+type result = {
+  slice : Stmt.Set.t;              (** producer statements *)
+  endpoints : Stmt.t list;         (** defs with no further producers:
+                                       constants, natives, allocations *)
+  visited_values : int;
+  truncated : bool;                (** the statement budget was hit *)
+}
+
+(** Backward thin slice from argument [arg] of the call statement [from]. *)
+val slice :
+  Builder.t -> table:Jir.Classtable.t -> from:Stmt.t -> arg:int ->
+  ?max_stmts:int -> unit -> result
+
+(** Endpoints that are calls to methods satisfying [is_source]. *)
+val source_endpoints :
+  Builder.t -> result -> is_source:(Jir.Tac.mref -> bool) -> Stmt.t list

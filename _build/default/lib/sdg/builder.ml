@@ -1,0 +1,488 @@
+(** Dependence-graph construction over the pointer-analysis result.
+
+    This module materializes the navigation structure that the slicers
+    traverse: per-node def/use indexes over SSA registers (local data
+    dependence, excluding base-pointer uses — the defining property of thin
+    slicing), interprocedural call-site maps, and the global heap-access
+    indexes that realize the HSDG's direct store→load edges. *)
+
+module Int_set = Set.Make (Int)
+module Keys = Pointer.Keys
+open Jir
+
+(** How a register is used at a statement. Base-pointer and array-index uses
+    are deliberately absent: thin slices ignore them (§3.2). *)
+type use =
+  | U_plain of Stmt.t                  (** operand of a value-producing instr *)
+  | U_stored of Stmt.t                 (** the stored value at a store stmt *)
+  | U_arg of Stmt.t * int              (** call argument (position) *)
+  | U_returned
+  | U_thrown of Stmt.t
+
+type node_index = {
+  ni_def : (Tac.var, Stmt.t) Hashtbl.t;
+  ni_uses : (Tac.var, use list) Hashtbl.t;
+}
+
+type t = {
+  prog : Program.t;
+  a : Pointer.Andersen.t;
+  cg : Pointer.Callgraph.t;
+  node_indexes : (int, node_index) Hashtbl.t;
+  (* global heap indexes *)
+  inst_loads : (int * Keys.field, Stmt.t list ref) Hashtbl.t;
+  static_loads : (Keys.field, Stmt.t list ref) Hashtbl.t;
+  loads_by_ik : (int, Stmt.t list ref) Hashtbl.t;   (* any-field loads *)
+  inst_stores : (int * Keys.field, Stmt.t list ref) Hashtbl.t;
+  static_stores : (Keys.field, Stmt.t list ref) Hashtbl.t;
+  throws : (Stmt.t * Int_set.t) list ref;           (* throw stmt, thrown pts *)
+  catches : (Stmt.t * string) list ref;
+  call_stmt_of_site : (int * int, Stmt.t) Hashtbl.t;  (* (node, site) *)
+  caller_stmts : (int, Stmt.t list ref) Hashtbl.t;    (* callee -> call stmts *)
+  all_calls : (Stmt.t * Tac.call) list ref;
+  dict_ops : (Stmt.t, Models.Dict_model.op) Hashtbl.t;
+  thread_of : (int, Int_set.t) Hashtbl.t;             (* node -> thread ids *)
+}
+
+let node_meth t n = (Pointer.Callgraph.node t.cg n).Pointer.Callgraph.n_method
+
+let instr_of t (s : Stmt.t) : Tac.instr option =
+  match s.Stmt.kind with
+  | Stmt.K_instr (b, i) ->
+    let m = node_meth t s.Stmt.node in
+    let instrs = m.Tac.m_blocks.(b).Tac.instrs in
+    if i < Array.length instrs then Some instrs.(i)
+    else None    (* synthetic throw statement at block end *)
+  | Stmt.K_phi _ | Stmt.K_param _ | Stmt.K_ret -> None
+
+let call_of t s =
+  match instr_of t s with
+  | Some (Tac.Call c) -> Some c
+  | Some _ | None -> None
+
+let dict_op_of t s = Hashtbl.find_opt t.dict_ops s
+
+(* ------------------------------------------------------------------ *)
+(* Index construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let add_use tbl v u =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt tbl v) in
+  Hashtbl.replace tbl v (u :: prev)
+
+let push tbl key s =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := s :: !l
+  | None -> Hashtbl.replace tbl key (ref [ s ])
+
+let build_node_index t (n : int) : node_index =
+  let m = node_meth t n in
+  let ni_def = Hashtbl.create 64 and ni_uses = Hashtbl.create 64 in
+  for p = 0 to m.Tac.m_arity - 1 do
+    Hashtbl.replace ni_def p (Stmt.param ~node:n ~index:p)
+  done;
+  Array.iteri
+    (fun bi (b : Tac.block) ->
+       List.iteri
+         (fun pi (phi : Tac.phi) ->
+            let s = Stmt.phi ~node:n ~block:bi ~index:pi in
+            Hashtbl.replace ni_def phi.Tac.phi_lhs s;
+            List.iter (fun (_, a) -> add_use ni_uses a (U_plain s))
+              phi.Tac.phi_args)
+         b.Tac.phis;
+       Array.iteri
+         (fun ii ins ->
+            let s = Stmt.instr ~node:n ~block:bi ~index:ii in
+            List.iter (fun v -> Hashtbl.replace ni_def v s) (Tac.defs ins);
+            match ins with
+            | Tac.Move (_, a) | Tac.Cast (_, _, a) | Tac.Unop (_, _, a) ->
+              add_use ni_uses a (U_plain s)
+            | Tac.Binop (_, _, a, b) | Tac.Strcat (_, a, b) ->
+              add_use ni_uses a (U_plain s);
+              add_use ni_uses b (U_plain s)
+            | Tac.Store (_, _, v) | Tac.Sstore (_, v) | Tac.Astore (_, _, v) ->
+              add_use ni_uses v (U_stored s)
+            | Tac.Call c ->
+              (match Hashtbl.find_opt t.dict_ops s with
+               | Some (Models.Dict_model.Dict_put { value; _ }) ->
+                 add_use ni_uses value (U_stored s)
+               | Some (Models.Dict_model.Dict_get _) -> ()
+               | None ->
+                 List.iteri
+                   (fun i a -> add_use ni_uses a (U_arg (s, i)))
+                   c.Tac.args)
+            | Tac.Const _ | Tac.New _ | Tac.New_array _ | Tac.Load _
+            | Tac.Sload _ | Tac.Aload _ | Tac.Array_len _
+            | Tac.Instance_of _ | Tac.Catch_entry _ | Tac.Nop -> ())
+         b.Tac.instrs;
+       (match b.Tac.term with
+        | Tac.Return (Some v) -> add_use ni_uses v U_returned
+        | Tac.Throw v ->
+          (* the throw "statement" is identified with the block's last
+             position; we use a synthetic instr index one past the end *)
+          let s =
+            Stmt.instr ~node:n ~block:bi ~index:(Array.length b.Tac.instrs)
+          in
+          add_use ni_uses v (U_thrown s)
+        | Tac.Return None | Tac.Goto _ | Tac.If _ | Tac.Unreachable -> ()))
+    m.Tac.m_blocks;
+  { ni_def; ni_uses }
+
+let node_index t n =
+  match Hashtbl.find_opt t.node_indexes n with
+  | Some ni -> ni
+  | None ->
+    let ni = build_node_index t n in
+    Hashtbl.replace t.node_indexes n ni;
+    ni
+
+(** The statement defining register [v] in node [n], if any. *)
+let def_of t ~node v = Hashtbl.find_opt (node_index t node).ni_def v
+
+(** All uses of register [v] in node [n]. *)
+let uses_of t ~node v =
+  Option.value ~default:[] (Hashtbl.find_opt (node_index t node).ni_uses v)
+
+(** The register whose value a statement defines. *)
+let def_var t (s : Stmt.t) : Tac.var option =
+  match s.Stmt.kind with
+  | Stmt.K_param i -> Some i
+  | Stmt.K_ret -> None
+  | Stmt.K_phi (b, i) ->
+    let m = node_meth t s.Stmt.node in
+    Some (List.nth m.Tac.m_blocks.(b).Tac.phis i).Tac.phi_lhs
+  | Stmt.K_instr (b, i) ->
+    let m = node_meth t s.Stmt.node in
+    let instrs = m.Tac.m_blocks.(b).Tac.instrs in
+    if i >= Array.length instrs then None    (* synthetic throw stmt *)
+    else
+      (match instrs.(i) with
+       | Tac.Call c ->
+         (match Hashtbl.find_opt t.dict_ops s with
+          | Some (Models.Dict_model.Dict_put _) -> None
+          | _ -> c.Tac.ret)
+       | ins -> (match Tac.defs ins with [ v ] -> Some v | _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Heap access classification                                         *)
+(* ------------------------------------------------------------------ *)
+
+let callees_of_call t (s : Stmt.t) (c : Tac.call) : int list =
+  Pointer.Callgraph.callees t.cg ~caller:s.Stmt.node ~site:c.Tac.site
+
+let native_targets_of_call t (s : Stmt.t) (c : Tac.call) : Tac.mref list =
+  Pointer.Callgraph.native_targets t.cg ~caller:s.Stmt.node ~site:c.Tac.site
+
+(* ------------------------------------------------------------------ *)
+(* ------------------------------------------------------------------ *)
+
+type writes =
+  | W_instance of (Int_set.t * Keys.field list)  (* base pts, fields *)
+  | W_static of Keys.field
+  | W_none
+
+let pts_of_var t ~node v =
+  Int_set.of_list (Pointer.Andersen.pts_var t.a ~node v)
+
+(** What heap locations a store-like statement writes. *)
+let writes_of t (s : Stmt.t) : writes =
+  match instr_of t s with
+  | Some (Tac.Store (o, f, _)) ->
+    W_instance (pts_of_var t ~node:s.Stmt.node o, [ Keys.field_of_tac f ])
+  | Some (Tac.Astore (a, _, _)) ->
+    W_instance (pts_of_var t ~node:s.Stmt.node a, [ Keys.elem_field ])
+  | Some (Tac.Sstore (f, _)) -> W_static (Keys.field_of_tac f)
+  | Some (Tac.Call c) ->
+    (match Hashtbl.find_opt t.dict_ops s with
+     | Some (Models.Dict_model.Dict_put { recv; key; _ }) ->
+       W_instance
+         (pts_of_var t ~node:s.Stmt.node recv,
+          List.map Keys.field_of_tac (Models.Dict_model.put_fields key))
+     | _ ->
+       (* natives with by-reference transfers write their target argument's
+          contents *)
+       let targets =
+         List.concat_map
+           (fun (native : Tac.mref) ->
+              List.filter_map
+                (fun (tr : Models.Natives.transfer) ->
+                   match tr.Models.Natives.t_to with
+                   | Models.Natives.Param j -> List.nth_opt c.Tac.args j
+                   | Models.Natives.Ret -> None)
+                (Models.Natives.summary ~meth_id:(Tac.mref_id native)
+                   ~arity:(List.length c.Tac.args)
+                   ~has_ret:(c.Tac.ret <> None)))
+           (native_targets_of_call t s c)
+       in
+       (match targets with
+        | [] -> W_none
+        | vs ->
+          let pts =
+            List.fold_left
+              (fun acc v ->
+                 Int_set.union acc (pts_of_var t ~node:s.Stmt.node v))
+              Int_set.empty vs
+          in
+          W_instance (pts, [ Keys.elem_field ])))
+  | _ -> W_none
+
+(** Load statements that may read an instance-key/field pair. *)
+let loads_reading t ~ik ~field =
+  match Hashtbl.find_opt t.inst_loads (ik, field) with
+  | Some l -> !l
+  | None -> []
+
+(** Store statements that may write an instance-key/field pair (the reverse
+    direct edges, for backward slicing). *)
+let stores_writing t ~ik ~field =
+  match Hashtbl.find_opt t.inst_stores (ik, field) with
+  | Some l -> !l
+  | None -> []
+
+let static_stores_of t field =
+  match Hashtbl.find_opt t.static_stores field with
+  | Some l -> !l
+  | None -> []
+
+(** Throw statements whose thrown keys may reach a handler of class [cls]. *)
+let throws_for t ~(table : Classtable.t) (cls : string) : Stmt.t list =
+  let u = Pointer.Andersen.universe t.a in
+  List.filter_map
+    (fun (s, pts) ->
+       if Int_set.exists
+           (fun ik ->
+              Classtable.is_subclass table
+                (Keys.inst_class (Keys.ik_of u ik)) cls)
+           pts
+       then Some s
+       else None)
+    !(t.throws)
+
+let static_loads_of t field =
+  match Hashtbl.find_opt t.static_loads field with
+  | Some l -> !l
+  | None -> []
+
+(** Load statements reading any field of an instance key (for by-reference
+    sources). *)
+let loads_of_ik t ~ik =
+  match Hashtbl.find_opt t.loads_by_ik ik with
+  | Some l -> !l
+  | None -> []
+
+(** Catch statements whose declared class admits one of the thrown keys. *)
+let catches_for t (thrown : Int_set.t) : Stmt.t list =
+  let table = t.prog.Program.table in
+  let u = Pointer.Andersen.universe t.a in
+  List.filter_map
+    (fun (s, cls) ->
+       let compatible =
+         Int_set.exists
+           (fun ikid ->
+              Classtable.is_subclass table
+                (Keys.inst_class (Keys.ik_of u ikid)) cls)
+           thrown
+       in
+       if compatible then Some s else None)
+    !(t.catches)
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Call statements in any node that invoke [callee]. *)
+let callers_of_node t ~callee =
+  match Hashtbl.find_opt t.caller_stmts callee with
+  | Some l -> !l
+  | None -> []
+
+let all_call_stmts t = !(t.all_calls)
+
+let thread_ids_of t node =
+  Option.value ~default:Int_set.empty (Hashtbl.find_opt t.thread_of node)
+
+(* ------------------------------------------------------------------ *)
+(* Global scan                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let scan_node t n =
+  let m = node_meth t n in
+  let const_of = Models.Dict_model.const_of_meth m in
+  Array.iteri
+    (fun bi (b : Tac.block) ->
+       Array.iteri
+         (fun ii ins ->
+            let s = Stmt.instr ~node:n ~block:bi ~index:ii in
+            match ins with
+            | Tac.Load (_, o, f) ->
+              let f = Keys.field_of_tac f in
+              Int_set.iter
+                (fun ik ->
+                   push t.inst_loads (ik, f) s;
+                   push t.loads_by_ik ik s)
+                (pts_of_var t ~node:n o)
+            | Tac.Aload (_, a, _) ->
+              Int_set.iter
+                (fun ik ->
+                   push t.inst_loads (ik, Keys.elem_field) s;
+                   push t.loads_by_ik ik s)
+                (pts_of_var t ~node:n a)
+            | Tac.Sload (_, f) -> push t.static_loads (Keys.field_of_tac f) s
+            | Tac.Store (o, f, _) ->
+              let f = Keys.field_of_tac f in
+              Int_set.iter
+                (fun ik -> push t.inst_stores (ik, f) s)
+                (pts_of_var t ~node:n o)
+            | Tac.Astore (a, _, _) ->
+              Int_set.iter
+                (fun ik -> push t.inst_stores (ik, Keys.elem_field) s)
+                (pts_of_var t ~node:n a)
+            | Tac.Sstore (f, _) ->
+              push t.static_stores (Keys.field_of_tac f) s
+            | Tac.Catch_entry (_, cls) -> t.catches := (s, cls) :: !(t.catches)
+            | Tac.Call c ->
+              Hashtbl.replace t.call_stmt_of_site (n, c.Tac.site) s;
+              t.all_calls := (s, c) :: !(t.all_calls);
+              (match Models.Dict_model.classify ~const_of c with
+               | Some op ->
+                 Hashtbl.replace t.dict_ops s op;
+                 (match op with
+                  | Models.Dict_model.Dict_get { recv; key; _ } ->
+                    let fields =
+                      List.map Keys.field_of_tac
+                        (Models.Dict_model.get_fields key)
+                    in
+                    Int_set.iter
+                      (fun ik ->
+                         List.iter (fun f -> push t.inst_loads (ik, f) s) fields;
+                         push t.loads_by_ik ik s)
+                      (pts_of_var t ~node:n recv)
+                  | Models.Dict_model.Dict_put { recv; key; _ } ->
+                    let fields =
+                      List.map Keys.field_of_tac
+                        (Models.Dict_model.put_fields key)
+                    in
+                    Int_set.iter
+                      (fun ik ->
+                         List.iter
+                           (fun f -> push t.inst_stores (ik, f) s)
+                           fields)
+                      (pts_of_var t ~node:n recv))
+               | None ->
+                 List.iter
+                   (fun callee -> push t.caller_stmts callee s)
+                   (callees_of_call t s c);
+                 (* an unresolved reflective invoke consumes the contents of
+                    its argument array: model it as a load of the array's
+                    element field so tainted arguments still reach it *)
+                 (match c.Tac.target, List.rev c.Tac.args with
+                  | { Tac.rclass = "Method"; rname = "invoke"; rarity = 3 },
+                    arr :: _ ->
+                    Int_set.iter
+                      (fun ik ->
+                         push t.inst_loads (ik, Keys.elem_field) s;
+                         push t.loads_by_ik ik s)
+                      (pts_of_var t ~node:n arr)
+                  | _ -> ());
+                 (* natives with by-reference transfers (e.g. arraycopy)
+                    read the contents of their source argument *)
+                 List.iter
+                   (fun (native : Tac.mref) ->
+                      List.iter
+                        (fun (tr : Models.Natives.transfer) ->
+                           match tr.Models.Natives.t_to with
+                           | Models.Natives.Param _ ->
+                             (match List.nth_opt c.Tac.args
+                                      tr.Models.Natives.t_from with
+                              | Some src ->
+                                Int_set.iter
+                                  (fun ik ->
+                                     push t.inst_loads (ik, Keys.elem_field) s;
+                                     push t.loads_by_ik ik s)
+                                  (pts_of_var t ~node:n src)
+                              | None -> ())
+                           | Models.Natives.Ret -> ())
+                        (Models.Natives.summary
+                           ~meth_id:(Tac.mref_id native)
+                           ~arity:(List.length c.Tac.args)
+                           ~has_ret:(c.Tac.ret <> None)))
+                   (native_targets_of_call t s c))
+            | _ -> ())
+         b.Tac.instrs;
+       (match b.Tac.term with
+        | Tac.Throw v ->
+          let s =
+            Stmt.instr ~node:n ~block:bi ~index:(Array.length b.Tac.instrs)
+          in
+          t.throws := (s, pts_of_var t ~node:n v) :: !(t.throws)
+        | _ -> ()))
+    m.Tac.m_blocks
+
+(* Thread partitioning: flows that cross a Thread.start -> run dispatch run
+   on a different thread. Used by the CS configuration's (unsound) heap
+   treatment. *)
+let compute_threads t =
+  let next_tid = ref 1 in
+  let set_tid node tid =
+    let prev =
+      Option.value ~default:Int_set.empty (Hashtbl.find_opt t.thread_of node)
+    in
+    if Int_set.mem tid prev then false
+    else begin
+      Hashtbl.replace t.thread_of node (Int_set.add tid prev);
+      true
+    end
+  in
+  let queue = Queue.create () in
+  Pointer.Callgraph.iter_nodes t.cg (fun n ->
+      let id = Tac.method_id n.Pointer.Callgraph.n_method in
+      if List.mem id t.prog.Program.entrypoints
+         || List.mem id t.prog.Program.clinits
+      then
+        if set_tid n.Pointer.Callgraph.n_id 0 then
+          Queue.add (n.Pointer.Callgraph.n_id, 0) queue);
+  while not (Queue.is_empty queue) do
+    let node, tid = Queue.pop queue in
+    let caller_meth = Tac.method_id (node_meth t node) in
+    List.iter
+      (fun callee ->
+         let callee_meth = node_meth t callee in
+         let crossing =
+           String.equal caller_meth "Thread.start/1"
+           && String.equal callee_meth.Tac.m_name "run"
+         in
+         let tid' =
+           if crossing then begin
+             let fresh = !next_tid in
+             next_tid := fresh + 1;
+             fresh
+           end
+           else tid
+         in
+         if set_tid callee tid' then Queue.add (callee, tid') queue)
+      (Pointer.Callgraph.successors t.cg node)
+  done
+
+let build (prog : Program.t) (a : Pointer.Andersen.t) : t =
+  let t =
+    { prog; a;
+      cg = Pointer.Andersen.call_graph a;
+      node_indexes = Hashtbl.create 256;
+      inst_loads = Hashtbl.create 1024;
+      static_loads = Hashtbl.create 64;
+      loads_by_ik = Hashtbl.create 1024;
+      inst_stores = Hashtbl.create 1024;
+      static_stores = Hashtbl.create 64;
+      throws = ref [];
+      catches = ref [];
+      call_stmt_of_site = Hashtbl.create 1024;
+      caller_stmts = Hashtbl.create 256;
+      all_calls = ref [];
+      dict_ops = Hashtbl.create 64;
+      thread_of = Hashtbl.create 256 }
+  in
+  for n = 0 to Pointer.Callgraph.node_count t.cg - 1 do
+    scan_node t n
+  done;
+  compute_threads t;
+  t

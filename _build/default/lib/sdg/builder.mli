@@ -1,0 +1,77 @@
+(** Dependence-graph construction over the pointer-analysis result: per-node
+    def/use indexes (excluding base-pointer uses — the defining property of
+    thin slicing), interprocedural call-site maps, and the global heap-access
+    indexes realizing the HSDG's direct store→load edges. *)
+
+module Int_set : Set.S with type elt = int and type t = Set.Make(Int).t
+module Keys = Pointer.Keys
+
+(** How a register is used at a statement. Base-pointer and array-index
+    uses are deliberately absent (§3.2). *)
+type use =
+  | U_plain of Stmt.t                  (** operand of a value-producing instr *)
+  | U_stored of Stmt.t                 (** the stored value at a store stmt *)
+  | U_arg of Stmt.t * int              (** call argument (position) *)
+  | U_returned
+  | U_thrown of Stmt.t
+
+type t
+
+val build : Jir.Program.t -> Pointer.Andersen.t -> t
+
+val node_meth : t -> int -> Jir.Tac.meth
+val instr_of : t -> Stmt.t -> Jir.Tac.instr option
+val call_of : t -> Stmt.t -> Jir.Tac.call option
+val dict_op_of : t -> Stmt.t -> Models.Dict_model.op option
+
+(** The statement defining register [v] in node [node], if any. *)
+val def_of : t -> node:int -> Jir.Tac.var -> Stmt.t option
+
+(** All uses of register [v] in node [node]. *)
+val uses_of : t -> node:int -> Jir.Tac.var -> use list
+
+(** The register whose value a statement defines. *)
+val def_var : t -> Stmt.t -> Jir.Tac.var option
+
+type writes =
+  | W_instance of (Int_set.t * Keys.field list)  (** base pts, fields *)
+  | W_static of Keys.field
+  | W_none
+
+val pts_of_var : t -> node:int -> Jir.Tac.var -> Int_set.t
+
+(** Heap locations a store-like statement writes. *)
+val writes_of : t -> Stmt.t -> writes
+
+(** Load statements that may read an instance-key/field pair. *)
+val loads_reading : t -> ik:int -> field:Keys.field -> Stmt.t list
+
+val static_loads_of : t -> Keys.field -> Stmt.t list
+
+(** Store statements that may write an instance-key/field pair (the reverse
+    direct edges, for backward slicing). *)
+val stores_writing : t -> ik:int -> field:Keys.field -> Stmt.t list
+
+val static_stores_of : t -> Keys.field -> Stmt.t list
+
+(** Throw statements whose thrown keys may reach a handler of class [cls]. *)
+val throws_for : t -> table:Jir.Classtable.t -> string -> Stmt.t list
+
+(** Load statements reading any field of an instance key (for by-reference
+    sources). *)
+val loads_of_ik : t -> ik:int -> Stmt.t list
+
+(** Catch statements whose declared class admits one of the thrown keys. *)
+val catches_for : t -> Int_set.t -> Stmt.t list
+
+val callees_of_call : t -> Stmt.t -> Jir.Tac.call -> int list
+val native_targets_of_call : t -> Stmt.t -> Jir.Tac.call -> Jir.Tac.mref list
+
+(** Call statements in any node that invoke [callee]. *)
+val callers_of_node : t -> callee:int -> Stmt.t list
+
+val all_call_stmts : t -> (Stmt.t * Jir.Tac.call) list
+
+(** Thread partition ids of a node (see the CS configuration's heap
+    restriction). *)
+val thread_ids_of : t -> int -> Int_set.t

@@ -1,0 +1,50 @@
+(** Statement identities for dependence graphs.
+
+    A statement lives in a specific call-graph node (method clone), so the
+    same instruction analyzed under two contexts yields two statements —
+    that is what makes tabulation over the no-heap SDG context-sensitive. *)
+
+type kind =
+  | K_instr of int * int     (** block, instruction index *)
+  | K_phi of int * int       (** block, phi index *)
+  | K_param of int           (** formal parameter index *)
+  | K_ret                    (** return-value collector of the node *)
+
+type t = {
+  node : int;                (** call-graph node id *)
+  kind : kind;
+}
+
+let compare = compare
+
+let equal (a : t) (b : t) = a = b
+
+let hash = Hashtbl.hash
+
+let instr ~node ~block ~index = { node; kind = K_instr (block, index) }
+let phi ~node ~block ~index = { node; kind = K_phi (block, index) }
+let param ~node ~index = { node; kind = K_param index }
+let ret ~node = { node; kind = K_ret }
+
+let pp ppf s =
+  match s.kind with
+  | K_instr (b, i) -> Fmt.pf ppf "n%d:B%d.%d" s.node b i
+  | K_phi (b, i) -> Fmt.pf ppf "n%d:B%d.phi%d" s.node b i
+  | K_param i -> Fmt.pf ppf "n%d:param%d" s.node i
+  | K_ret -> Fmt.pf ppf "n%d:ret" s.node
+
+module Set = Set.Make (struct
+    type nonrec t = t
+    let compare = compare
+  end)
+
+module Map = Map.Make (struct
+    type nonrec t = t
+    let compare = compare
+  end)
+
+module Table = Hashtbl.Make (struct
+    type nonrec t = t
+    let equal = equal
+    let hash = hash
+  end)

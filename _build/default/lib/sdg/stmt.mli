@@ -1,0 +1,26 @@
+(** Statement identities for dependence graphs. A statement lives in a
+    specific call-graph node (method clone), which is what makes tabulation
+    over the no-heap SDG context-sensitive. *)
+
+type kind =
+  | K_instr of int * int     (** block, instruction index *)
+  | K_phi of int * int       (** block, phi index *)
+  | K_param of int           (** formal parameter index *)
+  | K_ret                    (** return-value collector of the node *)
+
+type t = { node : int; kind : kind }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val instr : node:int -> block:int -> index:int -> t
+val phi : node:int -> block:int -> index:int -> t
+val param : node:int -> index:int -> t
+val ret : node:int -> t
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Codegen List Rng String

@@ -1,0 +1,1 @@
+lib/workloads/codegen.ml: Buffer Core Ground_truth Hashtbl List Option Patterns Printf Rng String

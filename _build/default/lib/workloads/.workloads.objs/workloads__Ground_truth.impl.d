@@ -1,0 +1,1 @@
+lib/workloads/ground_truth.ml: Core Fmt List String

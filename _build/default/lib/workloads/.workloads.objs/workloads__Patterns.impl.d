@@ -1,0 +1,1 @@
+lib/workloads/patterns.ml: Buffer Core Ground_truth List Models Printf Rng String

@@ -1,0 +1,1 @@
+lib/workloads/score.ml: Apps Codegen Config Core Flows Ground_truth Hashtbl Jir List Report Sdg Sys Taj

@@ -1,0 +1,1 @@
+lib/workloads/score.mli: Apps Core Ground_truth Sdg

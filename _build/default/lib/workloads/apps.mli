@@ -1,0 +1,40 @@
+(** The 22 benchmark applications of Table 2, with the paper's published
+    per-configuration results (Table 3) for side-by-side comparison, and
+    derivation of generator specs at a configurable scale. *)
+
+type paper_result = {
+  pr_issues : int option;      (** None = did not complete *)
+  pr_seconds : int option;
+}
+
+type paper_row = {
+  unbounded : paper_result;
+  prioritized : paper_result;
+  optimized : paper_result;
+  cs : paper_result;
+  ci : paper_result;
+}
+
+type app = {
+  name : string;
+  version : string;
+  files : int;
+  lines : int;
+  classes_app : int;
+  methods_app : int;
+  classes_total : int;
+  methods_total : int;
+  scored : bool;                          (** classified in Figure 4 *)
+  extra_patterns : (string * int) list;   (** app-specific traits *)
+  paper : paper_row;
+}
+
+val table2 : app list
+val find : string -> app option
+val scored_apps : app list
+
+(** Derive a generator spec; pattern count tracks the paper's hybrid-
+    unbounded issue count, cold mass fills the scaled method budget. *)
+val spec_of : ?scale:float -> app -> Codegen.spec
+
+val generate : ?scale:float -> app -> Codegen.generated

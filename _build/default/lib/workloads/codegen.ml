@@ -1,0 +1,147 @@
+(** Assembly of complete synthetic benchmark applications.
+
+    An app is a mix of vulnerability patterns (drawn from {!Patterns.catalog}
+    with app-specific extras) plus "cold mass": taint-free servlet and
+    utility classes that are reachable from the entrypoints and consume
+    call-graph budget. Cold servlets sort alphabetically before pattern
+    servlets ([Aa...] prefix), so under chaotic (FIFO) constraint adding
+    they crowd out the taint-relevant methods first — exactly the situation
+    §6.1's priority heuristic is designed to survive. *)
+
+type spec = {
+  sp_name : string;
+  sp_patterns : (string * int) list;     (* kind -> instance count *)
+  sp_cold_classes : int;
+  sp_cold_chain : int;                   (* methods per cold class *)
+}
+
+type generated = {
+  g_spec : spec;
+  g_sources : string list;
+  g_descriptor : string;
+  g_truth : Ground_truth.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cold mass                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cold_util ~idx ~chain =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "class ZUtil%d {\n" idx);
+  for i = 0 to chain - 1 do
+    if i = chain - 1 then
+      Buffer.add_string buf
+        (Printf.sprintf "  String u%d(String s) { return s.trim(); }\n" i)
+    else
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  String u%d(String s) { return this.u%d(s + \"x%d\"); }\n" i
+           (i + 1) i)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let cold_servlet ~idx ~chain ~rng =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "class AaCold%d extends HttpServlet {\n" idx);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  public void doGet(HttpServletRequest req, HttpServletResponse resp) {\n\
+       \    String s = this.m0(\"cfg%d\");\n\
+       \    resp.setContentType(s);\n\
+       \  }\n"
+       idx);
+  for i = 0 to chain - 1 do
+    if i = chain - 1 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  String m%d(String s) { ZUtil%d u = new ZUtil%d(); return u.u0(s); }\n"
+           i idx idx)
+    else begin
+      let op =
+        match Rng.int rng 3 with
+        | 0 -> Printf.sprintf "this.m%d(s + \"-%d\")" (i + 1) i
+        | 1 -> Printf.sprintf "this.m%d(s.toUpperCase())" (i + 1)
+        | _ -> Printf.sprintf "this.m%d(s.substring(0, %d))" (i + 1) (i + 1)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  String m%d(String s) { return %s; }\n" i op)
+    end
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Pattern selection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* expand (kind, count) pairs into a concrete instance list *)
+let instances_of_spec (spec : spec) : string list =
+  List.concat_map
+    (fun (kind, count) -> List.init count (fun _ -> kind))
+    spec.sp_patterns
+
+(** Draw [n] pattern kinds from the weighted catalog. *)
+let draw_mix ~rng ~n : (string * int) list =
+  let total_weight =
+    List.fold_left (fun acc (_, w, _) -> acc + w) 0 Patterns.catalog
+  in
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to n do
+    let roll = Rng.int rng total_weight in
+    let rec pick acc = function
+      | [] -> "direct"
+      | (kind, w, _) :: rest ->
+        if roll < acc + w then kind else pick (acc + w) rest
+    in
+    let kind = pick 0 Patterns.catalog in
+    Hashtbl.replace counts kind
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind))
+  done;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+
+let generate (spec : spec) : generated =
+  let rng = Rng.of_string spec.sp_name in
+  let sources = ref [] in
+  let descriptor = Buffer.create 128 in
+  let truth = ref [] in
+  let next_id = ref 0 in
+  List.iter
+    (fun kind ->
+       let id = !next_id in
+       incr next_id;
+       let gen = Patterns.find_gen kind in
+       let out = gen ~id ~rng in
+       sources := out.Patterns.source :: !sources;
+       List.iter
+         (fun line ->
+            Buffer.add_string descriptor line;
+            Buffer.add_char descriptor '\n')
+         out.Patterns.descriptor_lines;
+       truth := out.Patterns.planted @ !truth)
+    (instances_of_spec spec);
+  for idx = 0 to spec.sp_cold_classes - 1 do
+    sources := cold_servlet ~idx ~chain:spec.sp_cold_chain ~rng :: !sources;
+    sources := cold_util ~idx ~chain:spec.sp_cold_chain :: !sources
+  done;
+  { g_spec = spec;
+    g_sources = List.rev !sources;
+    g_descriptor = Buffer.contents descriptor;
+    g_truth = List.rev !truth }
+
+(** Line count of the generated sources (for the Table 2 reproduction). *)
+let line_count (g : generated) =
+  List.fold_left
+    (fun acc src ->
+       acc + List.length (String.split_on_char '\n' src))
+    0 g.g_sources
+
+let to_input (g : generated) : Core.Taj.input =
+  { Core.Taj.name = g.g_spec.sp_name;
+    app_sources = g.g_sources;
+    descriptor = g.g_descriptor }

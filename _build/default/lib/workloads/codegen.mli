@@ -1,0 +1,29 @@
+(** Assembly of complete synthetic benchmark applications: a mix of
+    vulnerability patterns plus taint-free "cold mass" that is reachable
+    from the entrypoints and consumes call-graph budget (cold servlets sort
+    before pattern servlets, so FIFO constraint adding drowns in them —
+    the situation §6.1's priority heuristic survives). *)
+
+type spec = {
+  sp_name : string;
+  sp_patterns : (string * int) list;     (** kind -> instance count *)
+  sp_cold_classes : int;
+  sp_cold_chain : int;                   (** methods per cold class *)
+}
+
+type generated = {
+  g_spec : spec;
+  g_sources : string list;
+  g_descriptor : string;
+  g_truth : Ground_truth.t;
+}
+
+(** Draw [n] pattern kinds from the weighted catalog. *)
+val draw_mix : rng:Rng.t -> n:int -> (string * int) list
+
+val generate : spec -> generated
+
+(** Line count of the generated sources (Table 2 reproduction). *)
+val line_count : generated -> int
+
+val to_input : generated -> Core.Taj.input

@@ -1,0 +1,32 @@
+(** Ground truth for generated benchmark applications.
+
+    Every planted vulnerability pattern routes its sink call through a
+    dedicated wrapper method, so a reported issue can be attributed to its
+    pattern by the (class, method) of the sink statement. [p_real] records
+    whether the flow semantically exists — the stand-in for the paper's
+    manual true/false-positive classification (§7.2). *)
+
+type planted = {
+  p_id : int;
+  p_kind : string;               (* pattern kind tag, e.g. "direct" *)
+  p_class : string;              (* class containing the sink *)
+  p_sink_method : string;        (* method containing the sink call *)
+  p_issue : Core.Rules.issue;
+  p_real : bool;
+}
+
+type t = planted list
+
+let pp_planted ppf p =
+  Fmt.pf ppf "#%d %s %s.%s %a %s" p.p_id p.p_kind p.p_class p.p_sink_method
+    Core.Rules.pp_issue p.p_issue
+    (if p.p_real then "REAL" else "FAKE")
+
+(** Find the planted pattern a sink location belongs to. *)
+let attribute (t : t) ~cls ~meth : planted option =
+  List.find_opt
+    (fun p -> String.equal p.p_class cls && String.equal p.p_sink_method meth)
+    t
+
+let real_count t = List.length (List.filter (fun p -> p.p_real) t)
+let fake_count t = List.length (List.filter (fun p -> not p.p_real) t)

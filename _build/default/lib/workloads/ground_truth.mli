@@ -1,0 +1,23 @@
+(** Ground truth for generated benchmark applications: every planted
+    pattern routes its sink through a dedicated wrapper method, so reports
+    are attributed by the (class, method) of the sink statement. [p_real]
+    stands in for the paper's manual true/false-positive classification. *)
+
+type planted = {
+  p_id : int;
+  p_kind : string;               (** pattern kind tag, e.g. "direct" *)
+  p_class : string;              (** class containing the sink *)
+  p_sink_method : string;        (** method containing the sink call *)
+  p_issue : Core.Rules.issue;
+  p_real : bool;
+}
+
+type t = planted list
+
+val pp_planted : Format.formatter -> planted -> unit
+
+(** Find the planted pattern a sink location belongs to. *)
+val attribute : t -> cls:string -> meth:string -> planted option
+
+val real_count : t -> int
+val fake_count : t -> int

@@ -1,0 +1,669 @@
+(** Vulnerability-pattern generators for synthetic benchmark applications.
+
+    Each generator emits one MJava class group containing a planted flow and
+    records its ground truth. Sinks are always routed through dedicated
+    wrapper methods ([emitR*] for semantically real flows, [emitF*] for
+    spurious ones), so reports can be attributed precisely. The catalog
+    covers every code-modeling feature of the paper and includes the
+    imprecision traps that separate the five algorithm configurations:
+
+    - [ci_merge]: a shared helper method — context-insensitive slicing
+      conflates the two return flows and reports the clean sink;
+    - [heap_merge]: one allocation site reached from two call sites — the
+      hybrid algorithm's context-free heap merges the objects while the CS
+      configuration keeps them apart;
+    - [thread_flow]: a store and load on different threads — CS misses it
+      (the paper's documented unsoundness), hybrid and CI find it;
+    - [long_real]/[long_fake]: bucket brigades longer than the optimized
+      configuration's flow-length cap;
+    - [deep_carrier]: taint nested 4 field-dereferences deep, past the
+      optimized nested-taint bound of 2. *)
+
+type output = {
+  source : string;
+  descriptor_lines : string list;
+  planted : Ground_truth.planted list;
+}
+
+type gen = id:int -> rng:Rng.t -> output
+
+let plant ~id ~kind ~cls ~meth ~issue ~real =
+  { Ground_truth.p_id = id; p_kind = kind; p_class = cls;
+    p_sink_method = meth; p_issue = issue; p_real = real }
+
+(* ------------------------------------------------------------------ *)
+
+let direct : gen = fun ~id ~rng ->
+  let cls = Printf.sprintf "PDirect%d" id in
+  let variant = Rng.int rng 4 in
+  let source, issue =
+    match variant with
+    | 0 ->
+      ( Printf.sprintf
+          {|class %s extends HttpServlet {
+              void emitR(PrintWriter w, String x) { w.println(x); }
+              public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                String x = req.getParameter("p%d");
+                this.emitR(resp.getWriter(), x);
+              }
+            }|}
+          cls id,
+        Core.Rules.Xss )
+    | 1 ->
+      ( Printf.sprintf
+          {|class %s extends HttpServlet {
+              void emitR(Statement st, String q) { st.executeQuery(q); }
+              public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                String u = req.getParameter("user%d");
+                Connection c = DriverManager.getConnection("jdbc:app");
+                this.emitR(c.createStatement(), "SELECT * FROM t WHERE u='" + u + "'");
+              }
+            }|}
+          cls id,
+        Core.Rules.Sqli )
+    | 2 ->
+      ( Printf.sprintf
+          {|class %s extends HttpServlet {
+              void emitR(String cmd) { Runtime.getRuntime().exec(cmd); }
+              public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                this.emitR("convert " + req.getParameter("f%d"));
+              }
+            }|}
+          cls id,
+        Core.Rules.Command_injection )
+    | _ ->
+      ( Printf.sprintf
+          {|class %s extends HttpServlet {
+              void emitR(String path) { FileInputStream f = new FileInputStream(path); }
+              public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                this.emitR(req.getParameter("doc%d"));
+              }
+            }|}
+          cls id,
+        Core.Rules.Malicious_file )
+  in
+  { source;
+    descriptor_lines = [];
+    planted = [ plant ~id ~kind:"direct" ~cls ~meth:"emitR" ~issue ~real:true ] }
+
+let sanitized : gen = fun ~id ~rng ->
+  let cls = Printf.sprintf "PSanitized%d" id in
+  let sqli = Rng.bool rng in
+  let source, issue =
+    if sqli then
+      ( Printf.sprintf
+          {|class %s extends HttpServlet {
+              void emitF(Statement st, String q) { st.executeQuery(q); }
+              public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                String u = Sanitizer.escapeSql(req.getParameter("u%d"));
+                Connection c = DriverManager.getConnection("jdbc:app");
+                this.emitF(c.createStatement(), "SELECT v FROM t WHERE u='" + u + "'");
+              }
+            }|}
+          cls id,
+        Core.Rules.Sqli )
+    else
+      ( Printf.sprintf
+          {|class %s extends HttpServlet {
+              void emitF(PrintWriter w, String x) { w.println(x); }
+              public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+                String x = URLEncoder.encode(req.getParameter("p%d"));
+                this.emitF(resp.getWriter(), x);
+              }
+            }|}
+          cls id,
+        Core.Rules.Xss )
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"sanitized" ~cls ~meth:"emitF" ~issue ~real:false ] }
+
+(* shared helper: CI conflates the tainted and clean returns *)
+let ci_merge : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PCiMerge%d" id in
+  let source =
+    Printf.sprintf
+      {|class %s extends HttpServlet {
+          String channel(String s) { return s; }
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          void emitF(PrintWriter w, String x) { w.println(x); }
+          void emitF2(Statement st, String q) { st.executeQuery(q); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            PrintWriter w = resp.getWriter();
+            String t = this.channel(req.getParameter("q%d"));
+            String c = this.channel("constant");
+            String c2 = this.channel("select 1");
+            this.emitR(w, t);
+            this.emitF(w, c);
+            Connection conn = DriverManager.getConnection("jdbc:app");
+            this.emitF2(conn.createStatement(), c2);
+          }
+        }|}
+      cls id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"ci-merge" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true;
+        plant ~id ~kind:"ci-merge" ~cls ~meth:"emitF" ~issue:Core.Rules.Xss
+          ~real:false;
+        plant ~id ~kind:"ci-merge" ~cls ~meth:"emitF2" ~issue:Core.Rules.Sqli
+          ~real:false ] }
+
+(* one allocation site, two call sites: hybrid heap merge FP *)
+let heap_merge : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PHeapMerge%d" id in
+  let source =
+    Printf.sprintf
+      {|class Box%d {
+          String v;
+        }
+        class BoxMaker%d {
+          static Box%d make(String s) {
+            Box%d b = new Box%d();
+            b.v = s;
+            return b;
+          }
+        }
+        class %s extends HttpServlet {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          void emitF(PrintWriter w, String x) { w.println(x); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            PrintWriter w = resp.getWriter();
+            Box%d a = BoxMaker%d.make(req.getParameter("h%d"));
+            Box%d b = BoxMaker%d.make("fixed");
+            this.emitR(w, a.v);
+            this.emitF(w, b.v);
+          }
+        }|}
+      id id id id id cls id id id id id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"heap-merge" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true;
+        plant ~id ~kind:"heap-merge" ~cls ~meth:"emitF" ~issue:Core.Rules.Xss
+          ~real:false ] }
+
+let container : gen = fun ~id ~rng ->
+  let cls = Printf.sprintf "PContainer%d" id in
+  let vector = Rng.bool rng in
+  let source =
+    Printf.sprintf
+      {|class %s extends HttpServlet {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            %s l = new %s();
+            l.add(req.getParameter("item%d"));
+            String s = (String) l.get(0);
+            this.emitR(resp.getWriter(), s);
+          }
+        }|}
+      cls
+      (if vector then "Vector" else "ArrayList")
+      (if vector then "Vector" else "ArrayList")
+      id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"container" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true ] }
+
+(* constant-key dictionary: same key flows, distinct keys must not *)
+let dict : gen = fun ~id ~rng ->
+  let cls = Printf.sprintf "PDict%d" id in
+  let session = Rng.bool rng in
+  let source =
+    if session then
+      Printf.sprintf
+        {|class %s extends HttpServlet {
+            void emitR(PrintWriter w, String x) { w.println(x); }
+            void emitF(PrintWriter w, String x) { w.println(x); }
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              HttpSession s = req.getSession();
+              s.setAttribute("user%d", req.getParameter("u%d"));
+              s.setAttribute("theme%d", "plain");
+              PrintWriter w = resp.getWriter();
+              this.emitR(w, (String) s.getAttribute("user%d"));
+              this.emitF(w, (String) s.getAttribute("theme%d"));
+            }
+          }|}
+        cls id id id id id
+    else
+      Printf.sprintf
+        {|class %s extends HttpServlet {
+            void emitR(PrintWriter w, String x) { w.println(x); }
+            void emitF(PrintWriter w, String x) { w.println(x); }
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              HashMap m = new HashMap();
+              m.put("name%d", req.getParameter("n%d"));
+              m.put("lang%d", "en");
+              PrintWriter w = resp.getWriter();
+              this.emitR(w, (String) m.get("name%d"));
+              this.emitF(w, (String) m.get("lang%d"));
+            }
+          }|}
+        cls id id id id id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"dict" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true;
+        plant ~id ~kind:"dict" ~cls ~meth:"emitF" ~issue:Core.Rules.Xss
+          ~real:false ] }
+
+(* taint carrier: tainted state inside an object passed to the sink *)
+let carrier : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PCarrier%d" id in
+  let source =
+    Printf.sprintf
+      {|class Bean%d {
+          String payload;
+          public Bean%d(String p) { this.payload = p; }
+          public String toString() { return this.payload; }
+        }
+        class %s extends HttpServlet {
+          void emitR(PrintWriter w, Object o) { w.println(o); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            Bean%d b = new Bean%d(req.getParameter("b%d"));
+            this.emitR(resp.getWriter(), b);
+          }
+        }|}
+      id id cls id id id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"carrier" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true ] }
+
+(* taint nested four dereferences deep: past the optimized depth bound *)
+let deep_carrier : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PDeepCarrier%d" id in
+  let source =
+    Printf.sprintf
+      {|class D3x%d { String s; }
+        class D2x%d { D3x%d inner; }
+        class D1x%d { D2x%d inner; }
+        class D0x%d { D1x%d inner; }
+        class %s extends HttpServlet {
+          void emitR(PrintWriter w, Object o) { w.println(o); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            D3x%d d3 = new D3x%d();
+            d3.s = req.getParameter("deep%d");
+            D2x%d d2 = new D2x%d();
+            d2.inner = d3;
+            D1x%d d1 = new D1x%d();
+            d1.inner = d2;
+            D0x%d d0 = new D0x%d();
+            d0.inner = d1;
+            this.emitR(resp.getWriter(), d0);
+          }
+        }|}
+      id id id id id id id cls id id id id id id id id id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"deep-carrier" ~cls ~meth:"emitR"
+          ~issue:Core.Rules.Xss ~real:true ] }
+
+let reflect : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PReflect%d" id in
+  let source =
+    Printf.sprintf
+      {|class RTarget%d {
+          public String render(String s) { return s; }
+        }
+        class %s extends HttpServlet {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            Class k = Class.forName("RTarget%d");
+            Method m = k.getMethod("render");
+            RTarget%d t = (RTarget%d) k.newInstance();
+            String out = (String) m.invoke(t, new Object[] { req.getParameter("r%d") });
+            this.emitR(resp.getWriter(), out);
+          }
+        }|}
+      id cls id id id id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"reflect" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true ] }
+
+let exception_leak : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PExnLeak%d" id in
+  let source =
+    Printf.sprintf
+      {|class %s extends HttpServlet {
+          void fail%d(int x) { if (x > 0) { throw new Exception("config path secret"); } }
+          void emitR(PrintWriter w, Object o) { w.println(o); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            try {
+              this.fail%d(1);
+            } catch (Exception e) {
+              this.emitR(resp.getWriter(), e);
+            }
+          }
+        }|}
+      cls id id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"exception-leak" ~cls ~meth:"emitR"
+          ~issue:Core.Rules.Info_leak ~real:true ] }
+
+(* store on a spawned thread, load on the request thread: CS misses it *)
+let thread_flow : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PThread%d" id in
+  let source =
+    Printf.sprintf
+      {|class TChannel%d { static String slot; }
+        class TWorker%d extends Thread {
+          HttpServletRequest req;
+          public TWorker%d(HttpServletRequest r) { this.req = r; }
+          public void run() { TChannel%d.slot = this.req.getParameter("async%d"); }
+        }
+        class %s extends HttpServlet {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            TWorker%d worker = new TWorker%d(req);
+            worker.start();
+            this.emitR(resp.getWriter(), TChannel%d.slot);
+          }
+        }|}
+      id id id id id cls id id id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"thread" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true ] }
+
+let brigade ~cell ~n ~from_var =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s c0 = new %s(); c0.v = %s;\n" cell cell from_var);
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "%s c%d = new %s(); c%d.v = c%d.v;\n" cell i cell i
+         (i - 1))
+  done;
+  (Buffer.contents buf, Printf.sprintf "c%d.v" n)
+
+(* a real flow longer than the optimized flow-length cap *)
+let long_real : gen = fun ~id ~rng ->
+  let cls = Printf.sprintf "PLongReal%d" id in
+  let cell = Printf.sprintf "LCell%d" id in
+  let hops = Rng.range rng 9 12 in
+  let chain, last = brigade ~cell ~n:hops ~from_var:"x" in
+  let source =
+    Printf.sprintf
+      {|class %s { String v; }
+        class %s extends HttpServlet {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            String x = req.getParameter("long%d");
+            %s
+            this.emitR(resp.getWriter(), %s);
+          }
+        }|}
+      cell cls id chain last
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"long-real" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true ] }
+
+(* a heap-merge false positive whose spurious path is also long: unbounded
+   and prioritized report it, optimized filters it by length *)
+let long_fake : gen = fun ~id ~rng ->
+  let cls = Printf.sprintf "PLongFake%d" id in
+  let cell = Printf.sprintf "FCell%d" id in
+  let hops = Rng.range rng 9 12 in
+  let chain, last = brigade ~cell ~n:hops ~from_var:"b.v" in
+  let source =
+    Printf.sprintf
+      {|class %s { String v; }
+        class FBox%d { String v; }
+        class FMaker%d {
+          static FBox%d make(String s) {
+            FBox%d b = new FBox%d();
+            b.v = s;
+            return b;
+          }
+        }
+        class %s extends HttpServlet {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          void emitF(PrintWriter w, String x) { w.println(x); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            PrintWriter w = resp.getWriter();
+            FBox%d a = FMaker%d.make(req.getParameter("lf%d"));
+            this.emitR(w, a.v);
+            FBox%d b = FMaker%d.make("benign");
+            %s
+            this.emitF(w, %s);
+          }
+        }|}
+      cell id id id id id cls id id id id id chain last
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"long-fake" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true;
+        plant ~id ~kind:"long-fake" ~cls ~meth:"emitF" ~issue:Core.Rules.Xss
+          ~real:false ] }
+
+let struts : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PStrutsAction%d" id in
+  let form = Printf.sprintf "PStrutsForm%d" id in
+  let source =
+    Printf.sprintf
+      {|class %s extends ActionForm {
+          String account;
+          String note;
+        }
+        class %s extends Action {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          public ActionForward execute(ActionMapping mapping, ActionForm form,
+                                       HttpServletRequest req, HttpServletResponse resp) {
+            %s f = (%s) form;
+            this.emitR(resp.getWriter(), f.account);
+            return null;
+          }
+        }|}
+      form cls form form
+  in
+  { source;
+    descriptor_lines = [ Printf.sprintf "action /p%d %s %s" id cls form ];
+    planted =
+      [ plant ~id ~kind:"struts" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true ] }
+
+let ejb : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PEjbPage%d" id in
+  let iface = Printf.sprintf "EService%d" id in
+  let home = Printf.sprintf "EService%dHome" id in
+  let bean = Printf.sprintf "EService%dBean" id in
+  let jndi = Printf.sprintf "java:comp/env/ejb/EService%d" id in
+  let source =
+    Printf.sprintf
+      {|interface %s {
+          String lookup(String key);
+        }
+        interface %s extends EJBHome {
+          %s create();
+        }
+        class %s implements %s {
+          public String lookup(String key) { return "v:" + key; }
+        }
+        class %s extends HttpServlet {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            InitialContext ctx = new InitialContext();
+            Object ref = ctx.lookup("%s");
+            %s home = (%s) PortableRemoteObject.narrow(ref, %s.class);
+            %s svc = home.create();
+            this.emitR(resp.getWriter(), svc.lookup(req.getParameter("k%d")));
+          }
+        }|}
+      iface home iface bean iface cls jndi home home home iface id
+  in
+  { source;
+    descriptor_lines = [ Printf.sprintf "ejb %s %s %s" jndi home bean ];
+    planted =
+      [ plant ~id ~kind:"ejb" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true ] }
+
+(* virtual-dispatch over-approximation through an array of interface
+   implementations: the static resolution of the dispatch merges array
+   elements, so every configuration (CS included) reports the clean path —
+   the organic kind of false positive that keeps even the most precise
+   algorithm's accuracy below 1.0 (§6.2.2's "static resolution of
+   reflective and virtual calls" over-approximations) *)
+let poly_fp : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PPoly%d" id in
+  let iface = Printf.sprintf "Render%d" id in
+  let source =
+    Printf.sprintf
+      {|interface %s {
+          String go(String s);
+        }
+        class Clean%s implements %s {
+          public String go(String s) { return "safe"; }
+        }
+        class Echo%s implements %s {
+          public String go(String s) { return s; }
+        }
+        class %s extends HttpServlet {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          void emitF(PrintWriter w, String x) { w.println(x); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            PrintWriter w = resp.getWriter();
+            %s[] rs = new %s[2];
+            rs[0] = new Clean%s();
+            rs[1] = new Echo%s();
+            String x = req.getParameter("poly%d");
+            %s clean = rs[0];
+            %s echo = rs[1];
+            this.emitR(w, echo.go(x));
+            this.emitF(w, clean.go(x));
+          }
+        }|}
+      iface iface iface iface iface cls iface iface iface iface id iface iface
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"poly" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true;
+        plant ~id ~kind:"poly" ~cls ~meth:"emitF" ~issue:Core.Rules.Xss
+          ~real:false ] }
+
+(* a JSP page compiled to a servlet (§1): the expression tag echoes a
+   parameter; a second, encoded expression stays clean *)
+let jsp_page : gen = fun ~id ~rng ->
+  let cls = Printf.sprintf "PJsp%d" id in
+  let tainted = Rng.bool rng in
+  let page =
+    if tainted then
+      Printf.sprintf
+        {|<html><body>
+<h2>Entry %d</h2>
+<p>Posted by <%%= request.getParameter("author%d") %%></p>
+</body></html>|}
+        id id
+    else
+      Printf.sprintf
+        {|<html><body>
+<p>Posted by <%%= URLEncoder.encode(request.getParameter("author%d")) %%></p>
+</body></html>|}
+        id
+  in
+  let source = Models.Jsp.translate ~name:cls page in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"jsp" ~cls ~meth:"doGet" ~issue:Core.Rules.Xss
+          ~real:tainted ] }
+
+(* cookie values are attacker-controlled *)
+let cookie : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PCookie%d" id in
+  let source =
+    Printf.sprintf
+      {|class %s extends HttpServlet {
+          void emitR(PrintWriter w, String x) { w.println(x); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            Cookie[] jar = req.getCookies();
+            Cookie c = jar[0];
+            this.emitR(resp.getWriter(), c.getValue());
+          }
+        }|}
+      cls
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"cookie" ~cls ~meth:"emitR" ~issue:Core.Rules.Xss
+          ~real:true ] }
+
+(* a complete flow in unreachable code: must stay silent *)
+let dead_code : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PDead%d" id in
+  let source =
+    Printf.sprintf
+      {|class %s {
+          void emitF(PrintWriter w, String x) { w.println(x); }
+          void never(HttpServletRequest req, HttpServletResponse resp) {
+            this.emitF(resp.getWriter(), req.getParameter("ghost%d"));
+          }
+        }|}
+      cls id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant ~id ~kind:"dead" ~cls ~meth:"emitF" ~issue:Core.Rules.Xss
+          ~real:false ] }
+
+(** The full catalog with relative weights: the proportions determine how
+    many imprecision traps a generated app contains relative to real
+    flows. *)
+let catalog : (string * int * gen) list =
+  [ ("direct", 14, direct);
+    ("sanitized", 8, sanitized);
+    ("ci-merge", 15, ci_merge);
+    ("heap-merge", 16, heap_merge);
+    ("poly", 10, poly_fp);
+    ("container", 6, container);
+    ("dict", 6, dict);
+    ("carrier", 6, carrier);
+    ("reflect", 4, reflect);
+    ("exception-leak", 4, exception_leak);
+    ("long-fake", 5, long_fake);
+    ("dead", 3, dead_code);
+    ("jsp", 5, jsp_page);
+    ("cookie", 3, cookie);
+    ("struts", 3, struts) ]
+
+let find_gen name : gen =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) catalog with
+  | Some (_, _, g) -> g
+  | None ->
+    (match name with
+     | "thread" -> thread_flow
+     | "long-real" -> long_real
+     | "deep-carrier" -> deep_carrier
+     | "ejb" -> ejb
+     | _ -> invalid_arg ("unknown pattern kind: " ^ name))

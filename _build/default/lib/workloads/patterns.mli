@@ -1,0 +1,43 @@
+(** Vulnerability-pattern generators for synthetic benchmark applications.
+    Sinks are routed through dedicated wrapper methods ([emitR*] for real
+    flows, [emitF*] for spurious ones). The catalog includes imprecision
+    traps that separate the five algorithm configurations: shared-helper
+    merges (CI), shared-allocation-site heap merges (hybrid),
+    virtual-dispatch over-approximation (all), cross-thread flows (CS false
+    negatives), and over-long or over-deep flows (the optimized bounds). *)
+
+type output = {
+  source : string;
+  descriptor_lines : string list;
+  planted : Ground_truth.planted list;
+}
+
+type gen = id:int -> rng:Rng.t -> output
+
+val direct : gen
+val sanitized : gen
+val ci_merge : gen
+val heap_merge : gen
+val poly_fp : gen
+val container : gen
+val dict : gen
+val carrier : gen
+val deep_carrier : gen
+val reflect : gen
+val exception_leak : gen
+val thread_flow : gen
+val long_real : gen
+val long_fake : gen
+val struts : gen
+val ejb : gen
+val dead_code : gen
+val jsp_page : gen
+val cookie : gen
+
+(** The weighted catalog used by {!Codegen.draw_mix}. *)
+val catalog : (string * int * gen) list
+
+(** Look up any pattern kind, including the trait-only ones ("thread",
+    "long-real", "deep-carrier", "ejb"). Raises [Invalid_argument] on
+    unknown kinds. *)
+val find_gen : string -> gen

@@ -1,0 +1,90 @@
+(** Scoring: run a configuration on a generated app and classify the reported
+    issues against the generator's ground truth — the mechanized counterpart
+    of the paper's manual true/false-positive evaluation (Figure 4, §7.2). *)
+
+open Core
+
+type classification = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;      (* planted real flows with no report *)
+  unattributed : int;         (* reports whose sink matches no pattern *)
+}
+
+let accuracy c =
+  let reported = c.true_positives + c.false_positives in
+  if reported = 0 then 0.0
+  else float_of_int c.true_positives /. float_of_int reported
+
+type run = {
+  r_app : string;
+  r_algorithm : Config.algorithm;
+  r_completed : bool;
+  r_issues : int;
+  r_seconds : float;
+  r_cg_nodes : int;
+  r_classification : classification option;  (* None if did not complete *)
+}
+
+(** Attribute each reported issue to its planted pattern and classify. *)
+let classify (truth : Ground_truth.t) (builder : Sdg.Builder.t)
+    (report : Report.t) : classification =
+  let tp = ref 0 and fp = ref 0 and unattributed = ref 0 in
+  let hit_patterns = Hashtbl.create 32 in
+  List.iter
+    (fun (ir : Report.issue_report) ->
+       let sink = ir.Report.ir_representative.Flows.fl_sink in
+       let m = Sdg.Builder.node_meth builder sink.Sdg.Stmt.node in
+       match
+         Ground_truth.attribute truth ~cls:m.Jir.Tac.m_class
+           ~meth:m.Jir.Tac.m_name
+       with
+       | Some p ->
+         Hashtbl.replace hit_patterns (p.Ground_truth.p_id, p.Ground_truth.p_sink_method) ();
+         if p.Ground_truth.p_real then incr tp else incr fp
+       | None -> incr unattributed)
+    report.Report.issues;
+  let fn =
+    List.length
+      (List.filter
+         (fun (p : Ground_truth.planted) ->
+            p.Ground_truth.p_real
+            && not
+                 (Hashtbl.mem hit_patterns
+                    (p.Ground_truth.p_id, p.Ground_truth.p_sink_method)))
+         truth)
+  in
+  { true_positives = !tp;
+    false_positives = !fp;
+    false_negatives = fn;
+    unattributed = !unattributed }
+
+(** Run one algorithm over a loaded app and score it. *)
+let run_config ~(loaded : Taj.loaded) ~(truth : Ground_truth.t)
+    ~(app : string) ~(scale : float) (algorithm : Config.algorithm) : run =
+  let config = Config.preset ~scale algorithm in
+  let t0 = Sys.time () in
+  let analysis = Taj.run loaded config in
+  let seconds = Sys.time () -. t0 in
+  match analysis.Taj.result with
+  | Taj.Did_not_complete _ ->
+    { r_app = app; r_algorithm = algorithm; r_completed = false;
+      r_issues = 0; r_seconds = seconds; r_cg_nodes = 0;
+      r_classification = None }
+  | Taj.Completed c ->
+    { r_app = app;
+      r_algorithm = algorithm;
+      r_completed = true;
+      r_issues = Report.issue_count c.Taj.report;
+      r_seconds = seconds;
+      r_cg_nodes = c.Taj.cg_nodes;
+      r_classification = Some (classify truth c.Taj.builder c.Taj.report) }
+
+(** Run all five Table 1 configurations over one app. *)
+let run_app ?(scale = 0.05)
+    ?(algorithms = Config.all_algorithms) (a : Apps.app) : run list =
+  let g = Apps.generate ~scale a in
+  let loaded = Taj.load (Codegen.to_input g) in
+  List.map
+    (run_config ~loaded ~truth:g.Codegen.g_truth ~app:a.Apps.name ~scale)
+    algorithms

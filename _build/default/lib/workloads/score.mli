@@ -1,0 +1,35 @@
+(** Scoring: run a configuration on a generated app and classify the
+    reported issues against the generator's ground truth — the mechanized
+    counterpart of the paper's manual evaluation (Figure 4, §7.2). *)
+
+type classification = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;      (** planted real flows with no report *)
+  unattributed : int;         (** reports whose sink matches no pattern *)
+}
+
+val accuracy : classification -> float
+
+type run = {
+  r_app : string;
+  r_algorithm : Core.Config.algorithm;
+  r_completed : bool;
+  r_issues : int;
+  r_seconds : float;
+  r_cg_nodes : int;
+  r_classification : classification option;  (** None = did not complete *)
+}
+
+(** Attribute each reported issue to its planted pattern and classify. *)
+val classify :
+  Ground_truth.t -> Sdg.Builder.t -> Core.Report.t -> classification
+
+val run_config :
+  loaded:Core.Taj.loaded -> truth:Ground_truth.t -> app:string ->
+  scale:float -> Core.Config.algorithm -> run
+
+(** Run the given configurations (default: all five) over one app. *)
+val run_app :
+  ?scale:float -> ?algorithms:Core.Config.algorithm list -> Apps.app ->
+  run list

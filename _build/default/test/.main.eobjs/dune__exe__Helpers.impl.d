@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Jir List Lower Parser Program Ssa Tac

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Config Core List Pointer Printf Report Rules String Taj

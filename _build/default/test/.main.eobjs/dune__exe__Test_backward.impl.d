@@ -1,0 +1,1 @@
+test/test_backward.ml: Alcotest Config Core Jir List Sdg String Taj

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Ast Cfg Dominance Fmt Helpers Jir List String Tac Verify

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Config Core Flows Fmt Jir List Models Report Rules Sdg String Taj

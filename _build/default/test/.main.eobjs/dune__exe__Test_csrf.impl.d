@@ -1,0 +1,1 @@
+test/test_csrf.ml: Alcotest Config Core Csrf List Taj

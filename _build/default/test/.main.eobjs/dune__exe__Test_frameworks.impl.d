@@ -1,0 +1,1 @@
+test/test_frameworks.ml: Alcotest Config Core Jir List Models Report Rules Taj

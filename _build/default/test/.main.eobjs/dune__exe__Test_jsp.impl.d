@@ -1,0 +1,1 @@
+test/test_jsp.ml: Alcotest Config Core List Models Report Rules Taj

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Ast Helpers Jir List Lower Program String Tac

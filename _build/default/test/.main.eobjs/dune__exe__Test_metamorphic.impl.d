@@ -1,0 +1,1 @@
+test/test_metamorphic.ml: Alcotest Config Core Dot List Option Printf QCheck QCheck_alcotest Report String Taj Test_ssa Workloads

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Classtable Core Fmt Hashtbl Jir Lazy List Lower Models Option Parser Program Ssa String Tac Verify Workloads

@@ -1,0 +1,1 @@
+test/test_pointer.ml: Alcotest Andersen Callgraph Core Heapgraph Int Jir Keys List Pointer Policy Pq QCheck QCheck_alcotest Set String

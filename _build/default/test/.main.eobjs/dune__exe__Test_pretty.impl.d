@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Jir List Models Option Parser Pretty Printexc Printf QCheck QCheck_alcotest Test_ssa Workloads

@@ -1,0 +1,1 @@
+test/test_reflection.ml: Alcotest Config Core List Models Report Rules Taj

@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Apps Codegen Config Core Flows Ground_truth Jir List Option Printf Report Score Sdg Taj Workloads

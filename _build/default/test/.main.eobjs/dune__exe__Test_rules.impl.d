@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Core Jir Lazy List Lower Models Parser Program Rules Tac

@@ -1,0 +1,1 @@
+test/test_sdg.ml: Alcotest Config Core Flows Jir List Printf Report Sdg String Taj

@@ -1,0 +1,1 @@
+test/test_securibench.ml: Alcotest List Printf Securibench Workloads

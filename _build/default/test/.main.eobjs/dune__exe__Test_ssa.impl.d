@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Array Cfg Dominance Hashtbl Helpers Jir List Printf QCheck QCheck_alcotest Ssa Tac

@@ -1,0 +1,1 @@
+test/test_string_context.ml: Alcotest Config Core Flows List Report Rules String String_context Taj

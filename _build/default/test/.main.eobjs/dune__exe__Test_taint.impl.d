@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Config Core List Report Rules Taj

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Apps Codegen Core Ground_truth Jir List Option Patterns Printf QCheck QCheck_alcotest Rng Score Workloads

@@ -1,0 +1,66 @@
+(* Shared fixtures for the analysis test-suites: tiny programs are loaded
+   with a minimal stub JDK so tests don't depend on the full model library
+   unless they ask for it. *)
+
+open Jir
+
+(* A minimal JDK surface sufficient for frontend tests. The real model JDK
+   (Models.Jdklib) supersedes this for analysis tests. *)
+let mini_jdk =
+  {|
+class Object {
+  public Object() {}
+  public String toString() { return ""; }
+  public boolean equals(Object o) { return true; }
+  public int hashCode() { return 0; }
+}
+class String {
+  public native String concat(String s);
+  public native String substring(int b, int e);
+  public native String trim();
+  public native String toUpperCase();
+  public native String toLowerCase();
+  public native boolean equals(Object o);
+  public native int length();
+  public native String toString();
+}
+class Exception {
+  public Exception() {}
+  public native String getMessage();
+  public String toString() { return this.getMessage(); }
+}
+class Error { public Error() {} }
+|}
+
+(** Load [srcs] as application code on top of the mini JDK, run SSA. *)
+let load_program ?(jdk = mini_jdk) (srcs : string list) : Program.t =
+  let prog = Program.create () in
+  let units =
+    (true, Parser.parse jdk)
+    :: List.map (fun s -> (false, Parser.parse s)) srcs
+  in
+  Lower.load prog units;
+  Ssa.convert_program prog;
+  prog
+
+(** Load without SSA conversion (for TAC-level assertions). *)
+let load_tac ?(jdk = mini_jdk) (srcs : string list) : Program.t =
+  let prog = Program.create () in
+  let units =
+    (true, Parser.parse jdk)
+    :: List.map (fun s -> (false, Parser.parse s)) srcs
+  in
+  Lower.load prog units;
+  prog
+
+let find_method prog id =
+  match Program.find_method prog id with
+  | Some m -> m
+  | None -> Alcotest.failf "method %s not found" id
+
+let all_instrs (m : Tac.meth) =
+  Array.to_list m.Tac.m_blocks
+  |> List.concat_map (fun (b : Tac.block) -> Array.to_list b.Tac.instrs)
+
+let count_instrs p (m : Tac.meth) =
+  List.length (List.filter p (all_instrs m))

@@ -1,0 +1,143 @@
+(* Backward thin-slicing tests: producer discovery through locals, calls,
+   heap and containers; base pointers excluded; budget handling. *)
+
+open Core
+
+let completed srcs =
+  let loaded =
+    Taj.load { Taj.name = "bw"; app_sources = srcs; descriptor = "" }
+  in
+  match (Taj.run loaded (Config.preset Config.Hybrid_unbounded)).Taj.result with
+  | Taj.Completed c -> (loaded, c)
+  | Taj.Did_not_complete r -> Alcotest.failf "did not complete: %s" r
+
+(* find the single sink call stmt (println) and backward-slice its arg *)
+let slice_of_sink ?max_stmts srcs =
+  let loaded, c = completed srcs in
+  let b = c.Taj.builder in
+  let sink =
+    List.find_map
+      (fun (s, (call : Jir.Tac.call)) ->
+         if String.equal call.Jir.Tac.target.Jir.Tac.rname "println"
+            && not (Sdg.Builder.node_meth b s.Sdg.Stmt.node).Jir.Tac.m_library
+         then Some s
+         else None)
+      (Sdg.Builder.all_call_stmts b)
+  in
+  match sink with
+  | Some s ->
+    ( b,
+      Sdg.Backward.slice b ~table:loaded.Taj.program.Jir.Program.table
+        ~from:s ~arg:1 ?max_stmts () )
+  | None -> Alcotest.fail "no sink found"
+
+let sources_in b r =
+  Sdg.Backward.source_endpoints b r ~is_source:(fun target ->
+      String.equal target.Jir.Tac.rname "getParameter")
+
+let test_backward_finds_source () =
+  let b, r =
+    slice_of_sink
+      [ {|class P extends HttpServlet {
+            String hop(String s) { return s; }
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String x = this.hop(req.getParameter("a"));
+              resp.getWriter().println(x);
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "one contributing source" 1
+    (List.length (sources_in b r));
+  Alcotest.(check bool) "slice is not trivial" true
+    (Sdg.Stmt.Set.cardinal r.Sdg.Backward.slice >= 3)
+
+let test_backward_through_heap () =
+  let b, r =
+    slice_of_sink
+      [ {|class Cell { String v; }
+          class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              Cell c = new Cell();
+              c.v = req.getParameter("a");
+              resp.getWriter().println(c.v);
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "source found through store/load" 1
+    (List.length (sources_in b r))
+
+let test_backward_through_container () =
+  let b, r =
+    slice_of_sink
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              HashMap m = new HashMap();
+              m.put("k", req.getParameter("a"));
+              resp.getWriter().println((String) m.get("k"));
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "source found through dictionary" 1
+    (List.length (sources_in b r))
+
+let test_backward_excludes_unrelated () =
+  let b, r =
+    slice_of_sink
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String unrelated = req.getParameter("other");
+              resp.getWriter().println("fixed");
+              resp.setContentType(unrelated);
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "constant sink has no source producers" 0
+    (List.length (sources_in b r));
+  Alcotest.(check bool) "endpoint is the literal" true
+    (List.exists
+       (fun s ->
+          match Sdg.Builder.instr_of b s with
+          | Some (Jir.Tac.Const (_, Jir.Tac.Cstr "fixed")) -> true
+          | _ -> false)
+       r.Sdg.Backward.endpoints)
+
+let test_backward_two_producers () =
+  let b, r =
+    slice_of_sink
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String x = req.getParameter("a") + req.getHeader("b");
+              resp.getWriter().println(x);
+            }
+          }|} ]
+  in
+  (* getParameter and getHeader both contribute *)
+  let all_sources =
+    Sdg.Backward.source_endpoints b r ~is_source:(fun target ->
+        List.mem target.Jir.Tac.rname [ "getParameter"; "getHeader" ])
+  in
+  Alcotest.(check int) "two producers" 2 (List.length all_sources)
+
+let test_backward_budget () =
+  let _, r =
+    slice_of_sink ~max_stmts:2
+      [ {|class P extends HttpServlet {
+            String h1(String s) { return s; }
+            String h2(String s) { return this.h1(s); }
+            String h3(String s) { return this.h2(s); }
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              resp.getWriter().println(this.h3(req.getParameter("a")));
+            }
+          }|} ]
+  in
+  Alcotest.(check bool) "truncated" true r.Sdg.Backward.truncated;
+  Alcotest.(check bool) "bounded" true
+    (Sdg.Stmt.Set.cardinal r.Sdg.Backward.slice <= 3)
+
+let suite =
+  [ Alcotest.test_case "finds source" `Quick test_backward_finds_source;
+    Alcotest.test_case "through heap" `Quick test_backward_through_heap;
+    Alcotest.test_case "through container" `Quick test_backward_through_container;
+    Alcotest.test_case "excludes unrelated" `Quick test_backward_excludes_unrelated;
+    Alcotest.test_case "two producers" `Quick test_backward_two_producers;
+    Alcotest.test_case "budget" `Quick test_backward_budget ]

@@ -1,0 +1,116 @@
+(* End-to-end tests over the on-disk corpus in test/testdata, exercising the
+   same file-based workflow as the CLI. *)
+
+open Core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let analyze ?(descriptor = "") files =
+  let input =
+    { Taj.name = "corpus";
+      app_sources = List.map read_file files;
+      descriptor }
+  in
+  match (Taj.run (Taj.load input) (Config.preset Config.Hybrid_unbounded)).Taj.result with
+  | Taj.Completed c -> c
+  | Taj.Did_not_complete r -> Alcotest.failf "did not complete: %s" r
+
+let count issue (c : Taj.completed) =
+  List.length
+    (List.filter
+       (fun ir -> ir.Report.ir_issue = issue)
+       c.Taj.report.Report.issues)
+
+let test_guestbook () =
+  let c =
+    analyze
+      ~descriptor:(read_file "testdata/guestbook.dd")
+      [ "testdata/guestbook.mjava" ]
+  in
+  (* preview XSS, stored XSS through the entry list (the rendered entry is
+     a taint carrier holding form fields) *)
+  Alcotest.(check bool) "xss findings" true (count Rules.Xss c >= 2);
+  Alcotest.(check int) "search sqli" 1 (count Rules.Sqli c);
+  (* the encoded search output is not an XSS *)
+  let sinks_in_search =
+    List.filter
+      (fun ir ->
+         ir.Report.ir_issue = Rules.Xss
+         &&
+         let m =
+           Sdg.Builder.node_meth c.Taj.builder
+             ir.Report.ir_representative.Flows.fl_sink.Sdg.Stmt.node
+         in
+         String.equal m.Jir.Tac.m_class "SearchServlet")
+      c.Taj.report.Report.issues
+  in
+  Alcotest.(check int) "search output is encoded" 0
+    (List.length sinks_in_search)
+
+let test_guestbook_stored_flow_is_cross_servlet () =
+  let c =
+    analyze
+      ~descriptor:(read_file "testdata/guestbook.dd")
+      [ "testdata/guestbook.mjava" ]
+  in
+  (* at least one XSS sink lies in ListServlet: data posted through the
+     action surfaces in a different servlet *)
+  let stored =
+    List.exists
+      (fun ir ->
+         ir.Report.ir_issue = Rules.Xss
+         &&
+         let m =
+           Sdg.Builder.node_meth c.Taj.builder
+             ir.Report.ir_representative.Flows.fl_sink.Sdg.Stmt.node
+         in
+         String.equal m.Jir.Tac.m_class "ListServlet")
+      c.Taj.report.Report.issues
+  in
+  Alcotest.(check bool) "stored flow reaches the list servlet" true stored
+
+let test_filetool () =
+  let c = analyze [ "testdata/filetool.mjava" ] in
+  Alcotest.(check int) "one traversal (the cleansed one is silent)" 1
+    (count Rules.Malicious_file c);
+  Alcotest.(check int) "one command injection" 1
+    (count Rules.Command_injection c);
+  Alcotest.(check bool) "status page leaks the exception" true
+    (count Rules.Info_leak c >= 1)
+
+let test_gallery_jsp () =
+  let page = read_file "testdata/gallery.jsp" in
+  let src = Models.Jsp.translate ~name:"Gallery" page in
+  let input = { Taj.name = "gallery"; app_sources = [ src ]; descriptor = "" } in
+  match (Taj.run (Taj.load input) (Config.preset Config.Hybrid_unbounded)).Taj.result with
+  | Taj.Did_not_complete r -> Alcotest.failf "did not complete: %s" r
+  | Taj.Completed c ->
+    (* album echo + owner session readback; the encoded contact is clean *)
+    Alcotest.(check int) "two xss in the page" 2 (count Rules.Xss c)
+
+let test_corpus_verifies () =
+  let input =
+    { Taj.name = "corpus";
+      app_sources =
+        [ read_file "testdata/guestbook.mjava";
+          read_file "testdata/filetool.mjava" ];
+      descriptor = read_file "testdata/guestbook.dd" }
+  in
+  let loaded = Taj.load input in
+  Alcotest.(check (list string)) "IR well-formed" []
+    (List.map
+       (Fmt.str "%a" Jir.Verify.pp_violation)
+       (Jir.Verify.check_program loaded.Taj.program))
+
+let suite =
+  [ Alcotest.test_case "guestbook" `Quick test_guestbook;
+    Alcotest.test_case "guestbook stored flow" `Quick
+      test_guestbook_stored_flow_is_cross_servlet;
+    Alcotest.test_case "filetool" `Quick test_filetool;
+    Alcotest.test_case "gallery jsp" `Quick test_gallery_jsp;
+    Alcotest.test_case "corpus verifies" `Quick test_corpus_verifies ]

@@ -1,0 +1,104 @@
+(* CSRF-detection tests (§9 future-work extension). *)
+
+open Core
+
+let findings srcs =
+  let loaded =
+    Taj.load { Taj.name = "csrf"; app_sources = srcs; descriptor = "" }
+  in
+  match (Taj.run loaded (Config.preset Config.Hybrid_unbounded)).Taj.result with
+  | Taj.Completed c ->
+    Csrf.detect ~prog:loaded.Taj.program ~builder:c.Taj.builder c.Taj.andersen
+  | Taj.Did_not_complete r -> Alcotest.failf "did not complete: %s" r
+
+let test_get_mutation_flagged () =
+  let fs =
+    findings
+      [ {|class DeleteServlet extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              Connection c = DriverManager.getConnection("jdbc:db");
+              Statement st = c.createStatement();
+              st.executeUpdate("DELETE FROM posts WHERE id=1");
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "one finding" 1 (List.length fs);
+  (match fs with
+   | [ f ] ->
+     Alcotest.(check string) "entry" "DeleteServlet.doGet/3" f.Csrf.cf_entry;
+     Alcotest.(check string) "target" "Statement.executeUpdate/2"
+       f.Csrf.cf_target
+   | _ -> ())
+
+let test_mutation_through_helper_flagged () =
+  let fs =
+    findings
+      [ {|class Dao {
+            void purge(Statement st) { st.executeUpdate("DELETE FROM t"); }
+          }
+          class AdminServlet extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              Connection c = DriverManager.getConnection("jdbc:db");
+              Dao dao = new Dao();
+              dao.purge(c.createStatement());
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "finding through helper" 1 (List.length fs)
+
+let test_token_check_suppresses () =
+  let fs =
+    findings
+      [ {|class SafeServlet extends HttpServlet {
+            boolean checkToken(HttpServletRequest req) {
+              HttpSession s = req.getSession();
+              String t = (String) s.getAttribute("csrf_token");
+              return t.equals(req.getParameter("token"));
+            }
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              if (this.checkToken(req)) {
+                Connection c = DriverManager.getConnection("jdbc:db");
+                Statement st = c.createStatement();
+                st.executeUpdate("DELETE FROM posts WHERE id=1");
+              }
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "token check suppresses" 0 (List.length fs)
+
+let test_read_only_get_clean () =
+  let fs =
+    findings
+      [ {|class ViewServlet extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              Connection c = DriverManager.getConnection("jdbc:db");
+              Statement st = c.createStatement();
+              ResultSet rs = st.executeQuery("SELECT * FROM posts");
+              resp.getWriter().println(URLEncoder.encode(rs.getString("title")));
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "reads are fine" 0 (List.length fs)
+
+let test_post_mutation_not_flagged () =
+  let fs =
+    findings
+      [ {|class PostServlet extends HttpServlet {
+            public void doPost(HttpServletRequest req, HttpServletResponse resp) {
+              Connection c = DriverManager.getConnection("jdbc:db");
+              Statement st = c.createStatement();
+              st.executeUpdate("INSERT INTO posts VALUES (1)");
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "POST handlers are out of scope" 0 (List.length fs)
+
+let suite =
+  [ Alcotest.test_case "GET mutation flagged" `Quick test_get_mutation_flagged;
+    Alcotest.test_case "mutation through helper" `Quick
+      test_mutation_through_helper_flagged;
+    Alcotest.test_case "token check suppresses" `Quick
+      test_token_check_suppresses;
+    Alcotest.test_case "read-only GET clean" `Quick test_read_only_get_clean;
+    Alcotest.test_case "POST mutation not flagged" `Quick
+      test_post_mutation_not_flagged ]

@@ -1,0 +1,199 @@
+(* Framework modeling tests (§4.2.2): Struts actions with tainted
+   ActionForms, EJB remote dispatch through the deployment descriptor, and
+   servlet auto-detection. *)
+
+open Core
+
+let analyze ?(descriptor = "") srcs =
+  Taj.run
+    (Taj.load { Taj.name = "fw"; app_sources = srcs; descriptor })
+    (Config.preset Config.Hybrid_unbounded)
+
+let completed a =
+  match a.Taj.result with
+  | Taj.Completed c -> c
+  | Taj.Did_not_complete reason -> Alcotest.failf "did not complete: %s" reason
+
+let issues ?descriptor srcs =
+  (completed (analyze ?descriptor srcs)).Taj.report.Report.issues
+
+let count issue reports =
+  List.length (List.filter (fun ir -> ir.Report.ir_issue = issue) reports)
+
+let test_descriptor_parsing () =
+  let d =
+    Models.Frameworks.parse_descriptor
+      "# comment\n\
+       servlet MyServlet\n\
+       \n\
+       action /login LoginAction LoginForm\n\
+       ejb java:comp/env/ejb/EB2 EB2Home EB2Bean\n"
+  in
+  Alcotest.(check (list string)) "servlets" [ "MyServlet" ]
+    d.Models.Frameworks.servlets;
+  Alcotest.(check int) "actions" 1 (List.length d.Models.Frameworks.actions);
+  Alcotest.(check (list (pair string string))) "registry"
+    [ ("java:comp/env/ejb/EB2", "$EB2HomeImpl") ]
+    (Models.Frameworks.ejb_registry d)
+
+let test_descriptor_error () =
+  match Models.Frameworks.parse_descriptor "bogus line here and more" with
+  | exception Models.Frameworks.Descriptor_error _ -> ()
+  | _ -> Alcotest.fail "expected descriptor error"
+
+let struts_app =
+  {|class LoginForm extends ActionForm {
+      String username;
+      String password;
+    }
+    class LoginAction extends Action {
+      public ActionForward execute(ActionMapping mapping, ActionForm form,
+                                   HttpServletRequest req, HttpServletResponse resp) {
+        LoginForm f = (LoginForm) form;
+        resp.getWriter().println(f.username);
+        return null;
+      }
+    }|}
+
+let test_struts_tainted_form () =
+  let reports =
+    issues ~descriptor:"action /login LoginAction LoginForm" [ struts_app ]
+  in
+  Alcotest.(check bool) "form field is tainted" true
+    (count Rules.Xss reports >= 1)
+
+let test_struts_without_descriptor_is_silent () =
+  (* without the descriptor the action is never dispatched: no entrypoint,
+     no report — exactly why framework modeling matters *)
+  let reports = issues [ struts_app ] in
+  Alcotest.(check int) "no entrypoint, no issue" 0 (count Rules.Xss reports)
+
+let test_struts_nested_form () =
+  let reports =
+    issues
+      ~descriptor:"action /acct AccountAction AccountForm"
+      [ {|class Address {
+            String street;
+          }
+          class AccountForm extends ActionForm {
+            String owner;
+            Address address;
+          }
+          class AccountAction extends Action {
+            public ActionForward execute(ActionMapping mapping, ActionForm form,
+                                         HttpServletRequest req, HttpServletResponse resp) {
+              AccountForm f = (AccountForm) form;
+              resp.getWriter().println(f.address.street);
+              return null;
+            }
+          }|} ]
+  in
+  Alcotest.(check bool) "nested form field is tainted" true
+    (count Rules.Xss reports >= 1)
+
+let ejb_app =
+  {|interface EB2 {
+      String m2(String s);
+    }
+    interface EB2Home extends EJBHome {
+      EB2 create();
+    }
+    class EB2Bean implements EB2 {
+      public String m2(String s) { return s; }
+    }
+    class Page extends HttpServlet {
+      public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+        InitialContext initial = new InitialContext();
+        Object objRef = initial.lookup("java:comp/env/ejb/EB2");
+        EB2Home eb2Home = (EB2Home) PortableRemoteObject.narrow(objRef, EB2Home.class);
+        EB2 eb2Obj = eb2Home.create();
+        resp.getWriter().println(eb2Obj.m2(req.getParameter("x")));
+      }
+    }|}
+
+let test_ejb_dispatch () =
+  let reports =
+    issues ~descriptor:"ejb java:comp/env/ejb/EB2 EB2Home EB2Bean" [ ejb_app ]
+  in
+  Alcotest.(check bool) "flow through remote EJB call" true
+    (count Rules.Xss reports >= 1)
+
+let test_ejb_without_descriptor_misses () =
+  (* without the registry the lookup cannot be resolved and the bean's m2 is
+     unreachable — the flow is lost, which is the paper's motivation for
+     modeling EJB dispatch *)
+  let reports = issues [ ejb_app ] in
+  Alcotest.(check int) "lookup unresolved" 0 (count Rules.Xss reports)
+
+let test_cast_constraint_inference () =
+  let units =
+    [ Jir.Parser.parse
+        {|class F1 extends ActionForm { String a; }
+          class F2 extends ActionForm { String b; }
+          class MyAction extends Action {
+            public ActionForward execute(ActionMapping mapping, ActionForm form,
+                                         HttpServletRequest req, HttpServletResponse resp) {
+              F1 f = (F1) form;
+              return null;
+            }
+          }|} ]
+  in
+  match Models.Frameworks.form_cast_constraints units with
+  | [ ("MyAction", [ "F1" ]) ] -> ()
+  | other ->
+    Alcotest.failf "unexpected constraints (%d entries)" (List.length other)
+
+let test_cast_narrows_synthesized_forms () =
+  (* MyAction casts to F1 only: the synthesized harness must build F1 and
+     not F2, even though both are subtypes of the declared form class *)
+  let a =
+    analyze ~descriptor:"action /x MyAction ActionForm"
+      [ {|class F1 extends ActionForm { String a; }
+          class F2 extends ActionForm { String b; }
+          class MyAction extends Action {
+            public ActionForward execute(ActionMapping mapping, ActionForm form,
+                                         HttpServletRequest req, HttpServletResponse resp) {
+              F1 f = (F1) form;
+              resp.getWriter().println(f.a);
+              return null;
+            }
+          }|} ]
+  in
+  let prog = a.Taj.loaded.Taj.program in
+  Alcotest.(check bool) "maker for F1 exists" true
+    (Jir.Program.find_method prog "$Synth.make$F1/0" <> None);
+  Alcotest.(check bool) "no maker for F2" true
+    (Jir.Program.find_method prog "$Synth.make$F2/0" = None);
+  (match a.Taj.result with
+   | Taj.Completed c ->
+     Alcotest.(check bool) "flow still found" true
+       (count Rules.Xss c.Taj.report.Report.issues >= 1)
+   | Taj.Did_not_complete r -> Alcotest.failf "did not complete: %s" r)
+
+let test_servlet_autodetection () =
+  (* servlets are entrypoints even when the descriptor doesn't name them *)
+  let reports =
+    issues
+      [ {|class Auto extends HttpServlet {
+            public void doPost(HttpServletRequest req, HttpServletResponse resp) {
+              resp.getWriter().println(req.getParameter("q"));
+            }
+          }|} ]
+  in
+  Alcotest.(check int) "doPost reached" 1 (count Rules.Xss reports)
+
+let suite =
+  [ Alcotest.test_case "descriptor parsing" `Quick test_descriptor_parsing;
+    Alcotest.test_case "descriptor error" `Quick test_descriptor_error;
+    Alcotest.test_case "struts tainted form" `Quick test_struts_tainted_form;
+    Alcotest.test_case "struts needs descriptor" `Quick
+      test_struts_without_descriptor_is_silent;
+    Alcotest.test_case "struts nested form" `Quick test_struts_nested_form;
+    Alcotest.test_case "ejb dispatch" `Quick test_ejb_dispatch;
+    Alcotest.test_case "ejb needs descriptor" `Quick
+      test_ejb_without_descriptor_misses;
+    Alcotest.test_case "servlet autodetection" `Quick test_servlet_autodetection;
+    Alcotest.test_case "cast constraint inference" `Quick
+      test_cast_constraint_inference;
+    Alcotest.test_case "cast narrows forms" `Quick
+      test_cast_narrows_synthesized_forms ]

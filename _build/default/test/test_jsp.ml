@@ -1,0 +1,79 @@
+(* JSP translation tests: template chunking, servlet generation, and taint
+   flow through generated pages. *)
+
+open Core
+
+let analyze_jsp ~name page =
+  let src = Models.Jsp.translate ~name page in
+  let loaded =
+    Taj.load { Taj.name; app_sources = [ src ]; descriptor = "" }
+  in
+  match (Taj.run loaded (Config.preset Config.Hybrid_unbounded)).Taj.result with
+  | Taj.Completed c -> c
+  | Taj.Did_not_complete r -> Alcotest.failf "did not complete: %s" r
+
+let count issue c =
+  List.length
+    (List.filter (fun ir -> ir.Report.ir_issue = issue) c.Taj.report.Report.issues)
+
+let test_chunking () =
+  let chunks =
+    Models.Jsp.parse_chunks
+      "<html><%= request.getParameter(\"x\") %><% int i = 0; %>tail<%-- note --%>"
+  in
+  match chunks with
+  | [ Models.Jsp.Text "<html>";
+      Models.Jsp.Expr "request.getParameter(\"x\")";
+      Models.Jsp.Scriptlet "int i = 0;";
+      Models.Jsp.Text "tail" ] -> ()
+  | _ -> Alcotest.failf "unexpected chunks (%d)" (List.length chunks)
+
+let test_unterminated_tag () =
+  match Models.Jsp.parse_chunks "<% broken" with
+  | exception Models.Jsp.Jsp_error _ -> ()
+  | _ -> Alcotest.fail "expected Jsp_error"
+
+let test_reflected_xss () =
+  let c =
+    analyze_jsp ~name:"HelloJsp"
+      {|<html><body>
+         <h1>Hello, <%= request.getParameter("name") %>!</h1>
+         </body></html>|}
+  in
+  Alcotest.(check int) "one xss" 1 (count Rules.Xss c)
+
+let test_static_page_clean () =
+  let c = analyze_jsp ~name:"StaticJsp" "<html><body>Nothing here.</body></html>" in
+  Alcotest.(check int) "no issues" 0 (List.length c.Taj.report.Report.issues)
+
+let test_scriptlet_flow () =
+  let c =
+    analyze_jsp ~name:"ScriptletJsp"
+      {|<% String user = request.getParameter("user"); %>
+        <p>Welcome back, <%= user %></p>|}
+  in
+  Alcotest.(check int) "xss through scriptlet local" 1 (count Rules.Xss c)
+
+let test_sanitized_expression () =
+  let c =
+    analyze_jsp ~name:"CleanJsp"
+      {|<p><%= URLEncoder.encode(request.getParameter("q")) %></p>|}
+  in
+  Alcotest.(check int) "encoded expression is clean" 0 (count Rules.Xss c)
+
+let test_session_in_jsp () =
+  let c =
+    analyze_jsp ~name:"SessionJsp"
+      {|<% session.setAttribute("who", request.getParameter("who")); %>
+        <p><%= (String) session.getAttribute("who") %></p>|}
+  in
+  Alcotest.(check int) "session readback tainted" 1 (count Rules.Xss c)
+
+let suite =
+  [ Alcotest.test_case "chunking" `Quick test_chunking;
+    Alcotest.test_case "unterminated tag" `Quick test_unterminated_tag;
+    Alcotest.test_case "reflected xss" `Quick test_reflected_xss;
+    Alcotest.test_case "static page clean" `Quick test_static_page_clean;
+    Alcotest.test_case "scriptlet flow" `Quick test_scriptlet_flow;
+    Alcotest.test_case "sanitized expression" `Quick test_sanitized_expression;
+    Alcotest.test_case "session in jsp" `Quick test_session_in_jsp ]

@@ -1,0 +1,292 @@
+(* Lowering tests: AST -> TAC shapes, string-carrier intrinsics, implicit
+   constructors, field initializers, try/catch handler edges. *)
+
+open Jir
+
+let test_simple_method () =
+  let prog =
+    Helpers.load_tac
+      [ "class C { int add(int a, int b) { return a + b; } }" ]
+  in
+  let m = Helpers.find_method prog "C.add/3" in
+  Alcotest.(check int) "arity" 3 m.Tac.m_arity;
+  Alcotest.(check bool) "has binop" true
+    (Helpers.count_instrs
+       (function Tac.Binop (_, Ast.Add, _, _) -> true | _ -> false)
+       m > 0)
+
+let test_string_concat_is_strcat () =
+  let prog =
+    Helpers.load_tac
+      [ {|class C { String f(String a) { return a + "suffix"; } }|} ]
+  in
+  let m = Helpers.find_method prog "C.f/2" in
+  Alcotest.(check int) "strcat count" 1
+    (Helpers.count_instrs
+       (function Tac.Strcat _ -> true | _ -> false)
+       m)
+
+let test_string_intrinsics () =
+  (* calls on String receivers must not produce Call instructions *)
+  let prog =
+    Helpers.load_tac
+      [ {|class C {
+            String f(String a, String b) {
+              String x = a.concat(b);
+              String y = x.trim();
+              String z = y.toUpperCase();
+              return z.substring(0, 1);
+            }
+          }|} ]
+  in
+  let m = Helpers.find_method prog "C.f/3" in
+  Alcotest.(check int) "no calls" 0
+    (Helpers.count_instrs (function Tac.Call _ -> true | _ -> false) m);
+  Alcotest.(check bool) "has strcat for concat" true
+    (Helpers.count_instrs (function Tac.Strcat _ -> true | _ -> false) m >= 1)
+
+let test_new_emits_ctor_call () =
+  let prog = Helpers.load_tac [ "class C { Object f() { return new C(); } }" ] in
+  let m = Helpers.find_method prog "C.f/1" in
+  Alcotest.(check int) "new" 1
+    (Helpers.count_instrs (function Tac.New _ -> true | _ -> false) m);
+  Alcotest.(check int) "ctor call" 1
+    (Helpers.count_instrs
+       (function
+         | Tac.Call { kind = Tac.Special; target; _ } ->
+           String.equal target.Tac.rname "<init>"
+         | _ -> false)
+       m)
+
+let test_default_ctor_synthesized () =
+  let prog = Helpers.load_tac [ "class C { }" ] in
+  ignore (Helpers.find_method prog "C.<init>/1")
+
+let test_field_initializers_in_ctor () =
+  let prog =
+    Helpers.load_tac
+      [ {|class C { String tag = "t"; C() { } }|} ]
+  in
+  let m = Helpers.find_method prog "C.<init>/1" in
+  Alcotest.(check int) "store for init" 1
+    (Helpers.count_instrs
+       (function
+         | Tac.Store (0, { Tac.fname = "tag"; _ }, _) -> true
+         | _ -> false)
+       m)
+
+let test_implicit_super_call () =
+  let prog =
+    Helpers.load_tac [ "class A { } class B extends A { B() { } }" ]
+  in
+  let m = Helpers.find_method prog "B.<init>/1" in
+  Alcotest.(check int) "super init call" 1
+    (Helpers.count_instrs
+       (function
+         | Tac.Call { kind = Tac.Special; target = { Tac.rclass = "A"; rname = "<init>"; _ }; _ } ->
+           true
+         | _ -> false)
+       m)
+
+let test_explicit_super_suppresses_implicit () =
+  let prog =
+    Helpers.load_tac
+      [ "class A { A() {} A(int x) {} } \
+         class B extends A { B() { super(1); } }" ]
+  in
+  let m = Helpers.find_method prog "B.<init>/1" in
+  Alcotest.(check int) "exactly one super call" 1
+    (Helpers.count_instrs
+       (function
+         | Tac.Call { target = { Tac.rclass = "A"; rname = "<init>"; _ }; _ } -> true
+         | _ -> false)
+       m)
+
+let test_static_members () =
+  let prog =
+    Helpers.load_tac
+      [ "class C { static int n = 7; static int get() { return n; } \
+         void set(int v) { C.n = v; } }" ]
+  in
+  let clinit = Helpers.find_method prog "C.<clinit>/0" in
+  Alcotest.(check int) "clinit sstore" 1
+    (Helpers.count_instrs (function Tac.Sstore _ -> true | _ -> false) clinit);
+  let get = Helpers.find_method prog "C.get/0" in
+  Alcotest.(check int) "sload" 1
+    (Helpers.count_instrs (function Tac.Sload _ -> true | _ -> false) get);
+  let set = Helpers.find_method prog "C.set/2" in
+  Alcotest.(check int) "sstore" 1
+    (Helpers.count_instrs (function Tac.Sstore _ -> true | _ -> false) set)
+
+let test_field_resolution_to_declaring_class () =
+  let prog =
+    Helpers.load_tac
+      [ "class A { String s; } \
+         class B extends A { String f() { return this.s; } }" ]
+  in
+  let m = Helpers.find_method prog "B.f/1" in
+  Alcotest.(check int) "load resolves to A.s" 1
+    (Helpers.count_instrs
+       (function
+         | Tac.Load (_, _, { Tac.fclass = "A"; fname = "s" }) -> true
+         | _ -> false)
+       m)
+
+let test_try_catch_handlers () =
+  let prog =
+    Helpers.load_tac
+      [ "class C { void g() {} void f() { try { g(); } catch (Exception e) { \
+         String m = e.getMessage(); } } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/1" in
+  let has_handler_edges =
+    Array.exists (fun (b : Tac.block) -> b.Tac.handlers <> []) m.Tac.m_blocks
+  in
+  Alcotest.(check bool) "handler edges" true has_handler_edges;
+  Alcotest.(check int) "catch entry" 1
+    (Helpers.count_instrs
+       (function Tac.Catch_entry (_, "Exception") -> true | _ -> false)
+       m)
+
+let test_virtual_vs_static_dispatch_kinds () =
+  let prog =
+    Helpers.load_tac
+      [ "class C { void inst() {} static void stat() {} \
+         void f() { inst(); stat(); this.inst(); C.stat(); } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/1" in
+  let kinds =
+    List.filter_map
+      (function
+        | Tac.Call { kind = Tac.Virtual; _ } -> Some "v"
+        | Tac.Call { kind = Tac.Static; _ } -> Some "s"
+        | _ -> None)
+      (Helpers.all_instrs m)
+  in
+  Alcotest.(check (list string)) "kinds" [ "v"; "s"; "v"; "s" ] kinds
+
+let test_array_ops () =
+  let prog =
+    Helpers.load_tac
+      [ "class C { int f() { int[] a = new int[3]; a[0] = 1; int n = a.length; \
+         return a[0] + n; } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/1" in
+  let count p = Helpers.count_instrs p m in
+  Alcotest.(check int) "newarray" 1
+    (count (function Tac.New_array _ -> true | _ -> false));
+  Alcotest.(check int) "astore" 1
+    (count (function Tac.Astore _ -> true | _ -> false));
+  Alcotest.(check int) "aload" 1
+    (count (function Tac.Aload _ -> true | _ -> false));
+  Alcotest.(check int) "arraylen" 1
+    (count (function Tac.Array_len _ -> true | _ -> false))
+
+let test_unknown_variable_error () =
+  match Helpers.load_tac [ "class C { void f() { x = 1; } }" ] with
+  | exception Lower.Lower_error _ -> ()
+  | _ -> Alcotest.fail "expected lowering error"
+
+let test_site_uniqueness () =
+  let prog =
+    Helpers.load_tac
+      [ "class C { void f() { Object a = new Object(); Object b = new Object(); } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/1" in
+  let sites =
+    List.filter_map
+      (function Tac.New (_, _, s) -> Some s | _ -> None)
+      (Helpers.all_instrs m)
+  in
+  Alcotest.(check int) "two allocation sites" 2
+    (List.length (List.sort_uniq compare sites));
+  List.iter
+    (fun s ->
+       match Program.site_info prog s with
+       | Some { Program.si_kind = Program.Alloc_site "Object"; _ } -> ()
+       | _ -> Alcotest.fail "bad site registry entry")
+    sites
+
+let test_switch_lowering () =
+  let prog =
+    Helpers.load_tac
+      [ "class C { int f(int x) { \
+           switch (x) { \
+             case 1: return 10; \
+             case 2: \
+             case 3: return 20; \
+             default: return 0; \
+           } } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/2" in
+  (* one Eq comparison per label, one Or for the shared case *)
+  Alcotest.(check int) "eq comparisons" 3
+    (Helpers.count_instrs
+       (function Tac.Binop (_, Ast.Eq, _, _) -> true | _ -> false)
+       m);
+  Alcotest.(check int) "or for shared labels" 1
+    (Helpers.count_instrs
+       (function Tac.Binop (_, Ast.Or, _, _) -> true | _ -> false)
+       m)
+
+let test_switch_on_string_flows () =
+  let prog =
+    Helpers.load_tac
+      [ {|class C {
+            String f(String mode, String payload) {
+              String out = "none";
+              switch (mode) {
+                case "echo": out = payload; break;
+                default: out = "other";
+              }
+              return out;
+            }
+          }|} ]
+  in
+  ignore (Helpers.find_method prog "C.f/3")
+
+let test_do_while_lowering () =
+  let prog =
+    Helpers.load_tac
+      [ "class C { int f(int n) { int s = 0; \
+         do { s = s + n; n = n - 1; } while (n > 0); return s; } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/2" in
+  (* the body block precedes the condition: entry jumps straight to it *)
+  Alcotest.(check bool) "has a backward branch" true
+    (Array.exists
+       (fun (b : Tac.block) ->
+          match b.Tac.term with Tac.If (_, t, _) -> t < 2 | _ -> false)
+       m.Tac.m_blocks)
+
+let test_switch_break_scoping () =
+  (* a continue inside a switch inside a loop targets the loop *)
+  let prog =
+    Helpers.load_tac
+      [ "class C { int f(int n) { int s = 0; \
+         for (int i = 0; i < n; i++) { \
+           switch (i) { case 0: continue; default: s = s + i; } \
+         } return s; } }" ]
+  in
+  ignore (Helpers.find_method prog "C.f/2")
+
+let suite =
+  [ Alcotest.test_case "simple method" `Quick test_simple_method;
+    Alcotest.test_case "switch lowering" `Quick test_switch_lowering;
+    Alcotest.test_case "switch on string" `Quick test_switch_on_string_flows;
+    Alcotest.test_case "do-while lowering" `Quick test_do_while_lowering;
+    Alcotest.test_case "switch break scoping" `Quick test_switch_break_scoping;
+    Alcotest.test_case "string + is strcat" `Quick test_string_concat_is_strcat;
+    Alcotest.test_case "string intrinsics" `Quick test_string_intrinsics;
+    Alcotest.test_case "new emits ctor call" `Quick test_new_emits_ctor_call;
+    Alcotest.test_case "default ctor" `Quick test_default_ctor_synthesized;
+    Alcotest.test_case "field initializers" `Quick test_field_initializers_in_ctor;
+    Alcotest.test_case "implicit super" `Quick test_implicit_super_call;
+    Alcotest.test_case "explicit super" `Quick test_explicit_super_suppresses_implicit;
+    Alcotest.test_case "static members" `Quick test_static_members;
+    Alcotest.test_case "field resolution" `Quick test_field_resolution_to_declaring_class;
+    Alcotest.test_case "try/catch handlers" `Quick test_try_catch_handlers;
+    Alcotest.test_case "dispatch kinds" `Quick test_virtual_vs_static_dispatch_kinds;
+    Alcotest.test_case "array ops" `Quick test_array_ops;
+    Alcotest.test_case "unknown variable" `Quick test_unknown_variable_error;
+    Alcotest.test_case "site uniqueness" `Quick test_site_uniqueness ]

@@ -1,0 +1,177 @@
+(* Parser unit tests: shapes of declarations, statements, expressions. *)
+
+open Jir
+open Jir.Ast
+
+let parse_class src =
+  match Parser.parse src with
+  | [ Class c ] -> c
+  | _ -> Alcotest.fail "expected a single class"
+
+let only_method c =
+  match c.c_methods with
+  | [ m ] -> m
+  | _ -> Alcotest.fail "expected a single method"
+
+let body m =
+  match m.md_body with
+  | Some b -> b
+  | None -> Alcotest.fail "expected a method body"
+
+let test_class_shape () =
+  let c =
+    parse_class
+      "public class Foo extends Bar implements A, B {\n\
+      \  private String name;\n\
+      \  static int count = 0;\n\
+      \  public Foo(String n) { this.name = n; }\n\
+      \  public String getName() { return name; }\n\
+       }"
+  in
+  Alcotest.(check string) "name" "Foo" c.c_name;
+  Alcotest.(check (option string)) "super" (Some "Bar") c.c_super;
+  Alcotest.(check (list string)) "ifaces" [ "A"; "B" ] c.c_ifaces;
+  Alcotest.(check int) "fields" 2 (List.length c.c_fields);
+  Alcotest.(check int) "ctors" 1 (List.length c.c_ctors);
+  Alcotest.(check int) "methods" 1 (List.length c.c_methods)
+
+let test_interface () =
+  match Parser.parse "interface I extends J { String f(int x); void g(); }" with
+  | [ Interface i ] ->
+    Alcotest.(check string) "name" "I" i.i_name;
+    Alcotest.(check (list string)) "supers" [ "J" ] i.i_supers;
+    Alcotest.(check int) "methods" 2 (List.length i.i_methods)
+  | _ -> Alcotest.fail "expected interface"
+
+let test_precedence () =
+  let c = parse_class "class C { int f() { return 1 + 2 * 3; } }" in
+  match body (only_method c) with
+  | [ { s = Return (Some { e = Binary (Add, _, { e = Binary (Mul, _, _); _ }); _ });
+       _ } ] -> ()
+  | _ -> Alcotest.fail "expected 1 + (2 * 3)"
+
+let test_cast_vs_paren () =
+  let c =
+    parse_class
+      "class C { void f(Object o, int a, int b) { String s = (String) o; int x = (a) + b; } }"
+  in
+  (match body (only_method c) with
+   | [ { s = Var_decl (_, "s", Some { e = Cast (Tclass "String", _); _ }); _ };
+       { s = Var_decl (_, "x", Some { e = Binary (Add, { e = Var "a"; _ }, _); _ });
+         _ } ] -> ()
+   | _ -> Alcotest.fail "cast/paren disambiguation failed")
+
+let test_string_concat () =
+  let c = parse_class {|class C { String f(String a) { return "x" + a + 1; } }|} in
+  match body (only_method c) with
+  | [ { s = Return (Some { e = Binary (Add, _, _); _ }); _ } ] -> ()
+  | _ -> Alcotest.fail "expected nested +"
+
+let test_call_forms () =
+  let c =
+    parse_class
+      "class C { void f(C o) { g(); o.g(); C.h(); this.g(); super.g(); } \
+       void g() {} static void h() {} }"
+  in
+  let stmts =
+    match c.c_methods with
+    | m :: _ -> body m
+    | [] -> Alcotest.fail "no methods"
+  in
+  let kinds =
+    List.filter_map
+      (fun s ->
+         match s.s with
+         | Expr { e = Call { recv; _ }; _ } ->
+           Some
+             (match recv with
+              | Implicit -> "implicit"
+              | On { e = Var _; _ } -> "on-var"
+              | On { e = This; _ } -> "on-this"
+              | On _ -> "on"
+              | Cls _ -> "static"
+              | Super -> "super")
+         | _ -> None)
+      stmts
+  in
+  Alcotest.(check (list string)) "call kinds"
+    [ "implicit"; "on-var"; "static"; "on-this"; "super" ] kinds
+
+let test_control_flow () =
+  let c =
+    parse_class
+      "class C { int f(int n) {\n\
+      \  int s = 0;\n\
+      \  for (int i = 0; i < n; i++) { s += i; }\n\
+      \  while (s > 100) { s = s - 1; if (s == 55) break; else continue; }\n\
+      \  return s; } }"
+  in
+  Alcotest.(check int) "stmt count" 4 (List.length (body (only_method c)))
+
+let test_try_catch () =
+  let c =
+    parse_class
+      "class C { void f() { try { g(); } catch (Exception e) { h(e); } \
+       catch (Error x) { } } void g() {} void h(Object o) {} }"
+  in
+  match body (List.hd c.c_methods) with
+  | [ { s = Try (_, clauses); _ } ] ->
+    Alcotest.(check (list string)) "exn classes" [ "Exception"; "Error" ]
+      (List.map (fun (cls, _, _) -> cls) clauses)
+  | _ -> Alcotest.fail "expected try"
+
+let test_new_and_arrays () =
+  let c =
+    parse_class
+      "class C { void f() { Object[] a = new Object[10]; a[0] = new C(); \
+       int n = a.length; Object o = a[0]; } }"
+  in
+  match body (only_method c) with
+  | [ { s = Var_decl (Tarray (Tclass "Object"), "a", Some { e = New_array _; _ }); _ };
+      { s = Expr { e = Assign ({ e = Array_index _; _ }, { e = New ("C", []); _ }); _ }; _ };
+      { s = Var_decl (Tint, "n", Some { e = Field_access (_, "length"); _ }); _ };
+      { s = Var_decl (_, "o", Some { e = Array_index _; _ }); _ } ] -> ()
+  | _ -> Alcotest.fail "array forms failed"
+
+let test_ternary_instanceof () =
+  let c =
+    parse_class
+      "class C { Object f(Object o) { return o instanceof C ? o : null; } }"
+  in
+  match body (only_method c) with
+  | [ { s = Return (Some { e = Cond ({ e = Instance_of _; _ }, _, _); _ }); _ } ] -> ()
+  | _ -> Alcotest.fail "ternary/instanceof failed"
+
+let test_super_ctor_chain () =
+  let c =
+    parse_class "class C extends D { C(int x) { super(x); } }"
+  in
+  match c.c_ctors with
+  | [ { cd_body = [ { s = Expr { e = Call { recv = Super; mname = "<init>"; args = [ _ ] }; _ }; _ } ]; _ } ] -> ()
+  | _ -> Alcotest.fail "super(...) chaining failed"
+
+let test_parse_errors () =
+  let fails src =
+    match Parser.parse src with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" src
+  in
+  fails "class {";
+  fails "class C { void f( { } }";
+  fails "class C { int x = ; }";
+  fails "interface I { void f() { } }";
+  fails "class C { void f() { try { } } }"
+
+let suite =
+  [ Alcotest.test_case "class shape" `Quick test_class_shape;
+    Alcotest.test_case "interface" `Quick test_interface;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "cast vs paren" `Quick test_cast_vs_paren;
+    Alcotest.test_case "string concat" `Quick test_string_concat;
+    Alcotest.test_case "call forms" `Quick test_call_forms;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "try/catch" `Quick test_try_catch;
+    Alcotest.test_case "new and arrays" `Quick test_new_and_arrays;
+    Alcotest.test_case "ternary and instanceof" `Quick test_ternary_instanceof;
+    Alcotest.test_case "super ctor chaining" `Quick test_super_ctor_chain;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors ]

@@ -1,0 +1,167 @@
+(* Pretty-printer round-trip tests: parse . print . parse = parse, checked
+   over the model JDK, the micro-benchmark corpus, every pattern generator
+   and random programs. *)
+
+open Jir
+
+(* structural AST equality modulo source positions *)
+let strip_positions_expr : Ast.expr -> Ast.expr =
+  let rec expr (e : Ast.expr) : Ast.expr = { Ast.e = node e.Ast.e; epos = Ast.dummy_pos }
+  and node = function
+    | Ast.Field_access (o, f) -> Ast.Field_access (expr o, f)
+    | Ast.Array_index (a, i) -> Ast.Array_index (expr a, expr i)
+    | Ast.Array_length a -> Ast.Array_length (expr a)
+    | Ast.Call { recv; mname; args } ->
+      Ast.Call
+        { recv =
+            (match recv with Ast.On o -> Ast.On (expr o) | r -> r);
+          mname;
+          args = List.map expr args }
+    | Ast.New (c, args) -> Ast.New (c, List.map expr args)
+    | Ast.New_array (t, l) -> Ast.New_array (t, expr l)
+    | Ast.New_array_init (t, es) -> Ast.New_array_init (t, List.map expr es)
+    | Ast.Binary (op, a, b) -> Ast.Binary (op, expr a, expr b)
+    | Ast.Unary (op, a) -> Ast.Unary (op, expr a)
+    | Ast.Cast (t, a) -> Ast.Cast (t, expr a)
+    | Ast.Instance_of (a, c) -> Ast.Instance_of (expr a, c)
+    | Ast.Assign (a, b) -> Ast.Assign (expr a, expr b)
+    | Ast.Cond (c, a, b) -> Ast.Cond (expr c, expr a, expr b)
+    | (Ast.Int_lit _ | Ast.Bool_lit _ | Ast.Str_lit _ | Ast.Char_lit _
+      | Ast.Null_lit | Ast.Var _ | Ast.This | Ast.Static_field _
+      | Ast.Class_lit _) as n -> n
+  in
+  expr
+
+(* bodies are normalized to blocks on both sides, since the printer braces
+   every control-flow body *)
+let rec strip_stmt (s : Ast.stmt) : Ast.stmt =
+  let as_block (b : Ast.stmt) : Ast.stmt =
+    let b = strip_stmt b in
+    match b.Ast.s with
+    | Ast.Block _ -> b
+    | _ -> { Ast.s = Ast.Block [ b ]; spos = Ast.dummy_pos }
+  in
+  let node =
+    match s.Ast.s with
+    | Ast.Block ss -> Ast.Block (List.map strip_stmt ss)
+    | Ast.Var_decl (t, n, i) ->
+      Ast.Var_decl (t, n, Option.map strip_positions_expr i)
+    | Ast.Expr e -> Ast.Expr (strip_positions_expr e)
+    | Ast.If (c, t, e) ->
+      Ast.If (strip_positions_expr c, as_block t, Option.map as_block e)
+    | Ast.While (c, b) -> Ast.While (strip_positions_expr c, as_block b)
+    | Ast.For (i, c, st, b) ->
+      Ast.For
+        ( Option.map strip_stmt i,
+          Option.map strip_positions_expr c,
+          Option.map strip_positions_expr st,
+          as_block b )
+    | Ast.Return e -> Ast.Return (Option.map strip_positions_expr e)
+    | Ast.Throw e -> Ast.Throw (strip_positions_expr e)
+    | Ast.Try (b, cls) ->
+      Ast.Try
+        ( List.map strip_stmt b,
+          List.map (fun (c, n, cb) -> (c, n, List.map strip_stmt cb)) cls )
+    | Ast.Switch (e, cases, default) ->
+      Ast.Switch
+        ( strip_positions_expr e,
+          List.map
+            (fun (labels, body) ->
+               (List.map strip_positions_expr labels, List.map strip_stmt body))
+            cases,
+          Option.map (List.map strip_stmt) default )
+    | Ast.Do_while (b, c) -> Ast.Do_while (as_block b, strip_positions_expr c)
+    | (Ast.Break | Ast.Continue | Ast.Empty) as n -> n
+  in
+  { Ast.s = node; spos = Ast.dummy_pos }
+
+let strip_decl (d : Ast.decl) : Ast.decl =
+  let strip_method (m : Ast.method_decl) =
+    { m with
+      Ast.md_body = Option.map (List.map strip_stmt) m.Ast.md_body;
+      md_pos = Ast.dummy_pos }
+  in
+  match d with
+  | Ast.Class c ->
+    Ast.Class
+      { c with
+        Ast.c_fields =
+          List.map
+            (fun (f : Ast.field_decl) ->
+               { f with
+                 Ast.f_init = Option.map strip_positions_expr f.Ast.f_init;
+                 f_pos = Ast.dummy_pos })
+            c.Ast.c_fields;
+        c_methods = List.map strip_method c.Ast.c_methods;
+        c_ctors =
+          List.map
+            (fun (k : Ast.ctor_decl) ->
+               { k with
+                 Ast.cd_body = List.map strip_stmt k.Ast.cd_body;
+                 cd_pos = Ast.dummy_pos })
+            c.Ast.c_ctors;
+        c_pos = Ast.dummy_pos }
+  | Ast.Interface i ->
+    Ast.Interface
+      { i with
+        Ast.i_methods = List.map strip_method i.Ast.i_methods;
+        i_pos = Ast.dummy_pos }
+
+let roundtrips src =
+  let cu1 = Parser.parse src in
+  let printed = Pretty.to_string cu1 in
+  match Parser.parse printed with
+  | cu2 -> List.map strip_decl cu1 = List.map strip_decl cu2
+  | exception e ->
+    Printf.printf "reparse failed: %s\nprinted:\n%s\n" (Printexc.to_string e)
+      printed;
+    false
+
+let test_roundtrip_jdk () =
+  List.iteri
+    (fun i src ->
+       Alcotest.(check bool) (Printf.sprintf "jdk unit %d" i) true
+         (roundtrips src))
+    Models.Jdklib.sources
+
+let test_roundtrip_securibench () =
+  List.iter
+    (fun (c : Workloads.Securibench.case) ->
+       Alcotest.(check bool) c.Workloads.Securibench.sb_name true
+         (roundtrips c.Workloads.Securibench.sb_source))
+    Workloads.Securibench.cases
+
+let test_roundtrip_patterns () =
+  let kinds =
+    List.map (fun (k, _, _) -> k) Workloads.Patterns.catalog
+    @ [ "thread"; "long-real"; "deep-carrier"; "ejb" ]
+  in
+  List.iteri
+    (fun i kind ->
+       let rng = Workloads.Rng.create (i + 5) in
+       let out = (Workloads.Patterns.find_gen kind) ~id:i ~rng in
+       Alcotest.(check bool) kind true
+         (roundtrips out.Workloads.Patterns.source))
+    kinds
+
+let test_roundtrip_corpus () =
+  List.iter
+    (fun path ->
+       let ic = open_in_bin path in
+       let src = really_input_string ic (in_channel_length ic) in
+       close_in ic;
+       Alcotest.(check bool) path true (roundtrips src))
+    [ "testdata/guestbook.mjava"; "testdata/filetool.mjava" ]
+
+let prop_roundtrip_random =
+  (* reuse the random control-flow generator from the SSA tests *)
+  QCheck.Test.make ~name:"random programs round-trip" ~count:100
+    Test_ssa.arb_program roundtrips
+
+let suite =
+  [ Alcotest.test_case "jdk round-trips" `Quick test_roundtrip_jdk;
+    Alcotest.test_case "securibench round-trips" `Quick
+      test_roundtrip_securibench;
+    Alcotest.test_case "patterns round-trip" `Quick test_roundtrip_patterns;
+    Alcotest.test_case "corpus round-trips" `Quick test_roundtrip_corpus;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random ]

@@ -1,0 +1,167 @@
+(* Living verification of the reproduction claims recorded in
+   EXPERIMENTS.md: the paper's qualitative results must hold on the
+   generated benchmark suite at test scale. *)
+
+open Core
+open Workloads
+
+let scale = 0.05
+
+let runs_for name =
+  Score.run_app ~scale (Option.get (Apps.find name))
+
+let result runs alg =
+  match List.find_opt (fun r -> r.Score.r_algorithm = alg) runs with
+  | Some r -> r
+  | None -> Alcotest.fail "missing configuration run"
+
+let classification r =
+  match r.Score.r_classification with
+  | Some c -> c
+  | None -> Alcotest.fail "configuration did not complete"
+
+(* §7.2: hybrid and CI agree on true positives (both sound); CI reports at
+   least as many issues *)
+let test_hybrid_ci_soundness_agreement () =
+  List.iter
+    (fun (a : Apps.app) ->
+       let runs = Score.run_app ~scale a in
+       let h = classification (result runs Config.Hybrid_unbounded) in
+       let ci = classification (result runs Config.Ci_thin_slicing) in
+       Alcotest.(check int)
+         (a.Apps.name ^ ": same true positives")
+         h.Score.true_positives ci.Score.true_positives;
+       Alcotest.(check bool)
+         (a.Apps.name ^ ": CI has at least as many false positives")
+         true
+         (ci.Score.false_positives >= h.Score.false_positives))
+    Apps.scored_apps
+
+(* §7.2: CS false negatives from cross-thread flows on BlueBlog (2), I (1) *)
+let test_cs_false_negatives () =
+  let blueblog = classification (result (runs_for "BlueBlog") Config.Cs_thin_slicing) in
+  Alcotest.(check int) "BlueBlog CS FNs" 2 blueblog.Score.false_negatives;
+  let i = classification (result (runs_for "I") Config.Cs_thin_slicing) in
+  Alcotest.(check int) "I CS FNs" 1 i.Score.false_negatives
+
+(* Table 3: CS fails on the large benchmarks, completes on the small ones *)
+let test_cs_completion_set () =
+  let completes name =
+    (result (runs_for name) Config.Cs_thin_slicing).Score.r_completed
+  in
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) (name ^ " completes") true (completes name))
+    [ "A"; "BlueBlog"; "Friki"; "I" ];
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) (name ^ " does not complete") false
+         (completes name))
+    [ "GridSphere"; "ST"; "Webgoat"; "B" ]
+
+(* §7.2: the optimized variant introduces exactly one new FN on BlueBlog
+   (the over-long real flow) *)
+let test_optimized_single_fn_on_blueblog () =
+  let runs = runs_for "BlueBlog" in
+  let prio = classification (result runs Config.Hybrid_prioritized) in
+  let opt = classification (result runs Config.Hybrid_optimized) in
+  Alcotest.(check int) "prioritized keeps all TPs" 0
+    prio.Score.false_negatives;
+  Alcotest.(check int) "optimized loses exactly one" 1
+    opt.Score.false_negatives
+
+(* accuracy ordering: CS >= optimized >= unbounded >= CI over the scored
+   aggregate (the paper's 0.54 / 0.35 / 0.22 ordering) *)
+let test_accuracy_ordering () =
+  let agg alg =
+    let tp, fp =
+      List.fold_left
+        (fun (tp, fp) (a : Apps.app) ->
+           match
+             (result (Score.run_app ~scale a) alg).Score.r_classification
+           with
+           | Some c ->
+             (tp + c.Score.true_positives, fp + c.Score.false_positives)
+           | None -> (tp, fp))
+        (0, 0) Apps.scored_apps
+    in
+    if tp + fp = 0 then 1.0 else float_of_int tp /. float_of_int (tp + fp)
+  in
+  let cs = agg Config.Cs_thin_slicing in
+  let hybrid = agg Config.Hybrid_unbounded in
+  let optimized = agg Config.Hybrid_optimized in
+  let ci = agg Config.Ci_thin_slicing in
+  Alcotest.(check bool) "cs >= optimized" true (cs >= optimized);
+  Alcotest.(check bool) "optimized >= hybrid" true (optimized >= hybrid);
+  Alcotest.(check bool) "hybrid > ci" true (hybrid > ci)
+
+(* §6.1: under the scaled budget, priority-driven construction finds more
+   true positives than chaotic iteration on the largest app *)
+let test_priority_beats_chaotic () =
+  let a = Option.get (Apps.find "GridSphere") in
+  let g = Apps.generate ~scale a in
+  let loaded = Taj.load (Codegen.to_input g) in
+  let truth = g.Codegen.g_truth in
+  let tp config =
+    match (Taj.run loaded config).Taj.result with
+    | Taj.Completed c ->
+      (Score.classify truth c.Taj.builder c.Taj.report).Score.true_positives
+    | Taj.Did_not_complete _ -> -1
+  in
+  let base = Config.preset ~scale Config.Hybrid_prioritized in
+  let budget = { base with Config.max_cg_nodes = Some 1000 } in
+  let tp_prio = tp budget in
+  let tp_fifo = tp { budget with Config.prioritized = false } in
+  Alcotest.(check bool)
+    (Printf.sprintf "priority (%d TPs) > chaotic (%d TPs)" tp_prio tp_fifo)
+    true (tp_prio > tp_fifo)
+
+(* §6.2.2: long flows are disproportionately false positives *)
+let test_flow_length_correlation () =
+  let short_t = ref 0 and short_f = ref 0 in
+  let long_t = ref 0 and long_f = ref 0 in
+  List.iter
+    (fun (a : Apps.app) ->
+       let g = Apps.generate ~scale a in
+       let loaded = Taj.load (Codegen.to_input g) in
+       match (Taj.run loaded (Config.preset ~scale Config.Hybrid_unbounded)).Taj.result with
+       | Taj.Completed c ->
+         List.iter
+           (fun fl ->
+              let m =
+                Sdg.Builder.node_meth c.Taj.builder
+                  fl.Flows.fl_sink.Sdg.Stmt.node
+              in
+              match
+                Ground_truth.attribute g.Codegen.g_truth
+                  ~cls:m.Jir.Tac.m_class ~meth:m.Jir.Tac.m_name
+              with
+              | Some p ->
+                let real = p.Ground_truth.p_real in
+                if fl.Flows.fl_length <= 8 then
+                  (if real then incr short_t else incr short_f)
+                else if real then incr long_t
+                else incr long_f
+              | None -> ())
+           c.Taj.report.Report.raw_flows
+       | Taj.Did_not_complete _ -> ())
+    Apps.scored_apps;
+  let rate t f = float_of_int !t /. float_of_int (max 1 (!t + !f)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "short TP rate (%.2f) > long TP rate (%.2f)"
+       (rate short_t short_f) (rate long_t long_f))
+    true
+    (rate short_t short_f > rate long_t long_f)
+
+let suite =
+  [ Alcotest.test_case "hybrid/CI soundness agreement" `Slow
+      test_hybrid_ci_soundness_agreement;
+    Alcotest.test_case "CS false negatives" `Slow test_cs_false_negatives;
+    Alcotest.test_case "CS completion set" `Slow test_cs_completion_set;
+    Alcotest.test_case "optimized FN on BlueBlog" `Slow
+      test_optimized_single_fn_on_blueblog;
+    Alcotest.test_case "accuracy ordering" `Slow test_accuracy_ordering;
+    Alcotest.test_case "priority beats chaotic" `Slow
+      test_priority_beats_chaotic;
+    Alcotest.test_case "flow length correlation" `Slow
+      test_flow_length_correlation ]

@@ -1,0 +1,87 @@
+(* Rule-matching unit tests: canonicalization through the hierarchy, sink
+   argument positions, per-rule sanitizers, priority seeding. *)
+
+open Core
+open Jir
+
+let table_of srcs =
+  let prog = Program.create () in
+  List.iter
+    (Lower.declare prog ~library:true)
+    (Lazy.force Models.Jdklib.units);
+  List.iter (fun s -> Lower.declare prog ~library:false (Parser.parse s)) srcs;
+  prog.Program.table
+
+let mref cls name arity = { Tac.rclass = cls; rname = name; rarity = arity }
+
+let test_canonicalization_through_subclass () =
+  let table =
+    table_of [ "class MyRequest extends HttpServletRequest { }" ]
+  in
+  let m = Rules.matcher table in
+  Alcotest.(check string) "subclass target resolves to declaring class"
+    "HttpServletRequest.getParameter/2"
+    (Rules.canonical m (mref "MyRequest" "getParameter" 2));
+  Alcotest.(check string) "unknown class stays as written" "Ghost.spook/1"
+    (Rules.canonical m (mref "Ghost" "spook" 1))
+
+let test_source_matching () =
+  let table = table_of [] in
+  let m = Rules.matcher table in
+  Alcotest.(check bool) "getParameter is an xss source" true
+    (Rules.source_of m Rules.xss (mref "HttpServletRequest" "getParameter" 2)
+     <> None);
+  Alcotest.(check bool) "getMessage is not an xss source" true
+    (Rules.source_of m Rules.xss (mref "Throwable" "getMessage" 1) = None);
+  Alcotest.(check bool) "getMessage is an info-leak source" true
+    (Rules.source_of m Rules.info_leak (mref "Throwable" "getMessage" 1)
+     <> None)
+
+let test_sink_positions () =
+  let table = table_of [] in
+  let m = Rules.matcher table in
+  Alcotest.(check bool) "println arg 1 is sensitive" true
+    (Rules.is_sink_arg m Rules.xss (mref "PrintWriter" "println" 2) 1);
+  Alcotest.(check bool) "println receiver is not" false
+    (Rules.is_sink_arg m Rules.xss (mref "PrintWriter" "println" 2) 0);
+  Alcotest.(check bool) "addHeader value is sensitive" true
+    (Rules.is_sink_arg m Rules.xss (mref "HttpServletResponse" "addHeader" 3) 2);
+  Alcotest.(check bool) "addHeader name is not" false
+    (Rules.is_sink_arg m Rules.xss (mref "HttpServletResponse" "addHeader" 3) 1)
+
+let test_sanitizers_per_rule () =
+  let table = table_of [] in
+  let m = Rules.matcher table in
+  let encode = mref "URLEncoder" "encode" 1 in
+  Alcotest.(check bool) "encode sanitizes xss" true
+    (Rules.is_sanitizer m Rules.xss encode);
+  Alcotest.(check bool) "encode does not sanitize sqli" false
+    (Rules.is_sanitizer m Rules.sqli encode);
+  let escape = mref "Sanitizer" "escapeSql" 1 in
+  Alcotest.(check bool) "escapeSql sanitizes sqli" true
+    (Rules.is_sanitizer m Rules.sqli escape);
+  Alcotest.(check bool) "escapeSql does not sanitize xss" false
+    (Rules.is_sanitizer m Rules.xss escape)
+
+let test_priority_seed_predicate () =
+  let table =
+    table_of [ "class MyRequest extends HttpServletRequest { }" ]
+  in
+  let m = Rules.matcher table in
+  let is_source = Rules.is_source_method_id Rules.default_rules m in
+  Alcotest.(check bool) "direct id" true
+    (is_source "HttpServletRequest.getParameter/2");
+  Alcotest.(check bool) "subclass id" true
+    (is_source "MyRequest.getParameter/2");
+  Alcotest.(check bool) "sink is not a source" false
+    (is_source "PrintWriter.println/2");
+  Alcotest.(check bool) "garbage id" false (is_source "not-a-method-id")
+
+let suite =
+  [ Alcotest.test_case "canonicalization" `Quick
+      test_canonicalization_through_subclass;
+    Alcotest.test_case "source matching" `Quick test_source_matching;
+    Alcotest.test_case "sink positions" `Quick test_sink_positions;
+    Alcotest.test_case "sanitizers per rule" `Quick test_sanitizers_per_rule;
+    Alcotest.test_case "priority seed predicate" `Quick
+      test_priority_seed_predicate ]

@@ -1,0 +1,193 @@
+(* Dependence-graph and report-layer tests: builder indexes, thin-slicing
+   base-pointer exclusion, LCP computation and report deduplication (§5). *)
+
+open Core
+
+let completed srcs algorithm =
+  let loaded =
+    Taj.load { Taj.name = "sdg"; app_sources = srcs; descriptor = "" }
+  in
+  match (Taj.run loaded (Config.preset algorithm)).Taj.result with
+  | Taj.Completed c -> c
+  | Taj.Did_not_complete r -> Alcotest.failf "did not complete: %s" r
+
+let test_base_pointer_excluded () =
+  (* tainting the BASE of a load must not taint the loaded value: x.f where
+     x is tainted-as-a-pointer does not make f's content tainted (thin
+     slicing ignores base-pointer dependence) *)
+  let c =
+    completed
+      [ {|class BPBox { String f; }
+          class P extends HttpServlet {
+            BPBox lookup(String key) { BPBox b = new BPBox(); b.f = "safe"; return b; }
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String k = req.getParameter("k");
+              BPBox box = this.lookup(k);
+              resp.getWriter().println(box.f);
+            }
+          }|} ]
+      Config.Hybrid_unbounded
+  in
+  Alcotest.(check int) "no issue through base pointer" 0
+    (Report.issue_count c.Taj.report)
+
+let test_lcp_groups_flows_to_same_sink_region () =
+  (* two parameters flowing into the same library call point with the same
+     issue type collapse into one report (§5) *)
+  let c =
+    completed
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String a = req.getParameter("a");
+              String b = req.getParameter("b");
+              resp.getWriter().println(a + b);
+            }
+          }|} ]
+      Config.Hybrid_unbounded
+  in
+  Alcotest.(check bool) "at least one flow" true
+    (Report.flow_count c.Taj.report >= 1);
+  Alcotest.(check int) "one deduplicated issue" 1
+    (Report.issue_count c.Taj.report)
+
+let test_lcp_distinct_issue_types_not_merged () =
+  (* same source, same LCP region, different issue types: both reported *)
+  let c =
+    completed
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String s = req.getParameter("q");
+              resp.getWriter().println(s);
+              Connection conn = DriverManager.getConnection("jdbc:x");
+              Statement st = conn.createStatement();
+              st.executeQuery(s);
+            }
+          }|} ]
+      Config.Hybrid_unbounded
+  in
+  let issues =
+    List.map (fun ir -> ir.Report.ir_issue) c.Taj.report.Report.issues
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "two issue types" 2 (List.length issues)
+
+let test_lcp_is_application_statement () =
+  let c = completed
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              resp.getWriter().println(req.getParameter("x"));
+            }
+          }|} ]
+      Config.Hybrid_unbounded
+  in
+  List.iter
+    (fun ir ->
+       match ir.Report.ir_lcp with
+       | Some lcp ->
+         let m = Sdg.Builder.node_meth c.Taj.builder lcp.Sdg.Stmt.node in
+         Alcotest.(check bool) "LCP lies in application code" false
+           m.Jir.Tac.m_library
+       | None -> Alcotest.fail "no LCP computed")
+    c.Taj.report.Report.issues
+
+let test_distinct_sinks_distinct_issues () =
+  (* distinct LCPs stay separate even with one source (p3 vs p4 of Fig. 3) *)
+  let c =
+    completed
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String s = req.getParameter("q");
+              PrintWriter w = resp.getWriter();
+              w.println("header: " + s);
+              w.println("footer: " + s);
+            }
+          }|} ]
+      Config.Hybrid_unbounded
+  in
+  Alcotest.(check int) "two issues for two sink stmts" 2
+    (Report.issue_count c.Taj.report)
+
+let test_flow_path_endpoints () =
+  let c = completed
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              resp.getWriter().println(req.getParameter("x"));
+            }
+          }|} ]
+      Config.Hybrid_unbounded
+  in
+  List.iter
+    (fun fl ->
+       (match Sdg.Builder.call_of c.Taj.builder fl.Flows.fl_source with
+        | Some call ->
+          Alcotest.(check string) "path starts at the source call"
+            "HttpServletRequest.getParameter/2"
+            (Jir.Tac.mref_id call.Jir.Tac.target)
+        | None -> Alcotest.fail "source is not a call");
+       (match Sdg.Builder.call_of c.Taj.builder fl.Flows.fl_sink with
+        | Some call ->
+          Alcotest.(check string) "path ends at the sink call"
+            "PrintWriter.println/2"
+            (Jir.Tac.mref_id call.Jir.Tac.target)
+        | None -> Alcotest.fail "sink is not a call"))
+    c.Taj.report.Report.raw_flows
+
+let test_heap_transition_budget_respected () =
+  let cells =
+    String.concat "\n"
+      (List.init 10 (fun i ->
+           Printf.sprintf "Cell c%d = new Cell(); c%d.v = c%d.v;" (i + 1)
+             (i + 1) i))
+  in
+  let src =
+    Printf.sprintf
+      {|class Cell { String v; }
+        class P extends HttpServlet {
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            Cell c0 = new Cell();
+            c0.v = req.getParameter("x");
+            %s
+            resp.getWriter().println(c10.v);
+          }
+        }|}
+      cells
+  in
+  (* with a tiny heap-transition cap the flow cannot complete *)
+  let loaded =
+    Taj.load { Taj.name = "sdg"; app_sources = [ src ]; descriptor = "" }
+  in
+  let config =
+    { (Config.preset Config.Hybrid_optimized) with
+      Config.max_heap_transitions = Some 3;
+      Config.max_flow_length = None;
+      Config.max_cg_nodes = None }
+  in
+  match (Taj.run loaded config).Taj.result with
+  | Taj.Completed c ->
+    Alcotest.(check int) "flow cut by heap budget" 0
+      (Report.issue_count c.Taj.report)
+  | Taj.Did_not_complete r -> Alcotest.failf "did not complete: %s" r
+
+let test_stmt_identity () =
+  let s1 = Sdg.Stmt.instr ~node:1 ~block:2 ~index:3 in
+  let s2 = Sdg.Stmt.instr ~node:1 ~block:2 ~index:3 in
+  let s3 = Sdg.Stmt.instr ~node:1 ~block:2 ~index:4 in
+  Alcotest.(check bool) "equal" true (Sdg.Stmt.equal s1 s2);
+  Alcotest.(check bool) "distinct" false (Sdg.Stmt.equal s1 s3);
+  Alcotest.(check int) "set semantics" 2
+    (Sdg.Stmt.Set.cardinal (Sdg.Stmt.Set.of_list [ s1; s2; s3 ]))
+
+let suite =
+  [ Alcotest.test_case "base pointer excluded" `Quick test_base_pointer_excluded;
+    Alcotest.test_case "lcp groups same region" `Quick
+      test_lcp_groups_flows_to_same_sink_region;
+    Alcotest.test_case "lcp keeps issue types apart" `Quick
+      test_lcp_distinct_issue_types_not_merged;
+    Alcotest.test_case "lcp in application code" `Quick
+      test_lcp_is_application_statement;
+    Alcotest.test_case "distinct sinks distinct issues" `Quick
+      test_distinct_sinks_distinct_issues;
+    Alcotest.test_case "flow path endpoints" `Quick test_flow_path_endpoints;
+    Alcotest.test_case "heap transition budget" `Quick
+      test_heap_transition_budget_respected;
+    Alcotest.test_case "stmt identity" `Quick test_stmt_identity ]

@@ -1,0 +1,36 @@
+(* Run every SecuriBench-Micro-style case and check the expected issue
+   count. One alcotest case per micro-benchmark keeps failures readable. *)
+
+open Workloads
+
+let check_case (c : Securibench.case) () =
+  let got = Securibench.run_case c in
+  Alcotest.(check int)
+    (Printf.sprintf "%s (%s)" c.Securibench.sb_name c.Securibench.sb_description)
+    c.Securibench.sb_expected got
+
+let test_expectations_vs_truth () =
+  (* the suite documents exactly which cases deviate from ground truth:
+     over-approximations (expected > vulnerable) and the control-dependence
+     blind spot (expected < vulnerable) *)
+  let over, under =
+    List.fold_left
+      (fun (over, under) (c : Securibench.case) ->
+         if c.Securibench.sb_expected > c.Securibench.sb_vulnerable then
+           (c.Securibench.sb_name :: over, under)
+         else if c.Securibench.sb_expected < c.Securibench.sb_vulnerable then
+           (over, c.Securibench.sb_name :: under)
+         else (over, under))
+      ([], []) Securibench.cases
+  in
+  Alcotest.(check (list string)) "documented over-approximations"
+    [ "StrongUpdates1"; "Factories2" ] over;
+  Alcotest.(check (list string)) "documented blind spots" [ "Pred1" ] under
+
+let suite =
+  Alcotest.test_case "expectations vs ground truth" `Quick
+    test_expectations_vs_truth
+  :: List.map
+       (fun (c : Securibench.case) ->
+          Alcotest.test_case c.Securibench.sb_name `Quick (check_case c))
+       Securibench.cases

@@ -1,0 +1,184 @@
+(* SSA construction tests: single-assignment property, phi placement,
+   dominance, plus qcheck properties over randomly generated control-flow
+   shapes. *)
+
+open Jir
+
+let single_assignment (m : Tac.meth) =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  let def v =
+    if Hashtbl.mem seen v then ok := false else Hashtbl.replace seen v ()
+  in
+  Array.iter
+    (fun (b : Tac.block) ->
+       List.iter (fun (p : Tac.phi) -> def p.Tac.phi_lhs) b.Tac.phis;
+       Array.iter (fun ins -> List.iter def (Tac.defs ins)) b.Tac.instrs)
+    m.Tac.m_blocks;
+  (* parameters are defined implicitly; they must not also be assigned *)
+  for p = 0 to m.Tac.m_arity - 1 do
+    if Hashtbl.mem seen p then ok := false
+  done;
+  !ok
+
+let check_ssa prog id =
+  let m = Helpers.find_method prog id in
+  Alcotest.(check bool) (id ^ " is SSA") true (single_assignment m)
+
+let test_straightline () =
+  let prog =
+    Helpers.load_program
+      [ "class C { int f(int a) { int x = a; x = x + 1; x = x + 2; return x; } }" ]
+  in
+  check_ssa prog "C.f/2"
+
+let test_diamond_phi () =
+  let prog =
+    Helpers.load_program
+      [ "class C { int f(int a) { int x = 0; if (a > 0) { x = 1; } else { x = 2; } \
+         return x; } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/2" in
+  Alcotest.(check bool) "ssa" true (single_assignment m);
+  let phis =
+    Array.to_list m.Tac.m_blocks
+    |> List.concat_map (fun (b : Tac.block) -> b.Tac.phis)
+  in
+  Alcotest.(check bool) "has a 2-ary phi" true
+    (List.exists (fun p -> List.length p.Tac.phi_args = 2) phis)
+
+let test_loop_phi () =
+  let prog =
+    Helpers.load_program
+      [ "class C { int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s = s + i; } \
+         return s; } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/2" in
+  Alcotest.(check bool) "ssa" true (single_assignment m);
+  let phi_count =
+    Array.to_list m.Tac.m_blocks
+    |> List.concat_map (fun (b : Tac.block) -> b.Tac.phis)
+    |> List.length
+  in
+  Alcotest.(check bool) "loop has phis" true (phi_count >= 2)
+
+let test_uses_have_defs () =
+  (* every used register must have a def (param, phi, or instruction) *)
+  let prog =
+    Helpers.load_program
+      [ "class C { int f(int n) { int s = 0; \
+         while (n > 0) { if (n == 1) { s = s + 1; } n = n - 1; } return s; } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/2" in
+  let defs = Ssa.def_sites m in
+  let check_use v =
+    Alcotest.(check bool)
+      (Printf.sprintf "use %%%d has def" v)
+      true (v < Array.length defs && defs.(v) <> None)
+  in
+  Array.iter
+    (fun (b : Tac.block) ->
+       List.iter
+         (fun (p : Tac.phi) ->
+            List.iter (fun (_, v) -> check_use v) p.Tac.phi_args)
+         b.Tac.phis;
+       Array.iter (fun ins -> List.iter check_use (Tac.uses ins)) b.Tac.instrs;
+       List.iter check_use (Tac.term_uses b.Tac.term))
+    m.Tac.m_blocks
+
+let test_catch_block_renamed () =
+  let prog =
+    Helpers.load_program
+      [ "class C { void g() {} String f() { String s = \"a\"; \
+         try { g(); s = \"b\"; } catch (Exception e) { return s; } return s; } }" ]
+  in
+  check_ssa prog "C.f/1"
+
+let test_dominance_basics () =
+  let prog =
+    Helpers.load_tac
+      [ "class C { int f(int a) { int x = 0; if (a > 0) { x = 1; } else { x = 2; } \
+         return x; } }" ]
+  in
+  let m = Helpers.find_method prog "C.f/2" in
+  let cfg = Cfg.compact m in
+  let dom = Dominance.compute cfg in
+  Alcotest.(check int) "entry self-dominates" 0 dom.Dominance.idom.(0);
+  for b = 0 to cfg.Cfg.nblocks - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "entry dominates B%d" b)
+      true
+      (Dominance.dominates dom 0 b)
+  done
+
+(* qcheck: generate nested if/while structures and check SSA invariants *)
+let gen_program =
+  let open QCheck.Gen in
+  let rec gen_stmt depth =
+    if depth <= 0 then
+      oneofl [ "x = x + 1;"; "y = x;"; "x = y + 2;"; "z = z + x;" ]
+    else
+      frequency
+        [ (3, oneofl [ "x = x + 1;"; "y = x + z;"; "z = y;" ]);
+          (2,
+           map2
+             (fun c body -> Printf.sprintf "if (x > %d) { %s }" c body)
+             (int_bound 10) (gen_stmt (depth - 1)));
+          (1,
+           map2
+             (fun c body ->
+                Printf.sprintf
+                  "int k%d = 0; while (k%d < 3) { k%d = k%d + 1; %s }"
+                  c c c c body)
+             (int_bound 9) (gen_stmt (depth - 1)));
+          (1,
+           map2
+             (fun a b -> a ^ " " ^ b)
+             (gen_stmt (depth - 1)) (gen_stmt (depth - 1))) ]
+  in
+  QCheck.Gen.map
+    (fun body ->
+       Printf.sprintf
+         "class G { int f(int x) { int y = 0; int z = 1; %s return x + y + z; } }"
+         body)
+    (gen_stmt 4)
+
+let arb_program = QCheck.make gen_program ~print:(fun s -> s)
+
+let prop_ssa_single_assignment =
+  QCheck.Test.make ~name:"random programs convert to valid SSA" ~count:100
+    arb_program (fun src ->
+        let prog = Helpers.load_program [ src ] in
+        let m = Helpers.find_method prog "G.f/2" in
+        single_assignment m)
+
+let prop_ssa_defs_total =
+  QCheck.Test.make ~name:"every use has a def after SSA" ~count:100
+    arb_program (fun src ->
+        let prog = Helpers.load_program [ src ] in
+        let m = Helpers.find_method prog "G.f/2" in
+        let defs = Ssa.def_sites m in
+        let ok = ref true in
+        Array.iter
+          (fun (b : Tac.block) ->
+             Array.iter
+               (fun ins ->
+                  List.iter
+                    (fun v -> if defs.(v) = None then ok := false)
+                    (Tac.uses ins))
+               b.Tac.instrs;
+             List.iter
+               (fun v -> if defs.(v) = None then ok := false)
+               (Tac.term_uses b.Tac.term))
+          m.Tac.m_blocks;
+        !ok)
+
+let suite =
+  [ Alcotest.test_case "straightline" `Quick test_straightline;
+    Alcotest.test_case "diamond phi" `Quick test_diamond_phi;
+    Alcotest.test_case "loop phi" `Quick test_loop_phi;
+    Alcotest.test_case "uses have defs" `Quick test_uses_have_defs;
+    Alcotest.test_case "catch block renamed" `Quick test_catch_block_renamed;
+    Alcotest.test_case "dominance basics" `Quick test_dominance_basics;
+    QCheck_alcotest.to_alcotest prop_ssa_single_assignment;
+    QCheck_alcotest.to_alcotest prop_ssa_defs_total ]

@@ -1,0 +1,150 @@
+(* Tests for the string-context diagnostics (§9 future-work extension). *)
+
+open Core
+
+let flows_of srcs =
+  let loaded =
+    Taj.load { Taj.name = "sc"; app_sources = srcs; descriptor = "" }
+  in
+  match (Taj.run loaded (Config.preset Config.Hybrid_unbounded)).Taj.result with
+  | Taj.Completed c -> (c.Taj.builder, c.Taj.report.Report.raw_flows)
+  | Taj.Did_not_complete r -> Alcotest.failf "did not complete: %s" r
+
+let the_template b flows =
+  match flows with
+  | fl :: _ ->
+    (match String_context.template_of b fl with
+     | Some t -> (fl, t)
+     | None -> Alcotest.fail "no template")
+  | [] -> Alcotest.fail "no flows"
+
+let test_template_reconstruction () =
+  let b, flows =
+    flows_of
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String s = req.getParameter("name");
+              resp.getWriter().println("<b>" + s + "</b>");
+            }
+          }|} ]
+  in
+  let _, t = the_template b flows in
+  (match t with
+   | [ String_context.Lit "<b>"; String_context.Tainted;
+       String_context.Lit "</b>" ] -> ()
+   | _ ->
+     Alcotest.failf "unexpected template: %a" String_context.pp_template t)
+
+let test_html_text_context () =
+  let b, flows =
+    flows_of
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              resp.getWriter().println("Hello, " + req.getParameter("n") + "!");
+            }
+          }|} ]
+  in
+  let _, t = the_template b flows in
+  Alcotest.(check bool) "text context" true
+    (String_context.html_context t = String_context.Html_text)
+
+let test_html_attribute_context () =
+  let b, flows =
+    flows_of
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String u = req.getParameter("u");
+              resp.getWriter().println("<a href=\"" + u + "\">link</a>");
+            }
+          }|} ]
+  in
+  let _, t = the_template b flows in
+  Alcotest.(check bool) "attribute context" true
+    (String_context.html_context t = String_context.Html_attribute)
+
+let test_sql_quoted_context () =
+  let b, flows =
+    flows_of
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String u = req.getParameter("u");
+              Connection c = DriverManager.getConnection("jdbc:x");
+              Statement st = c.createStatement();
+              st.executeQuery("SELECT * FROM t WHERE name='" + u + "'");
+            }
+          }|} ]
+  in
+  let fl, t =
+    the_template b
+      (List.filter (fun f -> f.Flows.fl_rule.Rules.issue = Rules.Sqli) flows)
+  in
+  ignore fl;
+  Alcotest.(check bool) "quoted sql" true
+    (String_context.sql_context t = String_context.Sql_quoted)
+
+let test_sql_raw_context () =
+  let b, flows =
+    flows_of
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String u = req.getParameter("id");
+              Connection c = DriverManager.getConnection("jdbc:x");
+              Statement st = c.createStatement();
+              st.executeQuery("SELECT * FROM t WHERE id=" + u);
+            }
+          }|} ]
+  in
+  let _, t =
+    the_template b
+      (List.filter (fun f -> f.Flows.fl_rule.Rules.issue = Rules.Sqli) flows)
+  in
+  Alcotest.(check bool) "raw sql" true
+    (String_context.sql_context t = String_context.Sql_raw)
+
+let test_hole_for_opaque_fragments () =
+  let b, flows =
+    flows_of
+      [ {|class P extends HttpServlet {
+            String now() { return Date.getDate(); }
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              String s = req.getParameter("n");
+              resp.getWriter().println(this.now() + ": " + s);
+            }
+          }|} ]
+  in
+  let _, t = the_template b flows in
+  Alcotest.(check bool) "has a hole" true
+    (List.exists (fun p -> p = String_context.Hole) t);
+  Alcotest.(check bool) "still finds taint" true
+    (List.exists (fun p -> p = String_context.Tainted) t)
+
+let test_diagnose_strings () =
+  let b, flows =
+    flows_of
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              resp.getWriter().println("<i>" + req.getParameter("n") + "</i>");
+            }
+          }|} ]
+  in
+  match flows with
+  | fl :: _ ->
+    (match String_context.diagnose b fl with
+     | Some d ->
+       Alcotest.(check bool) "mentions html context" true
+         (String.length d > 0
+          && String.sub d 0 4 = "HTML")
+     | None -> Alcotest.fail "no diagnosis")
+  | [] -> Alcotest.fail "no flows"
+
+let suite =
+  [ Alcotest.test_case "template reconstruction" `Quick
+      test_template_reconstruction;
+    Alcotest.test_case "html text context" `Quick test_html_text_context;
+    Alcotest.test_case "html attribute context" `Quick
+      test_html_attribute_context;
+    Alcotest.test_case "sql quoted context" `Quick test_sql_quoted_context;
+    Alcotest.test_case "sql raw context" `Quick test_sql_raw_context;
+    Alcotest.test_case "holes for opaque fragments" `Quick
+      test_hole_for_opaque_fragments;
+    Alcotest.test_case "diagnose" `Quick test_diagnose_strings ]

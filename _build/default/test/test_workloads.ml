@@ -1,0 +1,147 @@
+(* Workload-generator tests: determinism, spec derivation, ground-truth
+   attribution, and property tests over entire generated applications. *)
+
+open Workloads
+
+let test_rng_determinism () =
+  let a = Rng.of_string "seed" and b = Rng.of_string "seed" in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys;
+  let c = Rng.of_string "other" in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_bounds () =
+  let r = Rng.create 42 in
+  for _ = 1 to 500 do
+    let v = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_generation_deterministic () =
+  let a = Option.get (Apps.find "Friki") in
+  let g1 = Apps.generate ~scale:0.05 a in
+  let g2 = Apps.generate ~scale:0.05 a in
+  Alcotest.(check (list string)) "identical sources"
+    g1.Codegen.g_sources g2.Codegen.g_sources;
+  Alcotest.(check string) "identical descriptor"
+    g1.Codegen.g_descriptor g2.Codegen.g_descriptor;
+  Alcotest.(check int) "identical truth size"
+    (List.length g1.Codegen.g_truth) (List.length g2.Codegen.g_truth)
+
+let test_all_apps_have_specs () =
+  Alcotest.(check int) "22 applications" 22 (List.length Apps.table2);
+  Alcotest.(check int) "9 scored" 9 (List.length Apps.scored_apps);
+  List.iter
+    (fun (a : Apps.app) ->
+       let spec = Apps.spec_of ~scale:0.02 a in
+       Alcotest.(check bool)
+         (a.Apps.name ^ " has patterns") true
+         (spec.Codegen.sp_patterns <> []);
+       Alcotest.(check bool)
+         (a.Apps.name ^ " has cold mass") true
+         (spec.Codegen.sp_cold_classes >= 1))
+    Apps.table2
+
+let test_traits_applied () =
+  let blueblog = Option.get (Apps.find "BlueBlog") in
+  let spec = Apps.spec_of ~scale:0.05 blueblog in
+  Alcotest.(check bool) "BlueBlog has thread patterns" true
+    (List.mem_assoc "thread" spec.Codegen.sp_patterns);
+  Alcotest.(check bool) "BlueBlog has a long real flow" true
+    (List.mem_assoc "long-real" spec.Codegen.sp_patterns)
+
+let test_attribution () =
+  let truth =
+    [ { Ground_truth.p_id = 0; p_kind = "direct"; p_class = "C1";
+        p_sink_method = "emitR"; p_issue = Core.Rules.Xss; p_real = true };
+      { Ground_truth.p_id = 1; p_kind = "dict"; p_class = "C2";
+        p_sink_method = "emitF"; p_issue = Core.Rules.Xss; p_real = false } ]
+  in
+  (match Ground_truth.attribute truth ~cls:"C1" ~meth:"emitR" with
+   | Some p -> Alcotest.(check bool) "real" true p.Ground_truth.p_real
+   | None -> Alcotest.fail "attribution failed");
+  Alcotest.(check bool) "no match" true
+    (Ground_truth.attribute truth ~cls:"C1" ~meth:"emitF" = None);
+  Alcotest.(check int) "real count" 1 (Ground_truth.real_count truth);
+  Alcotest.(check int) "fake count" 1 (Ground_truth.fake_count truth)
+
+let test_every_pattern_kind_generates () =
+  let kinds =
+    List.map (fun (k, _, _) -> k) Patterns.catalog
+    @ [ "thread"; "long-real"; "deep-carrier"; "ejb" ]
+  in
+  List.iteri
+    (fun i kind ->
+       let rng = Rng.create (i + 1) in
+       let out = (Patterns.find_gen kind) ~id:i ~rng in
+       Alcotest.(check bool) (kind ^ " parses") true
+         (match Jir.Parser.parse out.Patterns.source with
+          | _ -> true
+          | exception _ -> false);
+       Alcotest.(check bool) (kind ^ " has ground truth") true
+         (out.Patterns.planted <> []))
+    kinds
+
+(* property: every generated app loads, analyzes and scores cleanly with no
+   unattributed issues, and the hybrid configuration misses no real flow *)
+let prop_generated_apps_analyze =
+  let arb =
+    QCheck.make
+      ~print:(fun (name, scale) -> Printf.sprintf "%s@%.3f" name scale)
+      QCheck.Gen.(
+        map2
+          (fun i s ->
+             ((List.nth Apps.table2 i).Apps.name,
+              0.01 +. float_of_int s *. 0.002))
+          (int_bound 21) (int_bound 10))
+  in
+  QCheck.Test.make ~name:"generated apps analyze cleanly" ~count:12 arb
+    (fun (name, scale) ->
+       let app = Option.get (Apps.find name) in
+       let g = Apps.generate ~scale app in
+       let loaded = Core.Taj.load (Codegen.to_input g) in
+       let analysis =
+         Core.Taj.run loaded
+           (Core.Config.preset ~scale Core.Config.Hybrid_unbounded)
+       in
+       match analysis.Core.Taj.result with
+       | Core.Taj.Did_not_complete _ -> false
+       | Core.Taj.Completed c ->
+         let cl = Score.classify g.Codegen.g_truth c.Core.Taj.builder
+             c.Core.Taj.report
+         in
+         cl.Score.unattributed = 0 && cl.Score.false_negatives = 0)
+
+let test_scoring_orders_algorithms () =
+  (* on an app with both trap kinds: CI reports at least as many issues as
+     hybrid, which reports at least as many as CS *)
+  let app = Option.get (Apps.find "SBM") in
+  let runs = Score.run_app ~scale:0.03 app in
+  let issues alg =
+    match List.find_opt (fun r -> r.Score.r_algorithm = alg) runs with
+    | Some r when r.Score.r_completed -> Some r.Score.r_issues
+    | _ -> None
+  in
+  match
+    ( issues Core.Config.Ci_thin_slicing,
+      issues Core.Config.Hybrid_unbounded )
+  with
+  | Some ci, Some hybrid ->
+    Alcotest.(check bool) "ci >= hybrid" true (ci >= hybrid)
+  | _ -> Alcotest.fail "configurations did not complete"
+
+let suite =
+  [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "generation deterministic" `Quick
+      test_generation_deterministic;
+    Alcotest.test_case "all apps have specs" `Quick test_all_apps_have_specs;
+    Alcotest.test_case "traits applied" `Quick test_traits_applied;
+    Alcotest.test_case "attribution" `Quick test_attribution;
+    Alcotest.test_case "every pattern generates" `Quick
+      test_every_pattern_kind_generates;
+    Alcotest.test_case "scoring orders algorithms" `Quick
+      test_scoring_orders_algorithms;
+    QCheck_alcotest.to_alcotest prop_generated_apps_analyze ]

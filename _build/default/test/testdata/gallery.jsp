@@ -1,0 +1,11 @@
+<html>
+<head><title>Gallery</title></head>
+<body>
+<%-- the album name is echoed without encoding: reflected XSS --%>
+<h1>Album: <%= request.getParameter("album") %></h1>
+<% String owner = request.getParameter("owner"); %>
+<% session.setAttribute("owner", owner); %>
+<p>Curated by <%= (String) session.getAttribute("owner") %></p>
+<p>Contact: <%= URLEncoder.encode(request.getParameter("contact")) %></p>
+</body>
+</html>
