@@ -1,0 +1,26 @@
+.PHONY: all build test bench fmt check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- all
+
+# dune build @fmt needs ocamlformat + an .ocamlformat file; skip gracefully
+# where the tool is absent so `make check` works in every environment
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not available; skipping format check"; \
+	fi
+
+check: build test fmt
+
+clean:
+	dune clean

@@ -41,6 +41,12 @@ let alg_label = function
   | Config.Cs_thin_slicing -> "CS"
   | Config.Ci_thin_slicing -> "CI"
 
+(* per-app fault isolation: one app whose generation or analysis raises
+   prints a failure row instead of killing the whole table *)
+let protect_app name f =
+  try f () with
+  | e -> Printf.printf "%-13s (failed: %s)\n" name (Printexc.to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -78,6 +84,7 @@ let table2 () =
     "version" "files" "class" "methods" "classes" "methods" "instrs" "lines";
   List.iter
     (fun (a : Apps.app) ->
+       protect_app a.Apps.name @@ fun () ->
        let g = Apps.generate ~scale:!scale a in
        let loaded = Taj.load (Codegen.to_input g) in
        let st = Jir.Program.stats loaded.Taj.program in
@@ -115,6 +122,7 @@ let table3 () =
   in
   List.iter
     (fun (a : Apps.app) ->
+       protect_app a.Apps.name @@ fun () ->
        let runs = Score.run_app ~scale:!scale a in
        let cell alg paper =
          match List.find_opt (fun r -> r.Score.r_algorithm = alg) runs with
@@ -151,6 +159,7 @@ let figure4 () =
   List.iter
     (fun (a : Apps.app) ->
        Printf.printf "\n--- %s ---\n" a.Apps.name;
+       protect_app a.Apps.name @@ fun () ->
        let runs = Score.run_app ~scale:!scale a in
        List.iter
          (fun (r : Score.run) ->
@@ -437,14 +446,14 @@ let scaling () =
   List.iter
     (fun s ->
        let g = Apps.generate ~scale:s a in
-       let t0 = Sys.time () in
+       let t0 = Unix.gettimeofday () in
        let loaded = Taj.load (Codegen.to_input g) in
-       let t_frontend = Sys.time () -. t0 in
+       let t_frontend = Unix.gettimeofday () -. t0 in
        let st = Jir.Program.stats loaded.Taj.program in
        let time_of alg =
-         let t1 = Sys.time () in
+         let t1 = Unix.gettimeofday () in
          match (Taj.run loaded (Config.preset ~scale:s alg)).Taj.result with
-         | Taj.Completed c -> (Sys.time () -. t1, c.Taj.cg_nodes)
+         | Taj.Completed c -> (Unix.gettimeofday () -. t1, c.Taj.cg_nodes)
          | Taj.Did_not_complete _ -> (nan, 0)
        in
        let t_hybrid, nodes = time_of Config.Hybrid_unbounded in

@@ -56,10 +56,9 @@ let app_name =
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let load_input ~name ~srcs ~descriptor_file =
   { Taj.name;
@@ -86,7 +85,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let emit_json builder (report : Report.t) =
+let issues_json builder (report : Report.t) =
   let issue_json (ir : Report.issue_report) =
     let stmt_str s = Fmt.str "%a" (Report.pp_stmt builder) s in
     let path =
@@ -106,8 +105,41 @@ let emit_json builder (report : Report.t) =
        | None -> "null")
       path
   in
-  Printf.printf "{\n  \"issues\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.map issue_json report.Report.issues))
+  String.concat ",\n" (List.map issue_json report.Report.issues)
+
+let degradation_json d =
+  Printf.sprintf "    { \"kind\": \"%s\", \"detail\": \"%s\" }"
+    (Diagnostics.kind_name d)
+    (json_escape (Fmt.str "%a" Diagnostics.pp_degradation d))
+
+let attempt_json (a : Supervisor.attempt) =
+  Printf.sprintf
+    "    { \"algorithm\": \"%s\", \"scale\": %g, \"outcome\": \"%s\", \
+     \"seconds\": %.3f }"
+    (Config.algorithm_name a.Supervisor.at_algorithm)
+    a.Supervisor.at_scale
+    (json_escape a.Supervisor.at_outcome)
+    a.Supervisor.at_seconds
+
+(* issues + the supervisor's diagnostics block; [builder] is absent exactly
+   when no attempt completed, in which case the report has no issues *)
+let emit_json ?builder (outcome : Supervisor.outcome) (report : Report.t) =
+  let issues =
+    match builder with Some b -> issues_json b report | None -> ""
+  in
+  Printf.printf
+    "{\n\
+    \  \"issues\": [\n%s\n  ],\n\
+    \  \"completeness\": \"%s\",\n\
+    \  \"diagnostics\": [\n%s\n  ],\n\
+    \  \"attempts\": [\n%s\n  ]\n\
+     }\n"
+    issues
+    (if Report.is_partial report then "partial" else "complete")
+    (String.concat ",\n"
+       (List.map degradation_json outcome.Supervisor.sv_diagnostics))
+    (String.concat ",\n"
+       (List.map attempt_json outcome.Supervisor.sv_attempts))
 
 let analyze_cmd =
   let json =
@@ -123,20 +155,51 @@ let analyze_cmd =
          & info [ "csrf" ]
              ~doc:"Also run the CSRF reachability check on GET handlers.")
   in
-  let run algorithm scale descriptor_file srcs json stats csrf =
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:
+               "Wall-clock deadline for the whole analysis. On expiry \
+                mid-phase the flows found so far are reported as a partial \
+                result (exit status 4).")
+  in
+  let no_degrade =
+    Arg.(value & flag
+         & info [ "no-degrade" ]
+             ~doc:
+               "Fail fast when a budget is exhausted instead of retrying \
+                with progressively stricter bounded configurations.")
+  in
+  let run algorithm scale descriptor_file srcs json stats csrf deadline
+      no_degrade =
     let input = load_input ~name:"cli" ~srcs ~descriptor_file in
-    let loaded =
-      match Taj.load input with
-      | loaded -> loaded
-      | exception Taj.Load_error msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 1
+    let options =
+      { Supervisor.default_options with
+        deadline;
+        degrade = not no_degrade;
+        scale }
     in
-    match Taj.run loaded (Config.preset ~scale algorithm) with
-    | { Taj.result = Taj.Did_not_complete reason; _ } ->
+    let outcome =
+      Supervisor.run ~options ~config:(Config.preset ~scale algorithm) input
+    in
+    let degradations = outcome.Supervisor.sv_diagnostics in
+    match outcome.Supervisor.sv_analysis with
+    | None ->
+      (* even the lenient frontend could not produce a program *)
+      Printf.eprintf "error: analysis could not start\n";
+      List.iter
+        (fun d -> Fmt.epr "  %a@." Diagnostics.pp_degradation d)
+        degradations;
+      if json then emit_json outcome outcome.Supervisor.sv_report;
+      exit 1
+    | Some { Taj.result = Taj.Did_not_complete reason; _ } ->
       Printf.eprintf "analysis did not complete: %s\n" reason;
+      List.iter
+        (fun d -> Fmt.epr "  %a@." Diagnostics.pp_degradation d)
+        degradations;
+      if json then emit_json outcome outcome.Supervisor.sv_report;
       exit 3
-    | { Taj.result = Taj.Completed c; _ } ->
+    | Some ({ Taj.result = Taj.Completed c; _ } as analysis) ->
       if stats then begin
         Printf.eprintf
           "call-graph: %d nodes, %d edges; pointer %.3fs, sdg %.3fs, \
@@ -144,7 +207,16 @@ let analyze_cmd =
           c.Taj.cg_nodes c.Taj.cg_edges c.Taj.times.Taj.t_pointer
           c.Taj.times.Taj.t_sdg c.Taj.times.Taj.t_taint
       end;
-      if json then emit_json c.Taj.builder c.Taj.report
+      (* supervisor-level events (downgrades etc.) that are not already
+         part of the report's partial block go to stderr *)
+      if degradations <> [] && not (Report.is_partial c.Taj.report) then begin
+        Printf.eprintf "analysis degraded (%d event(s)):\n"
+          (List.length degradations);
+        List.iter
+          (fun d -> Fmt.epr "  %a@." Diagnostics.pp_degradation d)
+          degradations
+      end;
+      if json then emit_json ~builder:c.Taj.builder outcome c.Taj.report
       else begin
         Fmt.pr "%a@." (Report.pp c.Taj.builder) c.Taj.report;
         (* string-context diagnostics where a template is recoverable *)
@@ -163,8 +235,8 @@ let analyze_cmd =
       let csrf_findings =
         if csrf then begin
           let fs =
-            Csrf.detect ~prog:loaded.Taj.program ~builder:c.Taj.builder
-              c.Taj.andersen
+            Csrf.detect ~prog:analysis.Taj.loaded.Taj.program
+              ~builder:c.Taj.builder c.Taj.andersen
           in
           List.iter
             (fun f -> Fmt.pr "%a@." (Csrf.pp_finding c.Taj.builder) f)
@@ -173,12 +245,25 @@ let analyze_cmd =
         end
         else 0
       in
+      if Report.is_partial c.Taj.report then exit 4;
       if Report.issue_count c.Taj.report > 0 || csrf_findings > 0 then exit 2
   in
   let doc = "Run taint analysis over MJava sources." in
-  Cmd.v (Cmd.info "analyze" ~doc)
+  let man =
+    [ `S Manpage.s_exit_status;
+      `P "0 on a clean, complete analysis with no findings.";
+      `P "1 if the sources could not be loaded at all.";
+      `P "2 if the analysis completed and reported issues.";
+      `P
+        "3 if no configuration on the degradation ladder completed \
+         (the CS fate on large applications).";
+      `P
+        "4 if the deadline expired mid-phase: the report holds the flows \
+         found so far and is explicitly partial." ]
+  in
+  Cmd.v (Cmd.info "analyze" ~doc ~man)
     Term.(const run $ algorithm $ scale $ descriptor_file $ sources $ json
-          $ stats $ csrf)
+          $ stats $ csrf $ deadline $ no_degrade)
 
 (* ------------------------------------------------------------------ *)
 (* dump-ir                                                            *)

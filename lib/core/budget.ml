@@ -1,0 +1,87 @@
+(** Wall-clock deadlines, step budgets and cancellation for one analysis
+    attempt.
+
+    The paper's bounded-analysis machinery (§6) caps *work* (call-graph
+    nodes, heap transitions); a production service additionally needs a
+    *time* ceiling that holds regardless of which phase is hot. A [Budget.t]
+    carries an absolute [Unix.gettimeofday] deadline, an optional global
+    step budget and a shared cancellation token. The long-running loops
+    poll it through {!exceeded}; the call is amortized so that the
+    [gettimeofday] syscall happens only once every [probe_mask + 1] polls. *)
+
+type t = {
+  started : float;
+  deadline : float option;           (* absolute wall-clock time *)
+  max_steps : int option;
+  cancel : bool ref;
+  mutable steps : int;
+  mutable polls : int;
+  mutable tripped : bool;            (* latches once exceeded *)
+  probe_mask : int;
+}
+
+type verdict = Ok | Deadline | Cancelled | Steps
+
+let create ?deadline ?max_steps ?(cancel = ref false) () =
+  let started = Unix.gettimeofday () in
+  { started;
+    deadline = Option.map (fun d -> started +. d) deadline;
+    max_steps;
+    cancel;
+    steps = 0;
+    polls = 0;
+    tripped = false;
+    probe_mask = 31 }
+
+let unlimited () = create ()
+
+let cancel t = t.cancel := true
+let cancelled t = !(t.cancel)
+
+let elapsed t = Unix.gettimeofday () -. t.started
+
+(* [>=] so a zero deadline counts as already expired even when the clock
+   has not visibly advanced since [create] *)
+let past_deadline t =
+  match t.deadline with
+  | Some d -> Unix.gettimeofday () >= d
+  | None -> false
+
+(* The full (unamortized) check; latches [tripped]. *)
+let status t : verdict =
+  if !(t.cancel) then begin
+    t.tripped <- true;
+    Cancelled
+  end
+  else if past_deadline t then begin
+    t.tripped <- true;
+    Deadline
+  end
+  else
+    match t.max_steps with
+    | Some m when t.steps > m ->
+      t.tripped <- true;
+      Steps
+    | _ -> Ok
+
+let exceeded t =
+  t.steps <- t.steps + 1;
+  t.polls <- t.polls + 1;
+  if t.tripped then true
+  else if !(t.cancel) then begin
+    t.tripped <- true;
+    true
+  end
+  else begin
+    (match t.max_steps with
+     | Some m when t.steps > m -> t.tripped <- true
+     | _ -> ());
+    if (not t.tripped)
+       && t.deadline <> None
+       && t.polls land t.probe_mask = 0
+       && past_deadline t
+    then t.tripped <- true;
+    t.tripped
+  end
+
+let tripped t = t.tripped

@@ -86,3 +86,23 @@ let preset ?(scale = 1.0) (algorithm : algorithm) : t =
 let all_algorithms =
   [ Hybrid_unbounded; Hybrid_prioritized; Hybrid_optimized;
     Cs_thin_slicing; Ci_thin_slicing ]
+
+(* The degradation ladder (§6): when a configuration exhausts its budget the
+   supervisor retries with progressively stricter bounded presets —
+   unbounded -> prioritized -> optimized -> optimized at shrinking scale.
+   The CS and CI emulations fall back onto the hybrid family, as the paper's
+   CS configuration does on large applications (Table 3). Each rung is
+   paired with the scale it was built at, for diagnostics. *)
+let degradation_ladder ?(scale = 1.0) (c : t) : (float * t) list =
+  let rungs =
+    [ (scale, preset ~scale Hybrid_prioritized);
+      (scale, preset ~scale Hybrid_optimized);
+      (scale /. 2., preset ~scale:(scale /. 2.) Hybrid_optimized);
+      (scale /. 4., preset ~scale:(scale /. 4.) Hybrid_optimized) ]
+  in
+  match c.algorithm with
+  | Hybrid_unbounded | Cs_thin_slicing | Ci_thin_slicing -> rungs
+  | Hybrid_prioritized -> List.tl rungs
+  | Hybrid_optimized ->
+    [ (scale /. 2., preset ~scale:(scale /. 2.) Hybrid_optimized);
+      (scale /. 4., preset ~scale:(scale /. 4.) Hybrid_optimized) ]

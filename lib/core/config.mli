@@ -35,3 +35,9 @@ val paper_nested_depth : int
 val preset : ?scale:float -> algorithm -> t
 
 val all_algorithms : algorithm list
+
+(** The §6 degradation ladder below a configuration: progressively stricter
+    bounded presets (prioritized, optimized, optimized at shrinking scale),
+    each paired with the scale it was built at. The supervisor walks this
+    when a rung exhausts its budget. *)
+val degradation_ladder : ?scale:float -> t -> (float * t) list

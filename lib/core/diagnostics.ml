@@ -1,0 +1,71 @@
+(** Structured degradation diagnostics for the resilient supervisor.
+
+    TAJ's defining engineering property is that it never "just dies" on a
+    large application: it trades precision for termination (§6). Every time
+    the pipeline gives something up — a deadline interrupting a phase, a
+    budget tripping, a rule failing, a downgrade to a stricter preset — the
+    event is recorded here instead of being collapsed into a boolean or an
+    exception, so partial results stay attributable. *)
+
+type phase = Frontend | Pointer | Sdg | Taint
+
+let phase_name = function
+  | Frontend -> "frontend"
+  | Pointer -> "pointer"
+  | Sdg -> "sdg"
+  | Taint -> "taint"
+
+type degradation =
+  | Deadline_expired of { phase : phase; elapsed : float }
+  | Cancelled of { phase : phase }
+  | Budget_exhausted of { phase : phase; what : string }
+  | Rule_failed of { rule : string; error : string }
+  | Unit_skipped of { index : int; error : string }
+  | Phase_fault of { phase : phase; error : string }
+  | Downgraded of {
+      from_alg : Config.algorithm;
+      to_alg : Config.algorithm;
+      to_scale : float;
+      reason : string;
+    }
+
+type t = { mutable rev_events : degradation list }
+
+let create () = { rev_events = [] }
+let record t d = t.rev_events <- d :: t.rev_events
+let events t = List.rev t.rev_events
+let count t = List.length t.rev_events
+let is_empty t = t.rev_events = []
+
+let pp_degradation ppf = function
+  | Deadline_expired { phase; elapsed } ->
+    Fmt.pf ppf "deadline expired during %s phase after %.3fs"
+      (phase_name phase) elapsed
+  | Cancelled { phase } ->
+    Fmt.pf ppf "cancelled during %s phase" (phase_name phase)
+  | Budget_exhausted { phase; what } ->
+    Fmt.pf ppf "%s budget exhausted during %s phase" what (phase_name phase)
+  | Rule_failed { rule; error } ->
+    Fmt.pf ppf "rule %s failed (%s); its flows are missing" rule error
+  | Unit_skipped { index; error } ->
+    Fmt.pf ppf "compilation unit %d skipped (%s)" index error
+  | Phase_fault { phase; error } ->
+    Fmt.pf ppf "fault during %s phase: %s" (phase_name phase) error
+  | Downgraded { from_alg; to_alg; to_scale; reason } ->
+    Fmt.pf ppf "downgraded %s -> %s (scale %.3f): %s"
+      (Config.algorithm_name from_alg) (Config.algorithm_name to_alg)
+      to_scale reason
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_degradation) (events t)
+
+(* A stable machine-readable tag per constructor, for the CLI's JSON
+   diagnostics block. *)
+let kind_name = function
+  | Deadline_expired _ -> "deadline-expired"
+  | Cancelled _ -> "cancelled"
+  | Budget_exhausted _ -> "budget-exhausted"
+  | Rule_failed _ -> "rule-failed"
+  | Unit_skipped _ -> "unit-skipped"
+  | Phase_fault _ -> "phase-fault"
+  | Downgraded _ -> "downgraded"

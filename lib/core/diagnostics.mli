@@ -1,0 +1,39 @@
+(** Structured degradation diagnostics for the resilient supervisor (§6):
+    every precision-for-termination trade the pipeline makes is recorded as
+    an event so partial results stay attributable. *)
+
+type phase = Frontend | Pointer | Sdg | Taint
+
+val phase_name : phase -> string
+
+type degradation =
+  | Deadline_expired of { phase : phase; elapsed : float }
+  | Cancelled of { phase : phase }
+  | Budget_exhausted of { phase : phase; what : string }
+  | Rule_failed of { rule : string; error : string }
+      (** the rule contributed no flows; the other rules still ran *)
+  | Unit_skipped of { index : int; error : string }
+      (** a compilation unit was dropped by the lenient frontend *)
+  | Phase_fault of { phase : phase; error : string }
+      (** an exception escaped a whole phase *)
+  | Downgraded of {
+      from_alg : Config.algorithm;
+      to_alg : Config.algorithm;
+      to_scale : float;
+      reason : string;
+    }  (** the supervisor retried one rung down the degradation ladder *)
+
+(** An append-only event log, recorded in arrival order. *)
+type t
+
+val create : unit -> t
+val record : t -> degradation -> unit
+val events : t -> degradation list
+val count : t -> int
+val is_empty : t -> bool
+
+val pp_degradation : Format.formatter -> degradation -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Stable machine-readable tag per constructor (for JSON output). *)
+val kind_name : degradation -> string

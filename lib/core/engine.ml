@@ -19,6 +19,10 @@ type outcome = {
   filtered_by_length : int;       (* flows dropped by the §6.2.2 bound *)
   rule_stats : rule_stats list;
   exhausted : bool;               (* some rule hit the step budget *)
+  interrupted : bool;             (* some rule was cut off by the deadline *)
+  rule_faults : Diagnostics.degradation list;
+      (* Rule_failed entries: rules whose slice raised; their flows are
+         missing but the other rules still ran (fault isolation) *)
 }
 
 let mode_of (config : Config.t) : Sdg.Tabulation.mode =
@@ -100,63 +104,90 @@ let dedup_path (path : Sdg.Stmt.t list) =
   in
   go path
 
-let run ~(prog : Program.t) ~(builder : Sdg.Builder.t)
+let run ?(interrupt = fun () -> false) ?(on_heap_transition = fun () -> ())
+    ~(prog : Program.t) ~(builder : Sdg.Builder.t)
     ~(heapgraph : Pointer.Heapgraph.t) ~(rules : Rules.rule list)
-    ~(config : Config.t) : outcome =
+    ~(config : Config.t) () : outcome =
   let m = Rules.matcher prog.Program.table in
   let mode = mode_of config in
   let filtered = ref 0 in
   let exhausted = ref false in
+  let interrupted = ref false in
+  let faults = ref [] in
   let stats = ref [] in
+  let run_rule rule =
+    let seeds = seeds_of builder m rule in
+    let carrier_sets =
+      carrier_sets_of builder heapgraph m rule
+        ~depth:config.Config.nested_taint_depth
+    in
+    let callbacks =
+      { Sdg.Tabulation.is_sink_arg =
+          (fun target i -> Rules.is_sink_arg m rule target i);
+        is_sanitizer = (fun target -> Rules.is_sanitizer m rule target);
+        carrier_sets }
+    in
+    let res =
+      Sdg.Tabulation.run ~interrupt ~on_heap_transition builder ~mode
+        ~callbacks ~seeds
+    in
+    if res.Sdg.Tabulation.exhausted then exhausted := true;
+    if res.Sdg.Tabulation.interrupted then interrupted := true;
+    stats :=
+      { rs_rule = rule.Rules.rule_name;
+        rs_seeds = List.length seeds;
+        rs_visited = res.Sdg.Tabulation.visited;
+        rs_heap_transitions = res.Sdg.Tabulation.heap_transitions;
+        rs_exhausted = res.Sdg.Tabulation.exhausted }
+      :: !stats;
+    List.filter_map
+      (fun (h : Sdg.Tabulation.hit) ->
+         let path =
+           dedup_path
+             (Sdg.Tabulation.path_of res h.Sdg.Tabulation.h_via
+              @ [ h.Sdg.Tabulation.h_sink ])
+         in
+         let fl =
+           { Flows.fl_rule = rule;
+             fl_source =
+               (match path with s :: _ -> s | [] -> h.Sdg.Tabulation.h_via);
+             fl_sink = h.Sdg.Tabulation.h_sink;
+             fl_sink_target = h.Sdg.Tabulation.h_sink_target;
+             fl_kind = h.Sdg.Tabulation.h_kind;
+             fl_path = path;
+             fl_length = List.length path }
+         in
+         match config.Config.max_flow_length with
+         | Some cap when fl.Flows.fl_length > cap ->
+           incr filtered;
+           None
+         | _ -> Some fl)
+      res.Sdg.Tabulation.hits
+  in
   let flows =
     List.concat_map
       (fun rule ->
-         let seeds = seeds_of builder m rule in
-         let carrier_sets =
-           carrier_sets_of builder heapgraph m rule
-             ~depth:config.Config.nested_taint_depth
-         in
-         let callbacks =
-           { Sdg.Tabulation.is_sink_arg =
-               (fun target i -> Rules.is_sink_arg m rule target i);
-             is_sanitizer = (fun target -> Rules.is_sanitizer m rule target);
-             carrier_sets }
-         in
-         let res = Sdg.Tabulation.run builder ~mode ~callbacks ~seeds in
-         if res.Sdg.Tabulation.exhausted then exhausted := true;
-         stats :=
-           { rs_rule = rule.Rules.rule_name;
-             rs_seeds = List.length seeds;
-             rs_visited = res.Sdg.Tabulation.visited;
-             rs_heap_transitions = res.Sdg.Tabulation.heap_transitions;
-             rs_exhausted = res.Sdg.Tabulation.exhausted }
-           :: !stats;
-         List.filter_map
-           (fun (h : Sdg.Tabulation.hit) ->
-              let path =
-                dedup_path
-                  (Sdg.Tabulation.path_of res h.Sdg.Tabulation.h_via
-                   @ [ h.Sdg.Tabulation.h_sink ])
-              in
-              let fl =
-                { Flows.fl_rule = rule;
-                  fl_source =
-                    (match path with s :: _ -> s | [] -> h.Sdg.Tabulation.h_via);
-                  fl_sink = h.Sdg.Tabulation.h_sink;
-                  fl_sink_target = h.Sdg.Tabulation.h_sink_target;
-                  fl_kind = h.Sdg.Tabulation.h_kind;
-                  fl_path = path;
-                  fl_length = List.length path }
-              in
-              match config.Config.max_flow_length with
-              | Some cap when fl.Flows.fl_length > cap ->
-                incr filtered;
-                None
-              | _ -> Some fl)
-           res.Sdg.Tabulation.hits)
+         (* fault isolation: a raising rule contributes no flows and a
+            diagnostic; the remaining rules still run *)
+         try run_rule rule with
+         | e ->
+           faults :=
+             Diagnostics.Rule_failed
+               { rule = rule.Rules.rule_name; error = Printexc.to_string e }
+             :: !faults;
+           stats :=
+             { rs_rule = rule.Rules.rule_name;
+               rs_seeds = 0;
+               rs_visited = 0;
+               rs_heap_transitions = 0;
+               rs_exhausted = true }
+             :: !stats;
+           [])
       rules
   in
   { flows;
     filtered_by_length = !filtered;
     rule_stats = List.rev !stats;
-    exhausted = !exhausted }
+    exhausted = !exhausted;
+    interrupted = !interrupted;
+    rule_faults = List.rev !faults }

@@ -15,15 +15,25 @@ type outcome = {
   filtered_by_length : int;       (** flows dropped by the §6.2.2 bound *)
   rule_stats : rule_stats list;
   exhausted : bool;               (** some rule hit the step budget *)
+  interrupted : bool;             (** some rule was cut off by the deadline *)
+  rule_faults : Diagnostics.degradation list;
+      (** [Rule_failed] entries: rules whose slice raised contribute no
+          flows, but the remaining rules still run (fault isolation) *)
 }
 
 (** Slicing mode implied by a configuration. *)
 val mode_of : Config.t -> Sdg.Tabulation.mode
 
+(** Run every rule. [interrupt]/[on_heap_transition] are threaded into the
+    slicer (deadline polling and fault injection). A rule that raises is
+    isolated: it contributes no flows plus a [Rule_failed] diagnostic. *)
 val run :
+  ?interrupt:(unit -> bool) ->
+  ?on_heap_transition:(unit -> unit) ->
   prog:Jir.Program.t ->
   builder:Sdg.Builder.t ->
   heapgraph:Pointer.Heapgraph.t ->
   rules:Rules.rule list ->
   config:Config.t ->
+  unit ->
   outcome

@@ -1,0 +1,64 @@
+(** Test-only fault-injection registry.
+
+    The resilience suite arms faults at named pipeline sites; the pipeline
+    calls {!tick} at those sites (parse of each unit, each Andersen
+    propagation, each SDG node scan, each tabulation step, each heap
+    transition). When an armed site reaches its trigger count the fault
+    fires: either an {!Injected} exception or a stall that burns wall-clock
+    time so deadline handling can be exercised deterministically.
+
+    The registry is global, mutable state — acceptable because it exists
+    purely for tests, which call {!reset} between cases. Production runs
+    never arm anything, so a tick is a single hashtable miss. *)
+
+exception Injected of string
+
+type action =
+  | Fail                             (** raise {!Injected} *)
+  | Stall of float                   (** sleep this many seconds, once *)
+
+type armed = {
+  a_site : string;
+  a_after : int;                     (* fire on the [a_after]-th tick *)
+  a_action : action;
+  a_once : bool;                     (* disarm after firing *)
+  mutable a_live : bool;             (* kept after firing so [fired] works *)
+  mutable a_count : int;
+  mutable a_fired : int;
+}
+
+let table : (string, armed) Hashtbl.t = Hashtbl.create 8
+
+(* Standard site names used by the pipeline. *)
+let site_parse = "parse"
+let site_andersen = "andersen"
+let site_sdg = "sdg"
+let site_tabulation = "tabulation"
+let site_heap = "heap-transition"
+
+let arm ?(once = true) ?(action = Fail) site ~after =
+  Hashtbl.replace table site
+    { a_site = site; a_after = max 1 after; a_action = action; a_once = once;
+      a_live = true; a_count = 0; a_fired = 0 }
+
+let disarm site = Hashtbl.remove table site
+let reset () = Hashtbl.reset table
+
+let fired site =
+  match Hashtbl.find_opt table site with
+  | Some a -> a.a_fired
+  | None -> 0
+
+let tick site =
+  match Hashtbl.find_opt table site with
+  | None -> ()
+  | Some a when not a.a_live -> ()
+  | Some a ->
+    a.a_count <- a.a_count + 1;
+    if a.a_count >= a.a_after then begin
+      a.a_fired <- a.a_fired + 1;
+      if a.a_once then a.a_live <- false else a.a_count <- 0;
+      match a.a_action with
+      | Fail -> raise (Injected a.a_site)
+      | Stall s -> Unix.sleepf s
+    end

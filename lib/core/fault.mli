@@ -1,0 +1,33 @@
+(** Test-only fault-injection registry. Tests arm faults at named pipeline
+    sites; the pipeline calls {!tick} at those sites and the fault fires on
+    the Nth tick. Production runs never arm anything, so ticks are a single
+    hashtable miss. Global state: call {!reset} between test cases. *)
+
+exception Injected of string
+
+type action =
+  | Fail                             (** raise {!Injected} *)
+  | Stall of float                   (** sleep this many seconds *)
+
+(** Pipeline site names: before parsing each unit, at each pointer-solver
+    poll, each SDG node scan, each tabulation step, each heap transition. *)
+
+val site_parse : string
+val site_andersen : string
+val site_sdg : string
+val site_tabulation : string
+val site_heap : string
+
+(** [arm site ~after] fires the fault on the [after]-th tick of [site].
+    [once] (default true) disarms after firing; otherwise the counter
+    restarts and the fault fires every [after] ticks. *)
+val arm : ?once:bool -> ?action:action -> string -> after:int -> unit
+
+val disarm : string -> unit
+val reset : unit -> unit
+
+(** How many times the fault at [site] has fired since it was armed. *)
+val fired : string -> int
+
+(** Called by the pipeline at each injection point. *)
+val tick : string -> unit

@@ -9,12 +9,18 @@ type issue_report = {
   ir_flow_count : int;
 }
 
+type completeness =
+  | Complete
+  | Partial of Diagnostics.degradation list
+
 type t = {
   issues : issue_report list;
   raw_flows : Flows.t list;
+  completeness : completeness;
 }
 
-let make (b : Sdg.Builder.t) (flows : Flows.t list) : t =
+let make ?(completeness = Complete) (b : Sdg.Builder.t)
+    (flows : Flows.t list) : t =
   let groups = Lcp.dedup b flows in
   { issues =
       List.map
@@ -24,10 +30,22 @@ let make (b : Sdg.Builder.t) (flows : Flows.t list) : t =
              ir_representative = g.Lcp.g_representative;
              ir_flow_count = List.length g.Lcp.g_members })
         groups;
-    raw_flows = flows }
+    raw_flows = flows;
+    completeness }
+
+(* A report with no flows at all — what the supervisor returns when every
+   rung of the degradation ladder failed: still a value, never an
+   exception. *)
+let empty ~completeness = { issues = []; raw_flows = []; completeness }
 
 let issue_count t = List.length t.issues
 let flow_count t = List.length t.raw_flows
+
+let is_partial t =
+  match t.completeness with Complete -> false | Partial _ -> true
+
+let degradations t =
+  match t.completeness with Complete -> [] | Partial ds -> ds
 
 let pp_stmt (b : Sdg.Builder.t) ppf (s : Sdg.Stmt.t) =
   let m = Sdg.Builder.node_meth b s.Sdg.Stmt.node in
@@ -57,4 +75,11 @@ let pp (b : Sdg.Builder.t) ppf (t : t) =
   Fmt.pf ppf "@[<v>%d issue(s) from %d flow(s)@,%a@]"
     (issue_count t) (flow_count t)
     (Fmt.list ~sep:Fmt.cut (pp_issue_report b))
-    t.issues
+    t.issues;
+  match t.completeness with
+  | Complete -> ()
+  | Partial ds ->
+    Fmt.pf ppf "@,@[<v2>PARTIAL RESULT — %d degradation(s):@,%a@]"
+      (List.length ds)
+      (Fmt.list ~sep:Fmt.cut Diagnostics.pp_degradation)
+      ds

@@ -7,14 +7,27 @@ type issue_report = {
   ir_flow_count : int;
 }
 
+(** Whether the flows in this report reflect a run to fixed point or a run
+    the supervisor had to cut short / degrade (§6 bounded analysis). *)
+type completeness =
+  | Complete
+  | Partial of Diagnostics.degradation list
+
 type t = {
   issues : issue_report list;
   raw_flows : Flows.t list;
+  completeness : completeness;
 }
 
-val make : Sdg.Builder.t -> Flows.t list -> t
+val make : ?completeness:completeness -> Sdg.Builder.t -> Flows.t list -> t
+
+(** A report with no flows at all (total degradation). *)
+val empty : completeness:completeness -> t
+
 val issue_count : t -> int
 val flow_count : t -> int
+val is_partial : t -> bool
+val degradations : t -> Diagnostics.degradation list
 
 val pp_stmt : Sdg.Builder.t -> Format.formatter -> Sdg.Stmt.t -> unit
 val pp_issue_report : Sdg.Builder.t -> Format.formatter -> issue_report -> unit

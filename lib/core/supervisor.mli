@@ -1,0 +1,52 @@
+(** Resilient analysis supervisor (§6): run the pipeline under a wall-clock
+    deadline, degrade precision instead of dying, and contain every fault.
+
+    {!run} never raises. Its outcome always carries a report — at worst an
+    empty [Partial] one whose diagnostics explain what went wrong. *)
+
+type options = {
+  deadline : float option;    (** wall-clock seconds for the whole run *)
+  degrade : bool;             (** walk the ladder on budget exhaustion *)
+  scale : float;              (** scale the ladder's presets are built at *)
+  cancel : bool ref;          (** shared cooperative cancellation token *)
+}
+
+(** No deadline, degradation enabled, scale 1.0, fresh token. *)
+val default_options : options
+
+(** One rung of the ladder that actually executed. *)
+type attempt = {
+  at_algorithm : Config.algorithm;
+  at_scale : float;
+  at_outcome : string;        (** ["completed"] or the failure reason *)
+  at_seconds : float;
+}
+
+type outcome = {
+  sv_analysis : Taj.analysis option;
+      (** the last attempt's analysis ([None] only if loading itself
+          faulted); [Completed] here may still hold a [Partial] report *)
+  sv_report : Report.t;
+      (** always present: the completed attempt's report, or an empty
+          [Partial] one carrying the diagnostics *)
+  sv_diagnostics : Diagnostics.degradation list;
+      (** every event across all attempts, downgrades included *)
+  sv_attempts : attempt list; (** in execution order *)
+  sv_elapsed : float;         (** wall-clock seconds for the whole run *)
+}
+
+(** The completed attempt's report, if any rung completed. *)
+val completed_report : outcome -> Report.t option
+
+(** [true] iff anything at all went wrong (= diagnostics are non-empty). *)
+val degraded : outcome -> bool
+
+(** Load leniently, then walk the degradation ladder from [config]
+    (default: unbounded hybrid) until an attempt completes, the deadline
+    expires, or the ladder is exhausted. Never raises. *)
+val run :
+  ?rules:Rules.rule list ->
+  ?options:options ->
+  ?config:Config.t ->
+  Taj.input ->
+  outcome

@@ -28,6 +28,8 @@ type loaded = {
   program : Program.t;
   reflection_stats : Models.Reflection.stats;
   synthesized_sources : int;        (** getMessage sources from catch blocks *)
+  skipped_units : (int * string) list;
+      (** units dropped by the lenient frontend (index, error) *)
   frontend_seconds : float;
 }
 
@@ -47,6 +49,8 @@ type completed = {
   cg_nodes : int;
   cg_edges : int;
   times : phase_times;
+  diagnostics : Diagnostics.degradation list;
+      (** degradations recorded during this run (also in the report) *)
 }
 
 type result =
@@ -76,13 +80,37 @@ let wrap_frontend_errors name f =
     raise (Load_error (Fmt.str "%s: unknown class %s" name c))
   | Classtable.Hierarchy_error msg -> raise (Load_error (name ^ ": " ^ msg))
 
-(** Parse, lower, synthesize and rewrite. Configuration-independent. *)
-let load (input : input) : loaded =
+(* Wall-clock (monotonic enough for phase attribution): CPU time is
+   meaningless under deadlines, which are wall-clock by definition. *)
+let now = Unix.gettimeofday
+
+(** Parse, lower, synthesize and rewrite. Configuration-independent.
+    With [lenient] (the supervisor's mode), a unit that fails to lex/parse
+    is skipped and recorded in [skipped_units] instead of failing the whole
+    load — frontend fault isolation. *)
+let load ?(lenient = false) (input : input) : loaded =
   wrap_frontend_errors input.name @@ fun () ->
-  let t0 = Sys.time () in
+  let t0 = now () in
   let prog = Program.create () in
   let jdk_units = Lazy.force Models.Jdklib.units in
-  let app_units = List.map Parser.parse input.app_sources in
+  let skipped = ref [] in
+  let app_units =
+    List.concat
+      (List.mapi
+         (fun i src ->
+            match
+              Fault.tick Fault.site_parse;
+              Parser.parse src
+            with
+            | u -> [ u ]
+            | exception
+                ((Lexer.Lex_error _ | Parser.Parse_error _ | Fault.Injected _)
+                 as e)
+              when lenient ->
+              skipped := (i, Printexc.to_string e) :: !skipped;
+              [])
+         input.app_sources)
+  in
   List.iter (Lower.declare prog ~library:true) jdk_units;
   List.iter (Lower.declare prog ~library:false) app_units;
   (* framework synthesis needs declarations but not bodies *)
@@ -108,9 +136,10 @@ let load (input : input) : loaded =
     program = prog;
     reflection_stats;
     synthesized_sources;
-    frontend_seconds = Sys.time () -. t0 }
+    skipped_units = List.rev !skipped;
+    frontend_seconds = now () -. t0 }
 
-let pointer_config (loaded : loaded) (config : Config.t)
+let pointer_config ~interrupt (loaded : loaded) (config : Config.t)
     (rules : Rules.rule list) : Pointer.Andersen.config =
   let m = Rules.matcher loaded.program.Program.table in
   let taint_api id = Rules.is_source_method_id rules m id in
@@ -134,48 +163,140 @@ let pointer_config (loaded : loaded) (config : Config.t)
     max_work =
       (match config.Config.algorithm with
        | Config.Cs_thin_slicing -> config.Config.cs_budget
-       | _ -> None) }
+       | _ -> None);
+    interrupt }
 
-(** Run the configured analysis over a loaded program. *)
-let run ?(rules = Rules.default_rules) (loaded : loaded) (config : Config.t) :
-  analysis =
-  let t_start = Sys.time () in
+(* Why did the shared budget stop a phase? Record the matching event. *)
+let record_budget_stop (diagnostics : Diagnostics.t) (budget : Budget.t)
+    (phase : Diagnostics.phase) =
+  match Budget.status budget with
+  | Budget.Cancelled -> Diagnostics.record diagnostics (Cancelled { phase })
+  | Budget.Steps ->
+    Diagnostics.record diagnostics
+      (Budget_exhausted { phase; what = "global step" })
+  | Budget.Deadline | Budget.Ok ->
+    Diagnostics.record diagnostics
+      (Deadline_expired { phase; elapsed = Budget.elapsed budget })
+
+(** Run the configured analysis over a loaded program.
+
+    [budget] supplies the wall-clock deadline / cancellation token; it is
+    polled cooperatively in every long-running loop, and an expiry
+    mid-phase yields whatever flows were already found as a [Partial]
+    report rather than an exception. A phase that raises is converted to
+    [Did_not_complete] with a recorded [Phase_fault], so the supervisor can
+    walk the degradation ladder. New degradations are appended to
+    [diagnostics] (shared across supervisor attempts). *)
+let run ?(rules = Rules.default_rules) ?budget ?diagnostics (loaded : loaded)
+    (config : Config.t) : analysis =
+  let budget =
+    match budget with Some b -> b | None -> Budget.unlimited ()
+  in
+  let diagnostics =
+    match diagnostics with Some d -> d | None -> Diagnostics.create ()
+  in
+  let mark = Diagnostics.count diagnostics in
+  let events_since_mark () =
+    List.filteri (fun i _ -> i >= mark) (Diagnostics.events diagnostics)
+  in
+  let fail reason = { loaded; config; rules; result = Did_not_complete reason } in
+  let fault phase e =
+    Diagnostics.record diagnostics
+      (Phase_fault { phase; error = Printexc.to_string e });
+    fail
+      (Fmt.str "%s phase fault: %s" (Diagnostics.phase_name phase)
+         (Printexc.to_string e))
+  in
+  List.iter
+    (fun (index, error) ->
+       Diagnostics.record diagnostics (Unit_skipped { index; error }))
+    loaded.skipped_units;
+  let interrupt () = Budget.exceeded budget in
+  let t_start = now () in
   match
-    Pointer.Andersen.run ~config:(pointer_config loaded config rules)
+    Pointer.Andersen.run
+      ~config:
+        (pointer_config
+           ~interrupt:(fun () ->
+             Fault.tick Fault.site_andersen;
+             interrupt ())
+           loaded config rules)
       loaded.program
   with
   | exception Pointer.Andersen.Out_of_budget ->
-    { loaded; config; rules;
-      result = Did_not_complete "pointer analysis exceeded its budget" }
+    Diagnostics.record diagnostics
+      (Budget_exhausted { phase = Pointer; what = "propagation" });
+    fail "pointer analysis exceeded its budget"
+  | exception e -> fault Pointer e
   | andersen ->
-    let t_pointer = Sys.time () -. t_start in
-    let t1 = Sys.time () in
-    let builder = Sdg.Builder.build loaded.program andersen in
-    let heapgraph = Pointer.Heapgraph.build andersen in
-    let t_sdg = Sys.time () -. t1 in
-    let t2 = Sys.time () in
-    let outcome =
-      Engine.run ~prog:loaded.program ~builder ~heapgraph ~rules ~config
-    in
-    let t_taint = Sys.time () -. t2 in
-    if outcome.Engine.exhausted
-       && config.Config.algorithm = Config.Cs_thin_slicing
-    then
-      { loaded; config; rules;
-        result = Did_not_complete "slicing exceeded the CS memory budget" }
-    else begin
-      let report = Report.make builder outcome.Engine.flows in
-      let cg = Pointer.Andersen.call_graph andersen in
-      { loaded; config; rules;
-        result =
-          Completed
-            { report; outcome; andersen; builder; heapgraph;
-              cg_nodes = Pointer.Callgraph.node_count cg;
-              cg_edges = Pointer.Callgraph.edge_count cg;
-              times =
-                { t_pointer; t_sdg; t_taint;
-                  t_total = Sys.time () -. t_start } } }
-    end
+    if Pointer.Andersen.interrupted andersen then
+      record_budget_stop diagnostics budget Pointer;
+    let t_pointer = now () -. t_start in
+    let t1 = now () in
+    (match
+       let builder =
+         Sdg.Builder.build
+           ~interrupt:(fun () ->
+             Fault.tick Fault.site_sdg;
+             interrupt ())
+           loaded.program andersen
+       in
+       (builder, Pointer.Heapgraph.build andersen)
+     with
+     | exception e -> fault Sdg e
+     | builder, heapgraph ->
+       if Sdg.Builder.interrupted builder then
+         record_budget_stop diagnostics budget Sdg;
+       let t_sdg = now () -. t1 in
+       let t2 = now () in
+       (match
+          Engine.run
+            ~interrupt:(fun () ->
+              Fault.tick Fault.site_tabulation;
+              interrupt ())
+            ~on_heap_transition:(fun () -> Fault.tick Fault.site_heap)
+            ~prog:loaded.program ~builder ~heapgraph ~rules ~config ()
+        with
+        | exception e -> fault Taint e
+        | outcome ->
+          if outcome.Engine.interrupted then
+            record_budget_stop diagnostics budget Taint;
+          List.iter
+            (Diagnostics.record diagnostics)
+            outcome.Engine.rule_faults;
+          let t_taint = now () -. t2 in
+          if outcome.Engine.exhausted
+             && (not outcome.Engine.interrupted)
+             && config.Config.algorithm = Config.Cs_thin_slicing
+          then begin
+            Diagnostics.record diagnostics
+              (Budget_exhausted { phase = Taint; what = "CS memory" });
+            fail "slicing exceeded the CS memory budget"
+          end
+          else begin
+            match
+              let run_events = events_since_mark () in
+              let completeness =
+                if run_events = [] then Report.Complete
+                else Report.Partial run_events
+              in
+              ( Report.make ~completeness builder outcome.Engine.flows,
+                run_events )
+            with
+            | exception e -> fault Taint e
+            | report, run_events ->
+              let cg = Pointer.Andersen.call_graph andersen in
+              { loaded; config; rules;
+                result =
+                  Completed
+                    { report; outcome; andersen; builder; heapgraph;
+                      cg_nodes = Pointer.Callgraph.node_count cg;
+                      cg_edges = Pointer.Callgraph.edge_count cg;
+                      times =
+                        { t_pointer; t_sdg; t_taint;
+                          t_total = now () -. t_start };
+                      diagnostics = run_events } }
+          end))
 
 (** Convenience: load and analyze in one call. *)
 let analyze ?rules ?(config = Config.preset Config.Hybrid_unbounded)

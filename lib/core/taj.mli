@@ -19,6 +19,8 @@ type loaded = {
   program : Jir.Program.t;
   reflection_stats : Models.Reflection.stats;
   synthesized_sources : int;        (** getMessage sources from catches *)
+  skipped_units : (int * string) list;
+      (** units dropped by the lenient frontend (index, error) *)
   frontend_seconds : float;
 }
 
@@ -38,6 +40,8 @@ type completed = {
   cg_nodes : int;
   cg_edges : int;
   times : phase_times;
+  diagnostics : Diagnostics.degradation list;
+      (** degradations recorded during this run (also in the report) *)
 }
 
 type result =
@@ -56,9 +60,22 @@ type analysis = {
 (** Raised on malformed input with a human-readable location. *)
 exception Load_error of string
 
-val load : input -> loaded
+(** With [lenient] (the supervisor's mode), a unit that fails to lex/parse
+    is skipped and recorded in [skipped_units] instead of failing the
+    whole load. *)
+val load : ?lenient:bool -> input -> loaded
 
-val run : ?rules:Rules.rule list -> loaded -> Config.t -> analysis
+(** [budget] supplies the wall-clock deadline / cancellation token, polled
+    cooperatively in every long-running loop; an expiry mid-phase yields a
+    [Partial] report with whatever flows were already found. A phase that
+    raises becomes [Did_not_complete] with a recorded [Phase_fault]. New
+    degradations are appended to [diagnostics] (shareable across
+    supervisor attempts). *)
+val run :
+  ?rules:Rules.rule list ->
+  ?budget:Budget.t ->
+  ?diagnostics:Diagnostics.t ->
+  loaded -> Config.t -> analysis
 
 (** [load] + [run]. *)
 val analyze : ?rules:Rules.rule list -> ?config:Config.t -> input -> analysis

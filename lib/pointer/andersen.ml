@@ -26,6 +26,10 @@ type config = {
   max_work : int option;
       (** hard budget on propagation steps; exceeding it aborts the analysis
           (models the memory exhaustion of the CS configuration) *)
+  interrupt : unit -> bool;
+      (** cooperative cancellation/deadline poll: when it returns [true] the
+          solver stops cleanly and the partial result (an
+          underapproximation, like a tripped node budget) is returned *)
 }
 
 exception Out_of_budget
@@ -36,7 +40,8 @@ let default_config ?(policy = Policy.default ()) () =
     prioritized = false;
     is_source_method = (fun _ -> false);
     excluded_class = (fun _ -> false);
-    max_work = None }
+    max_work = None;
+    interrupt = (fun () -> false) }
 
 (* A virtual (or special) call waiting for receiver points-to facts. *)
 type vcall = {
@@ -66,6 +71,7 @@ type t = {
   u : Keys.universe;
   cg : Callgraph.t;
   cfg : config;
+  mutable interrupted : bool;                          (* stopped by cfg.interrupt *)
   mutable pts : Int_set.t array;                       (* pk -> iks *)
   mutable succ : (int * string option) list array;     (* pk -> edges *)
   edge_seen : (int * int * string option, unit) Hashtbl.t;
@@ -592,8 +598,19 @@ let add_node_constraints t node =
 (* Solving                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Poll the cooperative interrupt; once true it latches, so a tripped
+   deadline stops every later loop too. *)
+let interrupted_now t =
+  t.interrupted
+  ||
+  if t.cfg.interrupt () then begin
+    t.interrupted <- true;
+    true
+  end
+  else false
+
 let solve t =
-  while not (Queue.is_empty t.work) do
+  while not (Queue.is_empty t.work) && not (interrupted_now t) do
     let p = Queue.pop t.work in
     t.dirty.(p) <- false;
     t.stats.propagations <- t.stats.propagations + 1;
@@ -659,6 +676,7 @@ let create ?(config : config option) (prog : Program.t) : t =
     u = Keys.create_universe ();
     cg = Callgraph.create ();
     cfg;
+    interrupted = false;
     pts = Array.make 1024 Int_set.empty;
     succ = Array.make 1024 [];
     edge_seen = Hashtbl.create 4096;
@@ -694,14 +712,16 @@ let run ?config (prog : Program.t) : t =
   List.iter seed prog.Program.entrypoints;
   let continue = ref true in
   while !continue do
-    match next_pending t with
-    | None -> continue := false
-    | Some node ->
-      Hashtbl.replace t.processed node ();
-      t.stats.nodes_processed <- t.stats.nodes_processed + 1;
-      update_priorities t node;
-      add_node_constraints t node;
-      solve t
+    if interrupted_now t then continue := false
+    else
+      match next_pending t with
+      | None -> continue := false
+      | Some node ->
+        Hashtbl.replace t.processed node ();
+        t.stats.nodes_processed <- t.stats.nodes_processed + 1;
+        update_priorities t node;
+        add_node_constraints t node;
+        solve t
   done;
   t
 
@@ -725,3 +745,4 @@ let inst_key t ikid = Keys.ik_of t.u ikid
 let call_graph t = t.cg
 let universe t = t.u
 let statistics t = t.stats
+let interrupted t = t.interrupted

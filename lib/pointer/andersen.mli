@@ -15,6 +15,10 @@ type config = {
   max_work : int option;
       (** hard budget on propagation steps; exceeding it raises
           {!Out_of_budget} (models the CS configuration's memory ceiling) *)
+  interrupt : unit -> bool;
+      (** cooperative cancellation/deadline poll: when it returns [true] the
+          solver stops cleanly and the partial result is returned — an
+          underapproximation, like a tripped node budget *)
 }
 
 exception Out_of_budget
@@ -47,3 +51,6 @@ val inst_key : t -> int -> Keys.inst_key
 val call_graph : t -> Callgraph.t
 val universe : t -> Keys.universe
 val statistics : t -> stats
+
+(** Did [config.interrupt] stop the solver before the fixed point? *)
+val interrupted : t -> bool

@@ -42,6 +42,7 @@ type t = {
   all_calls : (Stmt.t * Tac.call) list ref;
   dict_ops : (Stmt.t, Models.Dict_model.op) Hashtbl.t;
   thread_of : (int, Int_set.t) Hashtbl.t;             (* node -> thread ids *)
+  mutable interrupted : bool;        (* build stopped before every node *)
 }
 
 let node_meth t n = (Pointer.Callgraph.node t.cg n).Pointer.Callgraph.n_method
@@ -463,7 +464,8 @@ let compute_threads t =
       (Pointer.Callgraph.successors t.cg node)
   done
 
-let build (prog : Program.t) (a : Pointer.Andersen.t) : t =
+let build ?(interrupt = fun () -> false) (prog : Program.t)
+    (a : Pointer.Andersen.t) : t =
   let t =
     { prog; a;
       cg = Pointer.Andersen.call_graph a;
@@ -479,10 +481,19 @@ let build (prog : Program.t) (a : Pointer.Andersen.t) : t =
       caller_stmts = Hashtbl.create 256;
       all_calls = ref [];
       dict_ops = Hashtbl.create 64;
-      thread_of = Hashtbl.create 256 }
+      thread_of = Hashtbl.create 256;
+      interrupted = false }
   in
-  for n = 0 to Pointer.Callgraph.node_count t.cg - 1 do
-    scan_node t n
+  let n_nodes = Pointer.Callgraph.node_count t.cg in
+  let n = ref 0 in
+  while !n < n_nodes && not t.interrupted do
+    if interrupt () then t.interrupted <- true
+    else begin
+      scan_node t !n;
+      incr n
+    end
   done;
   compute_threads t;
   t
+
+let interrupted t = t.interrupted

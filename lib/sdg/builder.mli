@@ -17,7 +17,15 @@ type use =
 
 type t
 
-val build : Jir.Program.t -> Pointer.Andersen.t -> t
+(** Build the dependence-graph indexes. [interrupt] is polled once per
+    call-graph node; when it returns [true] the remaining nodes are left
+    unindexed and the partial builder (an underapproximation) is
+    returned. *)
+val build :
+  ?interrupt:(unit -> bool) -> Jir.Program.t -> Pointer.Andersen.t -> t
+
+(** Did [interrupt] stop the build before every node was indexed? *)
+val interrupted : t -> bool
 
 val node_meth : t -> int -> Jir.Tac.meth
 val instr_of : t -> Stmt.t -> Jir.Tac.instr option

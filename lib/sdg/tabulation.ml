@@ -67,6 +67,7 @@ type result = {
   heap_transitions : int;
   steps : int;
   exhausted : bool;
+  interrupted : bool;                     (* stopped by the interrupt poll *)
   parents : Stmt.t Stmt.Table.t;          (* discovery tree for reports *)
   depth : int Stmt.Table.t;               (* hop count from the seed *)
 }
@@ -77,6 +78,8 @@ type state = {
   b : Builder.t;
   mode : mode;
   cb : callbacks;
+  interrupt : unit -> bool;
+  on_heap_transition : unit -> unit;
   queue : fact Queue.t;
   seen : (fact, unit) Hashtbl.t;
   parents : Stmt.t Stmt.Table.t;
@@ -93,6 +96,7 @@ type state = {
   mutable heap_transitions : int;
   mutable steps : int;
   mutable exhausted : bool;
+  mutable interrupted : bool;
 }
 
 let record_parent st ~child ~parent =
@@ -126,6 +130,10 @@ let add_hit st ~sink ~target ~via ~kind =
 
 let check_step st =
   st.steps <- st.steps + 1;
+  if st.interrupt () then begin
+    st.interrupted <- true;
+    raise (Budget "interrupted")
+  end;
   match st.mode.max_steps with
   | Some m when st.steps > m -> raise (Budget "step budget exceeded")
   | _ -> ()
@@ -143,6 +151,7 @@ let threads_compatible st a b =
              (Builder.thread_ids_of st.b b)))
 
 let charge_heap_transition st =
+  st.on_heap_transition ();
   st.heap_transitions <- st.heap_transitions + 1;
   match st.mode.max_heap_transitions with
   | Some m -> st.heap_transitions <= m
@@ -343,10 +352,12 @@ let process_fact st (fact : fact) =
       (Builder.uses_of st.b ~node:s.Stmt.node v)
 
 (** Run a slice from the given seed statements (typically source calls). *)
-let run (b : Builder.t) ~(mode : mode) ~(callbacks : callbacks)
+let run ?(interrupt = fun () -> false) ?(on_heap_transition = fun () -> ())
+    (b : Builder.t) ~(mode : mode) ~(callbacks : callbacks)
     ~(seeds : Stmt.t list) : result =
   let st =
     { b; mode; cb = callbacks;
+      interrupt; on_heap_transition;
       queue = Queue.create ();
       seen = Hashtbl.create 4096;
       parents = Stmt.Table.create 4096;
@@ -359,7 +370,8 @@ let run (b : Builder.t) ~(mode : mode) ~(callbacks : callbacks)
       hit_keys = [];
       heap_transitions = 0;
       steps = 0;
-      exhausted = false }
+      exhausted = false;
+      interrupted = false }
   in
   List.iter
     (fun seed -> enqueue st ~parent:None { f_stmt = seed; f_origin = O_internal })
@@ -374,6 +386,7 @@ let run (b : Builder.t) ~(mode : mode) ~(callbacks : callbacks)
     heap_transitions = st.heap_transitions;
     steps = st.steps;
     exhausted = st.exhausted;
+    interrupted = st.interrupted;
     parents = st.parents;
     depth = st.depth }
 

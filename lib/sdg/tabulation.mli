@@ -44,12 +44,19 @@ type result = {
   heap_transitions : int;
   steps : int;
   exhausted : bool;                       (** a budget was exceeded *)
+  interrupted : bool;                     (** stopped by the interrupt poll *)
   parents : Stmt.t Stmt.Table.t;          (** discovery tree for reports *)
   depth : int Stmt.Table.t;               (** hop count from the seed *)
 }
 
-(** Run a slice from the seed statements (typically source calls). *)
+(** Run a slice from the seed statements (typically source calls).
+    [interrupt] is polled once per step; returning [true] ends the slice
+    with [exhausted] and [interrupted] set, keeping the hits found so far.
+    [on_heap_transition] is called before each heap transition is charged
+    (fault injection / external accounting). *)
 val run :
+  ?interrupt:(unit -> bool) ->
+  ?on_heap_transition:(unit -> unit) ->
   Builder.t -> mode:mode -> callbacks:callbacks -> seeds:Stmt.t list -> result
 
 (** Reconstruct the witness path ending at a statement. *)

@@ -22,4 +22,5 @@ let () =
       ("reproduction", Test_reproduction.suite);
       ("corpus", Test_corpus.suite);
       ("rules", Test_rules.suite);
+      ("resilience", Test_resilience.suite);
       ("securibench", Test_securibench.suite) ]
