@@ -20,12 +20,16 @@
      all            everything above (default)
 
    Options: --scale <float> (default 0.05) scales workload sizes and the
-   published bounds together. *)
+   published bounds together; --jobs <int> (default: TAJ_JOBS or 1) sizes
+   the Domain worker pool — per-app table rows and the per-rule/per-unit
+   stages inside each analysis run in parallel, with output identical to
+   --jobs 1. *)
 
 open Core
 open Workloads
 
 let scale = ref 0.05
+let jobs = ref (match Parallel.env_jobs () with Some n -> n | None -> 1)
 
 let line = String.make 78 '-'
 
@@ -41,11 +45,28 @@ let alg_label = function
   | Config.Cs_thin_slicing -> "CS"
   | Config.Ci_thin_slicing -> "CI"
 
-(* per-app fault isolation: one app whose generation or analysis raises
-   prints a failure row instead of killing the whole table *)
-let protect_app name f =
+(* Phase attribution for failure rows: wrap each pipeline step so a failed
+   app's row can say *which* phase raised, not just that something did. *)
+exception Phase_failure of string * exn
+
+let run_phase phase f =
   try f () with
-  | e -> Printf.printf "%-13s (failed: %s)\n" name (Printexc.to_string e)
+  | Phase_failure _ as pf -> raise pf
+  | e -> raise (Phase_failure (phase, e))
+
+let failure_row name ~phase err =
+  Printf.sprintf "%-13s (failed during %s: %s)" name phase err
+
+(* per-app fault isolation: one app whose generation or analysis raises
+   becomes a failure row (naming the failed phase) instead of killing the
+   whole table. Rows are computed on worker domains, which must not
+   interleave prints, so the row is returned as a string and the main
+   domain prints everything in app order. *)
+let protected_row name f =
+  try f () with
+  | Phase_failure (phase, e) ->
+    failure_row name ~phase (Printexc.to_string e)
+  | e -> failure_row name ~phase:"analysis" (Printexc.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                            *)
@@ -82,18 +103,20 @@ let table2 () =
     "paper (app scope)" "generated stand-in";
   Printf.printf "%-14s %-12s | %6s %6s %7s | %7s %7s %7s %7s\n" "application"
     "version" "files" "class" "methods" "classes" "methods" "instrs" "lines";
-  List.iter
-    (fun (a : Apps.app) ->
-       protect_app a.Apps.name @@ fun () ->
-       let g = Apps.generate ~scale:!scale a in
-       let loaded = Taj.load (Codegen.to_input g) in
-       let st = Jir.Program.stats loaded.Taj.program in
-       Printf.printf "%-14s %-12s | %6d %6d %7d | %7d %7d %7d %7d\n"
-         a.Apps.name a.Apps.version a.Apps.files a.Apps.classes_app
-         a.Apps.methods_app st.Jir.Program.st_app_classes
-         st.Jir.Program.st_app_methods st.Jir.Program.st_instrs
-         (Codegen.line_count g))
-    Apps.table2
+  let row (a : Apps.app) =
+    protected_row a.Apps.name @@ fun () ->
+    let g = run_phase "generate" (fun () -> Apps.generate ~scale:!scale a) in
+    let loaded =
+      run_phase "frontend" (fun () -> Taj.load (Codegen.to_input g))
+    in
+    let st = Jir.Program.stats loaded.Taj.program in
+    Printf.sprintf "%-14s %-12s | %6d %6d %7d | %7d %7d %7d %7d"
+      a.Apps.name a.Apps.version a.Apps.files a.Apps.classes_app
+      a.Apps.methods_app st.Jir.Program.st_app_classes
+      st.Jir.Program.st_app_methods st.Jir.Program.st_instrs
+      (Codegen.line_count g)
+  in
+  List.iter print_endline (Parallel.map ~jobs:!jobs row Apps.table2)
 
 (* ------------------------------------------------------------------ *)
 (* Table 3                                                            *)
@@ -120,24 +143,33 @@ let table3 () =
     let prev = Option.value ~default:(0.0, 0) (Hashtbl.find_opt totals alg) in
     Hashtbl.replace totals alg (fst prev +. v, snd prev + 1)
   in
+  (* the expensive part (five analyses per app) runs one app per worker;
+     printing and the totals fold stay on the main domain, in app order *)
+  let results =
+    Parallel.map ~jobs:!jobs
+      (fun a -> (a, Score.run_app_result ~scale:!scale a))
+      Apps.table2
+  in
   List.iter
-    (fun (a : Apps.app) ->
-       protect_app a.Apps.name @@ fun () ->
-       let runs = Score.run_app ~scale:!scale a in
-       let cell alg paper =
-         match List.find_opt (fun r -> r.Score.r_algorithm = alg) runs with
-         | Some r ->
-           if r.Score.r_completed then add alg r.Score.r_seconds;
-           Printf.sprintf "%s [%s]" (run_cell r) (paper_cell paper)
-         | None -> "?"
-       in
-       Printf.printf "%-13s %-20s %-20s %-20s %-17s %-17s\n" a.Apps.name
-         (cell Config.Hybrid_unbounded a.Apps.paper.Apps.unbounded)
-         (cell Config.Hybrid_prioritized a.Apps.paper.Apps.prioritized)
-         (cell Config.Hybrid_optimized a.Apps.paper.Apps.optimized)
-         (cell Config.Cs_thin_slicing a.Apps.paper.Apps.cs)
-         (cell Config.Ci_thin_slicing a.Apps.paper.Apps.ci))
-    Apps.table2;
+    (fun ((a : Apps.app), res) ->
+       match res with
+       | Error (phase, err) ->
+         print_endline (failure_row a.Apps.name ~phase err)
+       | Ok runs ->
+         let cell alg paper =
+           match List.find_opt (fun r -> r.Score.r_algorithm = alg) runs with
+           | Some r ->
+             if r.Score.r_completed then add alg r.Score.r_seconds;
+             Printf.sprintf "%s [%s]" (run_cell r) (paper_cell paper)
+           | None -> "?"
+         in
+         Printf.printf "%-13s %-20s %-20s %-20s %-17s %-17s\n" a.Apps.name
+           (cell Config.Hybrid_unbounded a.Apps.paper.Apps.unbounded)
+           (cell Config.Hybrid_prioritized a.Apps.paper.Apps.prioritized)
+           (cell Config.Hybrid_optimized a.Apps.paper.Apps.optimized)
+           (cell Config.Cs_thin_slicing a.Apps.paper.Apps.cs)
+           (cell Config.Ci_thin_slicing a.Apps.paper.Apps.ci))
+    results;
   Printf.printf "\naverage completed-run time:\n";
   List.iter
     (fun alg ->
@@ -156,24 +188,32 @@ let bar ch n = String.make (min 60 n) ch
 
 let figure4 () =
   header "Figure 4: True/False Positives on the Scored Benchmarks";
+  let results =
+    Parallel.map ~jobs:!jobs
+      (fun a -> (a, Score.run_app_result ~scale:!scale a))
+      Apps.scored_apps
+  in
   List.iter
-    (fun (a : Apps.app) ->
+    (fun ((a : Apps.app), res) ->
        Printf.printf "\n--- %s ---\n" a.Apps.name;
-       protect_app a.Apps.name @@ fun () ->
-       let runs = Score.run_app ~scale:!scale a in
-       List.iter
-         (fun (r : Score.run) ->
-            match r.Score.r_classification with
-            | None ->
-              Printf.printf "  %-20s (did not complete)\n"
-                (alg_label r.Score.r_algorithm)
-            | Some c ->
-              Printf.printf "  %-20s TP %3d %s\n" (alg_label r.Score.r_algorithm)
-                c.Score.true_positives (bar '#' c.Score.true_positives);
-              Printf.printf "  %-20s FP %3d %s\n" ""
-                c.Score.false_positives (bar '.' c.Score.false_positives))
-         runs)
-    Apps.scored_apps
+       match res with
+       | Error (phase, err) ->
+         print_endline (failure_row a.Apps.name ~phase err)
+       | Ok runs ->
+         List.iter
+           (fun (r : Score.run) ->
+              match r.Score.r_classification with
+              | None ->
+                Printf.printf "  %-20s (did not complete)\n"
+                  (alg_label r.Score.r_algorithm)
+              | Some c ->
+                Printf.printf "  %-20s TP %3d %s\n"
+                  (alg_label r.Score.r_algorithm)
+                  c.Score.true_positives (bar '#' c.Score.true_positives);
+                Printf.printf "  %-20s FP %3d %s\n" ""
+                  c.Score.false_positives (bar '.' c.Score.false_positives))
+           runs)
+    results
 
 (* ------------------------------------------------------------------ *)
 (* Summary of the 7.2 claims                                          *)
@@ -182,7 +222,9 @@ let figure4 () =
 let summary () =
   header "Section 7.2 aggregate claims (measured on the scored apps)";
   let all_runs =
-    List.map (fun a -> (a, Score.run_app ~scale:!scale a)) Apps.scored_apps
+    Parallel.map ~jobs:!jobs
+      (fun a -> (a, Score.run_app ~scale:!scale a))
+      Apps.scored_apps
   in
   let agg alg =
     List.fold_left
@@ -337,66 +379,81 @@ let inventory () =
   header "Analysis inventory per app (hybrid unbounded)";
   Printf.printf "%-14s %8s %8s %8s %9s %8s %9s\n" "application" "classes"
     "methods" "nodes" "edges" "sources" "flows";
-  List.iter
-    (fun (a : Apps.app) ->
-       let g = Apps.generate ~scale:!scale a in
-       let loaded = Taj.load (Codegen.to_input g) in
-       match
-         (Taj.run loaded (Config.preset ~scale:!scale Config.Hybrid_unbounded))
-           .Taj.result
-       with
-       | Taj.Completed c ->
-         let st = Jir.Program.stats loaded.Taj.program in
-         let seeds =
-           List.fold_left
-             (fun acc (rs : Engine.rule_stats) -> acc + rs.Engine.rs_seeds)
-             0 c.Taj.outcome.Engine.rule_stats
-         in
-         Printf.printf "%-14s %8d %8d %8d %9d %8d %9d\n" a.Apps.name
-           st.Jir.Program.st_app_classes st.Jir.Program.st_app_methods
-           c.Taj.cg_nodes c.Taj.cg_edges seeds
-           (Report.flow_count c.Taj.report)
-       | Taj.Did_not_complete r ->
-         Printf.printf "%-14s (did not complete: %s)\n" a.Apps.name r)
-    Apps.table2
+  let row (a : Apps.app) =
+    protected_row a.Apps.name @@ fun () ->
+    let g = run_phase "generate" (fun () -> Apps.generate ~scale:!scale a) in
+    let loaded =
+      run_phase "frontend" (fun () -> Taj.load (Codegen.to_input g))
+    in
+    match
+      (Taj.run loaded (Config.preset ~scale:!scale Config.Hybrid_unbounded))
+        .Taj.result
+    with
+    | Taj.Completed c ->
+      let st = Jir.Program.stats loaded.Taj.program in
+      let seeds =
+        List.fold_left
+          (fun acc (rs : Engine.rule_stats) -> acc + rs.Engine.rs_seeds)
+          0 c.Taj.outcome.Engine.rule_stats
+      in
+      Printf.sprintf "%-14s %8d %8d %8d %9d %8d %9d" a.Apps.name
+        st.Jir.Program.st_app_classes st.Jir.Program.st_app_methods
+        c.Taj.cg_nodes c.Taj.cg_edges seeds
+        (Report.flow_count c.Taj.report)
+    | Taj.Did_not_complete r ->
+      Printf.sprintf "%-14s (did not complete: %s)" a.Apps.name r
+  in
+  List.iter print_endline (Parallel.map ~jobs:!jobs row Apps.table2)
 
 let csv () =
   header "CSV export: table3.csv and figure4.csv";
   let oc3 = open_out "table3.csv" in
   output_string oc3
-    "app,algorithm,completed,issues,seconds,cg_nodes,paper_issues,paper_seconds\n";
+    "app,algorithm,completed,issues,seconds,cg_nodes,paper_issues,\
+     paper_seconds,failed_phase\n";
   let oc4 = open_out "figure4.csv" in
   output_string oc4 "app,algorithm,tp,fp,fn,accuracy\n";
+  let results =
+    Parallel.map ~jobs:!jobs
+      (fun a -> (a, Score.run_app_result ~scale:!scale a))
+      Apps.table2
+  in
   List.iter
-    (fun (a : Apps.app) ->
-       let runs = Score.run_app ~scale:!scale a in
-       List.iter
-         (fun (r : Score.run) ->
-            let paper =
-              match r.Score.r_algorithm with
-              | Config.Hybrid_unbounded -> a.Apps.paper.Apps.unbounded
-              | Config.Hybrid_prioritized -> a.Apps.paper.Apps.prioritized
-              | Config.Hybrid_optimized -> a.Apps.paper.Apps.optimized
-              | Config.Cs_thin_slicing -> a.Apps.paper.Apps.cs
-              | Config.Ci_thin_slicing -> a.Apps.paper.Apps.ci
-            in
-            let popt = function Some v -> string_of_int v | None -> "" in
-            Printf.fprintf oc3 "%s,%s,%b,%d,%.4f,%d,%s,%s\n" a.Apps.name
-              (Config.algorithm_name r.Score.r_algorithm)
-              r.Score.r_completed r.Score.r_issues r.Score.r_seconds
-              r.Score.r_cg_nodes
-              (popt paper.Apps.pr_issues)
-              (popt paper.Apps.pr_seconds);
-            if a.Apps.scored then
-              match r.Score.r_classification with
-              | Some c ->
-                Printf.fprintf oc4 "%s,%s,%d,%d,%d,%.3f\n" a.Apps.name
-                  (Config.algorithm_name r.Score.r_algorithm)
-                  c.Score.true_positives c.Score.false_positives
-                  c.Score.false_negatives (Score.accuracy c)
-              | None -> ())
-         runs)
-    Apps.table2;
+    (fun ((a : Apps.app), res) ->
+       match res with
+       | Error (phase, _err) ->
+         (* a failed app still gets a machine-readable row: every
+            per-algorithm field is empty/false and failed_phase says
+            where the pipeline died *)
+         Printf.fprintf oc3 "%s,,false,0,0,0,,,%s\n" a.Apps.name phase
+       | Ok runs ->
+         List.iter
+           (fun (r : Score.run) ->
+              let paper =
+                match r.Score.r_algorithm with
+                | Config.Hybrid_unbounded -> a.Apps.paper.Apps.unbounded
+                | Config.Hybrid_prioritized -> a.Apps.paper.Apps.prioritized
+                | Config.Hybrid_optimized -> a.Apps.paper.Apps.optimized
+                | Config.Cs_thin_slicing -> a.Apps.paper.Apps.cs
+                | Config.Ci_thin_slicing -> a.Apps.paper.Apps.ci
+              in
+              let popt = function Some v -> string_of_int v | None -> "" in
+              Printf.fprintf oc3 "%s,%s,%b,%d,%.4f,%d,%s,%s,\n" a.Apps.name
+                (Config.algorithm_name r.Score.r_algorithm)
+                r.Score.r_completed r.Score.r_issues r.Score.r_seconds
+                r.Score.r_cg_nodes
+                (popt paper.Apps.pr_issues)
+                (popt paper.Apps.pr_seconds);
+              if a.Apps.scored then
+                match r.Score.r_classification with
+                | Some c ->
+                  Printf.fprintf oc4 "%s,%s,%d,%d,%d,%.3f\n" a.Apps.name
+                    (Config.algorithm_name r.Score.r_algorithm)
+                    c.Score.true_positives c.Score.false_positives
+                    c.Score.false_negatives (Score.accuracy c)
+                | None -> ())
+           runs)
+    results;
   close_out oc3;
   close_out oc4;
   Printf.printf "wrote table3.csv and figure4.csv (scale %.2f)\n" !scale
@@ -406,13 +463,14 @@ let securibench () =
   Printf.printf "%-18s %5s | %4s %4s %4s %4s %4s\n" "case" "vuln" "Unb"
     "Prio" "Opt" "CS" "CI";
   let totals = Hashtbl.create 8 in
-  List.iter
-    (fun (c : Securibench.case) ->
-       let results =
-         List.map
-           (fun alg -> Securibench.run_case ~algorithm:alg c)
-           algorithms
-       in
+  let per_case =
+    Parallel.map ~jobs:!jobs
+      (fun (c : Securibench.case) ->
+         List.map (fun alg -> Securibench.run_case ~algorithm:alg c) algorithms)
+      Securibench.cases
+  in
+  List.iter2
+    (fun (c : Securibench.case) results ->
        List.iter2
          (fun alg got ->
             let exp, match_ =
@@ -425,7 +483,7 @@ let securibench () =
          c.Securibench.sb_vulnerable
          (String.concat "  "
             (List.map (fun r -> if r < 0 then "-" else string_of_int r) results)))
-    Securibench.cases;
+    Securibench.cases per_case;
   Printf.printf "\nagreement with the hybrid-expected counts:\n";
   List.iter
     (fun alg ->
@@ -439,20 +497,26 @@ let scaling () =
   header "Scaling: hybrid analysis cost vs application size";
   Printf.printf
     "(the paper's scalability claim: TAJ analyzes applications of\n\
-    \ virtually any size; hybrid cost should grow near-linearly)\n\n";
+    \ virtually any size; hybrid cost should grow near-linearly;\n\
+    \ jobs = %d worker domain(s) inside each run)\n\n"
+    !jobs;
   Printf.printf "%-8s %9s %9s %10s %10s %10s\n" "scale" "methods" "cg-nodes"
     "frontend" "hybrid" "ci";
   let a = Option.get (Apps.find "GridSphere") in
+  (* rows stay sequential so each row's timing is uncontended; --jobs
+     parallelizes the stages *inside* each load/run *)
   List.iter
     (fun s ->
        let g = Apps.generate ~scale:s a in
        let t0 = Unix.gettimeofday () in
-       let loaded = Taj.load (Codegen.to_input g) in
+       let loaded = Taj.load ~jobs:!jobs (Codegen.to_input g) in
        let t_frontend = Unix.gettimeofday () -. t0 in
        let st = Jir.Program.stats loaded.Taj.program in
        let time_of alg =
          let t1 = Unix.gettimeofday () in
-         match (Taj.run loaded (Config.preset ~scale:s alg)).Taj.result with
+         match
+           (Taj.run ~jobs:!jobs loaded (Config.preset ~scale:s alg)).Taj.result
+         with
          | Taj.Completed c -> (Unix.gettimeofday () -. t1, c.Taj.cg_nodes)
          | Taj.Did_not_complete _ -> (nan, 0)
        in
@@ -573,6 +637,9 @@ let () =
     | [] -> cmds
     | "--scale" :: v :: rest ->
       scale := float_of_string v;
+      parse cmds rest
+    | "--jobs" :: v :: rest ->
+      jobs := max 1 (int_of_string v);
       parse cmds rest
     | cmd :: rest -> parse (cmd :: cmds) rest
   in

@@ -42,6 +42,20 @@ let scale =
   let doc = "Scale factor for workload sizes and analysis bounds." in
   Arg.(value & opt float 0.05 & info [ "scale" ] ~docv:"FLOAT" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the parallel stages (frontend parse, per-rule \
+     tabulation, per-configuration scoring). 1 runs fully sequentially; \
+     any value produces identical results. Defaults to the TAJ_JOBS \
+     environment variable, or the number of cores."
+  in
+  let default =
+    match Core.Parallel.env_jobs () with
+    | Some n -> n
+    | None -> Core.Parallel.default_jobs ()
+  in
+  Arg.(value & opt int default & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let descriptor_file =
   let doc = "Deployment descriptor file (servlet/action/ejb lines)." in
   Arg.(value & opt (some file) None & info [ "d"; "descriptor" ] ~docv:"FILE" ~doc)
@@ -122,20 +136,36 @@ let attempt_json (a : Supervisor.attempt) =
     a.Supervisor.at_seconds
 
 (* issues + the supervisor's diagnostics block; [builder] is absent exactly
-   when no attempt completed, in which case the report has no issues *)
-let emit_json ?builder (outcome : Supervisor.outcome) (report : Report.t) =
+   when no attempt completed, in which case the report has no issues.
+   [completed] (the successful attempt, when there is one) contributes the
+   worker-pool size and the per-phase wall-clock breakdown. *)
+let emit_json ?builder ?completed (outcome : Supervisor.outcome)
+    (report : Report.t) =
   let issues =
     match builder with Some b -> issues_json b report | None -> ""
+  in
+  let timing =
+    match (completed : Taj.completed option) with
+    | None -> ""
+    | Some c ->
+      Printf.sprintf
+        "  \"jobs\": %d,\n\
+        \  \"phases\": { \"pointer\": %.3f, \"sdg\": %.3f, \"taint\": %.3f, \
+         \"total\": %.3f },\n"
+        c.Taj.jobs c.Taj.times.Taj.t_pointer c.Taj.times.Taj.t_sdg
+        c.Taj.times.Taj.t_taint c.Taj.times.Taj.t_total
   in
   Printf.printf
     "{\n\
     \  \"issues\": [\n%s\n  ],\n\
     \  \"completeness\": \"%s\",\n\
+     %s\
     \  \"diagnostics\": [\n%s\n  ],\n\
     \  \"attempts\": [\n%s\n  ]\n\
      }\n"
     issues
     (if Report.is_partial report then "partial" else "complete")
+    timing
     (String.concat ",\n"
        (List.map degradation_json outcome.Supervisor.sv_diagnostics))
     (String.concat ",\n"
@@ -170,14 +200,15 @@ let analyze_cmd =
                "Fail fast when a budget is exhausted instead of retrying \
                 with progressively stricter bounded configurations.")
   in
-  let run algorithm scale descriptor_file srcs json stats csrf deadline
+  let run algorithm scale jobs descriptor_file srcs json stats csrf deadline
       no_degrade =
     let input = load_input ~name:"cli" ~srcs ~descriptor_file in
     let options =
       { Supervisor.default_options with
         deadline;
         degrade = not no_degrade;
-        scale }
+        scale;
+        jobs }
     in
     let outcome =
       Supervisor.run ~options ~config:(Config.preset ~scale algorithm) input
@@ -202,10 +233,11 @@ let analyze_cmd =
     | Some ({ Taj.result = Taj.Completed c; _ } as analysis) ->
       if stats then begin
         Printf.eprintf
-          "call-graph: %d nodes, %d edges; pointer %.3fs, sdg %.3fs, \
-           taint %.3fs\n"
-          c.Taj.cg_nodes c.Taj.cg_edges c.Taj.times.Taj.t_pointer
+          "call-graph: %d nodes, %d edges; jobs %d; pointer %.3fs, \
+           sdg %.3fs, taint %.3fs, total %.3fs\n"
+          c.Taj.cg_nodes c.Taj.cg_edges c.Taj.jobs c.Taj.times.Taj.t_pointer
           c.Taj.times.Taj.t_sdg c.Taj.times.Taj.t_taint
+          c.Taj.times.Taj.t_total
       end;
       (* supervisor-level events (downgrades etc.) that are not already
          part of the report's partial block go to stderr *)
@@ -216,7 +248,8 @@ let analyze_cmd =
           (fun d -> Fmt.epr "  %a@." Diagnostics.pp_degradation d)
           degradations
       end;
-      if json then emit_json ~builder:c.Taj.builder outcome c.Taj.report
+      if json then
+        emit_json ~builder:c.Taj.builder ~completed:c outcome c.Taj.report
       else begin
         Fmt.pr "%a@." (Report.pp c.Taj.builder) c.Taj.report;
         (* string-context diagnostics where a template is recoverable *)
@@ -262,8 +295,8 @@ let analyze_cmd =
          found so far and is explicitly partial." ]
   in
   Cmd.v (Cmd.info "analyze" ~doc ~man)
-    Term.(const run $ algorithm $ scale $ descriptor_file $ sources $ json
-          $ stats $ csrf $ deadline $ no_degrade)
+    Term.(const run $ algorithm $ scale $ jobs $ descriptor_file $ sources
+          $ json $ stats $ csrf $ deadline $ no_degrade)
 
 (* ------------------------------------------------------------------ *)
 (* dump-ir                                                            *)
@@ -310,59 +343,70 @@ let dump_ir_cmd =
 (* ------------------------------------------------------------------ *)
 
 let explain_cmd =
-  let run scale descriptor_file srcs =
+  let run scale jobs descriptor_file srcs =
     let input = load_input ~name:"cli" ~srcs ~descriptor_file in
     let loaded =
-      match Taj.load input with
+      match Taj.load ~jobs input with
       | loaded -> loaded
       | exception Taj.Load_error msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 1
     in
-    match Taj.run loaded (Config.preset ~scale Config.Hybrid_unbounded) with
+    match
+      Taj.run ~jobs loaded (Config.preset ~scale Config.Hybrid_unbounded)
+    with
     | { Taj.result = Taj.Did_not_complete reason; _ } ->
       Printf.eprintf "analysis did not complete: %s\n" reason;
       exit 3
     | { Taj.result = Taj.Completed c; _ } ->
       let b = c.Taj.builder in
       let table = loaded.Taj.program.Jir.Program.table in
-      let m = Rules.matcher table in
-      List.iteri
-        (fun i (ir : Report.issue_report) ->
-           let fl = ir.Report.ir_representative in
-           Fmt.pr "@.== issue %d [%a] sink %a@." (i + 1) Rules.pp_issue
-             ir.Report.ir_issue (Report.pp_stmt b) fl.Flows.fl_sink;
-           (* backward-slice every sensitive argument of the sink *)
-           (match Sdg.Builder.call_of b fl.Flows.fl_sink with
-            | Some call ->
-              let sensitive =
-                match Rules.sink_of m fl.Flows.fl_rule call.Jir.Tac.target with
-                | Some sink -> sink.Rules.snk_params
-                | None -> [ List.length call.Jir.Tac.args - 1 ]
-              in
-              List.iter
-                (fun arg ->
-                   let r =
-                     Sdg.Backward.slice b ~table ~from:fl.Flows.fl_sink ~arg
-                       ~max_stmts:2000 ()
-                   in
-                   let producers =
-                     Sdg.Backward.source_endpoints b r ~is_source:(fun t ->
-                         List.exists
-                           (fun rule -> Rules.source_of m rule t <> None)
-                           Rules.default_rules)
-                   in
-                   Fmt.pr "  argument %d: %d producer statement(s), %d \
-                           untrusted source(s)@."
-                     arg
-                     (Sdg.Stmt.Set.cardinal r.Sdg.Backward.slice)
-                     (List.length producers);
-                   List.iter
-                     (fun s -> Fmt.pr "    source: %a@." (Report.pp_stmt b) s)
-                     producers)
-                sensitive
-            | None -> ()))
-        c.Taj.report.Report.issues;
+      (* each issue's explanation is an independent backward slice over the
+         shared read-only SDG: render them in parallel, print in order *)
+      if jobs > 1 then Sdg.Builder.precompute b;
+      let explain_issue (i, (ir : Report.issue_report)) =
+        let buf = Buffer.create 256 in
+        let ppf = Fmt.with_buffer buf in
+        let m = Rules.matcher table in
+        let fl = ir.Report.ir_representative in
+        Fmt.pf ppf "@.== issue %d [%a] sink %a@." (i + 1) Rules.pp_issue
+          ir.Report.ir_issue (Report.pp_stmt b) fl.Flows.fl_sink;
+        (* backward-slice every sensitive argument of the sink *)
+        (match Sdg.Builder.call_of b fl.Flows.fl_sink with
+         | Some call ->
+           let sensitive =
+             match Rules.sink_of m fl.Flows.fl_rule call.Jir.Tac.target with
+             | Some sink -> sink.Rules.snk_params
+             | None -> [ List.length call.Jir.Tac.args - 1 ]
+           in
+           List.iter
+             (fun arg ->
+                let r =
+                  Sdg.Backward.slice b ~table ~from:fl.Flows.fl_sink ~arg
+                    ~max_stmts:2000 ()
+                in
+                let producers =
+                  Sdg.Backward.source_endpoints b r ~is_source:(fun t ->
+                      List.exists
+                        (fun rule -> Rules.source_of m rule t <> None)
+                        Rules.default_rules)
+                in
+                Fmt.pf ppf "  argument %d: %d producer statement(s), %d \
+                            untrusted source(s)@."
+                  arg
+                  (Sdg.Stmt.Set.cardinal r.Sdg.Backward.slice)
+                  (List.length producers);
+                List.iter
+                  (fun s -> Fmt.pf ppf "    source: %a@." (Report.pp_stmt b) s)
+                  producers)
+             sensitive
+         | None -> ());
+        Buffer.contents buf
+      in
+      let issues =
+        List.mapi (fun i ir -> (i, ir)) c.Taj.report.Report.issues
+      in
+      List.iter print_string (Parallel.map ~jobs explain_issue issues);
       if c.Taj.report.Report.issues = [] then
         print_endline "no issues to explain"
   in
@@ -371,7 +415,7 @@ let explain_cmd =
      every contributing untrusted source."
   in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ scale $ descriptor_file $ sources)
+    Term.(const run $ scale $ jobs $ descriptor_file $ sources)
 
 (* ------------------------------------------------------------------ *)
 (* jsp                                                                *)
@@ -398,7 +442,7 @@ let jsp_cmd =
          else '_')
       base
   in
-  let run algorithm scale pages analyze_flag =
+  let run algorithm scale jobs pages analyze_flag =
     let sources =
       List.map
         (fun path ->
@@ -414,7 +458,9 @@ let jsp_cmd =
     if not analyze_flag then List.iter print_string sources
     else begin
       let input = { Taj.name = "jsp"; app_sources = sources; descriptor = "" } in
-      match Taj.analyze ~config:(Config.preset ~scale algorithm) input with
+      match
+        Taj.analyze ~jobs ~config:(Config.preset ~scale algorithm) input
+      with
       | exception Taj.Load_error msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 1
@@ -428,7 +474,7 @@ let jsp_cmd =
   in
   let doc = "Translate JSP pages to servlets (and optionally analyze them)." in
   Cmd.v (Cmd.info "jsp" ~doc)
-    Term.(const run $ algorithm $ scale $ pages $ analyze_flag)
+    Term.(const run $ algorithm $ scale $ jobs $ pages $ analyze_flag)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                              *)
@@ -505,13 +551,13 @@ let apps_cmd =
   Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
 
 let score_cmd =
-  let run name scale =
+  let run name scale jobs =
     match Workloads.Apps.find name with
     | None ->
       Printf.eprintf "unknown app %s\n" name;
       exit 1
     | Some app ->
-      let runs = Workloads.Score.run_app ~scale app in
+      let runs = Workloads.Score.run_app ~scale ~jobs app in
       Printf.printf "%-20s %7s %5s %5s %5s %9s %8s\n" "configuration"
         "issues" "TP" "FP" "FN" "accuracy" "time";
       List.iter
@@ -533,7 +579,7 @@ let score_cmd =
     "Generate a benchmark app, run all five configurations and score them \
      against the ground truth."
   in
-  Cmd.v (Cmd.info "score" ~doc) Term.(const run $ app_name $ scale)
+  Cmd.v (Cmd.info "score" ~doc) Term.(const run $ app_name $ scale $ jobs)
 
 (* ------------------------------------------------------------------ *)
 

@@ -7,36 +7,51 @@
     carries an absolute [Unix.gettimeofday] deadline, an optional global
     step budget and a shared cancellation token. The long-running loops
     poll it through {!exceeded}; the call is amortized so that the
-    [gettimeofday] syscall happens only once every [probe_mask + 1] polls. *)
+    [gettimeofday] syscall happens only once every [probe_mask + 1] polls.
+
+    One budget may be polled from several domains at once (the parallel
+    taint engine shares the attempt's budget across its workers), so the
+    counters and the cancellation/trip flags are [Atomic]. The step count
+    is a global fetch-and-add: with a step budget of [m], the pool as a
+    whole performs at most ~[m] steps, exactly as the sequential engine
+    would. A poll writes shared state only when a step budget is armed
+    (or on the trip itself): the common no-limit poll is two atomic
+    loads of lines nobody writes, so a pool hammering one budget does
+    not ping-pong a counter cache line. Deadline probes are amortized
+    per domain through a domain-local poll counter. *)
 
 type t = {
   started : float;
   deadline : float option;           (* absolute wall-clock time *)
   max_steps : int option;
-  cancel : bool ref;
-  mutable steps : int;
-  mutable polls : int;
-  mutable tripped : bool;            (* latches once exceeded *)
+  cancel : bool Atomic.t;
+  steps : int Atomic.t;              (* counted only under [max_steps] *)
+  tripped : bool Atomic.t;           (* latches once exceeded *)
   probe_mask : int;
 }
 
+(* each domain amortizes its own gettimeofday probes; the counter is
+   shared between budgets, which only skews *when* within a 32-poll
+   window the first probe of a fresh budget lands *)
+let local_polls : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
 type verdict = Ok | Deadline | Cancelled | Steps
 
-let create ?deadline ?max_steps ?(cancel = ref false) () =
+let create ?deadline ?max_steps ?(cancel = Atomic.make false) () =
   let started = Unix.gettimeofday () in
   { started;
     deadline = Option.map (fun d -> started +. d) deadline;
     max_steps;
     cancel;
-    steps = 0;
-    polls = 0;
-    tripped = false;
+    steps = Atomic.make 0;
+    tripped = Atomic.make false;
     probe_mask = 31 }
 
 let unlimited () = create ()
 
-let cancel t = t.cancel := true
-let cancelled t = !(t.cancel)
+let cancel t = Atomic.set t.cancel true
+let cancelled t = Atomic.get t.cancel
 
 let elapsed t = Unix.gettimeofday () -. t.started
 
@@ -49,39 +64,41 @@ let past_deadline t =
 
 (* The full (unamortized) check; latches [tripped]. *)
 let status t : verdict =
-  if !(t.cancel) then begin
-    t.tripped <- true;
+  if Atomic.get t.cancel then begin
+    Atomic.set t.tripped true;
     Cancelled
   end
   else if past_deadline t then begin
-    t.tripped <- true;
+    Atomic.set t.tripped true;
     Deadline
   end
   else
     match t.max_steps with
-    | Some m when t.steps > m ->
-      t.tripped <- true;
+    | Some m when Atomic.get t.steps > m ->
+      Atomic.set t.tripped true;
       Steps
     | _ -> Ok
 
 let exceeded t =
-  t.steps <- t.steps + 1;
-  t.polls <- t.polls + 1;
-  if t.tripped then true
-  else if !(t.cancel) then begin
-    t.tripped <- true;
+  if Atomic.get t.tripped then true
+  else if Atomic.get t.cancel then begin
+    Atomic.set t.tripped true;
     true
   end
   else begin
     (match t.max_steps with
-     | Some m when t.steps > m -> t.tripped <- true
+     | Some m ->
+       if Atomic.fetch_and_add t.steps 1 + 1 > m then
+         Atomic.set t.tripped true
+     | None -> ());
+    (match t.deadline with
+     | Some _ when not (Atomic.get t.tripped) ->
+       let polls = Domain.DLS.get local_polls in
+       incr polls;
+       if !polls land t.probe_mask = 0 && past_deadline t then
+         Atomic.set t.tripped true
      | _ -> ());
-    if (not t.tripped)
-       && t.deadline <> None
-       && t.polls land t.probe_mask = 0
-       && past_deadline t
-    then t.tripped <- true;
-    t.tripped
+    Atomic.get t.tripped
   end
 
-let tripped t = t.tripped
+let tripped t = Atomic.get t.tripped

@@ -1,6 +1,9 @@
 (** Wall-clock deadlines, step budgets and cancellation for one analysis
     attempt. Long-running loops poll {!exceeded}; the [gettimeofday] probe
-    is amortized over polls, so the check is cheap enough for inner loops. *)
+    is amortized over polls, so the check is cheap enough for inner loops.
+    Counters and flags are [Atomic]: one budget may be polled concurrently
+    by every worker domain of a parallel stage, and a trip or cancellation
+    observed by one worker latches for all of them. *)
 
 type t
 
@@ -8,9 +11,9 @@ type verdict = Ok | Deadline | Cancelled | Steps
 
 (** [create ?deadline ?max_steps ?cancel ()] starts the clock now.
     [deadline] is in seconds from now; [cancel] is a shared token that any
-    thread/context may set to stop the run cooperatively. *)
+    domain/context may set to stop the run cooperatively. *)
 val create :
-  ?deadline:float -> ?max_steps:int -> ?cancel:bool ref -> unit -> t
+  ?deadline:float -> ?max_steps:int -> ?cancel:bool Atomic.t -> unit -> t
 
 (** A budget that never trips (but still measures elapsed time). *)
 val unlimited : unit -> t

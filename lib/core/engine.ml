@@ -104,18 +104,32 @@ let dedup_path (path : Sdg.Stmt.t list) =
   in
   go path
 
-let run ?(interrupt = fun () -> false) ?(on_heap_transition = fun () -> ())
+(* Everything one rule's slice produced, kept separate per rule so that
+   rules can run on different domains and still merge into the exact
+   outcome the sequential loop builds: flows concatenated in rule order,
+   filtered counts summed, stats in rule order, exhausted/interrupted
+   or-ed, fault diagnostics in rule order. *)
+type per_rule = {
+  pr_flows : Flows.t list;
+  pr_filtered : int;
+  pr_stats : rule_stats;
+  pr_exhausted : bool;
+  pr_interrupted : bool;
+  pr_fault : Diagnostics.degradation option;
+}
+
+let run ?(jobs = 1) ?(interrupt = fun () -> false)
+    ?(on_heap_transition = fun () -> ())
     ~(prog : Program.t) ~(builder : Sdg.Builder.t)
     ~(heapgraph : Pointer.Heapgraph.t) ~(rules : Rules.rule list)
     ~(config : Config.t) () : outcome =
-  let m = Rules.matcher prog.Program.table in
   let mode = mode_of config in
-  let filtered = ref 0 in
-  let exhausted = ref false in
-  let interrupted = ref false in
-  let faults = ref [] in
-  let stats = ref [] in
   let run_rule rule =
+    (* each task builds its own matcher: the matcher memoizes canonical
+       method resolutions in a private table, so sharing one across
+       domains would race *)
+    let m = Rules.matcher prog.Program.table in
+    let filtered = ref 0 in
     let seeds = seeds_of builder m rule in
     let carrier_sets =
       carrier_sets_of builder heapgraph m rule
@@ -131,63 +145,78 @@ let run ?(interrupt = fun () -> false) ?(on_heap_transition = fun () -> ())
       Sdg.Tabulation.run ~interrupt ~on_heap_transition builder ~mode
         ~callbacks ~seeds
     in
-    if res.Sdg.Tabulation.exhausted then exhausted := true;
-    if res.Sdg.Tabulation.interrupted then interrupted := true;
-    stats :=
-      { rs_rule = rule.Rules.rule_name;
-        rs_seeds = List.length seeds;
-        rs_visited = res.Sdg.Tabulation.visited;
-        rs_heap_transitions = res.Sdg.Tabulation.heap_transitions;
-        rs_exhausted = res.Sdg.Tabulation.exhausted }
-      :: !stats;
-    List.filter_map
-      (fun (h : Sdg.Tabulation.hit) ->
-         let path =
-           dedup_path
-             (Sdg.Tabulation.path_of res h.Sdg.Tabulation.h_via
-              @ [ h.Sdg.Tabulation.h_sink ])
-         in
-         let fl =
-           { Flows.fl_rule = rule;
-             fl_source =
-               (match path with s :: _ -> s | [] -> h.Sdg.Tabulation.h_via);
-             fl_sink = h.Sdg.Tabulation.h_sink;
-             fl_sink_target = h.Sdg.Tabulation.h_sink_target;
-             fl_kind = h.Sdg.Tabulation.h_kind;
-             fl_path = path;
-             fl_length = List.length path }
-         in
-         match config.Config.max_flow_length with
-         | Some cap when fl.Flows.fl_length > cap ->
-           incr filtered;
-           None
-         | _ -> Some fl)
-      res.Sdg.Tabulation.hits
+    let flows =
+      List.filter_map
+        (fun (h : Sdg.Tabulation.hit) ->
+           let path =
+             dedup_path
+               (Sdg.Tabulation.path_of res h.Sdg.Tabulation.h_via
+                @ [ h.Sdg.Tabulation.h_sink ])
+           in
+           let fl =
+             { Flows.fl_rule = rule;
+               fl_source =
+                 (match path with s :: _ -> s | [] -> h.Sdg.Tabulation.h_via);
+               fl_sink = h.Sdg.Tabulation.h_sink;
+               fl_sink_target = h.Sdg.Tabulation.h_sink_target;
+               fl_kind = h.Sdg.Tabulation.h_kind;
+               fl_path = path;
+               fl_length = List.length path }
+           in
+           match config.Config.max_flow_length with
+           | Some cap when fl.Flows.fl_length > cap ->
+             incr filtered;
+             None
+           | _ -> Some fl)
+        res.Sdg.Tabulation.hits
+    in
+    { pr_flows = flows;
+      pr_filtered = !filtered;
+      pr_stats =
+        { rs_rule = rule.Rules.rule_name;
+          rs_seeds = List.length seeds;
+          rs_visited = res.Sdg.Tabulation.visited;
+          rs_heap_transitions = res.Sdg.Tabulation.heap_transitions;
+          rs_exhausted = res.Sdg.Tabulation.exhausted };
+      pr_exhausted = res.Sdg.Tabulation.exhausted;
+      pr_interrupted = res.Sdg.Tabulation.interrupted;
+      pr_fault = None }
   in
-  let flows =
-    List.concat_map
-      (fun rule ->
-         (* fault isolation: a raising rule contributes no flows and a
-            diagnostic; the remaining rules still run *)
-         try run_rule rule with
-         | e ->
-           faults :=
-             Diagnostics.Rule_failed
-               { rule = rule.Rules.rule_name; error = Printexc.to_string e }
-             :: !faults;
-           stats :=
-             { rs_rule = rule.Rules.rule_name;
-               rs_seeds = 0;
-               rs_visited = 0;
-               rs_heap_transitions = 0;
-               rs_exhausted = true }
-             :: !stats;
-           [])
-      rules
+  (* fault isolation: a raising rule contributes no flows and a diagnostic;
+     the remaining rules still run. Catching *inside* the task keeps an
+     injected fault contained to the worker that hit it. *)
+  let guarded rule =
+    try run_rule rule with
+    | e ->
+      { pr_flows = [];
+        pr_filtered = 0;
+        pr_stats =
+          { rs_rule = rule.Rules.rule_name;
+            rs_seeds = 0;
+            rs_visited = 0;
+            rs_heap_transitions = 0;
+            rs_exhausted = true };
+        pr_exhausted = false;
+        pr_interrupted = false;
+        pr_fault =
+          Some
+            (Diagnostics.Rule_failed
+               { rule = rule.Rules.rule_name;
+                 error = Printexc.to_string e }) }
   in
-  { flows;
-    filtered_by_length = !filtered;
-    rule_stats = List.rev !stats;
-    exhausted = !exhausted;
-    interrupted = !interrupted;
-    rule_faults = List.rev !faults }
+  let results =
+    if jobs <= 1 then List.map guarded rules
+    else begin
+      (* rules slice over a shared, read-only SDG: force its lazy memo
+         indexes now so worker domains never write to it *)
+      Sdg.Builder.precompute builder;
+      Parallel.map ~jobs guarded rules
+    end
+  in
+  { flows = List.concat_map (fun r -> r.pr_flows) results;
+    filtered_by_length =
+      List.fold_left (fun acc r -> acc + r.pr_filtered) 0 results;
+    rule_stats = List.map (fun r -> r.pr_stats) results;
+    exhausted = List.exists (fun r -> r.pr_exhausted) results;
+    interrupted = List.exists (fun r -> r.pr_interrupted) results;
+    rule_faults = List.filter_map (fun r -> r.pr_fault) results }

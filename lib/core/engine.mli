@@ -26,8 +26,14 @@ val mode_of : Config.t -> Sdg.Tabulation.mode
 
 (** Run every rule. [interrupt]/[on_heap_transition] are threaded into the
     slicer (deadline polling and fault injection). A rule that raises is
-    isolated: it contributes no flows plus a [Rule_failed] diagnostic. *)
+    isolated: it contributes no flows plus a [Rule_failed] diagnostic.
+    With [jobs > 1] the rules run on a {!Parallel.map} domain pool over the
+    shared read-only SDG (its shared caches are warmed first; per-node
+    indexes are memoized domain-locally); the merged
+    outcome is structurally identical to the sequential one, and
+    [jobs <= 1] (the default) is exactly the sequential loop. *)
 val run :
+  ?jobs:int ->
   ?interrupt:(unit -> bool) ->
   ?on_heap_transition:(unit -> unit) ->
   prog:Jir.Program.t ->

@@ -8,8 +8,13 @@
     time so deadline handling can be exercised deterministically.
 
     The registry is global, mutable state — acceptable because it exists
-    purely for tests, which call {!reset} between cases. Production runs
-    never arm anything, so a tick is a single hashtable miss. *)
+    purely for tests, which call {!reset} between cases. Ticks can arrive
+    from every worker domain of a parallel stage, so the table is guarded
+    by a mutex; an atomic armed-site count keeps the production fast path
+    (nothing armed) completely lock-free. A firing action is decided under
+    the lock but *performed* outside it, so a [Stall] in one worker never
+    blocks the other workers' ticks, and the raised {!Injected} stays
+    contained to the domain whose tick triggered it. *)
 
 exception Injected of string
 
@@ -28,6 +33,15 @@ type armed = {
 }
 
 let table : (string, armed) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+
+(* Number of entries in [table]; checked without the lock on every tick so
+   unarmed runs pay one atomic load and nothing else. *)
+let armed_count = Atomic.make 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 (* Standard site names used by the pipeline. *)
 let site_parse = "parse"
@@ -37,28 +51,49 @@ let site_tabulation = "tabulation"
 let site_heap = "heap-transition"
 
 let arm ?(once = true) ?(action = Fail) site ~after =
-  Hashtbl.replace table site
-    { a_site = site; a_after = max 1 after; a_action = action; a_once = once;
-      a_live = true; a_count = 0; a_fired = 0 }
+  locked (fun () ->
+    if not (Hashtbl.mem table site) then Atomic.incr armed_count;
+    Hashtbl.replace table site
+      { a_site = site; a_after = max 1 after; a_action = action;
+        a_once = once; a_live = true; a_count = 0; a_fired = 0 })
 
-let disarm site = Hashtbl.remove table site
-let reset () = Hashtbl.reset table
+let disarm site =
+  locked (fun () ->
+    if Hashtbl.mem table site then begin
+      Hashtbl.remove table site;
+      Atomic.decr armed_count
+    end)
+
+let reset () =
+  locked (fun () ->
+    Hashtbl.reset table;
+    Atomic.set armed_count 0)
 
 let fired site =
-  match Hashtbl.find_opt table site with
-  | Some a -> a.a_fired
-  | None -> 0
+  locked (fun () ->
+    match Hashtbl.find_opt table site with
+    | Some a -> a.a_fired
+    | None -> 0)
 
 let tick site =
-  match Hashtbl.find_opt table site with
-  | None -> ()
-  | Some a when not a.a_live -> ()
-  | Some a ->
-    a.a_count <- a.a_count + 1;
-    if a.a_count >= a.a_after then begin
-      a.a_fired <- a.a_fired + 1;
-      if a.a_once then a.a_live <- false else a.a_count <- 0;
-      match a.a_action with
-      | Fail -> raise (Injected a.a_site)
-      | Stall s -> Unix.sleepf s
-    end
+  if Atomic.get armed_count > 0 then begin
+    let firing =
+      locked (fun () ->
+        match Hashtbl.find_opt table site with
+        | None -> None
+        | Some a when not a.a_live -> None
+        | Some a ->
+          a.a_count <- a.a_count + 1;
+          if a.a_count >= a.a_after then begin
+            a.a_fired <- a.a_fired + 1;
+            if a.a_once then a.a_live <- false else a.a_count <- 0;
+            Some a.a_action
+          end
+          else None)
+    in
+    (* act outside the lock: a stall must not serialize other workers *)
+    match firing with
+    | None -> ()
+    | Some Fail -> raise (Injected site)
+    | Some (Stall s) -> Unix.sleepf s
+  end

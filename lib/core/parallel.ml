@@ -1,0 +1,93 @@
+(** Fixed-size Domain worker pool with a deterministic, index-ordered
+    merge.
+
+    The three independently-parallel stages of the pipeline (per-unit
+    frontend work, per-rule taint tabulation, per-app benchmark rows) all
+    reduce to the same primitive: apply [f] to every element of a list,
+    on up to [jobs] domains, and return the results in the input order as
+    if [List.map] had run. Tasks are pulled from a shared atomic counter
+    (work stealing), so scheduling is nondeterministic — but results are
+    written into a slot per input index, which makes the merge
+    deterministic regardless of which domain ran which task.
+
+    Exceptions are captured per task; after every worker has joined, the
+    exception of the lowest-index failed task is re-raised with its
+    original backtrace. All tasks run even when an early one fails —
+    fault isolation across tasks is the caller's job (e.g. the taint
+    engine catches per-rule faults inside the task), this module only
+    guarantees that one poisoned task cannot prevent the others from
+    completing or leave a domain unjoined.
+
+    [jobs <= 1] (or a singleton/empty input) never spawns a domain and is
+    exactly [List.map f xs] — same evaluation order, same eager raise on
+    the first failing element — so sequential runs are byte-identical to
+    the pre-parallel pipeline. *)
+
+type 'a task_result =
+  | Done of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+(** The pool size used when the caller does not pin one: every core the
+    runtime recommends. *)
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(** [TAJ_JOBS] environment override, used by the CLI/bench defaults and
+    the CI determinism job. *)
+let env_jobs () =
+  match Sys.getenv_opt "TAJ_JOBS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Some n
+     | Some _ | None -> None)
+
+let run_task f x =
+  match f x with
+  | y -> Done y
+  | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+
+(** [map ~jobs f xs]: parallel [List.map f xs] on at most [jobs] domains
+    (including the calling one). Deterministic output order; re-raises the
+    first (lowest-index) task exception after joining all workers. *)
+let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  match xs with
+  | [] -> []
+  | _ when jobs <= 1 -> List.map f xs
+  | [ x ] -> [ f x ]
+  | _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let results : 'b task_result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (run_task f arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = min jobs n - 1 in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (* every slot is filled: the counter hands each index to exactly one
+       worker, and workers only return once the counter runs past [n] *)
+    Array.iteri
+      (fun i r ->
+         match r with
+         | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | Some (Done _) -> ()
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Parallel.map: slot %d left unfilled" i))
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Done y) -> y
+           | Some (Raised _) | None -> assert false (* raised above *))
+         results)

@@ -1,0 +1,20 @@
+(** Fixed-size Domain worker pool with a deterministic, index-ordered
+    merge — the primitive behind every parallel stage of the pipeline.
+
+    [map ~jobs f xs] behaves exactly like [List.map f xs] but runs tasks
+    on up to [jobs] domains. Results come back in input order no matter
+    which domain computed them. Exceptions are captured per task; once
+    every worker has joined, the exception of the lowest-index failed
+    task is re-raised with its original backtrace (the other tasks still
+    ran to completion). With [jobs <= 1], or an empty/singleton input, no
+    domain is spawned and the call is literally [List.map] — sequential
+    runs stay byte-identical to the pre-parallel pipeline. *)
+
+(** [Domain.recommended_domain_count], floored at 1. *)
+val default_jobs : unit -> int
+
+(** The [TAJ_JOBS] environment override (positive integer), if set and
+    well-formed. Used for CLI/bench defaults and by CI. *)
+val env_jobs : unit -> int option
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

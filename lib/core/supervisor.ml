@@ -17,11 +17,13 @@ type options = {
   deadline : float option;    (** wall-clock seconds for the whole run *)
   degrade : bool;             (** walk the ladder on budget exhaustion *)
   scale : float;              (** scale the ladder's presets were built at *)
-  cancel : bool ref;          (** shared cooperative cancellation token *)
+  cancel : bool Atomic.t;     (** shared cooperative cancellation token *)
+  jobs : int;                 (** worker-pool size for parallel stages *)
 }
 
 let default_options =
-  { deadline = None; degrade = true; scale = 1.0; cancel = ref false }
+  { deadline = None; degrade = true; scale = 1.0;
+    cancel = Atomic.make false; jobs = 1 }
 
 type attempt = {
   at_algorithm : Config.algorithm;
@@ -78,7 +80,7 @@ let run ?(rules = Rules.default_rules) ?(options = default_options)
       sv_attempts = List.rev !attempts;
       sv_elapsed = Budget.elapsed budget }
   in
-  match Taj.load ~lenient:true input with
+  match Taj.load ~lenient:true ~jobs:options.jobs input with
   | exception e ->
     (* total frontend failure: still a value, never an exception *)
     Diagnostics.record diagnostics
@@ -88,7 +90,7 @@ let run ?(rules = Rules.default_rules) ?(options = default_options)
     let rec attempt scale (cfg : Config.t)
         (rungs : (float * Config.t) list) (last : Taj.analysis option) =
       let t0 = Budget.elapsed budget in
-      match Taj.run ~rules ~budget ~diagnostics loaded cfg with
+      match Taj.run ~rules ~jobs:options.jobs ~budget ~diagnostics loaded cfg with
       | exception e ->
         (* Taj.run contains phase faults itself; this is a belt for truly
            unexpected escapes (e.g. allocation failure in glue code) *)

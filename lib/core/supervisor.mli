@@ -8,10 +8,13 @@ type options = {
   deadline : float option;    (** wall-clock seconds for the whole run *)
   degrade : bool;             (** walk the ladder on budget exhaustion *)
   scale : float;              (** scale the ladder's presets are built at *)
-  cancel : bool ref;          (** shared cooperative cancellation token *)
+  cancel : bool Atomic.t;     (** shared cooperative cancellation token *)
+  jobs : int;                 (** worker-pool size for the parallel stages
+                                  (frontend parse, per-rule tabulation);
+                                  1 = fully sequential *)
 }
 
-(** No deadline, degradation enabled, scale 1.0, fresh token. *)
+(** No deadline, degradation enabled, scale 1.0, fresh token, jobs 1. *)
 val default_options : options
 
 (** One rung of the ladder that actually executed. *)

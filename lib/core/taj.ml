@@ -48,6 +48,7 @@ type completed = {
   heapgraph : Pointer.Heapgraph.t;
   cg_nodes : int;
   cg_edges : int;
+  jobs : int;                       (** worker-pool size this run used *)
   times : phase_times;
   diagnostics : Diagnostics.degradation list;
       (** degradations recorded during this run (also in the report) *)
@@ -87,29 +88,35 @@ let now = Unix.gettimeofday
 (** Parse, lower, synthesize and rewrite. Configuration-independent.
     With [lenient] (the supervisor's mode), a unit that fails to lex/parse
     is skipped and recorded in [skipped_units] instead of failing the whole
-    load — frontend fault isolation. *)
-let load ?(lenient = false) (input : input) : loaded =
+    load — frontend fault isolation. With [jobs > 1], units parse on a
+    {!Parallel.map} domain pool (each unit's parse touches only unit-local
+    state); results merge in unit order, so the loaded program is identical
+    to a sequential load. *)
+let load ?(lenient = false) ?(jobs = 1) (input : input) : loaded =
   wrap_frontend_errors input.name @@ fun () ->
   let t0 = now () in
   let prog = Program.create () in
-  let jdk_units = Lazy.force Models.Jdklib.units in
-  let skipped = ref [] in
+  let jdk_units = Models.Jdklib.units () in
+  let parse_unit (i, src) =
+    match
+      Fault.tick Fault.site_parse;
+      Parser.parse src
+    with
+    | u -> Either.Left u
+    | exception
+        ((Lexer.Lex_error _ | Parser.Parse_error _ | Fault.Injected _) as e)
+      when lenient ->
+      Either.Right (i, Printexc.to_string e)
+  in
+  let parsed =
+    Parallel.map ~jobs parse_unit
+      (List.mapi (fun i src -> (i, src)) input.app_sources)
+  in
   let app_units =
-    List.concat
-      (List.mapi
-         (fun i src ->
-            match
-              Fault.tick Fault.site_parse;
-              Parser.parse src
-            with
-            | u -> [ u ]
-            | exception
-                ((Lexer.Lex_error _ | Parser.Parse_error _ | Fault.Injected _)
-                 as e)
-              when lenient ->
-              skipped := (i, Printexc.to_string e) :: !skipped;
-              [])
-         input.app_sources)
+    List.filter_map (function Either.Left u -> Some u | _ -> None) parsed
+  in
+  let skipped =
+    List.filter_map (function Either.Right s -> Some s | _ -> None) parsed
   in
   List.iter (Lower.declare prog ~library:true) jdk_units;
   List.iter (Lower.declare prog ~library:false) app_units;
@@ -136,7 +143,7 @@ let load ?(lenient = false) (input : input) : loaded =
     program = prog;
     reflection_stats;
     synthesized_sources;
-    skipped_units = List.rev !skipped;
+    skipped_units = skipped;
     frontend_seconds = now () -. t0 }
 
 let pointer_config ~interrupt (loaded : loaded) (config : Config.t)
@@ -187,8 +194,8 @@ let record_budget_stop (diagnostics : Diagnostics.t) (budget : Budget.t)
     [Did_not_complete] with a recorded [Phase_fault], so the supervisor can
     walk the degradation ladder. New degradations are appended to
     [diagnostics] (shared across supervisor attempts). *)
-let run ?(rules = Rules.default_rules) ?budget ?diagnostics (loaded : loaded)
-    (config : Config.t) : analysis =
+let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
+    (loaded : loaded) (config : Config.t) : analysis =
   let budget =
     match budget with Some b -> b | None -> Budget.unlimited ()
   in
@@ -250,7 +257,7 @@ let run ?(rules = Rules.default_rules) ?budget ?diagnostics (loaded : loaded)
        let t_sdg = now () -. t1 in
        let t2 = now () in
        (match
-          Engine.run
+          Engine.run ~jobs
             ~interrupt:(fun () ->
               Fault.tick Fault.site_tabulation;
               interrupt ())
@@ -292,6 +299,7 @@ let run ?(rules = Rules.default_rules) ?budget ?diagnostics (loaded : loaded)
                     { report; outcome; andersen; builder; heapgraph;
                       cg_nodes = Pointer.Callgraph.node_count cg;
                       cg_edges = Pointer.Callgraph.edge_count cg;
+                      jobs = max 1 jobs;
                       times =
                         { t_pointer; t_sdg; t_taint;
                           t_total = now () -. t_start };
@@ -299,6 +307,7 @@ let run ?(rules = Rules.default_rules) ?budget ?diagnostics (loaded : loaded)
           end))
 
 (** Convenience: load and analyze in one call. *)
-let analyze ?rules ?(config = Config.preset Config.Hybrid_unbounded)
-    (input : input) : analysis =
-  run ?rules (load input) config
+let analyze ?rules ?(jobs = 1)
+    ?(config = Config.preset Config.Hybrid_unbounded) (input : input) :
+  analysis =
+  run ?rules ~jobs (load ~jobs input) config

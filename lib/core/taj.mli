@@ -39,6 +39,7 @@ type completed = {
   heapgraph : Pointer.Heapgraph.t;
   cg_nodes : int;
   cg_edges : int;
+  jobs : int;                       (** worker-pool size this run used *)
   times : phase_times;
   diagnostics : Diagnostics.degradation list;
       (** degradations recorded during this run (also in the report) *)
@@ -62,20 +63,27 @@ exception Load_error of string
 
 (** With [lenient] (the supervisor's mode), a unit that fails to lex/parse
     is skipped and recorded in [skipped_units] instead of failing the
-    whole load. *)
-val load : ?lenient:bool -> input -> loaded
+    whole load. With [jobs > 1] (default 1), compilation units parse on a
+    {!Parallel.map} domain pool; the loaded program is identical to a
+    sequential load. *)
+val load : ?lenient:bool -> ?jobs:int -> input -> loaded
 
 (** [budget] supplies the wall-clock deadline / cancellation token, polled
     cooperatively in every long-running loop; an expiry mid-phase yields a
     [Partial] report with whatever flows were already found. A phase that
     raises becomes [Did_not_complete] with a recorded [Phase_fault]. New
     degradations are appended to [diagnostics] (shareable across
-    supervisor attempts). *)
+    supervisor attempts). With [jobs > 1] (default 1) the taint rules run
+    on a {!Parallel.map} domain pool; results are structurally identical
+    to the sequential run, and the budget/deadline keeps working across
+    domains. *)
 val run :
   ?rules:Rules.rule list ->
+  ?jobs:int ->
   ?budget:Budget.t ->
   ?diagnostics:Diagnostics.t ->
   loaded -> Config.t -> analysis
 
 (** [load] + [run]. *)
-val analyze : ?rules:Rules.rule list -> ?config:Config.t -> input -> analysis
+val analyze :
+  ?rules:Rules.rule list -> ?jobs:int -> ?config:Config.t -> input -> analysis

@@ -530,9 +530,30 @@ class Logger {
 (** All compilation-unit sources of the model JDK, in load order. *)
 let sources = [ lang; collections; io; servlet; jdbc; frameworks ]
 
-(** Parse the model JDK into compilation units (cached). *)
-let units : Jir.Ast.compilation_unit list Lazy.t =
-  lazy (List.map Jir.Parser.parse sources)
+(* Parse-once cache. Not [Lazy.t]: the frontend may be entered from
+   several domains at once (parallel bench rows each call [Taj.load]),
+   and concurrently forcing a shared lazy raises
+   [CamlinternalLazy.Undefined]. The [Atomic] publishes the parsed
+   (immutable) units with release/acquire ordering; the mutex only
+   serializes the first computation. *)
+let units_memo : Jir.Ast.compilation_unit list option Atomic.t =
+  Atomic.make None
+
+let units_lock = Mutex.create ()
+
+(** Parse the model JDK into compilation units (cached, domain-safe). *)
+let units () : Jir.Ast.compilation_unit list =
+  match Atomic.get units_memo with
+  | Some u -> u
+  | None ->
+    Mutex.lock units_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock units_lock) @@ fun () ->
+    (match Atomic.get units_memo with
+     | Some u -> u
+     | None ->
+       let u = List.map Jir.Parser.parse sources in
+       Atomic.set units_memo (Some u);
+       u)
 
 (** Names of the dictionary-like classes whose [put]/[get]-style access is
     subject to the constant-key model (§4.2.1). *)

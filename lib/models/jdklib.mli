@@ -8,8 +8,10 @@
 (** The compilation-unit sources, in load order. *)
 val sources : string list
 
-(** Parsed model-JDK compilation units (cached). *)
-val units : Jir.Ast.compilation_unit list Lazy.t
+(** Parsed model-JDK compilation units. Cached after the first call;
+    safe to call from several domains at once (a shared [Lazy.t] is not:
+    concurrent forcing raises). *)
+val units : unit -> Jir.Ast.compilation_unit list
 
 (** Dictionary-like classes subject to the constant-key model (§4.2.1). *)
 val dictionary_classes : string list

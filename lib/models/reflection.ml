@@ -125,17 +125,16 @@ and eval_uncached ev v =
 (* Dispatcher synthesis                                               *)
 (* ------------------------------------------------------------------ *)
 
-let dispatch_counter = ref 0
-
 (** Build [$Reflect.dispatch$N(recv, a1..ak)]: a synthetic static method
     virtual-calling every candidate and returning the merged result. The
-    body is emitted directly in SSA form. *)
-let make_dispatcher (prog : Program.t) ~arity
+    body is emitted directly in SSA form. [idx] is the per-program
+    dispatcher ordinal (threaded from {!rewrite_program} rather than a
+    process-global counter, so that names are deterministic per load and
+    concurrent loads on sibling domains never share state). *)
+let make_dispatcher (prog : Program.t) ~idx ~arity
     ~(candidates : (string * string) list) : Tac.meth =
   let n = List.length candidates in
   assert (n >= 1);
-  let idx = !dispatch_counter in
-  incr dispatch_counter;
   let name = Printf.sprintf "dispatch$%d" idx in
   let meth_id = Printf.sprintf "$Reflect.%s/%d" name arity in
   let nv = ref arity in
@@ -228,7 +227,7 @@ type stats = {
 }
 
 let rewrite_method (prog : Program.t) ~(ejb_registry : (string * string) list)
-    (m : Tac.meth) (st : stats) : unit =
+    ~(dispatch_idx : int ref) (m : Tac.meth) (st : stats) : unit =
   let table = prog.Program.table in
   let ev = make_evaluator m in
   let meth_id = Tac.method_id m in
@@ -257,7 +256,9 @@ let rewrite_method (prog : Program.t) ~(ejb_registry : (string * string) list)
                     site } ]
           | candidates ->
             st.invokes_resolved <- st.invokes_resolved + 1;
-            let d = make_dispatcher prog ~arity ~candidates in
+            let idx = !dispatch_idx in
+            incr dispatch_idx;
+            let d = make_dispatcher prog ~idx ~arity ~candidates in
             Program.add_method prog d;
             let target =
               { Tac.rclass = "$Reflect"; rname = d.Tac.m_name; rarity = arity }
@@ -340,10 +341,11 @@ let rewrite_program ?(ejb_registry = []) (prog : Program.t) : stats =
   in
   (* snapshot the method list first: dispatcher synthesis adds methods *)
   let ids = Program.all_method_ids prog in
+  let dispatch_idx = ref 0 in
   List.iter
     (fun id ->
        match Program.find_method prog id with
-       | Some m -> rewrite_method prog ~ejb_registry m st
+       | Some m -> rewrite_method prog ~ejb_registry ~dispatch_idx m st
        | None -> ())
     ids;
   st

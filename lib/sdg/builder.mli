@@ -27,6 +27,14 @@ val build :
 (** Did [interrupt] stop the build before every node was indexed? *)
 val interrupted : t -> bool
 
+(** Warm the caches that stay shared across worker domains (the subclass
+    queries reachable from the recorded throws/catches) so that parallel
+    slicing only reads them; the per-node def/use memo is domain-local
+    and needs no warming. Required before sharing [t] across worker
+    domains; idempotent, and a no-op for correctness in sequential
+    runs. *)
+val precompute : t -> unit
+
 val node_meth : t -> int -> Jir.Tac.meth
 val instr_of : t -> Stmt.t -> Jir.Tac.instr option
 val call_of : t -> Stmt.t -> Jir.Tac.call option

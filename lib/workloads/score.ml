@@ -60,12 +60,12 @@ let classify (truth : Ground_truth.t) (builder : Sdg.Builder.t)
     unattributed = !unattributed }
 
 (** Run one algorithm over a loaded app and score it. *)
-let run_config ~(loaded : Taj.loaded) ~(truth : Ground_truth.t)
+let run_config ?(jobs = 1) ~(loaded : Taj.loaded) ~(truth : Ground_truth.t)
     ~(app : string) ~(scale : float) (algorithm : Config.algorithm) : run =
   let config = Config.preset ~scale algorithm in
   (* wall clock, not CPU time: Table 3 reports elapsed analysis time *)
   let t0 = Unix.gettimeofday () in
-  let analysis = Taj.run loaded config in
+  let analysis = Taj.run ~jobs loaded config in
   let seconds = Unix.gettimeofday () -. t0 in
   match analysis.Taj.result with
   | Taj.Did_not_complete _ ->
@@ -82,10 +82,32 @@ let run_config ~(loaded : Taj.loaded) ~(truth : Ground_truth.t)
       r_classification = Some (classify truth c.Taj.builder c.Taj.report) }
 
 (** Run all five Table 1 configurations over one app. *)
-let run_app ?(scale = 0.05)
+let run_app ?(scale = 0.05) ?(jobs = 1)
     ?(algorithms = Config.all_algorithms) (a : Apps.app) : run list =
   let g = Apps.generate ~scale a in
-  let loaded = Taj.load (Codegen.to_input g) in
+  let loaded = Taj.load ~jobs (Codegen.to_input g) in
   List.map
-    (run_config ~loaded ~truth:g.Codegen.g_truth ~app:a.Apps.name ~scale)
+    (run_config ~jobs ~loaded ~truth:g.Codegen.g_truth ~app:a.Apps.name
+       ~scale)
     algorithms
+
+(** {!run_app}, but a failure is returned as [(phase, error)] instead of
+    raised — the machine-readable form the bench harness needs to emit
+    failure rows with phase attribution. *)
+let run_app_result ?(scale = 0.05) ?(jobs = 1)
+    ?(algorithms = Config.all_algorithms) (a : Apps.app) :
+  (run list, string * string) result =
+  match Apps.generate ~scale a with
+  | exception e -> Error ("generate", Printexc.to_string e)
+  | g ->
+    (match Taj.load ~jobs (Codegen.to_input g) with
+     | exception e -> Error ("frontend", Printexc.to_string e)
+     | loaded ->
+       (match
+          List.map
+            (run_config ~jobs ~loaded ~truth:g.Codegen.g_truth
+               ~app:a.Apps.name ~scale)
+            algorithms
+        with
+        | runs -> Ok runs
+        | exception e -> Error ("analysis", Printexc.to_string e)))

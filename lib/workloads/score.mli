@@ -26,10 +26,19 @@ val classify :
   Ground_truth.t -> Sdg.Builder.t -> Core.Report.t -> classification
 
 val run_config :
-  loaded:Core.Taj.loaded -> truth:Ground_truth.t -> app:string ->
-  scale:float -> Core.Config.algorithm -> run
+  ?jobs:int -> loaded:Core.Taj.loaded -> truth:Ground_truth.t ->
+  app:string -> scale:float -> Core.Config.algorithm -> run
 
-(** Run the given configurations (default: all five) over one app. *)
+(** Run the given configurations (default: all five) over one app.
+    [jobs] sizes the worker pool inside each analysis (frontend parse and
+    per-rule tabulation); default 1 = sequential. *)
 val run_app :
-  ?scale:float -> ?algorithms:Core.Config.algorithm list -> Apps.app ->
-  run list
+  ?scale:float -> ?jobs:int -> ?algorithms:Core.Config.algorithm list ->
+  Apps.app -> run list
+
+(** {!run_app}, but a failure comes back as [Error (phase, error)] with
+    [phase] one of ["generate"], ["frontend"], ["analysis"] — so partial
+    bench runs stay machine-readable. *)
+val run_app_result :
+  ?scale:float -> ?jobs:int -> ?algorithms:Core.Config.algorithm list ->
+  Apps.app -> (run list, string * string) result

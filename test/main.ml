@@ -23,4 +23,5 @@ let () =
       ("corpus", Test_corpus.suite);
       ("rules", Test_rules.suite);
       ("resilience", Test_resilience.suite);
+      ("parallel", Test_parallel.suite);
       ("securibench", Test_securibench.suite) ]

@@ -52,10 +52,10 @@ let test_budget_deadline () =
     (poll_n b 1000)
 
 let test_budget_cancel () =
-  let token = ref false in
+  let token = Atomic.make false in
   let b = Budget.create ~cancel:token () in
   Alcotest.(check bool) "not cancelled yet" false (Budget.exceeded b);
-  token := true;
+  Atomic.set token true;
   Alcotest.(check bool) "cancellation is seen on the next poll" true
     (Budget.exceeded b);
   Alcotest.(check bool) "status reports cancellation" true
@@ -228,7 +228,7 @@ let test_expired_deadline_yields_partial_report () =
        (flow_keys report))
 
 let test_cancellation_yields_partial_report () =
-  let token = ref true in        (* cancelled before the analysis starts *)
+  let token = Atomic.make true in (* cancelled before the analysis starts *)
   let options =
     { Supervisor.default_options with Supervisor.cancel = token }
   in

@@ -8,7 +8,7 @@ let table_of srcs =
   let prog = Program.create () in
   List.iter
     (Lower.declare prog ~library:true)
-    (Lazy.force Models.Jdklib.units);
+    (Models.Jdklib.units ());
   List.iter (fun s -> Lower.declare prog ~library:false (Parser.parse s)) srcs;
   prog.Program.table
 
