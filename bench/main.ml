@@ -23,13 +23,16 @@
    published bounds together; --jobs <int> (default: TAJ_JOBS or 1) sizes
    the Domain worker pool — per-app table rows and the per-rule/per-unit
    stages inside each analysis run in parallel, with output identical to
-   --jobs 1. *)
+   --jobs 1; --trace <file> writes a Chrome trace-event JSON of the whole
+   bench run; --metrics prints the telemetry metrics table on stderr. *)
 
 open Core
 open Workloads
 
 let scale = ref 0.05
 let jobs = ref (match Parallel.env_jobs () with Some n -> n | None -> 1)
+let trace = ref None
+let metrics = ref false
 
 let line = String.make 78 '-'
 
@@ -409,8 +412,8 @@ let csv () =
   header "CSV export: table3.csv and figure4.csv";
   let oc3 = open_out "table3.csv" in
   output_string oc3
-    "app,algorithm,completed,issues,seconds,cg_nodes,paper_issues,\
-     paper_seconds,failed_phase\n";
+    "app,algorithm,completed,issues,seconds,t_frontend,t_pointer,t_sdg,\
+     t_taint,cg_nodes,paper_issues,paper_seconds,failed_phase\n";
   let oc4 = open_out "figure4.csv" in
   output_string oc4 "app,algorithm,tp,fp,fn,accuracy\n";
   let results =
@@ -425,7 +428,7 @@ let csv () =
          (* a failed app still gets a machine-readable row: every
             per-algorithm field is empty/false and failed_phase says
             where the pipeline died *)
-         Printf.fprintf oc3 "%s,,false,0,0,0,,,%s\n" a.Apps.name phase
+         Printf.fprintf oc3 "%s,,false,0,0,,,,,0,,,%s\n" a.Apps.name phase
        | Ok runs ->
          List.iter
            (fun (r : Score.run) ->
@@ -438,9 +441,17 @@ let csv () =
                 | Config.Ci_thin_slicing -> a.Apps.paper.Apps.ci
               in
               let popt = function Some v -> string_of_int v | None -> "" in
-              Printf.fprintf oc3 "%s,%s,%b,%d,%.4f,%d,%s,%s,\n" a.Apps.name
+              (* per-phase telemetry times; empty on did-not-complete rows *)
+              let phases =
+                match r.Score.r_phases with
+                | Some t ->
+                  Printf.sprintf "%.4f,%.4f,%.4f,%.4f" t.Taj.t_frontend
+                    t.Taj.t_pointer t.Taj.t_sdg t.Taj.t_taint
+                | None -> ",,,"
+              in
+              Printf.fprintf oc3 "%s,%s,%b,%d,%.4f,%s,%d,%s,%s,\n" a.Apps.name
                 (Config.algorithm_name r.Score.r_algorithm)
-                r.Score.r_completed r.Score.r_issues r.Score.r_seconds
+                r.Score.r_completed r.Score.r_issues r.Score.r_seconds phases
                 r.Score.r_cg_nodes
                 (popt paper.Apps.pr_issues)
                 (popt paper.Apps.pr_seconds);
@@ -508,17 +519,17 @@ let scaling () =
   List.iter
     (fun s ->
        let g = Apps.generate ~scale:s a in
-       let t0 = Unix.gettimeofday () in
-       let loaded = Taj.load ~jobs:!jobs (Codegen.to_input g) in
-       let t_frontend = Unix.gettimeofday () -. t0 in
+       let loaded, t_frontend =
+         Obs.Telemetry.timed (fun () -> Taj.load ~jobs:!jobs (Codegen.to_input g))
+       in
        let st = Jir.Program.stats loaded.Taj.program in
        let time_of alg =
-         let t1 = Unix.gettimeofday () in
          match
-           (Taj.run ~jobs:!jobs loaded (Config.preset ~scale:s alg)).Taj.result
+           Obs.Telemetry.timed (fun () ->
+             (Taj.run ~jobs:!jobs loaded (Config.preset ~scale:s alg)).Taj.result)
          with
-         | Taj.Completed c -> (Unix.gettimeofday () -. t1, c.Taj.cg_nodes)
-         | Taj.Did_not_complete _ -> (nan, 0)
+         | Taj.Completed c, t -> (t, c.Taj.cg_nodes)
+         | Taj.Did_not_complete _, _ -> (nan, 0)
        in
        let t_hybrid, nodes = time_of Config.Hybrid_unbounded in
        let t_ci, _ = time_of Config.Ci_thin_slicing in
@@ -641,10 +652,17 @@ let () =
     | "--jobs" :: v :: rest ->
       jobs := max 1 (int_of_string v);
       parse cmds rest
+    | "--trace" :: v :: rest ->
+      trace := Some v;
+      parse cmds rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse cmds rest
     | cmd :: rest -> parse (cmd :: cmds) rest
   in
   let cmds = List.rev (parse [] (List.tl args)) in
   let cmds = if cmds = [] then [ "all" ] else cmds in
+  if !trace <> None || !metrics then Obs.Telemetry.enable ();
   let dispatch = function
     | "table1" -> table1 ()
     | "table2" -> table2 ()
@@ -669,4 +687,10 @@ let () =
       Printf.eprintf "unknown subcommand %s\n" other;
       exit 2
   in
-  List.iter dispatch cmds
+  List.iter dispatch cmds;
+  (match !trace with
+   | Some path ->
+     Obs.Telemetry.write_trace path;
+     Printf.eprintf "trace written to %s\n" path
+   | None -> ());
+  if !metrics then Fmt.epr "%a@." Obs.Telemetry.pp_metrics ()

@@ -60,6 +60,35 @@ let descriptor_file =
   let doc = "Deployment descriptor file (servlet/action/ejb lines)." in
   Arg.(value & opt (some file) None & info [ "d"; "descriptor" ] ~docv:"FILE" ~doc)
 
+let trace_file =
+  let doc =
+    "Record a span trace of the run and write it to $(docv) as Chrome \
+     trace-event JSON (loadable at chrome://tracing or ui.perfetto.dev). \
+     Each worker domain gets its own track."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_flag =
+  let doc =
+    "Collect telemetry metrics (pointer propagations, SDG memo hit rates, \
+     tabulation steps, ...) and print them as a table on stderr after the \
+     run. With --json the metrics are also embedded in the JSON output."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Telemetry stays off (single-atomic-load probes) unless one of the
+   observability flags asks for it. *)
+let telemetry_setup ~trace ~metrics =
+  if trace <> None || metrics then Obs.Telemetry.enable ()
+
+let telemetry_export ~trace ~metrics =
+  (match trace with
+   | Some path ->
+     Obs.Telemetry.write_trace path;
+     Printf.eprintf "trace written to %s\n" path
+   | None -> ());
+  if metrics then Fmt.epr "%a@." Obs.Telemetry.pp_metrics ()
+
 let sources =
   let doc = "MJava source files to analyze." in
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
@@ -150,22 +179,27 @@ let emit_json ?builder ?completed (outcome : Supervisor.outcome)
     | Some c ->
       Printf.sprintf
         "  \"jobs\": %d,\n\
-        \  \"phases\": { \"pointer\": %.3f, \"sdg\": %.3f, \"taint\": %.3f, \
-         \"total\": %.3f },\n"
-        c.Taj.jobs c.Taj.times.Taj.t_pointer c.Taj.times.Taj.t_sdg
-        c.Taj.times.Taj.t_taint c.Taj.times.Taj.t_total
+        \  \"phases\": { \"frontend\": %.3f, \"pointer\": %.3f, \
+         \"sdg\": %.3f, \"taint\": %.3f, \"total\": %.3f },\n"
+        c.Taj.jobs c.Taj.times.Taj.t_frontend c.Taj.times.Taj.t_pointer
+        c.Taj.times.Taj.t_sdg c.Taj.times.Taj.t_taint c.Taj.times.Taj.t_total
+  in
+  let metrics =
+    if Obs.Telemetry.enabled () then
+      Printf.sprintf "  \"metrics\": %s,\n" (Obs.Telemetry.metrics_json ())
+    else ""
   in
   Printf.printf
     "{\n\
     \  \"issues\": [\n%s\n  ],\n\
     \  \"completeness\": \"%s\",\n\
-     %s\
+     %s%s\
     \  \"diagnostics\": [\n%s\n  ],\n\
     \  \"attempts\": [\n%s\n  ]\n\
      }\n"
     issues
     (if Report.is_partial report then "partial" else "complete")
-    timing
+    timing metrics
     (String.concat ",\n"
        (List.map degradation_json outcome.Supervisor.sv_diagnostics))
     (String.concat ",\n"
@@ -201,7 +235,7 @@ let analyze_cmd =
                 with progressively stricter bounded configurations.")
   in
   let run algorithm scale jobs descriptor_file srcs json stats csrf deadline
-      no_degrade =
+      no_degrade trace metrics =
     let input = load_input ~name:"cli" ~srcs ~descriptor_file in
     let options =
       { Supervisor.default_options with
@@ -210,9 +244,13 @@ let analyze_cmd =
         scale;
         jobs }
     in
+    telemetry_setup ~trace ~metrics;
     let outcome =
       Supervisor.run ~options ~config:(Config.preset ~scale algorithm) input
     in
+    (* export before the exit-code branches so a partial or failed run
+       still yields its trace and metrics *)
+    telemetry_export ~trace ~metrics;
     let degradations = outcome.Supervisor.sv_diagnostics in
     match outcome.Supervisor.sv_analysis with
     | None ->
@@ -233,9 +271,10 @@ let analyze_cmd =
     | Some ({ Taj.result = Taj.Completed c; _ } as analysis) ->
       if stats then begin
         Printf.eprintf
-          "call-graph: %d nodes, %d edges; jobs %d; pointer %.3fs, \
-           sdg %.3fs, taint %.3fs, total %.3fs\n"
-          c.Taj.cg_nodes c.Taj.cg_edges c.Taj.jobs c.Taj.times.Taj.t_pointer
+          "call-graph: %d nodes, %d edges; jobs %d; frontend %.3fs, \
+           pointer %.3fs, sdg %.3fs, taint %.3fs, total %.3fs\n"
+          c.Taj.cg_nodes c.Taj.cg_edges c.Taj.jobs
+          c.Taj.times.Taj.t_frontend c.Taj.times.Taj.t_pointer
           c.Taj.times.Taj.t_sdg c.Taj.times.Taj.t_taint
           c.Taj.times.Taj.t_total
       end;
@@ -296,7 +335,8 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc ~man)
     Term.(const run $ algorithm $ scale $ jobs $ descriptor_file $ sources
-          $ json $ stats $ csrf $ deadline $ no_degrade)
+          $ json $ stats $ csrf $ deadline $ no_degrade $ trace_file
+          $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* dump-ir                                                            *)
@@ -551,13 +591,15 @@ let apps_cmd =
   Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
 
 let score_cmd =
-  let run name scale jobs =
+  let run name scale jobs trace metrics =
     match Workloads.Apps.find name with
     | None ->
       Printf.eprintf "unknown app %s\n" name;
       exit 1
     | Some app ->
+      telemetry_setup ~trace ~metrics;
       let runs = Workloads.Score.run_app ~scale ~jobs app in
+      telemetry_export ~trace ~metrics;
       Printf.printf "%-20s %7s %5s %5s %5s %9s %8s\n" "configuration"
         "issues" "TP" "FP" "FN" "accuracy" "time";
       List.iter
@@ -579,7 +621,8 @@ let score_cmd =
     "Generate a benchmark app, run all five configurations and score them \
      against the ground truth."
   in
-  Cmd.v (Cmd.info "score" ~doc) Term.(const run $ app_name $ scale $ jobs)
+  Cmd.v (Cmd.info "score" ~doc)
+    Term.(const run $ app_name $ scale $ jobs $ trace_file $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 

@@ -38,6 +38,12 @@ let local_polls : int ref Domain.DLS.key =
 
 type verdict = Ok | Deadline | Cancelled | Steps
 
+(* Latch the trip flag; the first transition (and only the first) is an
+   instant event on the telemetry trace, naming what ran out. *)
+let trip t what =
+  if not (Atomic.exchange t.tripped true) then
+    Obs.Telemetry.instant "budget.trip" ~args:[ ("what", what) ]
+
 let create ?deadline ?max_steps ?(cancel = Atomic.make false) () =
   let started = Unix.gettimeofday () in
   { started;
@@ -65,38 +71,37 @@ let past_deadline t =
 (* The full (unamortized) check; latches [tripped]. *)
 let status t : verdict =
   if Atomic.get t.cancel then begin
-    Atomic.set t.tripped true;
+    trip t "cancelled";
     Cancelled
   end
   else if past_deadline t then begin
-    Atomic.set t.tripped true;
+    trip t "deadline";
     Deadline
   end
   else
     match t.max_steps with
     | Some m when Atomic.get t.steps > m ->
-      Atomic.set t.tripped true;
+      trip t "steps";
       Steps
     | _ -> Ok
 
 let exceeded t =
   if Atomic.get t.tripped then true
   else if Atomic.get t.cancel then begin
-    Atomic.set t.tripped true;
+    trip t "cancelled";
     true
   end
   else begin
     (match t.max_steps with
      | Some m ->
-       if Atomic.fetch_and_add t.steps 1 + 1 > m then
-         Atomic.set t.tripped true
+       if Atomic.fetch_and_add t.steps 1 + 1 > m then trip t "steps"
      | None -> ());
     (match t.deadline with
      | Some _ when not (Atomic.get t.tripped) ->
        let polls = Domain.DLS.get local_polls in
        incr polls;
        if !polls land t.probe_mask = 0 && past_deadline t then
-         Atomic.set t.tripped true
+         trip t "deadline"
      | _ -> ());
     Atomic.get t.tripped
   end

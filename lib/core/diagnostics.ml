@@ -29,14 +29,6 @@ type degradation =
       reason : string;
     }
 
-type t = { mutable rev_events : degradation list }
-
-let create () = { rev_events = [] }
-let record t d = t.rev_events <- d :: t.rev_events
-let events t = List.rev t.rev_events
-let count t = List.length t.rev_events
-let is_empty t = t.rev_events = []
-
 let pp_degradation ppf = function
   | Deadline_expired { phase; elapsed } ->
     Fmt.pf ppf "deadline expired during %s phase after %.3fs"
@@ -56,11 +48,8 @@ let pp_degradation ppf = function
       (Config.algorithm_name from_alg) (Config.algorithm_name to_alg)
       to_scale reason
 
-let pp ppf t =
-  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_degradation) (events t)
-
 (* A stable machine-readable tag per constructor, for the CLI's JSON
-   diagnostics block. *)
+   diagnostics block and the telemetry instant-event names. *)
 let kind_name = function
   | Deadline_expired _ -> "deadline-expired"
   | Cancelled _ -> "cancelled"
@@ -69,3 +58,23 @@ let kind_name = function
   | Unit_skipped _ -> "unit-skipped"
   | Phase_fault _ -> "phase-fault"
   | Downgraded _ -> "downgraded"
+
+type t = { mutable rev_events : degradation list }
+
+let create () = { rev_events = [] }
+
+(* Every degradation is also an instant event on the telemetry trace, so
+   budget trips, ladder steps and rule faults line up with the phase spans
+   they interrupted. *)
+let record t d =
+  Obs.Telemetry.instant
+    ("diag." ^ kind_name d)
+    ~args:[ ("detail", Fmt.str "%a" pp_degradation d) ];
+  t.rev_events <- d :: t.rev_events
+
+let events t = List.rev t.rev_events
+let count t = List.length t.rev_events
+let is_empty t = t.rev_events = []
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_degradation) (events t)

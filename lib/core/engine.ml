@@ -6,6 +6,12 @@ module Int_set = Set.Make (Int)
 module Keys = Pointer.Keys
 open Jir
 
+module Telemetry = Obs.Telemetry
+
+let m_seeds = Telemetry.counter "taint.seeds"
+let m_flows = Telemetry.counter "taint.flows"
+let m_rules = Telemetry.counter "taint.rules"
+
 type rule_stats = {
   rs_rule : string;
   rs_seeds : int;
@@ -125,6 +131,9 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
     ~(config : Config.t) () : outcome =
   let mode = mode_of config in
   let run_rule rule =
+    Telemetry.with_span "taint.rule"
+      ~args:[ ("rule", rule.Rules.rule_name) ]
+    @@ fun () ->
     (* each task builds its own matcher: the matcher memoizes canonical
        method resolutions in a private table, so sharing one across
        domains would race *)
@@ -170,6 +179,9 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
            | _ -> Some fl)
         res.Sdg.Tabulation.hits
     in
+    Telemetry.incr m_rules;
+    Telemetry.add m_seeds (List.length seeds);
+    Telemetry.add m_flows (List.length flows);
     { pr_flows = flows;
       pr_filtered = !filtered;
       pr_stats =

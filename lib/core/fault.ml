@@ -94,6 +94,12 @@ let tick site =
     (* act outside the lock: a stall must not serialize other workers *)
     match firing with
     | None -> ()
-    | Some Fail -> raise (Injected site)
-    | Some (Stall s) -> Unix.sleepf s
+    | Some a ->
+      Obs.Telemetry.instant "fault.injected"
+        ~args:
+          [ ("site", site);
+            ("action", match a with Fail -> "fail" | Stall _ -> "stall") ];
+      (match a with
+       | Fail -> raise (Injected site)
+       | Stall s -> Unix.sleepf s)
   end

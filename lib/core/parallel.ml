@@ -27,6 +27,10 @@ type 'a task_result =
   | Done of 'a
   | Raised of exn * Printexc.raw_backtrace
 
+(* Tasks executed across all parallel stages. Jobs-dependent only in how
+   they are distributed, not in how many there are. *)
+let m_tasks = Obs.Telemetry.counter "parallel.tasks"
+
 (** The pool size used when the caller does not pin one: every core the
     runtime recommends. *)
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
@@ -61,9 +65,13 @@ let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
     let results : 'b task_result option array = Array.make n None in
     let next = Atomic.make 0 in
     let worker () =
+      (* the span lands on the executing domain's telemetry buffer, giving
+         each pool domain its own track in the exported trace *)
+      Obs.Telemetry.with_span "parallel.worker" @@ fun () ->
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          Obs.Telemetry.incr m_tasks;
           results.(i) <- Some (run_task f arr.(i));
           loop ()
         end

@@ -21,7 +21,9 @@ type t = {
 
 let make ?(completeness = Complete) (b : Sdg.Builder.t)
     (flows : Flows.t list) : t =
-  let groups = Lcp.dedup b flows in
+  let groups =
+    Obs.Telemetry.with_span "report.lcp" @@ fun () -> Lcp.dedup b flows
+  in
   { issues =
       List.map
         (fun (g : Lcp.group) ->

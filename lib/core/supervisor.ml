@@ -90,7 +90,17 @@ let run ?(rules = Rules.default_rules) ?(options = default_options)
     let rec attempt scale (cfg : Config.t)
         (rungs : (float * Config.t) list) (last : Taj.analysis option) =
       let t0 = Budget.elapsed budget in
-      match Taj.run ~rules ~jobs:options.jobs ~budget ~diagnostics loaded cfg with
+      match
+        (* one span per ladder rung, so retries are visible as sibling
+           attempts on the trace; Fun.protect inside [with_span] closes the
+           span even when the attempt raises *)
+        Obs.Telemetry.with_span "supervisor.attempt"
+          ~args:
+            [ ("algorithm", Config.algorithm_name cfg.Config.algorithm);
+              ("scale", Printf.sprintf "%.3f" scale) ]
+          (fun () ->
+             Taj.run ~rules ~jobs:options.jobs ~budget ~diagnostics loaded cfg)
+      with
       | exception e ->
         (* Taj.run contains phase faults itself; this is a belt for truly
            unexpected escapes (e.g. allocation failure in glue code) *)

@@ -34,10 +34,11 @@ type loaded = {
 }
 
 type phase_times = {
+  t_frontend : float;               (** parse/SSA/rewrites, from [load] *)
   t_pointer : float;
   t_sdg : float;
   t_taint : float;
-  t_total : float;
+  t_total : float;                  (** frontend + analysis wall clock *)
 }
 
 type completed = {
@@ -81,8 +82,12 @@ let wrap_frontend_errors name f =
     raise (Load_error (Fmt.str "%s: unknown class %s" name c))
   | Classtable.Hierarchy_error msg -> raise (Load_error (name ^ ": " ^ msg))
 
-(* Wall-clock (monotonic enough for phase attribution): CPU time is
-   meaningless under deadlines, which are wall-clock by definition. *)
+(* Phase timing and span tracing both come from the telemetry layer:
+   [Telemetry.phase] measures wall clock unconditionally (CPU time is
+   meaningless under deadlines, which are wall-clock by definition) and
+   additionally records a span when tracing is enabled. *)
+module Telemetry = Obs.Telemetry
+
 let now = Unix.gettimeofday
 
 (** Parse, lower, synthesize and rewrite. Configuration-independent.
@@ -94,57 +99,72 @@ let now = Unix.gettimeofday
     to a sequential load. *)
 let load ?(lenient = false) ?(jobs = 1) (input : input) : loaded =
   wrap_frontend_errors input.name @@ fun () ->
-  let t0 = now () in
-  let prog = Program.create () in
-  let jdk_units = Models.Jdklib.units () in
-  let parse_unit (i, src) =
-    match
-      Fault.tick Fault.site_parse;
-      Parser.parse src
-    with
-    | u -> Either.Left u
-    | exception
-        ((Lexer.Lex_error _ | Parser.Parse_error _ | Fault.Injected _) as e)
-      when lenient ->
-      Either.Right (i, Printexc.to_string e)
+  let (prog, reflection_stats, synthesized_sources, skipped), frontend_seconds =
+    Telemetry.phase "phase.frontend" ~args:[ ("app", input.name) ]
+    @@ fun () ->
+    let prog = Program.create () in
+    let jdk_units = Models.Jdklib.units () in
+    let parse_unit (i, src) =
+      Telemetry.with_span "frontend.parse_unit"
+        ~args:[ ("unit", string_of_int i) ]
+      @@ fun () ->
+      match
+        Fault.tick Fault.site_parse;
+        Parser.parse src
+      with
+      | u -> Either.Left u
+      | exception
+          ((Lexer.Lex_error _ | Parser.Parse_error _ | Fault.Injected _) as e)
+        when lenient ->
+        Either.Right (i, Printexc.to_string e)
+    in
+    let parsed =
+      Telemetry.with_span "frontend.parse" @@ fun () ->
+      Parallel.map ~jobs parse_unit
+        (List.mapi (fun i src -> (i, src)) input.app_sources)
+    in
+    let app_units =
+      List.filter_map (function Either.Left u -> Some u | _ -> None) parsed
+    in
+    let skipped =
+      List.filter_map (function Either.Right s -> Some s | _ -> None) parsed
+    in
+    let descriptor = Models.Frameworks.parse_descriptor input.descriptor in
+    let synth_units =
+      Telemetry.with_span "frontend.synthesize" @@ fun () ->
+      List.iter (Lower.declare prog ~library:true) jdk_units;
+      List.iter (Lower.declare prog ~library:false) app_units;
+      (* framework synthesis needs declarations but not bodies *)
+      let cast_constraints =
+        Models.Frameworks.form_cast_constraints app_units
+      in
+      let synth_src =
+        Models.Frameworks.synthesize ~cast_constraints prog.Program.table
+          descriptor
+      in
+      [ Parser.parse synth_src ]
+    in
+    Telemetry.with_span "frontend.lower" (fun () ->
+      List.iter (Lower.declare prog ~library:false) synth_units;
+      List.iter (Lower.define prog ~library:true) jdk_units;
+      List.iter (Lower.define prog ~library:false) app_units;
+      List.iter (Lower.define prog ~library:false) synth_units;
+      Program.add_entrypoint prog Models.Frameworks.entry_method);
+    Telemetry.with_span "frontend.ssa" (fun () -> Ssa.convert_program prog);
+    Telemetry.with_span "frontend.rewrites" @@ fun () ->
+    let ejb_registry = Models.Frameworks.ejb_registry descriptor in
+    let reflection_stats =
+      Models.Reflection.rewrite_program ~ejb_registry prog
+    in
+    let synthesized_sources = Models.Exceptions.rewrite_program prog in
+    (prog, reflection_stats, synthesized_sources, skipped)
   in
-  let parsed =
-    Parallel.map ~jobs parse_unit
-      (List.mapi (fun i src -> (i, src)) input.app_sources)
-  in
-  let app_units =
-    List.filter_map (function Either.Left u -> Some u | _ -> None) parsed
-  in
-  let skipped =
-    List.filter_map (function Either.Right s -> Some s | _ -> None) parsed
-  in
-  List.iter (Lower.declare prog ~library:true) jdk_units;
-  List.iter (Lower.declare prog ~library:false) app_units;
-  (* framework synthesis needs declarations but not bodies *)
-  let descriptor = Models.Frameworks.parse_descriptor input.descriptor in
-  let cast_constraints = Models.Frameworks.form_cast_constraints app_units in
-  let synth_src =
-    Models.Frameworks.synthesize ~cast_constraints prog.Program.table
-      descriptor
-  in
-  let synth_units = [ Parser.parse synth_src ] in
-  List.iter (Lower.declare prog ~library:false) synth_units;
-  List.iter (Lower.define prog ~library:true) jdk_units;
-  List.iter (Lower.define prog ~library:false) app_units;
-  List.iter (Lower.define prog ~library:false) synth_units;
-  Program.add_entrypoint prog Models.Frameworks.entry_method;
-  Ssa.convert_program prog;
-  let ejb_registry = Models.Frameworks.ejb_registry descriptor in
-  let reflection_stats =
-    Models.Reflection.rewrite_program ~ejb_registry prog
-  in
-  let synthesized_sources = Models.Exceptions.rewrite_program prog in
   { input;
     program = prog;
     reflection_stats;
     synthesized_sources;
     skipped_units = skipped;
-    frontend_seconds = now () -. t0 }
+    frontend_seconds }
 
 let pointer_config ~interrupt (loaded : loaded) (config : Config.t)
     (rules : Rules.rule list) : Pointer.Andersen.config =
@@ -221,6 +241,7 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
   let interrupt () = Budget.exceeded budget in
   let t_start = now () in
   match
+    Telemetry.phase "phase.pointer" @@ fun () ->
     Pointer.Andersen.run
       ~config:
         (pointer_config
@@ -235,12 +256,11 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
       (Budget_exhausted { phase = Pointer; what = "propagation" });
     fail "pointer analysis exceeded its budget"
   | exception e -> fault Pointer e
-  | andersen ->
+  | andersen, t_pointer ->
     if Pointer.Andersen.interrupted andersen then
       record_budget_stop diagnostics budget Pointer;
-    let t_pointer = now () -. t_start in
-    let t1 = now () in
     (match
+       Telemetry.phase "phase.sdg" @@ fun () ->
        let builder =
          Sdg.Builder.build
            ~interrupt:(fun () ->
@@ -251,12 +271,11 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
        (builder, Pointer.Heapgraph.build andersen)
      with
      | exception e -> fault Sdg e
-     | builder, heapgraph ->
+     | (builder, heapgraph), t_sdg ->
        if Sdg.Builder.interrupted builder then
          record_budget_stop diagnostics budget Sdg;
-       let t_sdg = now () -. t1 in
-       let t2 = now () in
        (match
+          Telemetry.phase "phase.taint" @@ fun () ->
           Engine.run ~jobs
             ~interrupt:(fun () ->
               Fault.tick Fault.site_tabulation;
@@ -265,13 +284,12 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
             ~prog:loaded.program ~builder ~heapgraph ~rules ~config ()
         with
         | exception e -> fault Taint e
-        | outcome ->
+        | outcome, t_taint ->
           if outcome.Engine.interrupted then
             record_budget_stop diagnostics budget Taint;
           List.iter
             (Diagnostics.record diagnostics)
             outcome.Engine.rule_faults;
-          let t_taint = now () -. t2 in
           if outcome.Engine.exhausted
              && (not outcome.Engine.interrupted)
              && config.Config.algorithm = Config.Cs_thin_slicing
@@ -301,8 +319,10 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
                       cg_edges = Pointer.Callgraph.edge_count cg;
                       jobs = max 1 jobs;
                       times =
-                        { t_pointer; t_sdg; t_taint;
-                          t_total = now () -. t_start };
+                        { t_frontend = loaded.frontend_seconds;
+                          t_pointer; t_sdg; t_taint;
+                          t_total =
+                            loaded.frontend_seconds +. (now () -. t_start) };
                       diagnostics = run_events } }
           end))
 

@@ -25,10 +25,11 @@ type loaded = {
 }
 
 type phase_times = {
+  t_frontend : float;               (** parse/SSA/rewrites, from {!load} *)
   t_pointer : float;
   t_sdg : float;
   t_taint : float;
-  t_total : float;
+  t_total : float;                  (** frontend + analysis wall clock *)
 }
 
 type completed = {

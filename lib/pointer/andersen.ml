@@ -15,7 +15,20 @@
     which the taint stage can still mine for bugs. *)
 
 module Int_set = Set.Make (Int)
+module Telemetry = Obs.Telemetry
 open Jir
+
+(* Telemetry: the quantities the §6.1 bounded-analysis argument is about.
+   All updates are no-ops (one atomic load) unless telemetry is enabled. *)
+let m_propagations = Telemetry.counter "pointer.propagations"
+let m_dispatches = Telemetry.counter "pointer.dispatches"
+let m_nodes_processed = Telemetry.counter "pointer.nodes_processed"
+let m_dropped_calls = Telemetry.counter "pointer.dropped_calls"
+let m_fixpoint_rounds = Telemetry.counter "pointer.fixpoint_rounds"
+let h_worklist = Telemetry.histogram "pointer.worklist_len"
+let g_cg_nodes = Telemetry.gauge "pointer.cg_nodes"
+let g_cg_edges = Telemetry.gauge "pointer.cg_edges"
+let g_cg_budget = Telemetry.gauge "pointer.cg_node_budget"
 
 type config = {
   policy : Policy.t;
@@ -351,11 +364,13 @@ let resolve_to_node t ~caller ~site ~(impl : Tac.meth) ~receiver =
   end
   else begin
     t.stats.dropped_calls <- t.stats.dropped_calls + 1;
+    Telemetry.incr m_dropped_calls;
     None
   end
 
 let dispatch_one t (vc : vcall) ikid =
   t.stats.dispatches <- t.stats.dispatches + 1;
+  Telemetry.incr m_dispatches;
   let ikey = Keys.ik_of t.u ikid in
   let runtime_class = Keys.inst_class ikey in
   (* receiver must be compatible with the call's declared class unless the
@@ -610,10 +625,13 @@ let interrupted_now t =
   else false
 
 let solve t =
+  Telemetry.incr m_fixpoint_rounds;
   while not (Queue.is_empty t.work) && not (interrupted_now t) do
+    Telemetry.observe h_worklist (Queue.length t.work);
     let p = Queue.pop t.work in
     t.dirty.(p) <- false;
     t.stats.propagations <- t.stats.propagations + 1;
+    Telemetry.incr m_propagations;
     (match t.cfg.max_work with
      | Some m when t.stats.propagations > m -> raise Out_of_budget
      | _ -> ());
@@ -710,19 +728,26 @@ let run ?config (prog : Program.t) : t =
   in
   List.iter seed prog.Program.clinits;
   List.iter seed prog.Program.entrypoints;
-  let continue = ref true in
-  while !continue do
-    if interrupted_now t then continue := false
-    else
-      match next_pending t with
-      | None -> continue := false
-      | Some node ->
-        Hashtbl.replace t.processed node ();
-        t.stats.nodes_processed <- t.stats.nodes_processed + 1;
-        update_priorities t node;
-        add_node_constraints t node;
-        solve t
-  done;
+  Telemetry.with_span "pointer.fixpoint" (fun () ->
+      let continue = ref true in
+      while !continue do
+        if interrupted_now t then continue := false
+        else
+          match next_pending t with
+          | None -> continue := false
+          | Some node ->
+            Hashtbl.replace t.processed node ();
+            t.stats.nodes_processed <- t.stats.nodes_processed + 1;
+            Telemetry.incr m_nodes_processed;
+            update_priorities t node;
+            Telemetry.with_span "pointer.cg_growth" (fun () ->
+                add_node_constraints t node);
+            Telemetry.with_span "pointer.solve" (fun () -> solve t)
+      done);
+  Telemetry.set g_cg_nodes (Callgraph.node_count t.cg);
+  Telemetry.set g_cg_edges (Callgraph.edge_count t.cg);
+  Telemetry.set g_cg_budget
+    (match t.cfg.max_nodes with Some m -> m | None -> -1);
   t
 
 (* ------------------------------------------------------------------ *)

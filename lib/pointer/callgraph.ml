@@ -7,6 +7,11 @@
 
 module Int_set = Set.Make (Int)
 
+(* Cumulative growth counters (across every analysis run of the process),
+   complementing the per-run [cg_nodes]/[cg_edges] gauges the solver sets. *)
+let m_nodes_created = Obs.Telemetry.counter "pointer.cg_nodes_created"
+let m_edges_created = Obs.Telemetry.counter "pointer.cg_edges_created"
+
 type node = {
   n_id : int;
   n_method : Jir.Tac.meth;
@@ -59,6 +64,7 @@ let ensure_node t (m : Jir.Tac.meth) (ctx : Keys.context)
     t.nodes.(i) <- n;
     t.node_count <- i + 1;
     Hashtbl.replace t.intern key i;
+    Obs.Telemetry.incr m_nodes_created;
     fresh i;
     i
 
@@ -74,6 +80,7 @@ let add_edge t ~caller ~site ~callee =
   if not (Int_set.mem callee !set) then begin
     set := Int_set.add callee !set;
     t.edge_count <- t.edge_count + 1;
+    Obs.Telemetry.incr m_edges_created;
     let rev =
       match Hashtbl.find_opt t.rev_edges callee with
       | Some s -> s

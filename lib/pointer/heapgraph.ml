@@ -17,6 +17,7 @@ type t = {
 
 (** Materialize the heap graph from a finished pointer analysis. *)
 let build (a : Andersen.t) : t =
+  Obs.Telemetry.with_span "pointer.heapgraph" @@ fun () ->
   let u = Andersen.universe a in
   let fields_of = Hashtbl.create 1024 in
   for p = 0 to Keys.pk_count u - 1 do

@@ -8,7 +8,15 @@
 
 module Int_set = Set.Make (Int)
 module Keys = Pointer.Keys
+module Telemetry = Obs.Telemetry
 open Jir
+
+(* Telemetry. The def/use memo counters are the one advertised exception
+   to jobs-independence: worker domains keep private memo tables, so the
+   miss count (duplicated construction) legitimately varies with [jobs]. *)
+let m_nodes_scanned = Telemetry.counter "sdg.nodes_scanned"
+let m_memo_hits = Telemetry.counter "sdg.defuse_memo_hits"
+let m_memo_misses = Telemetry.counter "sdg.defuse_memo_misses"
 
 (** How a register is used at a statement. Base-pointer and array-index uses
     are deliberately absent: thin slices ignore them (§3.2). *)
@@ -159,8 +167,11 @@ let node_index t n =
     end
   in
   match Hashtbl.find_opt tbl n with
-  | Some ni -> ni
+  | Some ni ->
+    Telemetry.incr m_memo_hits;
+    ni
   | None ->
+    Telemetry.incr m_memo_misses;
     let ni = build_node_index t n in
     Hashtbl.replace tbl n ni;
     ni
@@ -496,6 +507,7 @@ let next_uid = Atomic.make 0
 
 let build ?(interrupt = fun () -> false) (prog : Program.t)
     (a : Pointer.Andersen.t) : t =
+  Telemetry.with_span "sdg.build" @@ fun () ->
   let t =
     { prog; a;
       cg = Pointer.Andersen.call_graph a;
@@ -522,6 +534,7 @@ let build ?(interrupt = fun () -> false) (prog : Program.t)
     if interrupt () then t.interrupted <- true
     else begin
       scan_node t !n;
+      Telemetry.incr m_nodes_scanned;
       incr n
     end
   done;

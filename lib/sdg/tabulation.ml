@@ -22,7 +22,19 @@
 
 module Int_set = Set.Make (Int)
 module Keys = Pointer.Keys
+module Telemetry = Obs.Telemetry
 open Jir
+
+(* Telemetry: per-slice consumption of the §6.2 budgets, accumulated into
+   process-wide counters at slice end (order-independent sums, so a
+   parallel per-rule stage reports the same totals as a sequential one). *)
+let m_steps = Telemetry.counter "taint.steps"
+let m_heap_transitions = Telemetry.counter "taint.heap_transitions"
+let m_visited = Telemetry.counter "taint.visited"
+let m_hits = Telemetry.counter "taint.hits"
+let m_slices = Telemetry.counter "taint.slices"
+let h_heap_per_slice = Telemetry.histogram "taint.heap_transitions_per_slice"
+let h_depth = Telemetry.histogram "taint.slice_depth"
 
 type mode = {
   context_sensitive : bool;
@@ -381,6 +393,15 @@ let run ?(interrupt = fun () -> false) ?(on_heap_transition = fun () -> ())
        process_fact st (Queue.pop st.queue)
      done
    with Budget _ -> st.exhausted <- true);
+  if Telemetry.enabled () then begin
+    Telemetry.incr m_slices;
+    Telemetry.add m_steps st.steps;
+    Telemetry.add m_heap_transitions st.heap_transitions;
+    Telemetry.add m_visited (Hashtbl.length st.seen);
+    Telemetry.add m_hits (List.length st.hits);
+    Telemetry.observe h_heap_per_slice st.heap_transitions;
+    Stmt.Table.iter (fun _ d -> Telemetry.observe h_depth d) st.depth
+  end;
   { hits = List.rev st.hits;
     visited = Hashtbl.length st.seen;
     heap_transitions = st.heap_transitions;

@@ -24,6 +24,7 @@ type run = {
   r_seconds : float;
   r_cg_nodes : int;
   r_classification : classification option;  (* None if did not complete *)
+  r_phases : Taj.phase_times option;         (* None if did not complete *)
 }
 
 (** Attribute each reported issue to its planted pattern and classify. *)
@@ -64,14 +65,14 @@ let run_config ?(jobs = 1) ~(loaded : Taj.loaded) ~(truth : Ground_truth.t)
     ~(app : string) ~(scale : float) (algorithm : Config.algorithm) : run =
   let config = Config.preset ~scale algorithm in
   (* wall clock, not CPU time: Table 3 reports elapsed analysis time *)
-  let t0 = Unix.gettimeofday () in
-  let analysis = Taj.run ~jobs loaded config in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let analysis, seconds =
+    Obs.Telemetry.timed (fun () -> Taj.run ~jobs loaded config)
+  in
   match analysis.Taj.result with
   | Taj.Did_not_complete _ ->
     { r_app = app; r_algorithm = algorithm; r_completed = false;
       r_issues = 0; r_seconds = seconds; r_cg_nodes = 0;
-      r_classification = None }
+      r_classification = None; r_phases = None }
   | Taj.Completed c ->
     { r_app = app;
       r_algorithm = algorithm;
@@ -79,7 +80,8 @@ let run_config ?(jobs = 1) ~(loaded : Taj.loaded) ~(truth : Ground_truth.t)
       r_issues = Report.issue_count c.Taj.report;
       r_seconds = seconds;
       r_cg_nodes = c.Taj.cg_nodes;
-      r_classification = Some (classify truth c.Taj.builder c.Taj.report) }
+      r_classification = Some (classify truth c.Taj.builder c.Taj.report);
+      r_phases = Some c.Taj.times }
 
 (** Run all five Table 1 configurations over one app. *)
 let run_app ?(scale = 0.05) ?(jobs = 1)

@@ -19,6 +19,7 @@ type run = {
   r_seconds : float;
   r_cg_nodes : int;
   r_classification : classification option;  (** None = did not complete *)
+  r_phases : Core.Taj.phase_times option;    (** None = did not complete *)
 }
 
 (** Attribute each reported issue to its planted pattern and classify. *)

@@ -24,4 +24,5 @@ let () =
       ("rules", Test_rules.suite);
       ("resilience", Test_resilience.suite);
       ("parallel", Test_parallel.suite);
+      ("telemetry", Test_telemetry.suite);
       ("securibench", Test_securibench.suite) ]
