@@ -16,8 +16,11 @@
      securibench    the micro-benchmark suite per configuration
      inventory      per-app analysis statistics
      csv            export table3.csv / figure4.csv
+     service        load-generate against an in-process analysis service
+                    (--clients N, --requests M per client): latency
+                    percentiles and terminal-outcome counts
      micro          Bechamel micro-benchmarks of the pipeline phases
-     all            everything above (default)
+     all            everything above except service (default)
 
    Options: --scale <float> (default 0.05) scales workload sizes and the
    published bounds together; --jobs <int> (default: TAJ_JOBS or 1) sizes
@@ -408,12 +411,23 @@ let inventory () =
   in
   List.iter print_endline (Parallel.map ~jobs:!jobs row Apps.table2)
 
+(* RFC-4180 quoting: failure rows carry exception messages, which can
+   contain commas, quotes or newlines and would otherwise shift every
+   column after them. Clean fields pass through unquoted. *)
+let csv_field s =
+  if
+    String.exists
+      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+      s
+  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
 let csv () =
   header "CSV export: table3.csv and figure4.csv";
   let oc3 = open_out "table3.csv" in
   output_string oc3
     "app,algorithm,completed,issues,seconds,t_frontend,t_pointer,t_sdg,\
-     t_taint,cg_nodes,paper_issues,paper_seconds,failed_phase\n";
+     t_taint,cg_nodes,paper_issues,paper_seconds,failed_phase,error\n";
   let oc4 = open_out "figure4.csv" in
   output_string oc4 "app,algorithm,tp,fp,fn,accuracy\n";
   let results =
@@ -424,11 +438,12 @@ let csv () =
   List.iter
     (fun ((a : Apps.app), res) ->
        match res with
-       | Error (phase, _err) ->
+       | Error (phase, err) ->
          (* a failed app still gets a machine-readable row: every
-            per-algorithm field is empty/false and failed_phase says
-            where the pipeline died *)
-         Printf.fprintf oc3 "%s,,false,0,0,,,,,0,,,%s\n" a.Apps.name phase
+            per-algorithm field is empty/false, failed_phase says where
+            the pipeline died and error carries the (quoted) message *)
+         Printf.fprintf oc3 "%s,,false,0,0,,,,,0,,,%s,%s\n"
+           (csv_field a.Apps.name) (csv_field phase) (csv_field err)
        | Ok runs ->
          List.iter
            (fun (r : Score.run) ->
@@ -449,7 +464,8 @@ let csv () =
                     t.Taj.t_pointer t.Taj.t_sdg t.Taj.t_taint
                 | None -> ",,,"
               in
-              Printf.fprintf oc3 "%s,%s,%b,%d,%.4f,%s,%d,%s,%s,\n" a.Apps.name
+              Printf.fprintf oc3 "%s,%s,%b,%d,%.4f,%s,%d,%s,%s,,\n"
+                (csv_field a.Apps.name)
                 (Config.algorithm_name r.Score.r_algorithm)
                 r.Score.r_completed r.Score.r_issues r.Score.r_seconds phases
                 r.Score.r_cg_nodes
@@ -458,7 +474,8 @@ let csv () =
               if a.Apps.scored then
                 match r.Score.r_classification with
                 | Some c ->
-                  Printf.fprintf oc4 "%s,%s,%d,%d,%d,%.3f\n" a.Apps.name
+                  Printf.fprintf oc4 "%s,%s,%d,%d,%d,%.3f\n"
+                    (csv_field a.Apps.name)
                     (Config.algorithm_name r.Score.r_algorithm)
                     c.Score.true_positives c.Score.false_positives
                     c.Score.false_negatives (Score.accuracy c)
@@ -586,6 +603,109 @@ let ablate_bound_kind () =
       [ 10; 25; 50; 75; 100 ]
 
 (* ------------------------------------------------------------------ *)
+(* Service load generator                                             *)
+(* ------------------------------------------------------------------ *)
+
+let svc_clients = ref 4
+let svc_requests = ref 25
+
+(* N concurrent synthetic clients hammer an in-process Serve.Service:
+   latency percentiles (exact, over the collected sample) and the count
+   of every terminal outcome, including backpressure rejections — the
+   service-mode analogue of the per-table timings above. *)
+let service_bench () =
+  header
+    (Printf.sprintf
+       "Service load: %d client(s) x %d request(s), %d worker(s)"
+       !svc_clients !svc_requests !jobs);
+  let inline_source =
+    {|class Cell { String v; }
+      class Page extends HttpServlet {
+        public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+          Cell c = new Cell();
+          c.v = req.getParameter("x");
+          resp.getWriter().println(c.v);
+          Connection conn = DriverManager.getConnection("jdbc:db");
+          Statement st = conn.createStatement();
+          st.executeQuery(c.v);
+        }
+      }|}
+  in
+  let config =
+    { Serve.Service.default_config with
+      workers = max 1 !jobs;
+      queue_cap = max 8 (!svc_clients * 4);
+      seed = 42 }
+  in
+  let t = Serve.Service.create ~config () in
+  let lock = Mutex.create () in
+  let responses = ref [] in
+  let respond r =
+    Mutex.lock lock;
+    responses := r :: !responses;
+    Mutex.unlock lock
+  in
+  let client ci () =
+    for i = 0 to !svc_requests - 1 do
+      let id = Printf.sprintf "c%d-r%d" ci i in
+      let rq =
+        (* every 4th request is a full benchmark app, the rest are small
+           inline units: a bimodal job-size mix *)
+        if (ci + i) mod 4 = 0 then
+          Serve.Service.request ~app:"BlueBlog" ~scale:0.02 ~priority:2 id
+        else Serve.Service.request ~source:inline_source ~priority:1 id
+      in
+      Serve.Service.submit t rq ~respond
+    done
+  in
+  let wall0 = Unix.gettimeofday () in
+  let doms =
+    List.init !svc_clients (fun ci -> Domain.spawn (client ci))
+  in
+  List.iter Domain.join doms;
+  Serve.Service.await_drained t;
+  let wall = Unix.gettimeofday () -. wall0 in
+  let rs = !responses in
+  let count st =
+    List.length
+      (List.filter (fun r -> r.Serve.Service.rp_status = st) rs)
+  in
+  let lat =
+    rs
+    |> List.filter (fun r -> r.Serve.Service.rp_status <> Serve.Service.Rejected)
+    |> List.map (fun r -> r.Serve.Service.rp_seconds)
+    |> List.sort compare
+    |> Array.of_list
+  in
+  let pct q =
+    if Array.length lat = 0 then 0.0
+    else
+      lat.(min (Array.length lat - 1)
+             (int_of_float (ceil (q *. float_of_int (Array.length lat)))
+              - 1))
+  in
+  Printf.printf "%-12s %9s\n" "outcome" "count";
+  List.iter
+    (fun st ->
+       Printf.printf "%-12s %9d\n" (Serve.Service.status_name st) (count st))
+    Serve.Service.[ Completed; Degraded; Rejected; Failed ];
+  let h = Serve.Service.health t in
+  Printf.printf "%-12s %9d\n" "retries" h.Serve.Service.h_retries;
+  Printf.printf "%-12s %9d\n" "shed" h.Serve.Service.h_shed;
+  Printf.printf "\nlatency (submit to terminal, non-rejected):\n";
+  List.iter
+    (fun (label, q) -> Printf.printf "  %-5s %8.4fs\n" label (pct q))
+    [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99); ("max", 1.0) ];
+  Printf.printf
+    "\n%d responses for %d submissions in %.3fs (%.1f jobs/s); clean \
+     drain: %b\n"
+    (List.length rs)
+    (!svc_clients * !svc_requests)
+    wall
+    (float_of_int (List.length rs) /. wall)
+    (Serve.Service.clean_drain h)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -658,6 +778,12 @@ let () =
     | "--metrics" :: rest ->
       metrics := true;
       parse cmds rest
+    | "--clients" :: v :: rest ->
+      svc_clients := max 1 (int_of_string v);
+      parse cmds rest
+    | "--requests" :: v :: rest ->
+      svc_requests := max 1 (int_of_string v);
+      parse cmds rest
     | cmd :: rest -> parse (cmd :: cmds) rest
   in
   let cmds = List.rev (parse [] (List.tl args)) in
@@ -677,6 +803,7 @@ let () =
     | "securibench" -> securibench ()
     | "csv" -> csv ()
     | "inventory" -> inventory ()
+    | "service" -> service_bench ()
     | "micro" -> micro ()
     | "all" ->
       table1 (); table2 (); table3 (); figure4 (); summary ();

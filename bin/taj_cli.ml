@@ -97,11 +97,9 @@ let app_name =
   let doc = "Benchmark application name (see 'taj apps')." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+(* EINTR-safe whole-file read: a drain signal arriving mid-read must not
+   surface as a load failure. *)
+let read_file = Serve.Io.read_file
 
 let load_input ~name ~srcs ~descriptor_file =
   { Taj.name;
@@ -625,6 +623,204 @@ let score_cmd =
     Term.(const run $ app_name $ scale $ jobs $ trace_file $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* --arm SPEC: site@after@action[@every], action = fail | transient |
+   stall:SECONDS. Lets the CI smoke test (and local chaos experiments)
+   arm Core.Fault sites from outside the process. *)
+let arm_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | site :: after :: action :: rest ->
+      let once =
+        match rest with
+        | [] | [ "once" ] -> Ok true
+        | [ "every" ] -> Ok false
+        | _ -> Error (`Msg ("bad arm repeat in " ^ s))
+      in
+      let act =
+        match String.split_on_char ':' action with
+        | [ "fail" ] -> Ok Fault.Fail
+        | [ "transient" ] -> Ok Fault.Fail_transient
+        | [ "stall"; secs ] ->
+          (match float_of_string_opt secs with
+           | Some f -> Ok (Fault.Stall f)
+           | None -> Error (`Msg ("bad stall duration in " ^ s)))
+        | _ -> Error (`Msg ("bad arm action in " ^ s))
+      in
+      (match int_of_string_opt after, act, once with
+       | Some n, Ok action, Ok once -> Ok (site, n, action, once)
+       | None, _, _ -> Error (`Msg ("bad arm tick count in " ^ s))
+       | _, (Error _ as e), _ | _, _, (Error _ as e) -> e)
+    | _ ->
+      Error
+        (`Msg
+           "expected SITE@AFTER@ACTION[@once|every], e.g. \
+            job:crash-1@1@fail or serve-worker@5@stall:0.1@every")
+  in
+  let print ppf (site, n, _, _) = Fmt.pf ppf "%s@%d" site n in
+  Arg.conv (parse, print)
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:
+               "Listen on a Unix domain socket at $(docv) instead of \
+                serving stdin/stdout.")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains executing jobs concurrently.")
+  in
+  let job_jobs =
+    Arg.(value & opt int 1
+         & info [ "job-jobs" ] ~docv:"N"
+             ~doc:"Parallel worker-pool size inside each job's analysis.")
+  in
+  let queue_cap =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:
+               "Admission queue bound. At capacity a new job sheds the \
+                oldest strictly-lower-priority queued job, or is rejected \
+                with reason queue_full.")
+  in
+  let max_retries =
+    Arg.(value & opt int 2
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:
+               "Re-executions granted to a job that fails transiently. \
+                Permanent failures never retry.")
+  in
+  let retry_base =
+    Arg.(value & opt float 0.05
+         & info [ "retry-base" ] ~docv:"SECONDS"
+             ~doc:
+               "First retry backoff; doubles per attempt with \
+                deterministic seeded jitter.")
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:
+               "Jitter seed. A fixed seed makes the whole retry schedule \
+                reproducible.")
+  in
+  let breaker_threshold =
+    Arg.(value & opt int 5
+         & info [ "breaker-threshold" ] ~docv:"N"
+             ~doc:
+               "Consecutive terminal failures per application that open \
+                its circuit breaker.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 30.0
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:
+               "Open-breaker cooldown before one half-open probe is \
+                admitted.")
+  in
+  let mem_soft_mb =
+    Arg.(value & opt (some int) None
+         & info [ "mem-soft-mb" ] ~docv:"MB"
+             ~doc:
+               "Soft major-heap limit for the memory watchdog; above it \
+                new jobs run progressively further down their degradation \
+                ladder.")
+  in
+  let drain_grace =
+    Arg.(value & opt (some float) (Some 30.0)
+         & info [ "drain-grace" ] ~docv:"SECONDS"
+             ~doc:
+               "Per-job deadline cap applied during drain so shutdown \
+                cannot be held hostage by a pathological job.")
+  in
+  let arms =
+    Arg.(value & opt_all arm_conv []
+         & info [ "arm" ] ~docv:"SPEC"
+             ~doc:
+               "Arm a fault-injection site (repeatable): \
+                SITE@AFTER@ACTION[@once|every] with ACTION one of fail, \
+                transient, stall:SECONDS. For chaos testing only.")
+  in
+  let run socket workers job_jobs queue_cap max_retries retry_base seed
+      breaker_threshold breaker_cooldown mem_soft_mb drain_grace arms trace
+      metrics =
+    telemetry_setup ~trace ~metrics;
+    List.iter
+      (fun (site, after, action, once) ->
+         Fault.arm ~once ~action site ~after)
+      arms;
+    let config =
+      { Serve.Service.default_config with
+        workers; job_jobs; queue_cap; max_retries; retry_base; seed;
+        breaker_threshold; breaker_cooldown;
+        mem_soft_limit_mb = mem_soft_mb; drain_grace }
+    in
+    let service = Serve.Service.create ~config () in
+    let h =
+      match socket with
+      | Some path ->
+        (try Serve.Service.run_socket service path
+         with Unix.Unix_error (e, fn, arg) ->
+           Printf.eprintf "error: cannot serve on %s: %s (%s %s)\n" path
+             (Unix.error_message e) fn arg;
+           exit 1)
+      | None -> Serve.Service.run_stdio service
+    in
+    telemetry_export ~trace ~metrics;
+    Printf.eprintf
+      "drained: %d completed, %d degraded, %d failed, %d rejected, %d \
+       shed, %d retries\n"
+      h.Serve.Service.h_completed h.Serve.Service.h_degraded
+      h.Serve.Service.h_failed
+      (h.Serve.Service.h_rejected_full
+       + h.Serve.Service.h_rejected_draining)
+      h.Serve.Service.h_shed h.Serve.Service.h_retries;
+    if Serve.Service.clean_drain h then exit 0 else exit 5
+  in
+  let doc =
+    "Run a long-lived analysis service over stdio or a Unix socket."
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Accepts newline-delimited JSON job requests and answers each \
+         with exactly one terminal JSON response. A request names a \
+         benchmark application ($(b,app)) or carries inline MJava source \
+         ($(b,source)), plus optional $(b,id), $(b,algorithm), \
+         $(b,scale), $(b,deadline), $(b,priority) and $(b,descriptor) \
+         fields. Responses carry $(b,id), $(b,status) (completed, \
+         degraded, rejected or failed), $(b,reason), $(b,issues), \
+         $(b,attempts), $(b,degradations) and $(b,seconds).";
+      `P
+        "On SIGINT, SIGTERM or end of input the service drains: it stops \
+         admitting, finishes every admitted job, and writes a final \
+         health snapshot line ($(b,event)=health).";
+      `S Manpage.s_exit_status;
+      `P "0 on a clean drain: every admitted job ran to a terminal state \
+          and none was shed or turned away by a full queue.";
+      `P "1 if the service could not start (e.g. the socket path cannot \
+          be bound).";
+      `P
+        "5 on a drain after load shedding: all jobs still reached \
+         terminal states, but at least one was shed or rejected with \
+         queue_full, so callers should treat the run as overloaded.";
+      `P
+        "The $(b,analyze) command's exit codes (0 clean, 1 load failure, \
+         2 issues found, 3 did not complete, 4 partial result) apply per \
+         job inside the service and are reported in each response's \
+         $(b,status) instead of the process exit code." ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run $ socket $ workers $ job_jobs $ queue_cap $ max_retries
+          $ retry_base $ seed $ breaker_threshold $ breaker_cooldown
+          $ mem_soft_mb $ drain_grace $ arms $ trace_file $ metrics_flag)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "TAJ: taint analysis for (M)Java web applications" in
@@ -633,4 +829,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; explain_cmd; graph_cmd; jsp_cmd; dump_ir_cmd;
-            generate_cmd; apps_cmd; score_cmd ]))
+            generate_cmd; apps_cmd; score_cmd; serve_cmd ]))

@@ -7,13 +7,14 @@
     event is recorded here instead of being collapsed into a boolean or an
     exception, so partial results stay attributable. *)
 
-type phase = Frontend | Pointer | Sdg | Taint
+type phase = Frontend | Pointer | Sdg | Taint | Serve
 
 let phase_name = function
   | Frontend -> "frontend"
   | Pointer -> "pointer"
   | Sdg -> "sdg"
   | Taint -> "taint"
+  | Serve -> "serve"
 
 type degradation =
   | Deadline_expired of { phase : phase; elapsed : float }
@@ -28,6 +29,15 @@ type degradation =
       to_scale : float;
       reason : string;
     }
+  | Job_retried of {
+      job : string;
+      attempt : int;
+      delay : float;
+      reason : string;
+    }
+  | Job_shed of { job : string; priority : int }
+  | Breaker_transition of { key : string; state : string }
+  | Resource_pressure of { level : int; heap_mb : int }
 
 let pp_degradation ppf = function
   | Deadline_expired { phase; elapsed } ->
@@ -47,6 +57,16 @@ let pp_degradation ppf = function
     Fmt.pf ppf "downgraded %s -> %s (scale %.3f): %s"
       (Config.algorithm_name from_alg) (Config.algorithm_name to_alg)
       to_scale reason
+  | Job_retried { job; attempt; delay; reason } ->
+    Fmt.pf ppf "job %s retried (attempt %d, backoff %.3fs): %s" job attempt
+      delay reason
+  | Job_shed { job; priority } ->
+    Fmt.pf ppf "job %s (priority %d) shed under admission pressure" job
+      priority
+  | Breaker_transition { key; state } ->
+    Fmt.pf ppf "circuit breaker for %s is now %s" key state
+  | Resource_pressure { level; heap_mb } ->
+    Fmt.pf ppf "memory pressure level %d (heap %d MB)" level heap_mb
 
 (* A stable machine-readable tag per constructor, for the CLI's JSON
    diagnostics block and the telemetry instant-event names. *)
@@ -58,6 +78,10 @@ let kind_name = function
   | Unit_skipped _ -> "unit-skipped"
   | Phase_fault _ -> "phase-fault"
   | Downgraded _ -> "downgraded"
+  | Job_retried _ -> "job-retried"
+  | Job_shed _ -> "job-shed"
+  | Breaker_transition _ -> "breaker-transition"
+  | Resource_pressure _ -> "resource-pressure"
 
 type t = { mutable rev_events : degradation list }
 

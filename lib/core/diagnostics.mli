@@ -2,7 +2,7 @@
     every precision-for-termination trade the pipeline makes is recorded as
     an event so partial results stay attributable. *)
 
-type phase = Frontend | Pointer | Sdg | Taint
+type phase = Frontend | Pointer | Sdg | Taint | Serve
 
 val phase_name : phase -> string
 
@@ -22,6 +22,18 @@ type degradation =
       to_scale : float;
       reason : string;
     }  (** the supervisor retried one rung down the degradation ladder *)
+  | Job_retried of {
+      job : string;
+      attempt : int;
+      delay : float;
+      reason : string;
+    }  (** the service re-enqueued a job after a transient failure *)
+  | Job_shed of { job : string; priority : int }
+      (** a queued low-priority job was evicted under admission pressure *)
+  | Breaker_transition of { key : string; state : string }
+      (** a per-app circuit breaker changed state *)
+  | Resource_pressure of { level : int; heap_mb : int }
+      (** the memory watchdog raised (or lowered) its pressure level *)
 
 (** An append-only event log, recorded in arrival order. *)
 type t

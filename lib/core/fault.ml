@@ -17,9 +17,11 @@
     contained to the domain whose tick triggered it. *)
 
 exception Injected of string
+exception Injected_transient of string
 
 type action =
   | Fail                             (** raise {!Injected} *)
+  | Fail_transient                   (** raise {!Injected_transient} *)
   | Stall of float                   (** sleep this many seconds, once *)
 
 type armed = {
@@ -49,6 +51,35 @@ let site_andersen = "andersen"
 let site_sdg = "sdg"
 let site_tabulation = "tabulation"
 let site_heap = "heap-transition"
+let site_worker = "serve-worker"
+
+(* Per-job site for the analysis service: arming ["job:<id>"] targets one
+   job deterministically even when worker scheduling is racy. *)
+let site_job id = "job:" ^ id
+
+(* ------------------------------------------------------------------ *)
+(* Failure taxonomy                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type severity =
+  | Transient
+  | Permanent
+
+let severity_name = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+
+(** Classify an escaped exception for retry policy. The analysis itself is
+    deterministic, so anything it raises is [Permanent] (retrying the same
+    input reproduces the failure); only infrastructure blips — interrupted
+    syscalls, transient resource exhaustion, and faults injected as
+    transient — are worth a retry. *)
+let classify : exn -> severity = function
+  | Injected_transient _ -> Transient
+  | Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK | ECONNRESET), _, _) ->
+    Transient
+  | Out_of_memory -> Transient      (* pressure may subside between tries *)
+  | Injected _ | Stack_overflow | _ -> Permanent
 
 let arm ?(once = true) ?(action = Fail) site ~after =
   locked (fun () ->
@@ -98,8 +129,13 @@ let tick site =
       Obs.Telemetry.instant "fault.injected"
         ~args:
           [ ("site", site);
-            ("action", match a with Fail -> "fail" | Stall _ -> "stall") ];
+            ("action",
+             match a with
+             | Fail -> "fail"
+             | Fail_transient -> "fail-transient"
+             | Stall _ -> "stall") ];
       (match a with
        | Fail -> raise (Injected site)
+       | Fail_transient -> raise (Injected_transient site)
        | Stall s -> Unix.sleepf s)
   end

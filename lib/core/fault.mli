@@ -7,19 +7,37 @@
     between test cases. *)
 
 exception Injected of string
+exception Injected_transient of string
 
 type action =
   | Fail                             (** raise {!Injected} *)
+  | Fail_transient                   (** raise {!Injected_transient} *)
   | Stall of float                   (** sleep this many seconds *)
 
 (** Pipeline site names: before parsing each unit, at each pointer-solver
-    poll, each SDG node scan, each tabulation step, each heap transition. *)
+    poll, each SDG node scan, each tabulation step, each heap transition,
+    and before each analysis-service job execution. *)
 
 val site_parse : string
 val site_andersen : string
 val site_sdg : string
 val site_tabulation : string
 val site_heap : string
+val site_worker : string
+
+(** ["job:<id>"] — a per-job service site, so chaos tests can target one
+    job deterministically regardless of worker scheduling. *)
+val site_job : string -> string
+
+(** Retry taxonomy: [Transient] failures (interrupted syscalls, transient
+    resource exhaustion, faults injected as transient) are worth a retry;
+    [Permanent] ones (anything the deterministic analysis raises) are not. *)
+type severity =
+  | Transient
+  | Permanent
+
+val severity_name : severity -> string
+val classify : exn -> severity
 
 (** [arm site ~after] fires the fault on the [after]-th tick of [site].
     [once] (default true) disarms after firing; otherwise the counter

@@ -274,6 +274,26 @@ let histogram_snapshot h =
         (List.init n_buckets (fun i ->
              ((if i = 0 then 0 else 1 lsl (i - 1)), Atomic.get h.h_buckets.(i)))) }
 
+(** [snapshot_quantile s q] estimates the [q]-quantile (0 <= q <= 1) of a
+    log2-bucketed snapshot: the upper bound of the bucket holding the
+    q-th observation, capped at the observed maximum. Good to within a
+    factor of two — enough for the serving layer's latency percentiles. *)
+let snapshot_quantile (s : histogram_snapshot) q =
+  if s.hs_count = 0 then 0
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (q *. float_of_int s.hs_count)))
+    in
+    let rec walk seen = function
+      | [] -> s.hs_max
+      | (lo, n) :: rest ->
+        if seen + n >= rank then
+          (if lo = 0 then 0 else min s.hs_max ((2 * lo) - 1))
+        else walk (seen + n) rest
+    in
+    walk 0 s.hs_buckets
+  end
+
 type value =
   | V_counter of int
   | V_gauge of int

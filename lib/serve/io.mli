@@ -1,0 +1,35 @@
+(** EINTR-safe Unix IO for the serving layer: with drain signal handlers
+    installed, any blocking syscall may be interrupted; these wrappers make
+    sure a signal reaches the drain protocol instead of surfacing as a
+    spurious job or transport failure. *)
+
+(** Retry [f] as long as it fails with [Unix_error (EINTR, _, _)]. *)
+val retry_eintr : (unit -> 'a) -> 'a
+
+val read : Unix.file_descr -> bytes -> int -> int -> int
+val write_all : Unix.file_descr -> string -> unit
+
+(** Sleep at least this many wall-clock seconds, resuming after signals. *)
+val sleepf : float -> unit
+
+val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+
+val select :
+  Unix.file_descr list -> Unix.file_descr list -> Unix.file_descr list ->
+  float ->
+  Unix.file_descr list * Unix.file_descr list * Unix.file_descr list
+
+(** Whole-file read (the CLI's [read_file] goes through this). *)
+val read_file : string -> string
+
+(** Buffered newline-delimited reading over a raw file descriptor. *)
+type line_reader
+
+val line_reader : Unix.file_descr -> line_reader
+
+(** Next complete line without its newline, blocking; [None] at EOF. *)
+val read_line : line_reader -> string option
+
+(** Non-blocking variant: [`Line l] when a complete line is available,
+    [`Eof] at end of stream, [`Pending] when more bytes are needed. *)
+val read_line_nonblock : line_reader -> [ `Line of string | `Eof | `Pending ]

@@ -1,0 +1,21 @@
+(** Minimal self-contained JSON codec for the service's newline-delimited
+    job protocol (no new dependencies). Numbers are floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+val to_string : t -> string
+val escape : string -> string
+
+val member : string -> t -> t option
+val str_member : string -> t -> string option
+val num_member : string -> t -> float option
+val int_member : string -> t -> int option

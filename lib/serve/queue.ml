@@ -1,0 +1,126 @@
+(** Bounded admission queue with explicit backpressure.
+
+    The service's first robustness rule is that overload is *visible*:
+    when the queue is at capacity an arriving job is either rejected with
+    [Rejected_full] (the client sees [rejected:queue_full]) or admitted by
+    evicting the oldest strictly-lower-priority entry, which is returned
+    to the caller so the shed job can be answered too — nothing is ever
+    dropped silently.
+
+    Dequeue order is highest priority first, FIFO within a priority class.
+    The queue is shared between the admission path (transport / bench
+    clients) and the worker domains; a mutex + condition pair keeps it
+    simple and the critical sections are a few list operations. Retries
+    re-enter through {!push_forced}, which bypasses the bound: a job that
+    was already admitted must not lose its admission to later arrivals. *)
+
+type 'a entry = {
+  e_seq : int;
+  e_priority : int;
+  e_item : 'a;
+}
+
+type 'a t = {
+  cap : int;
+  mutable entries : 'a entry list;     (* unordered; selection scans *)
+  mutable next_seq : int;
+  mutable draining : bool;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+type 'a push_result =
+  | Admitted
+  | Admitted_shedding of 'a            (** the evicted lower-priority job *)
+  | Rejected_full
+
+let create ~cap =
+  { cap = max 1 cap; entries = []; next_seq = 0; draining = false;
+    lock = Mutex.create (); nonempty = Condition.create () }
+
+let locked q f =
+  Mutex.lock q.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.lock) f
+
+let length q = locked q (fun () -> List.length q.entries)
+
+let draining q = locked q (fun () -> q.draining)
+
+let insert q ~priority item =
+  q.entries <-
+    { e_seq = q.next_seq; e_priority = priority; e_item = item } :: q.entries;
+  q.next_seq <- q.next_seq + 1;
+  Condition.signal q.nonempty
+
+(* Oldest entry of the lowest priority class that is strictly below
+   [priority] — the shedding victim, if any. *)
+let victim entries ~priority =
+  List.fold_left
+    (fun best e ->
+       if e.e_priority >= priority then best
+       else
+         match best with
+         | None -> Some e
+         | Some b ->
+           if e.e_priority < b.e_priority
+              || (e.e_priority = b.e_priority && e.e_seq < b.e_seq)
+           then Some e
+           else best)
+    None entries
+
+let push q ~priority item =
+  locked q (fun () ->
+    if List.length q.entries < q.cap then begin
+      insert q ~priority item;
+      Admitted
+    end
+    else
+      match victim q.entries ~priority with
+      | None -> Rejected_full
+      | Some v ->
+        q.entries <- List.filter (fun e -> e.e_seq <> v.e_seq) q.entries;
+        insert q ~priority item;
+        Admitted_shedding v.e_item)
+
+let push_forced q ~priority item =
+  locked q (fun () -> insert q ~priority item)
+
+(* Highest priority first, FIFO (lowest seq) within a class. *)
+let select_next entries =
+  List.fold_left
+    (fun best e ->
+       match best with
+       | None -> Some e
+       | Some b ->
+         if e.e_priority > b.e_priority
+            || (e.e_priority = b.e_priority && e.e_seq < b.e_seq)
+         then Some e
+         else best)
+    None entries
+
+(** Blocking pop: waits for an entry, or for drain mode with an empty
+    queue, in which case [None] tells the worker to exit. Entries still
+    queued when drain begins are handed out normally — an admitted job is
+    finished, not abandoned. *)
+let pop q =
+  locked q (fun () ->
+    let rec wait () =
+      match select_next q.entries with
+      | Some e ->
+        q.entries <- List.filter (fun x -> x.e_seq <> e.e_seq) q.entries;
+        Some e.e_item
+      | None ->
+        if q.draining then None
+        else begin
+          Condition.wait q.nonempty q.lock;
+          wait ()
+        end
+    in
+    wait ())
+
+(** Enter drain mode: no effect on queued entries, but every blocked and
+    future [pop] returns [None] once the queue is empty. *)
+let set_draining q =
+  locked q (fun () ->
+    q.draining <- true;
+    Condition.broadcast q.nonempty)

@@ -1,0 +1,30 @@
+(** Bounded admission queue with explicit backpressure: at capacity, a
+    push either rejects the newcomer or evicts (and returns) the oldest
+    strictly-lower-priority entry — overload is always visible, nothing is
+    dropped silently. Dequeue order is highest priority first, FIFO within
+    a class. Safe to share between admission paths and worker domains. *)
+
+type 'a t
+
+type 'a push_result =
+  | Admitted
+  | Admitted_shedding of 'a            (** the evicted lower-priority job *)
+  | Rejected_full
+
+val create : cap:int -> 'a t
+
+(** Bounded push; never blocks. *)
+val push : 'a t -> priority:int -> 'a -> 'a push_result
+
+(** Unbounded push for retries: a job that was already admitted must not
+    lose its admission to later arrivals. *)
+val push_forced : 'a t -> priority:int -> 'a -> unit
+
+(** Blocking pop; [None] once drain mode is on and the queue is empty. *)
+val pop : 'a t -> 'a option
+
+(** Stop blocking pops once the queue empties; queued entries still drain. *)
+val set_draining : 'a t -> unit
+
+val draining : 'a t -> bool
+val length : 'a t -> int

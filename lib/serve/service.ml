@@ -1,0 +1,726 @@
+(** The resilient analysis service: a long-running engine that accepts a
+    stream of analysis jobs and stays up no matter what individual jobs
+    do.
+
+    One job = one supervised analysis ({!Core.Supervisor.run}) of either a
+    named synthetic benchmark application or inline MJava source. Around
+    that single-run resilience the service composes the process-lifetime
+    mechanics the ROADMAP's serving goal needs:
+
+    - a {e bounded admission queue} ({!Queue}) with explicit backpressure
+      and priority-aware load shedding — overload is answered, never
+      silently dropped;
+    - {e retry with exponential backoff and deterministic seeded jitter}
+      for failures {!Core.Fault.classify}d transient; permanent failures
+      fail fast;
+    - a {e per-application circuit breaker} ({!Breaker}) so a repeatedly
+      crashing app stops consuming worker slots;
+    - a {e memory watchdog} ({!Watchdog}) that pushes jobs down the
+      degradation ladder before the process OOMs;
+    - {e graceful drain} on SIGINT/SIGTERM or end of input: stop
+      admitting, finish every admitted job, emit a final health snapshot.
+
+    The invariant every transport and test leans on: {e every submitted
+    job reaches exactly one terminal state} — [completed], [degraded],
+    [rejected] or [failed] — delivered through its response callback. *)
+
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* Protocol types                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  rq_id : string;
+  rq_app : string option;          (** named benchmark application … *)
+  rq_source : string option;       (** … or inline MJava unit source *)
+  rq_descriptor : string;
+  rq_algorithm : Config.algorithm;
+  rq_scale : float;
+  rq_deadline : float option;      (** per-job wall-clock seconds *)
+  rq_priority : int;               (** higher survives shedding longer *)
+}
+
+let request ?app ?source ?(descriptor = "")
+    ?(algorithm = Config.Hybrid_optimized) ?(scale = 0.05) ?deadline
+    ?(priority = 1) id =
+  { rq_id = id; rq_app = app; rq_source = source;
+    rq_descriptor = descriptor; rq_algorithm = algorithm; rq_scale = scale;
+    rq_deadline = deadline; rq_priority = priority }
+
+type status = Completed | Degraded | Rejected | Failed
+
+let status_name = function
+  | Completed -> "completed"
+  | Degraded -> "degraded"
+  | Rejected -> "rejected"
+  | Failed -> "failed"
+
+type response = {
+  rp_id : string;
+  rp_status : status;
+  rp_reason : string;              (** "" | queue_full | shed | draining
+                                       | breaker_open | … *)
+  rp_issues : int;
+  rp_attempts : int;               (** executions, incl. the final one *)
+  rp_degradations : int;           (** supervisor events of the last run *)
+  rp_seconds : float;              (** submit-to-terminal wall clock *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  workers : int;                   (** worker domains executing jobs *)
+  job_jobs : int;                  (** [Core.Parallel] pool inside a job *)
+  queue_cap : int;
+  max_retries : int;               (** transient re-executions per job *)
+  retry_base : float;              (** first backoff, seconds *)
+  retry_factor : float;
+  retry_max_delay : float;
+  seed : int;                      (** jitter seed *)
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  mem_soft_limit_mb : int option;
+  drain_grace : float option;      (** deadline cap for runs during drain *)
+  now : unit -> float;
+  sleep : float -> unit;           (** injectable for deterministic tests *)
+}
+
+let default_config =
+  { workers = 2; job_jobs = 1; queue_cap = 64; max_retries = 2;
+    retry_base = 0.05; retry_factor = 2.0; retry_max_delay = 2.0;
+    seed = 0; breaker_threshold = 5; breaker_cooldown = 30.0;
+    mem_soft_limit_mb = None; drain_grace = Some 30.0;
+    now = Unix.gettimeofday; sleep = Io.sleepf }
+
+(** The retry schedule is a pure function of (seed, job id, attempt):
+    byte-identical across runs and across worker-pool sizes. [attempt] is
+    the execution that just failed (1-based). *)
+let backoff_delay cfg ~id ~attempt =
+  let h = Hashtbl.hash (cfg.seed, id, attempt) in
+  let jitter = float_of_int (h land 0xFFFF) /. 65536.0 in
+  let exp =
+    cfg.retry_base *. (cfg.retry_factor ** float_of_int (attempt - 1))
+  in
+  Float.min cfg.retry_max_delay (exp *. (0.5 +. jitter))
+
+(* ------------------------------------------------------------------ *)
+(* Service state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  j_req : request;
+  j_submitted : float;
+  mutable j_attempts : int;
+  j_respond : response -> unit;
+}
+
+type t = {
+  cfg : config;
+  queue : job Queue.t;
+  breaker : Breaker.t;
+  watchdog : Watchdog.t;
+  diagnostics : Diagnostics.t;     (* service-level events *)
+  diag_lock : Mutex.t;
+  (* terminal-state accounting; atomics because workers race *)
+  n_submitted : int Atomic.t;
+  n_admitted : int Atomic.t;
+  n_completed : int Atomic.t;
+  n_degraded : int Atomic.t;
+  n_failed : int Atomic.t;
+  n_rejected_full : int Atomic.t;
+  n_rejected_draining : int Atomic.t;
+  n_shed : int Atomic.t;
+  n_retries : int Atomic.t;
+  n_breaker_fast_fails : int Atomic.t;
+  n_breaker_opens : int Atomic.t;
+  started_at : float;
+  sig_drain : bool Atomic.t;       (* set (only) by signal handlers *)
+  drain_started : bool Atomic.t;
+  joined : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+  join_lock : Mutex.t;
+}
+
+let m_submitted = Obs.Telemetry.counter "serve.submitted"
+let m_admitted = Obs.Telemetry.counter "serve.admitted"
+let m_completed = Obs.Telemetry.counter "serve.completed"
+let m_degraded = Obs.Telemetry.counter "serve.degraded"
+let m_failed = Obs.Telemetry.counter "serve.failed"
+let m_rejected = Obs.Telemetry.counter "serve.rejected"
+let m_shed = Obs.Telemetry.counter "serve.shed"
+let m_retries = Obs.Telemetry.counter "serve.retries"
+let m_latency_ms = Obs.Telemetry.histogram "serve.latency_ms"
+let m_queue_wait_ms = Obs.Telemetry.histogram "serve.queue_wait_ms"
+let g_queue_depth = Obs.Telemetry.gauge "serve.queue_depth"
+
+let record_diag t d =
+  Mutex.lock t.diag_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.diag_lock)
+    (fun () -> Diagnostics.record t.diagnostics d)
+
+let breaker_key (rq : request) =
+  match rq.rq_app with Some a -> a | None -> "inline:" ^ rq.rq_id
+
+(* ------------------------------------------------------------------ *)
+(* Job execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let respond t (job : job) status reason ~issues ~degradations =
+  (match status with
+   | Completed -> Atomic.incr t.n_completed; Obs.Telemetry.incr m_completed
+   | Degraded -> Atomic.incr t.n_degraded; Obs.Telemetry.incr m_degraded
+   | Failed -> Atomic.incr t.n_failed; Obs.Telemetry.incr m_failed
+   | Rejected -> Obs.Telemetry.incr m_rejected);
+  let seconds = t.cfg.now () -. job.j_submitted in
+  Obs.Telemetry.observe m_latency_ms (int_of_float (seconds *. 1000.0));
+  Obs.Telemetry.instant "serve.terminal"
+    ~args:
+      [ ("job", job.j_req.rq_id); ("status", status_name status);
+        ("reason", reason) ];
+  let r =
+    { rp_id = job.j_req.rq_id; rp_status = status; rp_reason = reason;
+      rp_issues = issues; rp_attempts = job.j_attempts;
+      rp_degradations = degradations; rp_seconds = seconds }
+  in
+  (* a failing response sink must not take down the worker *)
+  try job.j_respond r with _ -> ()
+
+let build_input (rq : request) : (Taj.input, string) result =
+  match rq.rq_app, rq.rq_source with
+  | Some app, _ ->
+    (match Workloads.Apps.find app with
+     | None -> Error "unknown_app"
+     | Some a ->
+       Ok (Workloads.Codegen.to_input
+             (Workloads.Apps.generate ~scale:rq.rq_scale a)))
+  | None, Some src ->
+    Ok { Taj.name = rq.rq_id; app_sources = [ src ];
+         descriptor = rq.rq_descriptor }
+  | None, None -> Error "empty_request"
+
+type exec_outcome =
+  | Exec_ok of status * string * int * int   (* status reason issues degr *)
+  | Exec_failed of string * Fault.severity
+
+(* One execution of the job under the supervisor, under the current
+   memory-pressure level. Supervisor.run never raises; anything that does
+   escape here (injected worker faults, infrastructure errors) is
+   classified for the retry policy. *)
+let execute t (job : job) : exec_outcome =
+  let rq = job.j_req in
+  match
+    Fault.tick Fault.site_worker;
+    Fault.tick (Fault.site_job rq.rq_id);
+    build_input rq
+  with
+  | exception e -> Exec_failed (Printexc.to_string e, Fault.classify e)
+  | Error reason -> Exec_failed (reason, Fault.Permanent)
+  | Ok input ->
+    let pressure =
+      Watchdog.sample ~on_event:(record_diag t) t.watchdog
+    in
+    let scale, config =
+      Watchdog.degrade_config ~scale:rq.rq_scale
+        (Config.preset ~scale:rq.rq_scale rq.rq_algorithm)
+        pressure
+    in
+    let deadline =
+      (* during drain, cap each run so a pathological job cannot hold the
+         shutdown hostage; its flows so far become a degraded result *)
+      if Atomic.get t.drain_started then
+        match rq.rq_deadline, t.cfg.drain_grace with
+        | Some d, Some g -> Some (Float.min d g)
+        | Some d, None -> Some d
+        | None, g -> g
+      else rq.rq_deadline
+    in
+    let options =
+      { Supervisor.default_options with
+        deadline; scale; jobs = t.cfg.job_jobs }
+    in
+    match Supervisor.run ~options ~config input with
+    | exception e -> Exec_failed (Printexc.to_string e, Fault.classify e)
+    | outcome ->
+      let degradations = List.length outcome.Supervisor.sv_diagnostics in
+      (match outcome.Supervisor.sv_analysis with
+       | Some { Taj.result = Taj.Completed c; _ } ->
+         let issues = Report.issue_count c.Taj.report in
+         if
+           Report.is_partial c.Taj.report
+           || outcome.Supervisor.sv_diagnostics <> []
+         then Exec_ok (Degraded, "supervisor_degraded", issues, degradations)
+         else if pressure > 0 then
+           Exec_ok (Degraded, "memory_pressure", issues, degradations)
+         else Exec_ok (Completed, "", issues, degradations)
+       | Some { Taj.result = Taj.Did_not_complete reason; _ } ->
+         Exec_failed ("did_not_complete: " ^ reason, Fault.Permanent)
+       | None -> Exec_failed ("load_failed", Fault.Permanent))
+
+let process t (job : job) =
+  let key = breaker_key job.j_req in
+  match Breaker.acquire t.breaker key with
+  | `Fast_fail ->
+    Atomic.incr t.n_breaker_fast_fails;
+    respond t job Failed "breaker_open" ~issues:0 ~degradations:0
+  | `Proceed | `Probe ->
+    job.j_attempts <- job.j_attempts + 1;
+    (match execute t job with
+     | Exec_ok (status, reason, issues, degradations) ->
+       Breaker.success t.breaker key;
+       respond t job status reason ~issues ~degradations
+     | Exec_failed (reason, severity) ->
+       let retryable =
+         severity = Fault.Transient
+         && job.j_attempts <= t.cfg.max_retries
+         && not (Atomic.get t.drain_started)
+       in
+       if retryable then begin
+         (* not a terminal state: the breaker is not consulted and the
+            job re-enters the queue after its deterministic backoff *)
+         Atomic.incr t.n_retries;
+         Obs.Telemetry.incr m_retries;
+         let delay =
+           backoff_delay t.cfg ~id:job.j_req.rq_id ~attempt:job.j_attempts
+         in
+         record_diag t
+           (Diagnostics.Job_retried
+              { job = job.j_req.rq_id; attempt = job.j_attempts;
+                delay; reason });
+         Obs.Telemetry.instant "serve.retry"
+           ~args:
+             [ ("job", job.j_req.rq_id);
+               ("attempt", string_of_int job.j_attempts);
+               ("delay", Printf.sprintf "%.4f" delay);
+               ("reason", reason) ];
+         t.cfg.sleep delay;
+         Queue.push_forced t.queue ~priority:job.j_req.rq_priority job
+       end
+       else begin
+         ignore (Breaker.failure t.breaker key);
+         respond t job Failed reason ~issues:0 ~degradations:0
+       end)
+
+let worker t () =
+  Obs.Telemetry.with_span "serve.worker" @@ fun () ->
+  let rec loop () =
+    match Queue.pop t.queue with
+    | None -> ()                       (* drained and empty *)
+    | Some job ->
+      Obs.Telemetry.observe m_queue_wait_ms
+        (int_of_float ((t.cfg.now () -. job.j_submitted) *. 1000.0));
+      process t job;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) () =
+  let cfg =
+    { config with
+      workers = max 1 config.workers;
+      max_retries = max 0 config.max_retries }
+  in
+  let diag_lock = Mutex.create () in
+  let diagnostics = Diagnostics.create () in
+  let n_breaker_opens = Atomic.make 0 in
+  let record ~key st =
+    (* breaker transitions land in the service diagnostics; the callback
+       runs under the breaker lock, so only counters and the (separate)
+       diagnostics lock are touched *)
+    Mutex.lock diag_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock diag_lock)
+      (fun () ->
+         Diagnostics.record diagnostics
+           (Diagnostics.Breaker_transition
+              { key; state = Breaker.state_name st }));
+    match st with
+    | Breaker.Open _ -> Atomic.incr n_breaker_opens
+    | Breaker.Closed | Breaker.Half_open -> ()
+  in
+  let t =
+    { cfg;
+      queue = Queue.create ~cap:cfg.queue_cap;
+      breaker =
+        Breaker.create ~now:cfg.now ~on_transition:record
+          ~threshold:cfg.breaker_threshold ~cooldown:cfg.breaker_cooldown ();
+      watchdog = Watchdog.create ~soft_limit_mb:cfg.mem_soft_limit_mb ();
+      diagnostics; diag_lock;
+      n_submitted = Atomic.make 0; n_admitted = Atomic.make 0;
+      n_completed = Atomic.make 0; n_degraded = Atomic.make 0;
+      n_failed = Atomic.make 0; n_rejected_full = Atomic.make 0;
+      n_rejected_draining = Atomic.make 0; n_shed = Atomic.make 0;
+      n_retries = Atomic.make 0;
+      n_breaker_fast_fails = Atomic.make 0; n_breaker_opens;
+      started_at = cfg.now ();
+      sig_drain = Atomic.make false; drain_started = Atomic.make false;
+      joined = Atomic.make false; domains = []; join_lock = Mutex.create () }
+  in
+  t.domains <- List.init cfg.workers (fun _ -> Domain.spawn (worker t));
+  t
+
+(** Admission. The response callback fires exactly once, from an arbitrary
+    domain, when the job reaches its terminal state — possibly before
+    [submit] returns (immediate rejection). *)
+let submit t (rq : request) ~(respond : response -> unit) =
+  Atomic.incr t.n_submitted;
+  Obs.Telemetry.incr m_submitted;
+  let job =
+    { j_req = rq; j_submitted = t.cfg.now (); j_attempts = 0;
+      j_respond = respond }
+  in
+  let reject job reason counter =
+    Atomic.incr counter;
+    Obs.Telemetry.incr m_rejected;
+    Obs.Telemetry.instant "serve.rejected"
+      ~args:[ ("job", job.j_req.rq_id); ("reason", reason) ];
+    let r =
+      { rp_id = job.j_req.rq_id; rp_status = Rejected; rp_reason = reason;
+        rp_issues = 0; rp_attempts = job.j_attempts; rp_degradations = 0;
+        rp_seconds = t.cfg.now () -. job.j_submitted }
+    in
+    try job.j_respond r with _ -> ()
+  in
+  if Atomic.get t.drain_started || Atomic.get t.sig_drain then
+    reject job "draining" t.n_rejected_draining
+  else begin
+    match Queue.push t.queue ~priority:rq.rq_priority job with
+    | Queue.Admitted ->
+      Atomic.incr t.n_admitted;
+      Obs.Telemetry.incr m_admitted;
+      Obs.Telemetry.set g_queue_depth (Queue.length t.queue);
+      Obs.Telemetry.instant "serve.admit" ~args:[ ("job", rq.rq_id) ]
+    | Queue.Admitted_shedding victim ->
+      Atomic.incr t.n_admitted;
+      Obs.Telemetry.incr m_admitted;
+      Obs.Telemetry.incr m_shed;
+      Atomic.incr t.n_shed;
+      record_diag t
+        (Diagnostics.Job_shed
+           { job = victim.j_req.rq_id;
+             priority = victim.j_req.rq_priority });
+      Obs.Telemetry.instant "serve.shed"
+        ~args:[ ("job", victim.j_req.rq_id) ];
+      reject victim "shed" (Atomic.make 0 (* shed counted above *));
+      Obs.Telemetry.instant "serve.admit" ~args:[ ("job", rq.rq_id) ]
+    | Queue.Rejected_full -> reject job "queue_full" t.n_rejected_full
+  end
+
+(** Stop admitting; admitted jobs keep running. Idempotent; safe from any
+    domain (but not from a signal handler — handlers only set a flag). *)
+let request_drain t =
+  if not (Atomic.exchange t.drain_started true) then begin
+    Obs.Telemetry.instant "serve.drain"
+      ~args:[ ("queued", string_of_int (Queue.length t.queue)) ];
+    Queue.set_draining t.queue
+  end
+
+let draining t = Atomic.get t.drain_started
+
+(** Block until every worker (and the signal watcher) has exited — i.e.
+    every admitted job has reached its terminal state. Idempotent. *)
+let await_drained t =
+  request_drain t;
+  Mutex.lock t.join_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.join_lock)
+    (fun () ->
+       if not (Atomic.get t.joined) then begin
+         List.iter Domain.join t.domains;
+         t.domains <- [];
+         Atomic.set t.joined true;
+         Obs.Telemetry.instant "serve.drained"
+       end)
+
+(* ------------------------------------------------------------------ *)
+(* Signals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Handlers may run at any allocation point, so they only set an atomic
+    flag; a watcher domain turns the flag into the drain protocol from a
+    safe context. Transports also poll {!signal_pending} so a blocked
+    read never delays the drain. *)
+let install_signals t =
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set t.sig_drain true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  let watcher () =
+    let rec loop () =
+      if Atomic.get t.sig_drain then request_drain t
+      else if not (Atomic.get t.drain_started) then begin
+        Io.sleepf 0.02;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  t.domains <- Domain.spawn watcher :: t.domains
+
+let signal_pending t = Atomic.get t.sig_drain
+
+(* ------------------------------------------------------------------ *)
+(* Health                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type health = {
+  h_uptime : float;
+  h_queue_depth : int;
+  h_pressure : int;
+  h_submitted : int;
+  h_admitted : int;
+  h_completed : int;
+  h_degraded : int;
+  h_failed : int;
+  h_rejected_full : int;
+  h_rejected_draining : int;
+  h_shed : int;
+  h_retries : int;
+  h_breaker_fast_fails : int;
+  h_breaker_opens : int;
+  h_open_breakers : string list;
+  h_events : int;                  (** service-level diagnostics recorded *)
+}
+
+let health t =
+  { h_uptime = t.cfg.now () -. t.started_at;
+    h_queue_depth = Queue.length t.queue;
+    h_pressure = Watchdog.level t.watchdog;
+    h_submitted = Atomic.get t.n_submitted;
+    h_admitted = Atomic.get t.n_admitted;
+    h_completed = Atomic.get t.n_completed;
+    h_degraded = Atomic.get t.n_degraded;
+    h_failed = Atomic.get t.n_failed;
+    h_rejected_full = Atomic.get t.n_rejected_full;
+    h_rejected_draining = Atomic.get t.n_rejected_draining;
+    h_shed = Atomic.get t.n_shed;
+    h_retries = Atomic.get t.n_retries;
+    h_breaker_fast_fails = Atomic.get t.n_breaker_fast_fails;
+    h_breaker_opens = Atomic.get t.n_breaker_opens;
+    h_open_breakers = Breaker.open_keys t.breaker;
+    h_events =
+      (Mutex.lock t.diag_lock;
+       Fun.protect
+         ~finally:(fun () -> Mutex.unlock t.diag_lock)
+         (fun () -> Diagnostics.count t.diagnostics)) }
+
+(** A drain is clean when no admitted job was shed and no job was turned
+    away by a full queue: the service kept every promise it made. Failed
+    and degraded jobs are terminal answers, not lost work. *)
+let clean_drain h = h.h_shed = 0 && h.h_rejected_full = 0
+
+let events t =
+  Mutex.lock t.diag_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.diag_lock)
+    (fun () -> Diagnostics.events t.diagnostics)
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let algorithm_of_string = function
+  | "hybrid" | "hybrid-unbounded" -> Ok Config.Hybrid_unbounded
+  | "prioritized" | "hybrid-prioritized" -> Ok Config.Hybrid_prioritized
+  | "optimized" | "hybrid-optimized" -> Ok Config.Hybrid_optimized
+  | "cs" -> Ok Config.Cs_thin_slicing
+  | "ci" -> Ok Config.Ci_thin_slicing
+  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+
+let request_of_json (j : Json.t) : (request, string) result =
+  match Json.str_member "id" j with
+  | None -> Error "missing id"
+  | Some id ->
+    let app = Json.str_member "app" j in
+    let source = Json.str_member "source" j in
+    if app = None && source = None then Error "missing app or source"
+    else begin
+      match
+        match Json.str_member "algorithm" j with
+        | None -> Ok Config.Hybrid_optimized
+        | Some s -> algorithm_of_string s
+      with
+      | Error e -> Error e
+      | Ok algorithm ->
+        Ok
+          (request id ?app ?source
+             ?descriptor:(Json.str_member "descriptor" j)
+             ~algorithm
+             ?scale:(Json.num_member "scale" j)
+             ?deadline:(Json.num_member "deadline" j)
+             ?priority:(Json.int_member "priority" j))
+    end
+
+let response_json (r : response) =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Str r.rp_id);
+         ("status", Json.Str (status_name r.rp_status));
+         ("reason", Json.Str r.rp_reason);
+         ("issues", Json.Num (float_of_int r.rp_issues));
+         ("attempts", Json.Num (float_of_int r.rp_attempts));
+         ("degradations", Json.Num (float_of_int r.rp_degradations));
+         ("seconds", Json.Num (Float.round (r.rp_seconds *. 1000.) /. 1000.))
+       ])
+
+let health_json (h : health) =
+  let num n = Json.Num (float_of_int n) in
+  let latency q =
+    match Obs.Telemetry.find_value "serve.latency_ms" with
+    | Some (Obs.Telemetry.V_histogram s) ->
+      num (Obs.Telemetry.snapshot_quantile s q)
+    | _ -> Json.Null
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("event", Json.Str "health");
+         ("uptime", Json.Num (Float.round (h.h_uptime *. 1000.) /. 1000.));
+         ("queue_depth", num h.h_queue_depth);
+         ("pressure", num h.h_pressure);
+         ("submitted", num h.h_submitted);
+         ("admitted", num h.h_admitted);
+         ("completed", num h.h_completed);
+         ("degraded", num h.h_degraded);
+         ("failed", num h.h_failed);
+         ("rejected_full", num h.h_rejected_full);
+         ("rejected_draining", num h.h_rejected_draining);
+         ("shed", num h.h_shed);
+         ("retries", num h.h_retries);
+         ("breaker_fast_fails", num h.h_breaker_fast_fails);
+         ("breaker_opens", num h.h_breaker_opens);
+         ("open_breakers",
+          Json.Arr (List.map (fun k -> Json.Str k) h.h_open_breakers));
+         ("latency_ms_p50", latency 0.5);
+         ("latency_ms_p95", latency 0.95);
+         ("clean_drain", Json.Bool (clean_drain h)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Submissions arrive on the transport domain; responses are written by
+   worker domains. One lock serializes the NDJSON output stream. *)
+let make_writer fd =
+  let lock = Mutex.create () in
+  fun line ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+         try Io.write_all fd (line ^ "\n")
+         with Unix.Unix_error _ -> () (* peer gone; job already terminal *))
+
+let handle_line t ~write line =
+  let line = String.trim line in
+  if line <> "" then begin
+    match
+      match Json.parse line with
+      | Error e -> Error ("bad_json: " ^ e)
+      | Ok j -> request_of_json j
+    with
+    | Error reason ->
+      (* even an unparsable request gets a terminal answer *)
+      let id =
+        match Json.parse line with
+        | Ok j ->
+          (match Json.str_member "id" j with
+           | Some id -> Json.Str id
+           | None -> Json.Null)
+        | Error _ -> Json.Null
+      in
+      write
+        (Json.to_string
+           (Json.Obj
+              [ ("id", id);
+                ("status", Json.Str "rejected");
+                ("reason", Json.Str reason) ]))
+    | Ok rq -> submit t rq ~respond:(fun r -> write (response_json r))
+  end
+
+(** Serve newline-delimited JSON over stdin/stdout until EOF or a drain
+    signal; returns the final health snapshot (also written as the last
+    output line). *)
+let run_stdio ?(stdin = Unix.stdin) ?(stdout = Unix.stdout) t =
+  install_signals t;
+  let write = make_writer stdout in
+  let reader = Io.line_reader stdin in
+  let rec pump () =
+    if signal_pending t || draining t then ()
+    else begin
+      match Io.read_line_nonblock reader with
+      | `Line l -> handle_line t ~write l; pump ()
+      | `Eof -> ()
+      | `Pending ->
+        ignore (Io.select [ stdin ] [] [] 0.2);
+        pump ()
+    end
+  in
+  pump ();
+  request_drain t;
+  await_drained t;
+  let h = health t in
+  write (health_json h);
+  h
+
+(** Serve over a Unix domain socket, multiplexing any number of clients
+    with [select]; each client gets its jobs' responses on its own
+    connection. Returns the final health snapshot at drain. *)
+let run_socket t path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 16;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  install_signals t;
+  let clients = ref [] in        (* (fd, reader, writer) *)
+  let close_client (fd, _, _) =
+    clients := List.filter (fun (f, _, _) -> f <> fd) !clients;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let rec pump () =
+    if signal_pending t || draining t then ()
+    else begin
+      let fds = listen_fd :: List.map (fun (fd, _, _) -> fd) !clients in
+      let ready, _, _ = Io.select fds [] [] 0.2 in
+      List.iter
+        (fun fd ->
+           if fd = listen_fd then begin
+             let cfd, _ = Io.accept listen_fd in
+             clients :=
+               (cfd, Io.line_reader cfd, make_writer cfd) :: !clients
+           end
+           else
+             match List.find_opt (fun (f, _, _) -> f = fd) !clients with
+             | None -> ()
+             | Some ((_, reader, write) as client) ->
+               let rec drain_lines () =
+                 match Io.read_line_nonblock reader with
+                 | `Line l -> handle_line t ~write l; drain_lines ()
+                 | `Eof -> close_client client
+                 | `Pending -> ()
+               in
+               drain_lines ())
+        ready;
+      pump ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (fd, _, _) -> try Unix.close fd with _ -> ())
+        !clients;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+       pump ();
+       request_drain t;
+       await_drained t;
+       let h = health t in
+       let line = health_json h in
+       List.iter (fun (_, _, write) -> write line) !clients;
+       h)

@@ -1,0 +1,144 @@
+(** The resilient analysis service: accepts a stream of analysis jobs and
+    runs each under {!Core.Supervisor} on a pool of worker domains, with a
+    bounded admission queue, transient-failure retries (exponential
+    backoff, deterministic seeded jitter), per-application circuit
+    breakers, a memory watchdog, and graceful drain.
+
+    Invariant: every submitted job reaches {e exactly one} terminal state
+    ([Completed | Degraded | Rejected | Failed]), delivered through its
+    response callback. *)
+
+(** {1 Protocol} *)
+
+type request = {
+  rq_id : string;
+  rq_app : string option;          (** named benchmark application … *)
+  rq_source : string option;       (** … or inline MJava unit source *)
+  rq_descriptor : string;
+  rq_algorithm : Core.Config.algorithm;
+  rq_scale : float;
+  rq_deadline : float option;      (** per-job wall-clock seconds *)
+  rq_priority : int;               (** higher survives shedding longer *)
+}
+
+val request :
+  ?app:string ->
+  ?source:string ->
+  ?descriptor:string ->
+  ?algorithm:Core.Config.algorithm ->
+  ?scale:float ->
+  ?deadline:float ->
+  ?priority:int ->
+  string ->
+  request
+
+type status = Completed | Degraded | Rejected | Failed
+
+val status_name : status -> string
+
+type response = {
+  rp_id : string;
+  rp_status : status;
+  rp_reason : string;
+      (** "" | [queue_full] | [shed] | [draining] | [breaker_open] | … *)
+  rp_issues : int;
+  rp_attempts : int;               (** executions, incl. the final one *)
+  rp_degradations : int;
+  rp_seconds : float;              (** submit-to-terminal wall clock *)
+}
+
+(** {1 Configuration} *)
+
+type config = {
+  workers : int;
+  job_jobs : int;                  (** [Core.Parallel] pool inside a job *)
+  queue_cap : int;
+  max_retries : int;
+  retry_base : float;
+  retry_factor : float;
+  retry_max_delay : float;
+  seed : int;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  mem_soft_limit_mb : int option;
+  drain_grace : float option;      (** deadline cap for runs during drain *)
+  now : unit -> float;
+  sleep : float -> unit;           (** injectable for deterministic tests *)
+}
+
+val default_config : config
+
+(** Pure function of [(seed, id, attempt)]: the backoff before re-running
+    a job whose [attempt]-th execution failed transiently. Identical
+    across runs and worker-pool sizes. *)
+val backoff_delay : config -> id:string -> attempt:int -> float
+
+(** {1 Lifecycle} *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** Admission. The response callback fires exactly once, from an
+    arbitrary domain, when the job reaches its terminal state — possibly
+    before [submit] returns (immediate rejection). *)
+val submit : t -> request -> respond:(response -> unit) -> unit
+
+(** Stop admitting; admitted jobs keep running. Idempotent. *)
+val request_drain : t -> unit
+
+val draining : t -> bool
+
+(** Block until every worker has exited — i.e. every admitted job has
+    reached its terminal state. Implies {!request_drain}. Idempotent. *)
+val await_drained : t -> unit
+
+(** Install SIGINT/SIGTERM handlers that trigger the drain protocol.
+    Handlers only set an atomic flag; a watcher domain (joined by
+    {!await_drained}) performs the drain. *)
+val install_signals : t -> unit
+
+val signal_pending : t -> bool
+
+(** {1 Health} *)
+
+type health = {
+  h_uptime : float;
+  h_queue_depth : int;
+  h_pressure : int;
+  h_submitted : int;
+  h_admitted : int;
+  h_completed : int;
+  h_degraded : int;
+  h_failed : int;
+  h_rejected_full : int;
+  h_rejected_draining : int;
+  h_shed : int;
+  h_retries : int;
+  h_breaker_fast_fails : int;
+  h_breaker_opens : int;
+  h_open_breakers : string list;
+  h_events : int;
+}
+
+val health : t -> health
+
+(** No admitted job was shed and none was turned away by a full queue. *)
+val clean_drain : health -> bool
+
+(** Service-level degradation events, in arrival order. *)
+val events : t -> Core.Diagnostics.degradation list
+
+(** {1 Wire protocol (NDJSON)} *)
+
+val request_of_json : Json.t -> (request, string) result
+val response_json : response -> string
+val health_json : health -> string
+
+(** Serve newline-delimited JSON requests over stdin/stdout until EOF or
+    SIGINT/SIGTERM; drains and returns (and writes, as the final line)
+    the health snapshot. *)
+val run_stdio : ?stdin:Unix.file_descr -> ?stdout:Unix.file_descr -> t -> health
+
+(** Serve over a Unix domain socket at [path], multiplexing clients. *)
+val run_socket : t -> string -> health

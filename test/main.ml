@@ -25,4 +25,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
+      ("service", Test_service.suite);
       ("securibench", Test_securibench.suite) ]

@@ -1,0 +1,831 @@
+(* The resilient analysis service: the zero-lost-jobs invariant under
+   chaos (every submitted job reaches exactly one terminal state), the
+   bounded queue's backpressure, the circuit-breaker state machine, the
+   deterministic retry schedule, the memory watchdog's degradation, and
+   graceful drain on SIGTERM. *)
+
+open Core
+
+let two_flows =
+  {|class Cell { String v; }
+    class Page extends HttpServlet {
+      public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+        Cell c = new Cell();
+        c.v = req.getParameter("x");
+        resp.getWriter().println(c.v);
+        Connection conn = DriverManager.getConnection("jdbc:db");
+        Statement st = conn.createStatement();
+        st.executeQuery(c.v);
+      }
+    }|}
+
+(* A response collector that can block until all expected jobs are
+   terminal, so tests can keep the service out of drain mode while work
+   is still in flight (drain legitimately changes the retry policy). *)
+module Collector = struct
+  type t = {
+    lock : Mutex.t;
+    cond : Condition.t;
+    mutable responses : Serve.Service.response list;
+  }
+
+  let create () =
+    { lock = Mutex.create (); cond = Condition.create (); responses = [] }
+
+  let respond t r =
+    Mutex.lock t.lock;
+    t.responses <- r :: t.responses;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock
+
+  let await t n =
+    Mutex.lock t.lock;
+    while List.length t.responses < n do
+      Condition.wait t.cond t.lock
+    done;
+    let rs = t.responses in
+    Mutex.unlock t.lock;
+    rs
+
+  let find t id =
+    Mutex.lock t.lock;
+    let r =
+      List.find_opt (fun r -> r.Serve.Service.rp_id = id) t.responses
+    in
+    Mutex.unlock t.lock;
+    r
+end
+
+let service_config ?(workers = 2) ?(queue_cap = 256) ?(max_retries = 2)
+    ?(seed = 7) ?(breaker_threshold = 5) ?(breaker_cooldown = 3600.0)
+    ?mem_soft_limit_mb ?(sleep = fun _ -> ()) () =
+  { Serve.Service.default_config with
+    workers; queue_cap; max_retries; seed; breaker_threshold;
+    breaker_cooldown; mem_soft_limit_mb; sleep }
+
+let status_counts rs =
+  List.fold_left
+    (fun (c, d, r, f) (resp : Serve.Service.response) ->
+       match resp.Serve.Service.rp_status with
+       | Serve.Service.Completed -> (c + 1, d, r, f)
+       | Serve.Service.Degraded -> (c, d + 1, r, f)
+       | Serve.Service.Rejected -> (c, d, r + 1, f)
+       | Serve.Service.Failed -> (c, d, r, f + 1))
+    (0, 0, 0, 0) rs
+
+(* ------------------------------------------------------------------ *)
+(* Queue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_bound () =
+  let q = Serve.Queue.create ~cap:2 in
+  Alcotest.(check bool) "1st admitted" true
+    (Serve.Queue.push q ~priority:1 "a" = Serve.Queue.Admitted);
+  Alcotest.(check bool) "2nd admitted" true
+    (Serve.Queue.push q ~priority:1 "b" = Serve.Queue.Admitted);
+  Alcotest.(check bool) "3rd same-priority rejected" true
+    (Serve.Queue.push q ~priority:1 "c" = Serve.Queue.Rejected_full);
+  Alcotest.(check int) "rejection does not grow the queue" 2
+    (Serve.Queue.length q)
+
+let test_queue_shed_priority () =
+  let q = Serve.Queue.create ~cap:2 in
+  ignore (Serve.Queue.push q ~priority:1 "old-low");
+  ignore (Serve.Queue.push q ~priority:1 "young-low");
+  (match Serve.Queue.push q ~priority:5 "vip" with
+   | Serve.Queue.Admitted_shedding v ->
+     Alcotest.(check string) "the oldest lower-priority entry is shed"
+       "old-low" v
+   | _ -> Alcotest.fail "expected Admitted_shedding");
+  (* a second vip finds only equal-or-higher priorities left of the low
+     class' one survivor *)
+  (match Serve.Queue.push q ~priority:5 "vip2" with
+   | Serve.Queue.Admitted_shedding v ->
+     Alcotest.(check string) "remaining low entry is shed next"
+       "young-low" v
+   | _ -> Alcotest.fail "expected Admitted_shedding");
+  Alcotest.(check bool) "equal priority never sheds" true
+    (Serve.Queue.push q ~priority:5 "vip3" = Serve.Queue.Rejected_full)
+
+let test_queue_pop_order () =
+  let q = Serve.Queue.create ~cap:8 in
+  ignore (Serve.Queue.push q ~priority:1 "low1");
+  ignore (Serve.Queue.push q ~priority:9 "high1");
+  ignore (Serve.Queue.push q ~priority:1 "low2");
+  ignore (Serve.Queue.push q ~priority:9 "high2");
+  Serve.Queue.set_draining q;
+  let order = List.init 4 (fun _ -> Option.get (Serve.Queue.pop q)) in
+  Alcotest.(check (list string))
+    "highest priority first, FIFO within a class"
+    [ "high1"; "high2"; "low1"; "low2" ] order;
+  Alcotest.(check bool) "drained empty queue pops None" true
+    (Serve.Queue.pop q = None)
+
+let test_queue_forced_push_bypasses_bound () =
+  let q = Serve.Queue.create ~cap:1 in
+  ignore (Serve.Queue.push q ~priority:1 "a");
+  Serve.Queue.push_forced q ~priority:1 "retry";
+  Alcotest.(check int) "forced push exceeds the cap" 2
+    (Serve.Queue.length q)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fake_clock start =
+  let t = ref start in
+  ((fun () -> !t), fun d -> t := !t +. d)
+
+let test_breaker_opens_at_threshold () =
+  let now, _ = fake_clock 0.0 in
+  let b = Serve.Breaker.create ~now ~threshold:3 ~cooldown:10.0 () in
+  Alcotest.(check bool) "closed admits" true
+    (Serve.Breaker.acquire b "app" = `Proceed);
+  Alcotest.(check bool) "1st failure does not open" false
+    (Serve.Breaker.failure b "app");
+  Alcotest.(check bool) "2nd failure does not open" false
+    (Serve.Breaker.failure b "app");
+  Alcotest.(check bool) "3rd consecutive failure opens" true
+    (Serve.Breaker.failure b "app");
+  Alcotest.(check bool) "open fails fast" true
+    (Serve.Breaker.acquire b "app" = `Fast_fail);
+  Alcotest.(check bool) "other keys are unaffected" true
+    (Serve.Breaker.acquire b "other" = `Proceed)
+
+let test_breaker_success_resets_count () =
+  let now, _ = fake_clock 0.0 in
+  let b = Serve.Breaker.create ~now ~threshold:3 ~cooldown:10.0 () in
+  ignore (Serve.Breaker.failure b "app");
+  ignore (Serve.Breaker.failure b "app");
+  Serve.Breaker.success b "app";
+  Alcotest.(check int) "success resets consecutive failures" 0
+    (Serve.Breaker.consecutive_failures b "app");
+  Alcotest.(check bool) "1st failure of the new streak stays closed" false
+    (Serve.Breaker.failure b "app");
+  Alcotest.(check bool) "2nd failure of the new streak stays closed" false
+    (Serve.Breaker.failure b "app");
+  Alcotest.(check bool) "3rd failure of the new streak opens" true
+    (Serve.Breaker.failure b "app")
+
+let test_breaker_half_open_probe_closes () =
+  let now, advance = fake_clock 100.0 in
+  let b = Serve.Breaker.create ~now ~threshold:2 ~cooldown:10.0 () in
+  ignore (Serve.Breaker.failure b "app");
+  ignore (Serve.Breaker.failure b "app");
+  Alcotest.(check bool) "open before cooldown" true
+    (Serve.Breaker.acquire b "app" = `Fast_fail);
+  advance 10.0;
+  Alcotest.(check bool) "after cooldown one probe is admitted" true
+    (Serve.Breaker.acquire b "app" = `Probe);
+  Alcotest.(check bool) "while the probe is in flight others fail fast"
+    true
+    (Serve.Breaker.acquire b "app" = `Fast_fail);
+  Serve.Breaker.success b "app";
+  Alcotest.(check bool) "probe success closes the breaker" true
+    (Serve.Breaker.state b "app" = Serve.Breaker.Closed);
+  Alcotest.(check bool) "closed admits again" true
+    (Serve.Breaker.acquire b "app" = `Proceed)
+
+let test_breaker_half_open_failure_reopens () =
+  let now, advance = fake_clock 0.0 in
+  let transitions = ref [] in
+  let b =
+    Serve.Breaker.create ~now
+      ~on_transition:(fun ~key:_ st ->
+        transitions := Serve.Breaker.state_name st :: !transitions)
+      ~threshold:2 ~cooldown:10.0 ()
+  in
+  ignore (Serve.Breaker.failure b "app");
+  ignore (Serve.Breaker.failure b "app");
+  advance 10.0;
+  Alcotest.(check bool) "probe admitted" true
+    (Serve.Breaker.acquire b "app" = `Probe);
+  Alcotest.(check bool) "probe failure re-opens" true
+    (Serve.Breaker.failure b "app");
+  Alcotest.(check bool) "re-opened fails fast" true
+    (Serve.Breaker.acquire b "app" = `Fast_fail);
+  advance 10.0;
+  Alcotest.(check bool) "a second cooldown admits another probe" true
+    (Serve.Breaker.acquire b "app" = `Probe);
+  Serve.Breaker.success b "app";
+  Alcotest.(check (list string))
+    "transition history closed->open->half-open->open->half-open->closed"
+    [ "open"; "half-open"; "open"; "half-open"; "closed" ]
+    (List.rev !transitions)
+
+(* ------------------------------------------------------------------ *)
+(* Retry schedule determinism                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_deterministic () =
+  let cfg = { (service_config ()) with Serve.Service.seed = 13 } in
+  let schedule id =
+    List.init 4 (fun i ->
+        Serve.Service.backoff_delay cfg ~id ~attempt:(i + 1))
+  in
+  Alcotest.(check (list (float 0.0)))
+    "identical (seed, id, attempt) gives an identical schedule"
+    (schedule "job-1") (schedule "job-1");
+  Alcotest.(check bool) "different jobs get different jitter" true
+    (schedule "job-1" <> schedule "job-2");
+  let cfg' = { cfg with Serve.Service.seed = 14 } in
+  Alcotest.(check bool) "a different seed changes the schedule" true
+    (schedule "job-1"
+     <> List.init 4 (fun i ->
+            Serve.Service.backoff_delay cfg' ~id:"job-1" ~attempt:(i + 1)));
+  List.iteri
+    (fun i d ->
+       Alcotest.(check bool)
+         (Printf.sprintf "attempt %d delay within [base/2, max]" (i + 1))
+         true
+         (d >= cfg.Serve.Service.retry_base *. 0.5
+          && d <= cfg.Serve.Service.retry_max_delay))
+    (schedule "job-1")
+
+(* The schedule actually executed by the service: which jobs retried, at
+   which attempts, sleeping which delays. Must be identical across runs
+   and across worker-pool sizes. *)
+let executed_schedule ~workers ~seed n =
+  Fault.reset ();
+  let sleeps_lock = Mutex.create () in
+  let sleeps = ref [] in
+  let sleep d =
+    Mutex.lock sleeps_lock;
+    sleeps := d :: !sleeps;
+    Mutex.unlock sleeps_lock
+  in
+  let ids = List.init n (fun i -> Printf.sprintf "flaky-%d" i) in
+  List.iter
+    (fun id ->
+       Fault.arm ~once:true ~action:Fault.Fail_transient (Fault.site_job id)
+         ~after:1)
+    ids;
+  let t =
+    Serve.Service.create ~config:(service_config ~workers ~seed ~sleep ()) ()
+  in
+  let col = Collector.create () in
+  List.iter
+    (fun id ->
+       Serve.Service.submit t
+         (Serve.Service.request ~source:two_flows id)
+         ~respond:(Collector.respond col))
+    ids;
+  let rs = Collector.await col n in
+  Serve.Service.await_drained t;
+  Fault.reset ();
+  let retried =
+    List.map
+      (fun (r : Serve.Service.response) ->
+         (r.Serve.Service.rp_id, r.Serve.Service.rp_attempts,
+          r.Serve.Service.rp_status))
+      rs
+    |> List.sort compare
+  in
+  (retried, List.sort compare !sleeps)
+
+let test_retry_schedule_reproducible () =
+  let a = executed_schedule ~workers:1 ~seed:21 6 in
+  let b = executed_schedule ~workers:1 ~seed:21 6 in
+  Alcotest.(check bool) "same seed, same run" true (a = b);
+  let c = executed_schedule ~workers:4 ~seed:21 6 in
+  Alcotest.(check bool) "identical with a 4-domain worker pool" true
+    (a = c);
+  let retried, sleeps = a in
+  List.iter
+    (fun (id, attempts, status) ->
+       Alcotest.(check int) (id ^ " ran exactly twice") 2 attempts;
+       Alcotest.(check bool) (id ^ " completed after its retry") true
+         (status = Serve.Service.Completed))
+    retried;
+  (* each executed delay is the pure backoff function's value *)
+  let cfg = service_config ~seed:21 () in
+  let expected =
+    List.map
+      (fun i ->
+         Serve.Service.backoff_delay cfg
+           ~id:(Printf.sprintf "flaky-%d" i) ~attempt:1)
+      [ 0; 1; 2; 3; 4; 5 ]
+    |> List.sort compare
+  in
+  Alcotest.(check (list (float 0.0))) "sleeps match the pure schedule"
+    expected sleeps
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: the zero-lost-jobs invariant                                *)
+(* ------------------------------------------------------------------ *)
+
+(* >= 100 jobs with fault injections armed: valid jobs, stalled jobs,
+   permanently crashing jobs against one app (tripping its breaker),
+   transiently flaky jobs, and over-deadline jobs. Every job must reach
+   exactly one terminal state, deterministically at the fixed seed. *)
+let test_chaos_no_lost_jobs () =
+  Fault.reset ();
+  let workers = 4 and threshold = 5 in
+  let valid = List.init 45 (fun i -> Printf.sprintf "valid-%d" i) in
+  let stalled = List.init 5 (fun i -> Printf.sprintf "stalled-%d" i) in
+  let crashers = List.init 15 (fun i -> Printf.sprintf "crash-%d" i) in
+  let flaky = List.init 15 (fun i -> Printf.sprintf "flaky-%d" i) in
+  let late = List.init 20 (fun i -> Printf.sprintf "late-%d" i) in
+  List.iter
+    (fun id ->
+       Fault.arm ~once:true ~action:(Fault.Stall 0.01) (Fault.site_job id)
+         ~after:1)
+    stalled;
+  List.iter
+    (fun id ->
+       (* every execution fails permanently: these trip the breaker *)
+       Fault.arm ~once:false ~action:Fault.Fail (Fault.site_job id)
+         ~after:1)
+    crashers;
+  List.iter
+    (fun id ->
+       Fault.arm ~once:true ~action:Fault.Fail_transient (Fault.site_job id)
+         ~after:1)
+    flaky;
+  let t =
+    Serve.Service.create
+      ~config:
+        (service_config ~workers ~breaker_threshold:threshold ~seed:7 ())
+      ()
+  in
+  let col = Collector.create () in
+  let submit ?app ?source ?deadline id =
+    Serve.Service.submit t
+      (Serve.Service.request ?app ?source ?deadline id)
+      ~respond:(Collector.respond col)
+  in
+  (* interleave the classes so every worker sees a mix *)
+  List.iteri
+    (fun i id ->
+       submit ~source:two_flows id;
+       (match List.nth_opt stalled (i / 9) with
+        | Some s when i mod 9 = 0 -> submit ~source:two_flows s
+        | _ -> ());
+       if i < 15 then submit ~app:"BlueBlog" (List.nth crashers i);
+       if i < 15 then submit ~source:two_flows (List.nth flaky i);
+       if i < 20 then
+         submit ~source:two_flows ~deadline:0.0 (List.nth late i))
+    valid;
+  let total = 45 + 5 + 15 + 15 + 20 in
+  let rs = Collector.await col total in
+  Serve.Service.await_drained t;
+  Fault.reset ();
+  (* exactly one terminal response per job *)
+  Alcotest.(check int) "every job answered exactly once" total
+    (List.length rs);
+  let ids =
+    List.sort_uniq String.compare
+      (List.map (fun r -> r.Serve.Service.rp_id) rs)
+  in
+  Alcotest.(check int) "no duplicate terminal states" total
+    (List.length ids);
+  let completed, degraded, rejected, failed = status_counts rs in
+  Alcotest.(check int) "all statuses are terminal" total
+    (completed + degraded + rejected + failed);
+  Alcotest.(check int) "nothing was rejected (queue far under cap)" 0
+    rejected;
+  (* per-class outcomes *)
+  let status_of id =
+    (Option.get (Collector.find col id)).Serve.Service.rp_status
+  in
+  List.iter
+    (fun id ->
+       Alcotest.(check bool) (id ^ " completed") true
+         (status_of id = Serve.Service.Completed))
+    (valid @ stalled);
+  List.iter
+    (fun id ->
+       let r = Option.get (Collector.find col id) in
+       Alcotest.(check bool) (id ^ " completed after one retry") true
+         (r.Serve.Service.rp_status = Serve.Service.Completed);
+       Alcotest.(check int) (id ^ " attempts") 2
+         r.Serve.Service.rp_attempts)
+    flaky;
+  List.iter
+    (fun id ->
+       Alcotest.(check bool) (id ^ " failed terminally") true
+         (status_of id = Serve.Service.Failed))
+    crashers;
+  List.iter
+    (fun id ->
+       Alcotest.(check bool) (id ^ " over-deadline is degraded or failed")
+         true
+         (match status_of id with
+          | Serve.Service.Degraded | Serve.Service.Failed -> true
+          | _ -> false))
+    late;
+  (* the breaker capped the crasher app's executions: at most threshold
+     failures open it, plus at most one in-flight execution per worker
+     that acquired before the transition *)
+  let executed_crashers =
+    List.filter
+      (fun id ->
+         (Option.get (Collector.find col id)).Serve.Service.rp_reason
+         <> "breaker_open")
+      crashers
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "breaker capped crasher executions (%d <= %d)"
+       (List.length executed_crashers)
+       (threshold + workers))
+    true
+    (List.length executed_crashers <= threshold + workers);
+  let h = Serve.Service.health t in
+  Alcotest.(check bool) "the crasher app's breaker opened" true
+    (h.Serve.Service.h_breaker_opens >= 1);
+  Alcotest.(check (list string)) "it is the only open breaker"
+    [ "BlueBlog" ] h.Serve.Service.h_open_breakers;
+  (* counter partition invariants *)
+  Alcotest.(check int) "submitted = admitted + rejected"
+    h.Serve.Service.h_submitted
+    (h.Serve.Service.h_admitted + h.Serve.Service.h_rejected_full
+     + h.Serve.Service.h_rejected_draining);
+  Alcotest.(check int) "admitted = completed + degraded + failed + shed"
+    h.Serve.Service.h_admitted
+    (h.Serve.Service.h_completed + h.Serve.Service.h_degraded
+     + h.Serve.Service.h_failed + h.Serve.Service.h_shed);
+  Alcotest.(check int) "flaky jobs retried exactly once each" 15
+    h.Serve.Service.h_retries;
+  Alcotest.(check bool) "no shedding, no queue_full: a clean drain" true
+    (Serve.Service.clean_drain h)
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure at the service level                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_service_shed_and_queue_full () =
+  Fault.reset ();
+  (* one worker, blocked on a stalling job, so the queue is controllable *)
+  Fault.arm ~once:true ~action:(Fault.Stall 0.5)
+    (Fault.site_job "blocker") ~after:1;
+  let t =
+    Serve.Service.create
+      ~config:(service_config ~workers:1 ~queue_cap:2 ())
+      ()
+  in
+  let col = Collector.create () in
+  let submit ?(priority = 1) id =
+    Serve.Service.submit t
+      (Serve.Service.request ~source:two_flows ~priority id)
+      ~respond:(Collector.respond col)
+  in
+  submit "blocker";
+  (* wait until the worker has popped the blocker (queue empty again) *)
+  let rec wait_empty n =
+    if n = 0 then Alcotest.fail "blocker never started"
+    else if (Serve.Service.health t).Serve.Service.h_queue_depth > 0 then begin
+      Serve.Io.sleepf 0.005;
+      wait_empty (n - 1)
+    end
+  in
+  wait_empty 1000;
+  submit ~priority:1 "low-1";
+  submit ~priority:1 "low-2";
+  (* cap reached: an equal-priority push is answered queue_full *)
+  submit ~priority:1 "low-3";
+  let r3 = Option.get (Collector.find col "low-3") in
+  Alcotest.(check bool) "queue_full is an immediate rejection" true
+    (r3.Serve.Service.rp_status = Serve.Service.Rejected);
+  Alcotest.(check string) "with the queue_full reason" "queue_full"
+    r3.Serve.Service.rp_reason;
+  (* a higher-priority job sheds the oldest low-priority one instead *)
+  submit ~priority:5 "vip";
+  let shed = Option.get (Collector.find col "low-1") in
+  Alcotest.(check string) "the shed victim is told why" "shed"
+    shed.Serve.Service.rp_reason;
+  Alcotest.(check bool) "shed response is terminal Rejected" true
+    (shed.Serve.Service.rp_status = Serve.Service.Rejected);
+  let rs = Collector.await col 5 in
+  Serve.Service.await_drained t;
+  Fault.reset ();
+  let completed, _, rejected, _ = status_counts rs in
+  Alcotest.(check int) "blocker, low-2 and vip completed" 3 completed;
+  Alcotest.(check int) "low-1 (shed) and low-3 (full) rejected" 2 rejected;
+  let h = Serve.Service.health t in
+  Alcotest.(check int) "health counts the shed job" 1
+    h.Serve.Service.h_shed;
+  Alcotest.(check int) "health counts the queue_full rejection" 1
+    h.Serve.Service.h_rejected_full;
+  Alcotest.(check bool) "an overloaded run is not a clean drain" false
+    (Serve.Service.clean_drain h)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker integration: cooldown probe at the service level           *)
+(* ------------------------------------------------------------------ *)
+
+let test_service_breaker_recovers () =
+  Fault.reset ();
+  (* crash the app's first three executions, then let it heal; cooldown
+     0 admits a half-open probe immediately after the breaker opens *)
+  let t =
+    Serve.Service.create
+      ~config:
+        (service_config ~workers:1 ~breaker_threshold:3
+           ~breaker_cooldown:0.0 ())
+      ()
+  in
+  let col = Collector.create () in
+  let submit id =
+    Serve.Service.submit t
+      (Serve.Service.request ~app:"BlueBlog" ~scale:0.02 id)
+      ~respond:(Collector.respond col)
+  in
+  let crash = [ "c1"; "c2"; "c3" ] in
+  List.iter
+    (fun id ->
+       Fault.arm ~once:false ~action:Fault.Fail (Fault.site_job id)
+         ~after:1)
+    crash;
+  List.iter submit crash;
+  ignore (Collector.await col 3);
+  let h = Serve.Service.health t in
+  Alcotest.(check bool) "breaker opened after 3 terminal failures" true
+    (h.Serve.Service.h_breaker_opens >= 1);
+  (* healthy job for the same app: admitted as the half-open probe *)
+  submit "probe";
+  ignore (Collector.await col 4);
+  let probe = Option.get (Collector.find col "probe") in
+  Alcotest.(check bool) "the probe ran and completed" true
+    (probe.Serve.Service.rp_status = Serve.Service.Completed);
+  let h = Serve.Service.health t in
+  Alcotest.(check (list string)) "its success closed the breaker" []
+    h.Serve.Service.h_open_breakers;
+  Serve.Service.await_drained t;
+  Fault.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Memory watchdog                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_watchdog_levels () =
+  let w = Serve.Watchdog.create ~max_level:3 ~soft_limit_mb:(Some 0) () in
+  let events = ref [] in
+  let on_event d = events := d :: !events in
+  (* the heap is always over a 0 MB soft limit: one step per sample *)
+  Alcotest.(check int) "first sample raises to 1" 1
+    (Serve.Watchdog.sample ~on_event w);
+  Alcotest.(check int) "second sample raises to 2" 2
+    (Serve.Watchdog.sample ~on_event w);
+  ignore (Serve.Watchdog.sample ~on_event w);
+  Alcotest.(check int) "capped at max_level" 3
+    (Serve.Watchdog.sample ~on_event w);
+  Alcotest.(check int) "three level-change events" 3
+    (List.length
+       (List.filter
+          (function
+            | Diagnostics.Resource_pressure _ -> true
+            | _ -> false)
+          !events));
+  let disabled = Serve.Watchdog.create ~soft_limit_mb:None () in
+  Alcotest.(check int) "no soft limit, no pressure" 0
+    (Serve.Watchdog.sample disabled)
+
+let test_watchdog_degrades_config () =
+  let base = Config.preset ~scale:1.0 Config.Hybrid_unbounded in
+  let s0, c0 = Serve.Watchdog.degrade_config ~scale:1.0 base 0 in
+  Alcotest.(check bool) "level 0 keeps the config" true
+    (s0 = 1.0 && c0 = base);
+  let _, c2 = Serve.Watchdog.degrade_config ~scale:1.0 base 2 in
+  Alcotest.(check bool) "level 2 is a strictly different rung" true
+    (c2 <> base);
+  (* far past the ladder's end: clamps to its strictest rung *)
+  let s_last, c_last = Serve.Watchdog.degrade_config ~scale:1.0 base 99 in
+  let ladder = Config.degradation_ladder ~scale:1.0 base in
+  Alcotest.(check bool) "overflow clamps to the last rung" true
+    ((s_last, c_last) = List.nth ladder (List.length ladder - 1))
+
+let test_service_degrades_under_pressure () =
+  Fault.reset ();
+  (* soft limit 0: every job runs at pressure > 0 and must say so *)
+  let t =
+    Serve.Service.create
+      ~config:(service_config ~workers:1 ~mem_soft_limit_mb:0 ())
+      ()
+  in
+  let col = Collector.create () in
+  List.iter
+    (fun id ->
+       Serve.Service.submit t
+         (Serve.Service.request ~source:two_flows id)
+         ~respond:(Collector.respond col))
+    [ "p1"; "p2"; "p3" ];
+  let rs = Collector.await col 3 in
+  Serve.Service.await_drained t;
+  List.iter
+    (fun (r : Serve.Service.response) ->
+       Alcotest.(check bool)
+         (r.Serve.Service.rp_id ^ " degraded under memory pressure") true
+         (r.Serve.Service.rp_status = Serve.Service.Degraded))
+    rs;
+  let h = Serve.Service.health t in
+  Alcotest.(check bool) "health reports the pressure level" true
+    (h.Serve.Service.h_pressure > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful drain on SIGTERM                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_sigterm_drains_without_losing_jobs () =
+  Fault.reset ();
+  let old_term = Sys.signal Sys.sigterm Sys.Signal_ignore in
+  let old_int = Sys.signal Sys.sigint Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int)
+    (fun () ->
+       let t =
+         Serve.Service.create ~config:(service_config ~workers:2 ()) ()
+       in
+       Serve.Service.install_signals t;
+       let col = Collector.create () in
+       let accepted = List.init 40 (fun i -> Printf.sprintf "job-%d" i) in
+       List.iter
+         (fun id ->
+            Serve.Service.submit t
+              (Serve.Service.request ~source:two_flows id)
+              ~respond:(Collector.respond col))
+         accepted;
+       (* SIGTERM mid-load; wait until the handler has run *)
+       Unix.kill (Unix.getpid ()) Sys.sigterm;
+       let rec wait_flag n =
+         if n = 0 then Alcotest.fail "signal flag never set"
+         else if not (Serve.Service.signal_pending t) then begin
+           Serve.Io.sleepf 0.005;
+           wait_flag (n - 1)
+         end
+       in
+       wait_flag 1000;
+       (* post-signal submissions are refused, with a terminal answer *)
+       let refused = [ "late-1"; "late-2"; "late-3" ] in
+       List.iter
+         (fun id ->
+            Serve.Service.submit t
+              (Serve.Service.request ~source:two_flows id)
+              ~respond:(Collector.respond col))
+         refused;
+       Serve.Service.await_drained t;
+       let rs = Collector.await col (40 + 3) in
+       Alcotest.(check int) "every submission answered" 43
+         (List.length rs);
+       List.iter
+         (fun id ->
+            let r = Option.get (Collector.find col id) in
+            Alcotest.(check bool) (id ^ " accepted job not lost to drain")
+              true
+              (r.Serve.Service.rp_status <> Serve.Service.Rejected))
+         accepted;
+       List.iter
+         (fun id ->
+            let r = Option.get (Collector.find col id) in
+            Alcotest.(check string) (id ^ " refused while draining")
+              "draining" r.Serve.Service.rp_reason)
+         refused;
+       let h = Serve.Service.health t in
+       Alcotest.(check int) "drain-time rejections counted" 3
+         h.Serve.Service.h_rejected_draining;
+       Alcotest.(check int) "all accepted jobs reached terminal states" 40
+         (h.Serve.Service.h_completed + h.Serve.Service.h_degraded
+          + h.Serve.Service.h_failed);
+       Alcotest.(check bool) "refusals under drain are still clean" true
+         (Serve.Service.clean_drain h))
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_parser () =
+  let ok s = Result.get_ok (Serve.Json.parse s) in
+  Alcotest.(check bool) "object with escapes" true
+    (Serve.Json.str_member "k"
+       (ok {|{"k":"a\"b\\c\ndA"}|})
+     = Some "a\"b\\c\ndA");
+  Alcotest.(check bool) "numbers" true
+    (Serve.Json.num_member "n" (ok {|{"n":-12.5e1}|}) = Some (-125.0));
+  Alcotest.(check bool) "nested arrays survive a round-trip" true
+    (let v = ok {|{"a":[1,[true,null],"x"],"b":{}}|} in
+     Serve.Json.parse (Serve.Json.to_string v) = Ok v);
+  Alcotest.(check bool) "trailing garbage is an error" true
+    (Result.is_error (Serve.Json.parse "{} junk"));
+  Alcotest.(check bool) "truncated input is an error" true
+    (Result.is_error (Serve.Json.parse {|{"a":|}));
+  Alcotest.(check bool) "control chars are escaped on output" true
+    (Serve.Json.to_string (Serve.Json.Str "a\nb\tc")
+     = {|"a\nb\tc"|})
+
+let test_request_decoding () =
+  let decode s =
+    Serve.Service.request_of_json (Result.get_ok (Serve.Json.parse s))
+  in
+  (match
+     decode
+       {|{"id":"r1","app":"Friki","scale":0.1,"deadline":2.5,
+          "priority":3,"algorithm":"ci"}|}
+   with
+   | Ok rq ->
+     Alcotest.(check string) "id" "r1" rq.Serve.Service.rq_id;
+     Alcotest.(check bool) "app" true
+       (rq.Serve.Service.rq_app = Some "Friki");
+     Alcotest.(check (float 0.0)) "scale" 0.1 rq.Serve.Service.rq_scale;
+     Alcotest.(check bool) "deadline" true
+       (rq.Serve.Service.rq_deadline = Some 2.5);
+     Alcotest.(check int) "priority" 3 rq.Serve.Service.rq_priority;
+     Alcotest.(check bool) "algorithm" true
+       (rq.Serve.Service.rq_algorithm = Config.Ci_thin_slicing)
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "missing id is an error" true
+    (Result.is_error (decode {|{"app":"Friki"}|}));
+  Alcotest.(check bool) "missing app and source is an error" true
+    (Result.is_error (decode {|{"id":"x"}|}));
+  Alcotest.(check bool) "unknown algorithm is an error" true
+    (Result.is_error (decode {|{"id":"x","app":"a","algorithm":"magic"}|}));
+  (* response and health lines are themselves valid JSON *)
+  let r =
+    { Serve.Service.rp_id = "a,b\"c"; rp_status = Serve.Service.Completed;
+      rp_reason = ""; rp_issues = 2; rp_attempts = 1; rp_degradations = 0;
+      rp_seconds = 0.25 }
+  in
+  (match Serve.Json.parse (Serve.Service.response_json r) with
+   | Ok j ->
+     Alcotest.(check bool) "response JSON round-trips awkward ids" true
+       (Serve.Json.str_member "id" j = Some "a,b\"c");
+     Alcotest.(check bool) "status serialized" true
+       (Serve.Json.str_member "status" j = Some "completed")
+   | Error e -> Alcotest.fail ("response_json: " ^ e))
+
+(* ------------------------------------------------------------------ *)
+(* EINTR helper                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_eintr () =
+  let calls = ref 0 in
+  let v =
+    Serve.Io.retry_eintr (fun () ->
+        incr calls;
+        if !calls < 3 then
+          raise (Unix.Unix_error (Unix.EINTR, "read", ""))
+        else 42)
+  in
+  Alcotest.(check int) "EINTR retried until success" 42 v;
+  Alcotest.(check int) "exactly the interrupted calls repeated" 3 !calls;
+  Alcotest.check_raises "other Unix errors propagate"
+    (Unix.Unix_error (Unix.EBADF, "read", ""))
+    (fun () ->
+       Serve.Io.retry_eintr (fun () ->
+           raise (Unix.Unix_error (Unix.EBADF, "read", ""))))
+
+let test_fault_taxonomy () =
+  Alcotest.(check string) "injected transient faults are transient"
+    "transient"
+    (Fault.severity_name (Fault.classify (Fault.Injected_transient "x")));
+  Alcotest.(check string) "EINTR is transient" "transient"
+    (Fault.severity_name
+       (Fault.classify (Unix.Unix_error (Unix.EINTR, "read", ""))));
+  Alcotest.(check string) "injected permanent faults are permanent"
+    "permanent"
+    (Fault.severity_name (Fault.classify (Fault.Injected "x")));
+  Alcotest.(check string) "analysis exceptions are permanent" "permanent"
+    (Fault.severity_name (Fault.classify (Failure "boom")))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "queue: bound rejects explicitly" `Quick
+      test_queue_bound;
+    Alcotest.test_case "queue: priority shedding" `Quick
+      test_queue_shed_priority;
+    Alcotest.test_case "queue: pop order" `Quick test_queue_pop_order;
+    Alcotest.test_case "queue: forced push for retries" `Quick
+      test_queue_forced_push_bypasses_bound;
+    Alcotest.test_case "breaker: opens at threshold" `Quick
+      test_breaker_opens_at_threshold;
+    Alcotest.test_case "breaker: success resets the streak" `Quick
+      test_breaker_success_resets_count;
+    Alcotest.test_case "breaker: half-open probe closes" `Quick
+      test_breaker_half_open_probe_closes;
+    Alcotest.test_case "breaker: half-open failure re-opens" `Quick
+      test_breaker_half_open_failure_reopens;
+    Alcotest.test_case "backoff: pure deterministic schedule" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "backoff: executed schedule reproducible" `Slow
+      test_retry_schedule_reproducible;
+    Alcotest.test_case "chaos: no job is ever lost" `Slow
+      test_chaos_no_lost_jobs;
+    Alcotest.test_case "backpressure: shed and queue_full" `Slow
+      test_service_shed_and_queue_full;
+    Alcotest.test_case "breaker: service-level recovery probe" `Slow
+      test_service_breaker_recovers;
+    Alcotest.test_case "watchdog: pressure levels" `Quick
+      test_watchdog_levels;
+    Alcotest.test_case "watchdog: ladder mapping" `Quick
+      test_watchdog_degrades_config;
+    Alcotest.test_case "watchdog: jobs degrade under pressure" `Slow
+      test_service_degrades_under_pressure;
+    Alcotest.test_case "drain: SIGTERM loses no accepted job" `Slow
+      test_sigterm_drains_without_losing_jobs;
+    Alcotest.test_case "protocol: JSON parser" `Quick test_json_parser;
+    Alcotest.test_case "protocol: request decoding" `Quick
+      test_request_decoding;
+    Alcotest.test_case "io: retry_eintr" `Quick test_retry_eintr;
+    Alcotest.test_case "faults: retry taxonomy" `Quick
+      test_fault_taxonomy ]
