@@ -2,8 +2,12 @@
     consecutive terminal failures a key's jobs fail fast instead of
     consuming worker slots; after [cooldown] seconds one probe is admitted
     (half-open) and its outcome closes or re-opens the breaker. Transient,
-    to-be-retried failures and fast-fails do not count. The clock is
-    injectable for deterministic tests. *)
+    to-be-retried failures and fast-fails do not count. The half-open
+    probe slot is owned by the probing job's id, so the probe's own retry
+    is re-admitted instead of fast-failed (a wedged half-open state would
+    otherwise be unrecoverable). Cells that return to a clean closed state
+    are evicted, bounding the table. The clock is injectable for
+    deterministic tests. *)
 
 type state =
   | Closed
@@ -20,8 +24,9 @@ val create :
   threshold:int -> cooldown:float -> unit -> t
 
 (** Admission decision for one execution keyed [key]: run it, run it as
-    the half-open probe, or fail fast. *)
-val acquire : t -> string -> [ `Proceed | `Probe | `Fast_fail ]
+    the half-open probe, or fail fast. [job] identifies the execution so
+    a retried probe can reclaim the probe slot it already holds. *)
+val acquire : ?job:string -> t -> string -> [ `Proceed | `Probe | `Fast_fail ]
 
 val success : t -> string -> unit
 

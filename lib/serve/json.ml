@@ -66,25 +66,53 @@ let parse_string_body c =
        | Some 'f' -> Buffer.add_char buf '\012'; advance c
        | Some 'u' ->
          advance c;
-         if c.pos + 4 > String.length c.s then fail c "bad \\u escape";
-         let hex = String.sub c.s c.pos 4 in
-         (match int_of_string_opt ("0x" ^ hex) with
-          | None -> fail c "bad \\u escape"
-          | Some code ->
-            (* decode as UTF-8; the protocol only round-trips ASCII but
-               arbitrary escapes must not corrupt the stream *)
-            if code < 0x80 then Buffer.add_char buf (Char.chr code)
-            else if code < 0x800 then begin
-              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-            end
-            else begin
-              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-              Buffer.add_char buf
-                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-            end;
-            c.pos <- c.pos + 4)
+         let hex4 () =
+           if c.pos + 4 > String.length c.s then fail c "bad \\u escape";
+           match int_of_string_opt ("0x" ^ String.sub c.s c.pos 4) with
+           | None -> fail c "bad \\u escape"
+           | Some code -> c.pos <- c.pos + 4; code
+         in
+         let code = hex4 () in
+         let code =
+           (* surrogate pairs: a high surrogate must be followed by an
+              escaped low surrogate, together encoding one supplementary
+              code point; lone surrogates have no valid UTF-8 form *)
+           if code >= 0xD800 && code <= 0xDBFF then begin
+             if
+               not
+                 (c.pos + 2 <= String.length c.s
+                  && c.s.[c.pos] = '\\' && c.s.[c.pos + 1] = 'u')
+             then fail c "lone high surrogate";
+             c.pos <- c.pos + 2;
+             let lo = hex4 () in
+             if lo < 0xDC00 || lo > 0xDFFF then fail c "lone high surrogate";
+             0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+           end
+           else if code >= 0xDC00 && code <= 0xDFFF then
+             fail c "lone low surrogate"
+           else code
+         in
+         (* decode as UTF-8; the protocol only round-trips ASCII but
+            arbitrary escapes must not corrupt the stream *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else if code < 0x800 then begin
+           Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+         else if code < 0x10000 then begin
+           Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+           Buffer.add_char buf
+             (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+         else begin
+           Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+           Buffer.add_char buf
+             (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+           Buffer.add_char buf
+             (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
        | _ -> fail c "bad escape");
       go ()
     | Some ch -> Buffer.add_char buf ch; advance c; go ()

@@ -11,12 +11,18 @@
     The queue is shared between the admission path (transport / bench
     clients) and the worker domains; a mutex + condition pair keeps it
     simple and the critical sections are a few list operations. Retries
-    re-enter through {!push_forced}, which bypasses the bound: a job that
-    was already admitted must not lose its admission to later arrivals. *)
+    re-enter through {!push_forced}, which bypasses the bound *and* is
+    exempt from shedding: a job that was already admitted must not lose
+    its admission to later arrivals. A forced entry may carry a [delay]
+    (retry backoff); it becomes eligible for {!pop} only once due, and
+    waiting for it happens on the idle popping worker, never by sleeping
+    a worker that could be running other jobs. *)
 
 type 'a entry = {
   e_seq : int;
   e_priority : int;
+  e_ready : float;                     (* absolute clock value when due *)
+  e_exempt : bool;                     (* forced (retry): never shed *)
   e_item : 'a;
 }
 
@@ -27,6 +33,8 @@ type 'a t = {
   mutable draining : bool;
   lock : Mutex.t;
   nonempty : Condition.t;
+  now : unit -> float;
+  sleep : float -> unit;               (* off-lock wait for delayed entries *)
 }
 
 type 'a push_result =
@@ -34,9 +42,9 @@ type 'a push_result =
   | Admitted_shedding of 'a            (** the evicted lower-priority job *)
   | Rejected_full
 
-let create ~cap =
+let create ?(now = Unix.gettimeofday) ?(sleep = Io.sleepf) ~cap () =
   { cap = max 1 cap; entries = []; next_seq = 0; draining = false;
-    lock = Mutex.create (); nonempty = Condition.create () }
+    lock = Mutex.create (); nonempty = Condition.create (); now; sleep }
 
 let locked q f =
   Mutex.lock q.lock;
@@ -46,18 +54,21 @@ let length q = locked q (fun () -> List.length q.entries)
 
 let draining q = locked q (fun () -> q.draining)
 
-let insert q ~priority item =
+let insert q ~priority ~ready ~exempt item =
   q.entries <-
-    { e_seq = q.next_seq; e_priority = priority; e_item = item } :: q.entries;
+    { e_seq = q.next_seq; e_priority = priority; e_ready = ready;
+      e_exempt = exempt; e_item = item }
+    :: q.entries;
   q.next_seq <- q.next_seq + 1;
   Condition.signal q.nonempty
 
 (* Oldest entry of the lowest priority class that is strictly below
-   [priority] — the shedding victim, if any. *)
+   [priority] — the shedding victim, if any. Forced (retry) entries are
+   exempt: an already-admitted job never loses its admission. *)
 let victim entries ~priority =
   List.fold_left
     (fun best e ->
-       if e.e_priority >= priority then best
+       if e.e_exempt || e.e_priority >= priority then best
        else
          match best with
          | None -> Some e
@@ -71,7 +82,7 @@ let victim entries ~priority =
 let push q ~priority item =
   locked q (fun () ->
     if List.length q.entries < q.cap then begin
-      insert q ~priority item;
+      insert q ~priority ~ready:0.0 ~exempt:false item;
       Admitted
     end
     else
@@ -79,44 +90,66 @@ let push q ~priority item =
       | None -> Rejected_full
       | Some v ->
         q.entries <- List.filter (fun e -> e.e_seq <> v.e_seq) q.entries;
-        insert q ~priority item;
+        insert q ~priority ~ready:0.0 ~exempt:false item;
         Admitted_shedding v.e_item)
 
-let push_forced q ~priority item =
-  locked q (fun () -> insert q ~priority item)
+let push_forced q ~priority ?(delay = 0.0) item =
+  locked q (fun () ->
+    let ready = if delay > 0.0 then q.now () +. delay else 0.0 in
+    insert q ~priority ~ready ~exempt:true item)
 
-(* Highest priority first, FIFO (lowest seq) within a class. *)
-let select_next entries =
+(* Highest priority first, FIFO (lowest seq) within a class, considering
+   only entries already due at [now]. *)
+let select_next ~now entries =
   List.fold_left
     (fun best e ->
-       match best with
-       | None -> Some e
-       | Some b ->
-         if e.e_priority > b.e_priority
-            || (e.e_priority = b.e_priority && e.e_seq < b.e_seq)
-         then Some e
-         else best)
+       if e.e_ready > now then best
+       else
+         match best with
+         | None -> Some e
+         | Some b ->
+           if e.e_priority > b.e_priority
+              || (e.e_priority = b.e_priority && e.e_seq < b.e_seq)
+           then Some e
+           else best)
     None entries
 
-(** Blocking pop: waits for an entry, or for drain mode with an empty
+(** Blocking pop: waits for a due entry, or for drain mode with an empty
     queue, in which case [None] tells the worker to exit. Entries still
     queued when drain begins are handed out normally — an admitted job is
-    finished, not abandoned. *)
+    finished, not abandoned, including delayed retries. *)
 let pop q =
-  locked q (fun () ->
-    let rec wait () =
-      match select_next q.entries with
-      | Some e ->
-        q.entries <- List.filter (fun x -> x.e_seq <> e.e_seq) q.entries;
-        Some e.e_item
-      | None ->
+  Mutex.lock q.lock;
+  let rec wait () =
+    let tnow = q.now () in
+    match select_next ~now:tnow q.entries with
+    | Some e ->
+      q.entries <- List.filter (fun x -> x.e_seq <> e.e_seq) q.entries;
+      Some e.e_item
+    | None ->
+      if q.entries = [] then
         if q.draining then None
         else begin
           Condition.wait q.nonempty q.lock;
           wait ()
         end
-    in
-    wait ())
+      else begin
+        (* only not-yet-due retry entries remain: poll until the earliest
+           is due, sleeping outside the lock so pushes are never blocked
+           and a newly pushed due entry is picked up within one quantum *)
+        let earliest =
+          List.fold_left (fun a e -> Float.min a e.e_ready) infinity
+            q.entries
+        in
+        Mutex.unlock q.lock;
+        q.sleep (Float.max 0.001 (Float.min 0.01 (earliest -. tnow)));
+        Mutex.lock q.lock;
+        wait ()
+      end
+  in
+  let r = wait () in
+  Mutex.unlock q.lock;
+  r
 
 (** Enter drain mode: no effect on queued entries, but every blocked and
     future [pop] returns [None] once the queue is empty. *)

@@ -11,14 +11,20 @@ type 'a push_result =
   | Admitted_shedding of 'a            (** the evicted lower-priority job *)
   | Rejected_full
 
-val create : cap:int -> 'a t
+(** [now] and [sleep] drive delayed (retry-backoff) entries; both are
+    injectable for deterministic tests. *)
+val create :
+  ?now:(unit -> float) -> ?sleep:(float -> unit) -> cap:int -> unit -> 'a t
 
 (** Bounded push; never blocks. *)
 val push : 'a t -> priority:int -> 'a -> 'a push_result
 
 (** Unbounded push for retries: a job that was already admitted must not
-    lose its admission to later arrivals. *)
-val push_forced : 'a t -> priority:int -> 'a -> unit
+    lose its admission to later arrivals — forced entries bypass the
+    bound and are exempt from shedding. [delay] (seconds) makes the entry
+    eligible for {!pop} only once due; the wait happens on the idle
+    popping worker, not the pushing one. *)
+val push_forced : 'a t -> priority:int -> ?delay:float -> 'a -> unit
 
 (** Blocking pop; [None] once drain mode is on and the queue is empty. *)
 val pop : 'a t -> 'a option

@@ -85,7 +85,8 @@ type config = {
   mem_soft_limit_mb : int option;
   drain_grace : float option;      (** deadline cap for runs during drain *)
   now : unit -> float;
-  sleep : float -> unit;           (** injectable for deterministic tests *)
+  sleep : float -> unit;
+      (** the queue's poll wait for delayed retries; injectable for tests *)
 }
 
 let default_config =
@@ -162,8 +163,15 @@ let record_diag t d =
     ~finally:(fun () -> Mutex.unlock t.diag_lock)
     (fun () -> Diagnostics.record t.diagnostics d)
 
+(* Inline jobs are keyed by a hash of their source, not their (unique)
+   request id: a repeatedly crashing inline unit trips a breaker like a
+   named app does, and the breaker table stays bounded by distinct
+   workloads rather than growing one dead cell per inline job. *)
 let breaker_key (rq : request) =
-  match rq.rq_app with Some a -> a | None -> "inline:" ^ rq.rq_id
+  match rq.rq_app, rq.rq_source with
+  | Some a, _ -> a
+  | None, Some src -> Printf.sprintf "inline:%08x" (Hashtbl.hash src)
+  | None, None -> "inline:invalid"
 
 (* ------------------------------------------------------------------ *)
 (* Job execution                                                      *)
@@ -204,7 +212,15 @@ let build_input (rq : request) : (Taj.input, string) result =
 
 type exec_outcome =
   | Exec_ok of status * string * int * int   (* status reason issues degr *)
-  | Exec_failed of string * Fault.severity
+  | Exec_failed of {
+      reason : string;
+      severity : Fault.severity;
+      breaker_counts : bool;
+          (* a run that merely exhausted the client's own per-job deadline
+             says nothing about the key — two clients with different
+             deadlines must not poison each other's breaker — so it does
+             not count toward opening it; crashes always do *)
+    }
 
 (* One execution of the job under the supervisor, under the current
    memory-pressure level. Supervisor.run never raises; anything that does
@@ -217,8 +233,12 @@ let execute t (job : job) : exec_outcome =
     Fault.tick (Fault.site_job rq.rq_id);
     build_input rq
   with
-  | exception e -> Exec_failed (Printexc.to_string e, Fault.classify e)
-  | Error reason -> Exec_failed (reason, Fault.Permanent)
+  | exception e ->
+    Exec_failed
+      { reason = Printexc.to_string e; severity = Fault.classify e;
+        breaker_counts = true }
+  | Error reason ->
+    Exec_failed { reason; severity = Fault.Permanent; breaker_counts = true }
   | Ok input ->
     let pressure =
       Watchdog.sample ~on_event:(record_diag t) t.watchdog
@@ -243,7 +263,10 @@ let execute t (job : job) : exec_outcome =
         deadline; scale; jobs = t.cfg.job_jobs }
     in
     match Supervisor.run ~options ~config input with
-    | exception e -> Exec_failed (Printexc.to_string e, Fault.classify e)
+    | exception e ->
+      Exec_failed
+        { reason = Printexc.to_string e; severity = Fault.classify e;
+          breaker_counts = true }
     | outcome ->
       let degradations = List.length outcome.Supervisor.sv_diagnostics in
       (match outcome.Supervisor.sv_analysis with
@@ -257,30 +280,39 @@ let execute t (job : job) : exec_outcome =
            Exec_ok (Degraded, "memory_pressure", issues, degradations)
          else Exec_ok (Completed, "", issues, degradations)
        | Some { Taj.result = Taj.Did_not_complete reason; _ } ->
-         Exec_failed ("did_not_complete: " ^ reason, Fault.Permanent)
-       | None -> Exec_failed ("load_failed", Fault.Permanent))
+         Exec_failed
+           { reason = "did_not_complete: " ^ reason;
+             severity = Fault.Permanent;
+             breaker_counts = rq.rq_deadline = None }
+       | None ->
+         Exec_failed
+           { reason = "load_failed"; severity = Fault.Permanent;
+             breaker_counts = true })
 
 let process t (job : job) =
   let key = breaker_key job.j_req in
-  match Breaker.acquire t.breaker key with
+  match Breaker.acquire t.breaker ~job:job.j_req.rq_id key with
   | `Fast_fail ->
     Atomic.incr t.n_breaker_fast_fails;
     respond t job Failed "breaker_open" ~issues:0 ~degradations:0
-  | `Proceed | `Probe ->
+  | (`Proceed | `Probe) as admission ->
     job.j_attempts <- job.j_attempts + 1;
     (match execute t job with
      | Exec_ok (status, reason, issues, degradations) ->
        Breaker.success t.breaker key;
        respond t job status reason ~issues ~degradations
-     | Exec_failed (reason, severity) ->
+     | Exec_failed { reason; severity; breaker_counts } ->
        let retryable =
          severity = Fault.Transient
          && job.j_attempts <= t.cfg.max_retries
          && not (Atomic.get t.drain_started)
        in
        if retryable then begin
-         (* not a terminal state: the breaker is not consulted and the
-            job re-enters the queue after its deterministic backoff *)
+         (* not a terminal state: the breaker is not consulted — a
+            half-open probe keeps its slot and its re-execution is
+            re-admitted as the probe — and the job re-enters the queue
+            tagged due after its deterministic backoff, so the worker is
+            free for other jobs instead of sleeping out the delay *)
          Atomic.incr t.n_retries;
          Obs.Telemetry.incr m_retries;
          let delay =
@@ -296,11 +328,15 @@ let process t (job : job) =
                ("attempt", string_of_int job.j_attempts);
                ("delay", Printf.sprintf "%.4f" delay);
                ("reason", reason) ];
-         t.cfg.sleep delay;
-         Queue.push_forced t.queue ~priority:job.j_req.rq_priority job
+         Queue.push_forced t.queue ~priority:job.j_req.rq_priority ~delay
+           job
        end
        else begin
-         ignore (Breaker.failure t.breaker key);
+         (* a held probe slot must always be resolved, even when the
+            failure itself does not count (client-deadline expiry):
+            leaving the cell half-open would wedge the key forever *)
+         if breaker_counts || admission = `Probe then
+           ignore (Breaker.failure t.breaker key);
          respond t job Failed reason ~issues:0 ~degradations:0
        end)
 
@@ -347,7 +383,7 @@ let create ?(config = default_config) () =
   in
   let t =
     { cfg;
-      queue = Queue.create ~cap:cfg.queue_cap;
+      queue = Queue.create ~now:cfg.now ~sleep:cfg.sleep ~cap:cfg.queue_cap ();
       breaker =
         Breaker.create ~now:cfg.now ~on_transition:record
           ~threshold:cfg.breaker_threshold ~cooldown:cfg.breaker_cooldown ();

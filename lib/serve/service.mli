@@ -63,7 +63,8 @@ type config = {
   mem_soft_limit_mb : int option;
   drain_grace : float option;      (** deadline cap for runs during drain *)
   now : unit -> float;
-  sleep : float -> unit;           (** injectable for deterministic tests *)
+  sleep : float -> unit;
+      (** the queue's poll wait for delayed retries; injectable for tests *)
 }
 
 val default_config : config

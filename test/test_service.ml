@@ -58,7 +58,7 @@ end
 
 let service_config ?(workers = 2) ?(queue_cap = 256) ?(max_retries = 2)
     ?(seed = 7) ?(breaker_threshold = 5) ?(breaker_cooldown = 3600.0)
-    ?mem_soft_limit_mb ?(sleep = fun _ -> ()) () =
+    ?mem_soft_limit_mb ?(sleep = Serve.Io.sleepf) () =
   { Serve.Service.default_config with
     workers; queue_cap; max_retries; seed; breaker_threshold;
     breaker_cooldown; mem_soft_limit_mb; sleep }
@@ -78,7 +78,7 @@ let status_counts rs =
 (* ------------------------------------------------------------------ *)
 
 let test_queue_bound () =
-  let q = Serve.Queue.create ~cap:2 in
+  let q = Serve.Queue.create ~cap:2 () in
   Alcotest.(check bool) "1st admitted" true
     (Serve.Queue.push q ~priority:1 "a" = Serve.Queue.Admitted);
   Alcotest.(check bool) "2nd admitted" true
@@ -89,7 +89,7 @@ let test_queue_bound () =
     (Serve.Queue.length q)
 
 let test_queue_shed_priority () =
-  let q = Serve.Queue.create ~cap:2 in
+  let q = Serve.Queue.create ~cap:2 () in
   ignore (Serve.Queue.push q ~priority:1 "old-low");
   ignore (Serve.Queue.push q ~priority:1 "young-low");
   (match Serve.Queue.push q ~priority:5 "vip" with
@@ -108,7 +108,7 @@ let test_queue_shed_priority () =
     (Serve.Queue.push q ~priority:5 "vip3" = Serve.Queue.Rejected_full)
 
 let test_queue_pop_order () =
-  let q = Serve.Queue.create ~cap:8 in
+  let q = Serve.Queue.create ~cap:8 () in
   ignore (Serve.Queue.push q ~priority:1 "low1");
   ignore (Serve.Queue.push q ~priority:9 "high1");
   ignore (Serve.Queue.push q ~priority:1 "low2");
@@ -122,11 +122,47 @@ let test_queue_pop_order () =
     (Serve.Queue.pop q = None)
 
 let test_queue_forced_push_bypasses_bound () =
-  let q = Serve.Queue.create ~cap:1 in
+  let q = Serve.Queue.create ~cap:1 () in
   ignore (Serve.Queue.push q ~priority:1 "a");
   Serve.Queue.push_forced q ~priority:1 "retry";
   Alcotest.(check int) "forced push exceeds the cap" 2
     (Serve.Queue.length q)
+
+let test_queue_forced_entries_never_shed () =
+  let q = Serve.Queue.create ~cap:1 () in
+  ignore (Serve.Queue.push q ~priority:1 "a");
+  Serve.Queue.push_forced q ~priority:1 "retry";
+  (* over cap with a low-priority forced entry present: the ordinary
+     entry is the victim, never the already-admitted retry *)
+  (match Serve.Queue.push q ~priority:5 "vip" with
+   | Serve.Queue.Admitted_shedding v ->
+     Alcotest.(check string) "the ordinary entry is shed, not the retry"
+       "a" v
+   | _ -> Alcotest.fail "expected Admitted_shedding");
+  (* the exempt retry is the only strictly-lower-priority entry left:
+     rather than shed it, the newcomer is rejected *)
+  Alcotest.(check bool)
+    "an exempt entry is never the victim; the push is rejected" true
+    (Serve.Queue.push q ~priority:5 "vip2" = Serve.Queue.Rejected_full)
+
+let test_queue_delayed_entry_waits () =
+  let clock = ref 0.0 in
+  let q =
+    Serve.Queue.create
+      ~now:(fun () -> !clock)
+      ~sleep:(fun d -> clock := !clock +. Float.max d 1.0)
+      ~cap:4 ()
+  in
+  Serve.Queue.push_forced q ~priority:9 ~delay:5.0 "retry";
+  ignore (Serve.Queue.push q ~priority:1 "due");
+  Alcotest.(check (option string))
+    "a higher-priority delayed entry is skipped while not due"
+    (Some "due") (Serve.Queue.pop q);
+  Alcotest.(check (option string))
+    "pop waits (via the injected sleep) until the retry is due"
+    (Some "retry") (Serve.Queue.pop q);
+  Alcotest.(check bool) "the wait advanced the clock past the delay" true
+    (!clock >= 5.0)
 
 (* ------------------------------------------------------------------ *)
 (* Circuit breaker                                                    *)
@@ -213,6 +249,27 @@ let test_breaker_half_open_failure_reopens () =
     [ "open"; "half-open"; "open"; "half-open"; "closed" ]
     (List.rev !transitions)
 
+(* The half-open probe slot is owned by a job id: the probe's own retry
+   (after a transient failure) is re-admitted instead of fast-failed, so
+   the breaker can never wedge in half-open. *)
+let test_breaker_probe_owner_readmitted () =
+  let now, advance = fake_clock 0.0 in
+  let b = Serve.Breaker.create ~now ~threshold:2 ~cooldown:10.0 () in
+  ignore (Serve.Breaker.failure b "app");
+  ignore (Serve.Breaker.failure b "app");
+  advance 10.0;
+  Alcotest.(check bool) "job p takes the probe slot" true
+    (Serve.Breaker.acquire ~job:"p" b "app" = `Probe);
+  Alcotest.(check bool) "another job still fails fast" true
+    (Serve.Breaker.acquire ~job:"q" b "app" = `Fast_fail);
+  Alcotest.(check bool) "p's retry reclaims its probe slot" true
+    (Serve.Breaker.acquire ~job:"p" b "app" = `Probe);
+  Alcotest.(check bool) "an ownerless acquire fails fast" true
+    (Serve.Breaker.acquire b "app" = `Fast_fail);
+  Serve.Breaker.success b "app";
+  Alcotest.(check bool) "the retried probe's success closes" true
+    (Serve.Breaker.state b "app" = Serve.Breaker.Closed)
+
 (* ------------------------------------------------------------------ *)
 (* Retry schedule determinism                                         *)
 (* ------------------------------------------------------------------ *)
@@ -243,17 +300,12 @@ let test_backoff_deterministic () =
     (schedule "job-1")
 
 (* The schedule actually executed by the service: which jobs retried, at
-   which attempts, sleeping which delays. Must be identical across runs
-   and across worker-pool sizes. *)
+   which attempts, with which backoff delays (read back from the recorded
+   [Job_retried] diagnostics — the delay no longer blocks a worker, it is
+   carried by the re-queued entry). Must be identical across runs and
+   across worker-pool sizes. *)
 let executed_schedule ~workers ~seed n =
   Fault.reset ();
-  let sleeps_lock = Mutex.create () in
-  let sleeps = ref [] in
-  let sleep d =
-    Mutex.lock sleeps_lock;
-    sleeps := d :: !sleeps;
-    Mutex.unlock sleeps_lock
-  in
   let ids = List.init n (fun i -> Printf.sprintf "flaky-%d" i) in
   List.iter
     (fun id ->
@@ -261,7 +313,7 @@ let executed_schedule ~workers ~seed n =
          ~after:1)
     ids;
   let t =
-    Serve.Service.create ~config:(service_config ~workers ~seed ~sleep ()) ()
+    Serve.Service.create ~config:(service_config ~workers ~seed ()) ()
   in
   let col = Collector.create () in
   List.iter
@@ -281,7 +333,14 @@ let executed_schedule ~workers ~seed n =
       rs
     |> List.sort compare
   in
-  (retried, List.sort compare !sleeps)
+  let delays =
+    List.filter_map
+      (function
+        | Diagnostics.Job_retried { delay; _ } -> Some delay
+        | _ -> None)
+      (Serve.Service.events t)
+  in
+  (retried, List.sort compare delays)
 
 let test_retry_schedule_reproducible () =
   let a = executed_schedule ~workers:1 ~seed:21 6 in
@@ -290,7 +349,7 @@ let test_retry_schedule_reproducible () =
   let c = executed_schedule ~workers:4 ~seed:21 6 in
   Alcotest.(check bool) "identical with a 4-domain worker pool" true
     (a = c);
-  let retried, sleeps = a in
+  let retried, delays = a in
   List.iter
     (fun (id, attempts, status) ->
        Alcotest.(check int) (id ^ " ran exactly twice") 2 attempts;
@@ -307,8 +366,8 @@ let test_retry_schedule_reproducible () =
       [ 0; 1; 2; 3; 4; 5 ]
     |> List.sort compare
   in
-  Alcotest.(check (list (float 0.0))) "sleeps match the pure schedule"
-    expected sleeps
+  Alcotest.(check (list (float 0.0)))
+    "executed delays match the pure schedule" expected delays
 
 (* ------------------------------------------------------------------ *)
 (* Chaos: the zero-lost-jobs invariant                                *)
@@ -553,6 +612,57 @@ let test_service_breaker_recovers () =
   Serve.Service.await_drained t;
   Fault.reset ()
 
+(* Regression: a half-open probe whose execution fails *transiently* is
+   retried; its re-execution must be re-admitted as the probe (not
+   fast-failed), and its eventual success must close the breaker. Before
+   probe-slot ownership this wedged the key in half-open forever. *)
+let test_service_probe_transient_retry_recovers () =
+  Fault.reset ();
+  let t =
+    Serve.Service.create
+      ~config:
+        (service_config ~workers:1 ~breaker_threshold:2
+           ~breaker_cooldown:0.0 ())
+      ()
+  in
+  let col = Collector.create () in
+  let submit id =
+    Serve.Service.submit t
+      (Serve.Service.request ~app:"BlueBlog" ~scale:0.02 id)
+      ~respond:(Collector.respond col)
+  in
+  let crash = [ "c1"; "c2" ] in
+  List.iter
+    (fun id ->
+       Fault.arm ~once:false ~action:Fault.Fail (Fault.site_job id)
+         ~after:1)
+    crash;
+  List.iter submit crash;
+  ignore (Collector.await col 2);
+  Alcotest.(check (list string)) "breaker open before the probe"
+    [ "BlueBlog" ]
+    (Serve.Service.health t).Serve.Service.h_open_breakers;
+  (* the probe's first execution fails transiently, its retry succeeds *)
+  Fault.arm ~once:true ~action:Fault.Fail_transient
+    (Fault.site_job "probe") ~after:1;
+  submit "probe";
+  ignore (Collector.await col 3);
+  let probe = Option.get (Collector.find col "probe") in
+  Alcotest.(check bool) "the retried probe completed" true
+    (probe.Serve.Service.rp_status = Serve.Service.Completed);
+  Alcotest.(check int) "after exactly two executions" 2
+    probe.Serve.Service.rp_attempts;
+  Alcotest.(check (list string)) "and its success closed the breaker" []
+    (Serve.Service.health t).Serve.Service.h_open_breakers;
+  (* the key keeps working: no wedged half-open fast-fails *)
+  submit "after";
+  ignore (Collector.await col 4);
+  Alcotest.(check bool) "subsequent jobs for the key run normally" true
+    ((Option.get (Collector.find col "after")).Serve.Service.rp_status
+     = Serve.Service.Completed);
+  Serve.Service.await_drained t;
+  Fault.reset ()
+
 (* ------------------------------------------------------------------ *)
 (* Memory watchdog                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -711,7 +821,17 @@ let test_json_parser () =
     (Result.is_error (Serve.Json.parse {|{"a":|}));
   Alcotest.(check bool) "control chars are escaped on output" true
     (Serve.Json.to_string (Serve.Json.Str "a\nb\tc")
-     = {|"a\nb\tc"|})
+     = {|"a\nb\tc"|});
+  Alcotest.(check bool) "surrogate pair decodes to 4-byte UTF-8" true
+    (Serve.Json.str_member "k" (ok {|{"k":"\ud83d\ude00"}|})
+     = Some "\xf0\x9f\x98\x80");
+  Alcotest.(check bool) "BMP escape still decodes to 3-byte UTF-8" true
+    (Serve.Json.str_member "k" (ok {|{"k":"\u20ac"}|})
+     = Some "\xe2\x82\xac");
+  Alcotest.(check bool) "lone high surrogate is an error" true
+    (Result.is_error (Serve.Json.parse {|{"k":"\ud800x"}|}));
+  Alcotest.(check bool) "lone low surrogate is an error" true
+    (Result.is_error (Serve.Json.parse {|{"k":"\udc00"}|}))
 
 let test_request_decoding () =
   let decode s =
@@ -797,6 +917,10 @@ let suite =
     Alcotest.test_case "queue: pop order" `Quick test_queue_pop_order;
     Alcotest.test_case "queue: forced push for retries" `Quick
       test_queue_forced_push_bypasses_bound;
+    Alcotest.test_case "queue: forced entries never shed" `Quick
+      test_queue_forced_entries_never_shed;
+    Alcotest.test_case "queue: delayed retry entries wait" `Quick
+      test_queue_delayed_entry_waits;
     Alcotest.test_case "breaker: opens at threshold" `Quick
       test_breaker_opens_at_threshold;
     Alcotest.test_case "breaker: success resets the streak" `Quick
@@ -805,6 +929,8 @@ let suite =
       test_breaker_half_open_probe_closes;
     Alcotest.test_case "breaker: half-open failure re-opens" `Quick
       test_breaker_half_open_failure_reopens;
+    Alcotest.test_case "breaker: probe owner re-admitted" `Quick
+      test_breaker_probe_owner_readmitted;
     Alcotest.test_case "backoff: pure deterministic schedule" `Quick
       test_backoff_deterministic;
     Alcotest.test_case "backoff: executed schedule reproducible" `Slow
@@ -815,6 +941,8 @@ let suite =
       test_service_shed_and_queue_full;
     Alcotest.test_case "breaker: service-level recovery probe" `Slow
       test_service_breaker_recovers;
+    Alcotest.test_case "breaker: transient probe failure recovers" `Slow
+      test_service_probe_transient_retry_recovers;
     Alcotest.test_case "watchdog: pressure levels" `Quick
       test_watchdog_levels;
     Alcotest.test_case "watchdog: ladder mapping" `Quick
