@@ -26,14 +26,17 @@
    published bounds together; --jobs <int> (default: TAJ_JOBS or 1) sizes
    the Domain worker pool — per-app table rows and the per-rule/per-unit
    stages inside each analysis run in parallel, with output identical to
-   --jobs 1; --trace <file> writes a Chrome trace-event JSON of the whole
-   bench run; --metrics prints the telemetry metrics table on stderr. *)
+   --jobs 1; --refine switches on the access-path flow-refinement pass, so
+   table3/csv rows carry confirmed/plausible verdict counts; --trace <file>
+   writes a Chrome trace-event JSON of the whole bench run; --metrics
+   prints the telemetry metrics table on stderr. *)
 
 open Core
 open Workloads
 
 let scale = ref 0.05
 let jobs = ref (match Parallel.env_jobs () with Some n -> n | None -> 1)
+let refine = ref false
 let trace = ref None
 let metrics = ref false
 
@@ -134,9 +137,14 @@ let paper_cell (p : Apps.paper_result) =
   | _ -> "-"
 
 let run_cell (r : Score.run) =
-  if r.Score.r_completed then
-    Printf.sprintf "%d/%.2fs" r.Score.r_issues r.Score.r_seconds
-  else "-"
+  if not r.Score.r_completed then "-"
+  else
+    match r.Score.r_refined with
+    | Some rf ->
+      (* refinement ran: show how many of the issues were Confirmed *)
+      Printf.sprintf "%d(%dc)/%.2fs" r.Score.r_issues
+        rf.Score.confirmed_issues r.Score.r_seconds
+    | None -> Printf.sprintf "%d/%.2fs" r.Score.r_issues r.Score.r_seconds
 
 let table3 () =
   header "Table 3: Issues and Time per Configuration (ours [paper])";
@@ -153,7 +161,7 @@ let table3 () =
      printing and the totals fold stay on the main domain, in app order *)
   let results =
     Parallel.map ~jobs:!jobs
-      (fun a -> (a, Score.run_app_result ~scale:!scale a))
+      (fun a -> (a, Score.run_app_result ~scale:!scale ~refine:!refine a))
       Apps.table2
   in
   List.iter
@@ -426,13 +434,14 @@ let csv () =
   header "CSV export: table3.csv and figure4.csv";
   let oc3 = open_out "table3.csv" in
   output_string oc3
-    "app,algorithm,completed,issues,seconds,t_frontend,t_pointer,t_sdg,\
-     t_taint,cg_nodes,paper_issues,paper_seconds,failed_phase,error\n";
+    "app,algorithm,completed,issues,confirmed,plausible,seconds,t_frontend,\
+     t_pointer,t_sdg,t_taint,cg_nodes,paper_issues,paper_seconds,\
+     failed_phase,error\n";
   let oc4 = open_out "figure4.csv" in
   output_string oc4 "app,algorithm,tp,fp,fn,accuracy\n";
   let results =
     Parallel.map ~jobs:!jobs
-      (fun a -> (a, Score.run_app_result ~scale:!scale a))
+      (fun a -> (a, Score.run_app_result ~scale:!scale ~refine:!refine a))
       Apps.table2
   in
   List.iter
@@ -442,7 +451,7 @@ let csv () =
          (* a failed app still gets a machine-readable row: every
             per-algorithm field is empty/false, failed_phase says where
             the pipeline died and error carries the (quoted) message *)
-         Printf.fprintf oc3 "%s,,false,0,0,,,,,0,,,%s,%s\n"
+         Printf.fprintf oc3 "%s,,false,0,,,0,,,,,0,,,%s,%s\n"
            (csv_field a.Apps.name) (csv_field phase) (csv_field err)
        | Ok runs ->
          List.iter
@@ -464,10 +473,19 @@ let csv () =
                     t.Taj.t_pointer t.Taj.t_sdg t.Taj.t_taint
                 | None -> ",,,"
               in
-              Printf.fprintf oc3 "%s,%s,%b,%d,%.4f,%s,%d,%s,%s,,\n"
+              (* verdict columns stay empty unless --refine ran *)
+              let confirmed, plausible =
+                match r.Score.r_refined with
+                | Some rf ->
+                  ( string_of_int rf.Score.confirmed_issues,
+                    string_of_int rf.Score.plausible_issues )
+                | None -> ("", "")
+              in
+              Printf.fprintf oc3 "%s,%s,%b,%d,%s,%s,%.4f,%s,%d,%s,%s,,\n"
                 (csv_field a.Apps.name)
                 (Config.algorithm_name r.Score.r_algorithm)
-                r.Score.r_completed r.Score.r_issues r.Score.r_seconds phases
+                r.Score.r_completed r.Score.r_issues (csv_field confirmed)
+                (csv_field plausible) r.Score.r_seconds phases
                 r.Score.r_cg_nodes
                 (popt paper.Apps.pr_issues)
                 (popt paper.Apps.pr_seconds);
@@ -771,6 +789,9 @@ let () =
       parse cmds rest
     | "--jobs" :: v :: rest ->
       jobs := max 1 (int_of_string v);
+      parse cmds rest
+    | "--refine" :: rest ->
+      refine := true;
       parse cmds rest
     | "--trace" :: v :: rest ->
       trace := Some v;

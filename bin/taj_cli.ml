@@ -76,6 +76,29 @@ let metrics_flag =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let refine_flag =
+  let doc =
+    "Replay each reported flow with the field-sensitive access-path \
+     refinement and classify it: $(b,confirmed) (the replay found a \
+     complete field-sensitive witness) or $(b,plausible) (it did not, or \
+     ran out of budget). Flows are demoted, never dropped."
+  in
+  Arg.(value & flag & info [ "refine" ] ~doc)
+
+let refine_k =
+  let doc = "Access-path depth bound for --refine." in
+  Arg.(value & opt int 3 & info [ "refine-k" ] ~docv:"K" ~doc)
+
+let refine_steps =
+  let doc =
+    "Per-flow replay step budget for --refine; exhaustion demotes the \
+     flow to plausible."
+  in
+  Arg.(value & opt int 4096 & info [ "refine-steps" ] ~docv:"N" ~doc)
+
+let with_refine cfg ~refine ~refine_k ~refine_steps =
+  { cfg with Config.refine; refine_k; refine_steps }
+
 (* Telemetry stays off (single-atomic-load probes) unless one of the
    observability flags asks for it. *)
 let telemetry_setup ~trace ~metrics =
@@ -126,6 +149,17 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let verdict_json = function
+  | None -> "null"
+  | Some v ->
+    (match v with
+     | Sdg.Refine.Confirmed ->
+       Printf.sprintf "{ \"class\": \"%s\" }" (Sdg.Refine.verdict_name v)
+     | Sdg.Refine.Plausible r ->
+       Printf.sprintf "{ \"class\": \"%s\", \"reason\": \"%s\" }"
+         (Sdg.Refine.verdict_name v)
+         (json_escape (Sdg.Refine.reason_name r)))
+
 let issues_json builder (report : Report.t) =
   let issue_json (ir : Report.issue_report) =
     let stmt_str s = Fmt.str "%a" (Report.pp_stmt builder) s in
@@ -136,11 +170,13 @@ let issues_json builder (report : Report.t) =
     in
     Printf.sprintf
       "    { \"issue\": \"%s\", \"flows\": %d, \"sink\": \"%s\",\n\
+      \      \"verdict\": %s,\n\
       \      \"remediation\": %s,\n\
       \      \"witness\": [%s] }"
       (Rules.issue_name ir.Report.ir_issue)
       ir.Report.ir_flow_count
       (json_escape (stmt_str ir.Report.ir_representative.Flows.fl_sink))
+      (verdict_json ir.Report.ir_verdict)
       (match ir.Report.ir_lcp with
        | Some lcp -> Printf.sprintf "\"%s\"" (json_escape (stmt_str lcp))
        | None -> "null")
@@ -187,17 +223,34 @@ let emit_json ?builder ?completed (outcome : Supervisor.outcome)
       Printf.sprintf "  \"metrics\": %s,\n" (Obs.Telemetry.metrics_json ())
     else ""
   in
+  (* always present, null when refinement did not run — failure paths
+     included, so consumers can branch on it unconditionally *)
+  let refined =
+    match completed with
+    | Some c ->
+      (match c.Taj.outcome.Engine.refined with
+       | Some rf ->
+         Printf.sprintf
+           "  \"refined\": { \"confirmed\": %d, \"plausible\": %d, \
+            \"replay_steps\": %d, \"heap_transitions\": %d, \
+            \"widened\": %d, \"budget_demotions\": %d },\n"
+           rf.Engine.rf_confirmed rf.Engine.rf_plausible rf.Engine.rf_steps
+           rf.Engine.rf_heap_transitions rf.Engine.rf_widened
+           rf.Engine.rf_budget
+       | None -> "  \"refined\": null,\n")
+    | None -> "  \"refined\": null,\n"
+  in
   Printf.printf
     "{\n\
     \  \"issues\": [\n%s\n  ],\n\
     \  \"completeness\": \"%s\",\n\
-     %s%s\
+     %s%s%s\
     \  \"diagnostics\": [\n%s\n  ],\n\
     \  \"attempts\": [\n%s\n  ]\n\
      }\n"
     issues
     (if Report.is_partial report then "partial" else "complete")
-    timing metrics
+    timing refined metrics
     (String.concat ",\n"
        (List.map degradation_json outcome.Supervisor.sv_diagnostics))
     (String.concat ",\n"
@@ -232,8 +285,18 @@ let analyze_cmd =
                "Fail fast when a budget is exhausted instead of retrying \
                 with progressively stricter bounded configurations.")
   in
+  let verify_ir =
+    Arg.(value & flag
+         & info [ "verify-ir" ]
+             ~doc:
+               "Verify IR well-formedness (branch/register ranges, SSA \
+                single assignment and def-before-use) after loading — \
+                i.e. after the reflection and exception rewrites. Any \
+                violation is printed, emitted in the JSON diagnostics \
+                block, and exits with status 6.")
+  in
   let run algorithm scale jobs descriptor_file srcs json stats csrf deadline
-      no_degrade trace metrics =
+      no_degrade verify_ir refine refine_k refine_steps trace metrics =
     let input = load_input ~name:"cli" ~srcs ~descriptor_file in
     let options =
       { Supervisor.default_options with
@@ -243,9 +306,49 @@ let analyze_cmd =
         jobs }
     in
     telemetry_setup ~trace ~metrics;
-    let outcome =
-      Supervisor.run ~options ~config:(Config.preset ~scale algorithm) input
+    if verify_ir then begin
+      let loaded =
+        match Taj.load ~lenient:true ~jobs input with
+        | loaded -> loaded
+        | exception Taj.Load_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      in
+      match Jir.Verify.check_program loaded.Taj.program with
+      | [] -> Printf.eprintf "IR verification passed\n"
+      | violations ->
+        Printf.eprintf "IR verification failed (%d violation(s)):\n"
+          (List.length violations);
+        List.iter
+          (fun v -> Fmt.epr "  %a@." Jir.Verify.pp_violation v)
+          violations;
+        if json then begin
+          let events =
+            List.map
+              (fun (v : Jir.Verify.violation) ->
+                 Diagnostics.Ir_violation
+                   { meth = v.Jir.Verify.v_method;
+                     where = v.Jir.Verify.v_where;
+                     message = v.Jir.Verify.v_message })
+              violations
+          in
+          let outcome =
+            { Supervisor.sv_analysis = None;
+              sv_report = Report.empty ~completeness:(Report.Partial events);
+              sv_diagnostics = events;
+              sv_attempts = [];
+              sv_elapsed = 0.0 }
+          in
+          emit_json outcome outcome.Supervisor.sv_report
+        end;
+        telemetry_export ~trace ~metrics;
+        exit 6
+    end;
+    let config =
+      with_refine (Config.preset ~scale algorithm) ~refine ~refine_k
+        ~refine_steps
     in
+    let outcome = Supervisor.run ~options ~config input in
     (* export before the exit-code branches so a partial or failed run
        still yields its trace and metrics *)
     telemetry_export ~trace ~metrics;
@@ -329,11 +432,13 @@ let analyze_cmd =
          (the CS fate on large applications).";
       `P
         "4 if the deadline expired mid-phase: the report holds the flows \
-         found so far and is explicitly partial." ]
+         found so far and is explicitly partial.";
+      `P "6 if --verify-ir found IR well-formedness violations." ]
   in
   Cmd.v (Cmd.info "analyze" ~doc ~man)
     Term.(const run $ algorithm $ scale $ jobs $ descriptor_file $ sources
-          $ json $ stats $ csrf $ deadline $ no_degrade $ trace_file
+          $ json $ stats $ csrf $ deadline $ no_degrade $ verify_ir
+          $ refine_flag $ refine_k $ refine_steps $ trace_file
           $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
@@ -552,26 +657,67 @@ let graph_cmd =
 (* ------------------------------------------------------------------ *)
 
 let generate_cmd =
-  let run name scale =
+  let out_dir =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"DIR"
+             ~doc:
+               "Write the units as $(docv)/unit_NNN.mjava (plus \
+                $(docv)/web.xml for the deployment descriptor) instead of \
+                printing to stdout — the form 'taj analyze' consumes \
+                directly.")
+  in
+  let run name scale out_dir =
     match Workloads.Apps.find name with
     | None ->
       Printf.eprintf "unknown app %s (see 'taj apps')\n" name;
       exit 1
     | Some app ->
       let g = Workloads.Apps.generate ~scale app in
-      List.iteri
-        (fun i src -> Printf.printf "// ---- unit %d ----\n%s\n" i src)
-        g.Workloads.Codegen.g_sources;
-      if g.Workloads.Codegen.g_descriptor <> "" then
-        Printf.printf "// ---- deployment descriptor ----\n%s"
-          g.Workloads.Codegen.g_descriptor;
+      (match out_dir with
+       | Some dir ->
+         (* mkdir -p: the target is typically nested (e.g. gen/AppName) *)
+         let rec mkdirs d =
+           if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d)
+           then begin
+             mkdirs (Filename.dirname d);
+             Unix.mkdir d 0o755
+           end
+         in
+         mkdirs dir;
+         let write path contents =
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () -> output_string oc contents)
+         in
+         List.iteri
+           (fun i src ->
+              write (Filename.concat dir (Printf.sprintf "unit_%03d.mjava" i))
+                src)
+           g.Workloads.Codegen.g_sources;
+         if g.Workloads.Codegen.g_descriptor <> "" then
+           write (Filename.concat dir "web.xml")
+             g.Workloads.Codegen.g_descriptor;
+         Printf.eprintf "wrote %d unit(s)%s to %s\n"
+           (List.length g.Workloads.Codegen.g_sources)
+           (if g.Workloads.Codegen.g_descriptor <> "" then " + web.xml"
+            else "")
+           dir
+       | None ->
+         List.iteri
+           (fun i src -> Printf.printf "// ---- unit %d ----\n%s\n" i src)
+           g.Workloads.Codegen.g_sources;
+         if g.Workloads.Codegen.g_descriptor <> "" then
+           Printf.printf "// ---- deployment descriptor ----\n%s"
+             g.Workloads.Codegen.g_descriptor);
       Printf.eprintf "planted ground truth:\n";
       List.iter
         (fun p -> Fmt.epr "  %a@." Workloads.Ground_truth.pp_planted p)
         g.Workloads.Codegen.g_truth
   in
   let doc = "Emit the MJava source of a synthetic benchmark application." in
-  Cmd.v (Cmd.info "generate" ~doc) Term.(const run $ app_name $ scale)
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const run $ app_name $ scale $ out_dir)
 
 let apps_cmd =
   let run () =
@@ -589,17 +735,25 @@ let apps_cmd =
   Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
 
 let score_cmd =
-  let run name scale jobs trace metrics =
+  let run name scale jobs refine refine_k refine_steps trace metrics =
     match Workloads.Apps.find name with
     | None ->
       Printf.eprintf "unknown app %s\n" name;
       exit 1
     | Some app ->
       telemetry_setup ~trace ~metrics;
-      let runs = Workloads.Score.run_app ~scale ~jobs app in
+      let runs =
+        Workloads.Score.run_app ~scale ~jobs ~refine ~refine_k ~refine_steps
+          app
+      in
       telemetry_export ~trace ~metrics;
-      Printf.printf "%-20s %7s %5s %5s %5s %9s %8s\n" "configuration"
-        "issues" "TP" "FP" "FN" "accuracy" "time";
+      if refine then
+        Printf.printf "%-20s %7s %5s %5s %5s %9s %5s %5s %8s %8s\n"
+          "configuration" "issues" "TP" "FP" "FN" "accuracy" "conf" "plaus"
+          "conf-FP" "time"
+      else
+        Printf.printf "%-20s %7s %5s %5s %5s %9s %8s\n" "configuration"
+          "issues" "TP" "FP" "FN" "accuracy" "time";
       List.iter
         (fun (r : Workloads.Score.run) ->
            match r.Workloads.Score.r_classification with
@@ -607,12 +761,26 @@ let score_cmd =
              Printf.printf "%-20s (did not complete)\n"
                (Config.algorithm_name r.Workloads.Score.r_algorithm)
            | Some c ->
-             Printf.printf "%-20s %7d %5d %5d %5d %9.2f %7.2fs\n"
-               (Config.algorithm_name r.Workloads.Score.r_algorithm)
-               r.Workloads.Score.r_issues c.Workloads.Score.true_positives
-               c.Workloads.Score.false_positives
-               c.Workloads.Score.false_negatives
-               (Workloads.Score.accuracy c) r.Workloads.Score.r_seconds)
+             (match r.Workloads.Score.r_refined with
+              | Some rf when refine ->
+                Printf.printf
+                  "%-20s %7d %5d %5d %5d %9.2f %5d %5d %8d %7.2fs\n"
+                  (Config.algorithm_name r.Workloads.Score.r_algorithm)
+                  r.Workloads.Score.r_issues c.Workloads.Score.true_positives
+                  c.Workloads.Score.false_positives
+                  c.Workloads.Score.false_negatives
+                  (Workloads.Score.accuracy c)
+                  rf.Workloads.Score.confirmed_issues
+                  rf.Workloads.Score.plausible_issues
+                  rf.Workloads.Score.confirmed_fp
+                  r.Workloads.Score.r_seconds
+              | _ ->
+                Printf.printf "%-20s %7d %5d %5d %5d %9.2f %7.2fs\n"
+                  (Config.algorithm_name r.Workloads.Score.r_algorithm)
+                  r.Workloads.Score.r_issues c.Workloads.Score.true_positives
+                  c.Workloads.Score.false_positives
+                  c.Workloads.Score.false_negatives
+                  (Workloads.Score.accuracy c) r.Workloads.Score.r_seconds))
         runs
   in
   let doc =
@@ -620,7 +788,8 @@ let score_cmd =
      against the ground truth."
   in
   Cmd.v (Cmd.info "score" ~doc)
-    Term.(const run $ app_name $ scale $ jobs $ trace_file $ metrics_flag)
+    Term.(const run $ app_name $ scale $ jobs $ refine_flag $ refine_k
+          $ refine_steps $ trace_file $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                              *)

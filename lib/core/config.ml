@@ -40,6 +40,9 @@ type t = {
   nested_taint_depth : int;           (* §6.2.3; -1 = unbounded *)
   cs_budget : int option;             (* emulates the CS memory ceiling *)
   excluded_classes : string list;     (* §4.2.1 whitelist *)
+  refine : bool;                      (* access-path replay of each flow *)
+  refine_k : int;                     (* access-path depth bound *)
+  refine_steps : int;                 (* per-flow replay step budget *)
 }
 
 let default_whitelist = [ "Math"; "Random"; "Date"; "Logger" ]
@@ -61,7 +64,10 @@ let preset ?(scale = 1.0) (algorithm : algorithm) : t =
       max_flow_length = None;
       nested_taint_depth = -1;
       cs_budget = None;
-      excluded_classes = default_whitelist }
+      excluded_classes = default_whitelist;
+      refine = false;
+      refine_k = 3;
+      refine_steps = 4096 }
   in
   match algorithm with
   | Hybrid_unbounded -> base
@@ -94,15 +100,24 @@ let all_algorithms =
    CS configuration does on large applications (Table 3). Each rung is
    paired with the scale it was built at, for diagnostics. *)
 let degradation_ladder ?(scale = 1.0) (c : t) : (float * t) list =
+  (* ladder rungs are fresh presets: carry over the refinement settings so
+     a degraded retry still classifies its (fewer) flows *)
+  let carry (s, cfg) =
+    (s, { cfg with refine = c.refine;
+                   refine_k = c.refine_k;
+                   refine_steps = c.refine_steps })
+  in
   let rungs =
-    [ (scale, preset ~scale Hybrid_prioritized);
-      (scale, preset ~scale Hybrid_optimized);
-      (scale /. 2., preset ~scale:(scale /. 2.) Hybrid_optimized);
-      (scale /. 4., preset ~scale:(scale /. 4.) Hybrid_optimized) ]
+    List.map carry
+      [ (scale, preset ~scale Hybrid_prioritized);
+        (scale, preset ~scale Hybrid_optimized);
+        (scale /. 2., preset ~scale:(scale /. 2.) Hybrid_optimized);
+        (scale /. 4., preset ~scale:(scale /. 4.) Hybrid_optimized) ]
   in
   match c.algorithm with
   | Hybrid_unbounded | Cs_thin_slicing | Ci_thin_slicing -> rungs
   | Hybrid_prioritized -> List.tl rungs
   | Hybrid_optimized ->
-    [ (scale /. 2., preset ~scale:(scale /. 2.) Hybrid_optimized);
-      (scale /. 4., preset ~scale:(scale /. 4.) Hybrid_optimized) ]
+    List.map carry
+      [ (scale /. 2., preset ~scale:(scale /. 2.) Hybrid_optimized);
+        (scale /. 4., preset ~scale:(scale /. 4.) Hybrid_optimized) ]

@@ -20,6 +20,9 @@ type t = {
   nested_taint_depth : int;           (** §6.2.3; -1 = unbounded *)
   cs_budget : int option;             (** emulates the CS memory ceiling *)
   excluded_classes : string list;     (** §4.2.1 whitelist *)
+  refine : bool;                      (** access-path replay of each flow *)
+  refine_k : int;                     (** access-path depth bound *)
+  refine_steps : int;                 (** per-flow replay step budget *)
 }
 
 val default_whitelist : string list

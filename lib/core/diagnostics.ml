@@ -38,6 +38,7 @@ type degradation =
   | Job_shed of { job : string; priority : int }
   | Breaker_transition of { key : string; state : string }
   | Resource_pressure of { level : int; heap_mb : int }
+  | Ir_violation of { meth : string; where : string; message : string }
 
 let pp_degradation ppf = function
   | Deadline_expired { phase; elapsed } ->
@@ -67,6 +68,8 @@ let pp_degradation ppf = function
     Fmt.pf ppf "circuit breaker for %s is now %s" key state
   | Resource_pressure { level; heap_mb } ->
     Fmt.pf ppf "memory pressure level %d (heap %d MB)" level heap_mb
+  | Ir_violation { meth; where; message } ->
+    Fmt.pf ppf "IR verification failed in %s at %s: %s" meth where message
 
 (* A stable machine-readable tag per constructor, for the CLI's JSON
    diagnostics block and the telemetry instant-event names. *)
@@ -82,6 +85,7 @@ let kind_name = function
   | Job_shed _ -> "job-shed"
   | Breaker_transition _ -> "breaker-transition"
   | Resource_pressure _ -> "resource-pressure"
+  | Ir_violation _ -> "ir-violation"
 
 type t = { mutable rev_events : degradation list }
 

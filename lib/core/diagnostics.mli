@@ -34,6 +34,9 @@ type degradation =
       (** a per-app circuit breaker changed state *)
   | Resource_pressure of { level : int; heap_mb : int }
       (** the memory watchdog raised (or lowered) its pressure level *)
+  | Ir_violation of { meth : string; where : string; message : string }
+      (** [--verify-ir]: the loaded program failed an IR well-formedness
+          check *)
 
 (** An append-only event log, recorded in arrival order. *)
 type t

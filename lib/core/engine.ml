@@ -20,6 +20,15 @@ type rule_stats = {
   rs_exhausted : bool;
 }
 
+type refine_summary = {
+  rf_confirmed : int;
+  rf_plausible : int;
+  rf_steps : int;                 (* replay steps, summed over flows *)
+  rf_heap_transitions : int;
+  rf_widened : int;               (* flows that hit the k-limit *)
+  rf_budget : int;                (* flows demoted by budget exhaustion *)
+}
+
 type outcome = {
   flows : Flows.t list;
   filtered_by_length : int;       (* flows dropped by the §6.2.2 bound *)
@@ -29,6 +38,8 @@ type outcome = {
   rule_faults : Diagnostics.degradation list;
       (* Rule_failed entries: rules whose slice raised; their flows are
          missing but the other rules still ran (fault isolation) *)
+  refined : refine_summary option;
+      (* present iff the access-path refinement stage ran *)
 }
 
 let mode_of (config : Config.t) : Sdg.Tabulation.mode =
@@ -110,6 +121,107 @@ let dedup_path (path : Sdg.Stmt.t list) =
   in
   go path
 
+(* ------------------------------------------------------------------ *)
+(* Flow refinement (second pass)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay each reported flow with the field-sensitive access-path engine
+   and attach a verdict. Per-flow replays are independent over the
+   read-only SDG, so they parallelize exactly like the per-rule stage;
+   the index-ordered merge keeps flow order (and thus the report)
+   byte-identical across job counts. Never drops a flow. *)
+let refine_flows ~jobs ~interrupt ~(prog : Program.t)
+    ~(builder : Sdg.Builder.t) ~(heapgraph : Pointer.Heapgraph.t)
+    ~(config : Config.t) (flows : Flows.t list) :
+  Flows.t list * refine_summary * bool =
+  let limits =
+    { Sdg.Refine.default_limits with
+      Sdg.Refine.k = config.Config.refine_k;
+      max_steps = config.Config.refine_steps }
+  in
+  let depth = config.Config.nested_taint_depth in
+  let refine_one (fl : Flows.t) =
+    (* fresh matcher per task: its resolution memo is private, sharing one
+       across domains would race *)
+    let m = Rules.matcher prog.Program.table in
+    let rule = fl.Flows.fl_rule in
+    let sink_reach =
+      if depth = 0 then Int_set.empty
+      else
+        match Sdg.Builder.call_of builder fl.Flows.fl_sink with
+        | None -> Int_set.empty
+        | Some c ->
+          (match Rules.sink_of m rule c.Tac.target with
+           | None -> Int_set.empty
+           | Some sink ->
+             let roots =
+               List.fold_left
+                 (fun acc i ->
+                    match List.nth_opt c.Tac.args i with
+                    | Some arg ->
+                      Int_set.union acc
+                        (Sdg.Builder.pts_of_var builder
+                           ~node:fl.Flows.fl_sink.Sdg.Stmt.node arg)
+                    | None -> acc)
+                 Int_set.empty sink.Rules.snk_params
+             in
+             if Int_set.is_empty roots then Int_set.empty
+             else Pointer.Heapgraph.reachable heapgraph ~depth roots)
+    in
+    let callbacks =
+      { Sdg.Refine.is_sink_arg =
+          (fun target i -> Rules.is_sink_arg m rule target i);
+        is_sanitizer = (fun target -> Rules.is_sanitizer m rule target);
+        sink_reach }
+    in
+    let verdict, stats =
+      Sdg.Refine.replay ~interrupt builder ~limits ~callbacks
+        ~source:fl.Flows.fl_source ~sink:fl.Flows.fl_sink
+        ~sink_kind:fl.Flows.fl_kind
+    in
+    ({ fl with Flows.fl_verdict = Some verdict }, stats, verdict)
+  in
+  let results =
+    Telemetry.with_span "phase.refine"
+      ~args:[ ("flows", string_of_int (List.length flows)) ]
+    @@ fun () ->
+    if jobs <= 1 then List.map refine_one flows
+    else begin
+      Sdg.Builder.precompute builder;
+      Parallel.map ~jobs refine_one flows
+    end
+  in
+  let summary =
+    List.fold_left
+      (fun (acc : refine_summary) (_, (st : Sdg.Refine.stats), v) ->
+         { rf_confirmed =
+             (acc.rf_confirmed
+              + match v with Sdg.Refine.Confirmed -> 1 | _ -> 0);
+           rf_plausible =
+             (acc.rf_plausible
+              + match v with Sdg.Refine.Plausible _ -> 1 | _ -> 0);
+           rf_steps = acc.rf_steps + st.Sdg.Refine.st_steps;
+           rf_heap_transitions =
+             acc.rf_heap_transitions + st.Sdg.Refine.st_heap_transitions;
+           rf_widened =
+             (acc.rf_widened + if st.Sdg.Refine.st_widened then 1 else 0);
+           rf_budget =
+             (acc.rf_budget
+              + match v with
+                | Sdg.Refine.Plausible Sdg.Refine.Budget -> 1
+                | _ -> 0) })
+      { rf_confirmed = 0; rf_plausible = 0; rf_steps = 0;
+        rf_heap_transitions = 0; rf_widened = 0; rf_budget = 0 }
+      results
+  in
+  let interrupted =
+    List.exists
+      (fun (_, _, v) ->
+         v = Sdg.Refine.Plausible Sdg.Refine.Interrupted)
+      results
+  in
+  (List.map (fun (fl, _, _) -> fl) results, summary, interrupted)
+
 (* Everything one rule's slice produced, kept separate per rule so that
    rules can run on different domains and still merge into the exact
    outcome the sequential loop builds: flows concatenated in rule order,
@@ -170,7 +282,8 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
                fl_sink_target = h.Sdg.Tabulation.h_sink_target;
                fl_kind = h.Sdg.Tabulation.h_kind;
                fl_path = path;
-               fl_length = List.length path }
+               fl_length = List.length path;
+               fl_verdict = None }
            in
            match config.Config.max_flow_length with
            | Some cap when fl.Flows.fl_length > cap ->
@@ -225,10 +338,25 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
       Parallel.map ~jobs guarded rules
     end
   in
-  { flows = List.concat_map (fun r -> r.pr_flows) results;
+  let flows = List.concat_map (fun r -> r.pr_flows) results in
+  let interrupted = List.exists (fun r -> r.pr_interrupted) results in
+  let flows, refined, interrupted =
+    if config.Config.refine && flows <> [] then begin
+      let flows, summary, refine_interrupted =
+        refine_flows ~jobs ~interrupt ~prog ~builder ~heapgraph ~config flows
+      in
+      (* an interrupt mid-refinement demotes the remaining flows to
+         Plausible and surfaces through the normal partial-result path —
+         the report is honest about it, but it is never an error *)
+      (flows, Some summary, interrupted || refine_interrupted)
+    end
+    else (flows, None, interrupted)
+  in
+  { flows;
     filtered_by_length =
       List.fold_left (fun acc r -> acc + r.pr_filtered) 0 results;
     rule_stats = List.map (fun r -> r.pr_stats) results;
     exhausted = List.exists (fun r -> r.pr_exhausted) results;
-    interrupted = List.exists (fun r -> r.pr_interrupted) results;
-    rule_faults = List.filter_map (fun r -> r.pr_fault) results }
+    interrupted;
+    rule_faults = List.filter_map (fun r -> r.pr_fault) results;
+    refined }

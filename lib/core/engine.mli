@@ -10,6 +10,15 @@ type rule_stats = {
   rs_exhausted : bool;
 }
 
+type refine_summary = {
+  rf_confirmed : int;
+  rf_plausible : int;
+  rf_steps : int;                 (** replay steps, summed over flows *)
+  rf_heap_transitions : int;
+  rf_widened : int;               (** flows that hit the k-limit *)
+  rf_budget : int;                (** flows demoted by budget exhaustion *)
+}
+
 type outcome = {
   flows : Flows.t list;
   filtered_by_length : int;       (** flows dropped by the §6.2.2 bound *)
@@ -19,6 +28,9 @@ type outcome = {
   rule_faults : Diagnostics.degradation list;
       (** [Rule_failed] entries: rules whose slice raised contribute no
           flows, but the remaining rules still run (fault isolation) *)
+  refined : refine_summary option;
+      (** present iff the access-path refinement stage ran
+          ([Config.refine]); it attaches verdicts and never drops flows *)
 }
 
 (** Slicing mode implied by a configuration. *)

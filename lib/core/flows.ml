@@ -10,6 +10,9 @@ type t = {
   fl_kind : Sdg.Tabulation.hit_kind;
   fl_path : Sdg.Stmt.t list;          (* source first, sink last *)
   fl_length : int;
+  fl_verdict : Sdg.Refine.verdict option;
+      (* [None] when refinement did not run; [Plausible] demotes, never
+         drops — a refined flow is always still reported *)
 }
 
 let length fl = fl.fl_length
@@ -25,10 +28,20 @@ let length_histogram (flows : t list) : (int * int) list =
   Hashtbl.fold (fun len n acc -> (len, n) :: acc) tbl []
   |> List.sort compare
 
+(** [Confirmed] first, then [Plausible], then unrefined — the report sort
+    key alongside path length. With refinement off every verdict is [None],
+    so ordering reduces to the unrefined behaviour exactly. *)
+let verdict_rank fl =
+  match fl.fl_verdict with Some v -> Sdg.Refine.rank v | None -> 2
+
 let pp_brief ppf fl =
-  Fmt.pf ppf "%a: %a --(%d)--> %a [%s]"
+  Fmt.pf ppf "%a: %a --(%d)--> %a [%s]%a"
     Rules.pp_issue fl.fl_rule.Rules.issue
     Sdg.Stmt.pp fl.fl_source fl.fl_length Sdg.Stmt.pp fl.fl_sink
     (match fl.fl_kind with
      | Sdg.Tabulation.Direct -> "direct"
      | Sdg.Tabulation.Carrier -> "carrier")
+    (fun ppf -> function
+       | None -> ()
+       | Some v -> Fmt.pf ppf " {%a}" Sdg.Refine.pp_verdict v)
+    fl.fl_verdict

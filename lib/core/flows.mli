@@ -8,11 +8,18 @@ type t = {
   fl_kind : Sdg.Tabulation.hit_kind;
   fl_path : Sdg.Stmt.t list;          (** source first, sink last *)
   fl_length : int;
+  fl_verdict : Sdg.Refine.verdict option;
+      (** [None] when refinement did not run; [Plausible] demotes, never
+          drops — a refined flow is always still reported *)
 }
 
 val length : t -> int
 
 (** Bucket flows by path length (§6.2.2 ablation). *)
 val length_histogram : t list -> (int * int) list
+
+(** [Confirmed] = 0, [Plausible] = 1, unrefined = 2 — the report sort key
+    alongside path length. *)
+val verdict_rank : t -> int
 
 val pp_brief : Format.formatter -> t -> unit

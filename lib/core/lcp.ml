@@ -37,7 +37,10 @@ type group = {
 }
 
 (** Group flows into ~-equivalence classes per §5 and pick representatives.
-    The shortest member represents its class (most consumable report). *)
+    The best-verdict shortest member represents its class (most consumable
+    report); groups themselves sort confirmed-first. With refinement off
+    every verdict rank is equal, so both sorts reduce to the unrefined
+    behaviour exactly. *)
 let dedup (b : Sdg.Builder.t) (flows : Flows.t list) : group list =
   let tbl = Hashtbl.create 64 in
   List.iter
@@ -50,7 +53,10 @@ let dedup (b : Sdg.Builder.t) (flows : Flows.t list) : group list =
     (fun (lcp, issue) members acc ->
        let sorted =
          List.sort
-           (fun a b -> compare a.Flows.fl_length b.Flows.fl_length)
+           (fun a b ->
+              compare
+                (Flows.verdict_rank a, a.Flows.fl_length)
+                (Flows.verdict_rank b, b.Flows.fl_length))
            members
        in
        match sorted with
@@ -60,4 +66,7 @@ let dedup (b : Sdg.Builder.t) (flows : Flows.t list) : group list =
            g_members = sorted }
          :: acc)
     tbl []
-  |> List.sort (fun a b -> compare (a.g_issue, a.g_lcp) (b.g_issue, b.g_lcp))
+  |> List.sort (fun a b ->
+      compare
+        (Flows.verdict_rank a.g_representative, a.g_issue, a.g_lcp)
+        (Flows.verdict_rank b.g_representative, b.g_issue, b.g_lcp))

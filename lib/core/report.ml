@@ -7,6 +7,9 @@ type issue_report = {
   ir_lcp : Sdg.Stmt.t option;
   ir_representative : Flows.t;
   ir_flow_count : int;
+  ir_verdict : Sdg.Refine.verdict option;
+      (* the best verdict in the group (the representative's, as members
+         sort confirmed-first); None when refinement did not run *)
 }
 
 type completeness =
@@ -30,7 +33,8 @@ let make ?(completeness = Complete) (b : Sdg.Builder.t)
            { ir_issue = g.Lcp.g_issue;
              ir_lcp = g.Lcp.g_lcp;
              ir_representative = g.Lcp.g_representative;
-             ir_flow_count = List.length g.Lcp.g_members })
+             ir_flow_count = List.length g.Lcp.g_members;
+             ir_verdict = g.Lcp.g_representative.Flows.fl_verdict })
         groups;
     raw_flows = flows;
     completeness }
@@ -45,6 +49,21 @@ let flow_count t = List.length t.raw_flows
 
 let is_partial t =
   match t.completeness with Complete -> false | Partial _ -> true
+
+(** (confirmed, plausible) issue counts; [None] when refinement did not
+    run (no issue carries a verdict). *)
+let verdict_counts t =
+  let refined = List.filter (fun ir -> ir.ir_verdict <> None) t.issues in
+  if refined = [] then None
+  else
+    Some
+      (List.fold_left
+         (fun (c, p) ir ->
+            match ir.ir_verdict with
+            | Some Sdg.Refine.Confirmed -> (c + 1, p)
+            | Some (Sdg.Refine.Plausible _) -> (c, p + 1)
+            | None -> (c, p))
+         (0, 0) refined)
 
 let degradations t =
   match t.completeness with Complete -> [] | Partial ds -> ds
@@ -63,8 +82,13 @@ let pp_stmt (b : Sdg.Builder.t) ppf (s : Sdg.Stmt.t) =
        Fmt.pf ppf "%s: B%d.<throw>" (Tac.method_id m) blk)
 
 let pp_issue_report (b : Sdg.Builder.t) ppf (ir : issue_report) =
-  Fmt.pf ppf "@[<v2>[%a] %d flow(s); sink %a@,"
-    Rules.pp_issue ir.ir_issue ir.ir_flow_count
+  Fmt.pf ppf "@[<v2>[%a]%a %d flow(s); sink %a@,"
+    Rules.pp_issue ir.ir_issue
+    (fun ppf -> function
+       | None -> ()
+       | Some v -> Fmt.pf ppf " %s" (String.uppercase_ascii
+                                       (Sdg.Refine.verdict_name v)))
+    ir.ir_verdict ir.ir_flow_count
     (pp_stmt b) ir.ir_representative.Flows.fl_sink;
   (match ir.ir_lcp with
    | Some lcp -> Fmt.pf ppf "remediate at: %a@," (pp_stmt b) lcp
@@ -74,8 +98,12 @@ let pp_issue_report (b : Sdg.Builder.t) ppf (ir : issue_report) =
     ir.ir_representative.Flows.fl_path
 
 let pp (b : Sdg.Builder.t) ppf (t : t) =
-  Fmt.pf ppf "@[<v>%d issue(s) from %d flow(s)@,%a@]"
+  Fmt.pf ppf "@[<v>%d issue(s) from %d flow(s)%a@,%a@]"
     (issue_count t) (flow_count t)
+    (fun ppf -> function
+       | None -> ()
+       | Some (c, p) -> Fmt.pf ppf " (%d confirmed, %d plausible)" c p)
+    (verdict_counts t)
     (Fmt.list ~sep:Fmt.cut (pp_issue_report b))
     t.issues;
   match t.completeness with

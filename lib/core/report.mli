@@ -5,6 +5,9 @@ type issue_report = {
   ir_lcp : Sdg.Stmt.t option;
   ir_representative : Flows.t;
   ir_flow_count : int;
+  ir_verdict : Sdg.Refine.verdict option;
+      (** the best verdict in the group (the representative's, as members
+          sort confirmed-first); [None] when refinement did not run *)
 }
 
 (** Whether the flows in this report reflect a run to fixed point or a run
@@ -28,6 +31,10 @@ val issue_count : t -> int
 val flow_count : t -> int
 val is_partial : t -> bool
 val degradations : t -> Diagnostics.degradation list
+
+(** (confirmed, plausible) issue counts; [None] when refinement did not
+    run. *)
+val verdict_counts : t -> (int * int) option
 
 val pp_stmt : Sdg.Builder.t -> Format.formatter -> Sdg.Stmt.t -> unit
 val pp_issue_report : Sdg.Builder.t -> Format.formatter -> issue_report -> unit

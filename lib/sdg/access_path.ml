@@ -1,0 +1,47 @@
+(** k-limited access paths for the flow-refinement replay (after Allen et
+    al.'s IFDS taint analysis with access paths).
+
+    A path is the field suffix separating a register from the tainted value
+    it (transitively) holds, outermost access first: a fact "register [v]
+    carries path [f; g]" means [v.f.g] is tainted. The empty path means the
+    register's own value is tainted. Paths longer than [k] are widened away
+    — the refinement records that widening happened and demotes the flow
+    instead of tracking an unbounded suffix. *)
+
+module Keys = Pointer.Keys
+
+type t = Keys.field list
+
+let empty : t = []
+
+let is_empty (p : t) = p = []
+
+let length = List.length
+
+(** Prepend a field (the value was stored under [f]); [None] when the
+    result would exceed [k] — the caller must treat this as widening, not
+    as a refuted flow. *)
+let push ~k (f : Keys.field) (p : t) : t option =
+  if List.length p >= k then None else Some (f :: p)
+
+(** The outermost field of a non-empty path, and the rest of it. *)
+let head (p : t) : Keys.field option =
+  match p with f :: _ -> Some f | [] -> None
+
+let tail (p : t) : t = match p with _ :: rest -> rest | [] -> []
+
+(** Consume [f] from the front: the path left after a load of field [f],
+    or [None] when the path does not start with [f] (field-sensitive
+    mismatch). *)
+let project (f : Keys.field) (p : t) : t option =
+  match p with
+  | g :: rest when g = f -> Some rest
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = compare a b
+
+let pp ppf (p : t) =
+  if p = [] then Fmt.string ppf "ε"
+  else Fmt.list ~sep:(Fmt.any ".") Keys.pp_field ppf p

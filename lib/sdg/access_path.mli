@@ -1,0 +1,24 @@
+(** k-limited access paths for the flow-refinement replay: the field suffix
+    separating a register from the tainted value it transitively holds,
+    outermost access first. *)
+
+type t = Pointer.Keys.field list
+
+val empty : t
+val is_empty : t -> bool
+val length : t -> int
+
+(** Prepend a field; [None] when the result would exceed [k] (widening —
+    the caller demotes rather than tracking an unbounded suffix). *)
+val push : k:int -> Pointer.Keys.field -> t -> t option
+
+val head : t -> Pointer.Keys.field option
+val tail : t -> t
+
+(** Consume [f] from the front (the path left after loading field [f]);
+    [None] on a field-sensitive mismatch. *)
+val project : Pointer.Keys.field -> t -> t option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

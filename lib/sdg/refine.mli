@@ -1,0 +1,64 @@
+(** Field-sensitive flow refinement: an IFDS-style replay with k-limited
+    access paths that re-traces each reported flow and classifies it.
+
+    [Confirmed] means the replay found a complete field-sensitive witness
+    from the flow's source to its sink — heap flow rooted at base
+    registers instead of the slicer's flow-insensitive store→load jumps,
+    returns matched against a bounded call stack. Any failure — no path,
+    k-limit widening, budget exhaustion, interruption, or an internal
+    fault — yields [Plausible]: the flow is demoted, never dropped. *)
+
+module Int_set = Builder.Int_set
+
+type reason =
+  | No_path
+  | Widened
+  | Budget
+  | Interrupted
+  | Fault of string
+
+type verdict = Confirmed | Plausible of reason
+
+(** [Confirmed] sorts before [Plausible]. *)
+val rank : verdict -> int
+
+val verdict_name : verdict -> string
+val reason_name : reason -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type limits = {
+  k : int;                    (** access-path depth bound (default 3) *)
+  max_steps : int;            (** per-flow replay step budget *)
+  max_heap_transitions : int; (** per-flow aliasing-fallback budget *)
+  max_call_depth : int;       (** call-stack bound; deeper → unbalanced *)
+}
+
+val default_limits : limits
+
+type callbacks = {
+  is_sink_arg : Jir.Tac.mref -> int -> bool;
+  is_sanitizer : Jir.Tac.mref -> bool;
+  sink_reach : Int_set.t;
+      (** instance keys reachable from the sink's sensitive arguments
+          (the §4.1.1 carrier criterion), precomputed by the engine *)
+}
+
+type stats = {
+  st_steps : int;
+  st_heap_transitions : int;
+  st_widened : bool;
+}
+
+(** Replay one reported flow from its source statement. Deterministic for
+    a fixed builder; never raises. [sink_kind] selects the confirmation
+    criterion matching how the slicer found the hit (direct sink argument
+    vs. taint-carrier store). *)
+val replay :
+  ?interrupt:(unit -> bool) ->
+  Builder.t ->
+  limits:limits ->
+  callbacks:callbacks ->
+  source:Stmt.t ->
+  sink:Stmt.t ->
+  sink_kind:Tabulation.hit_kind ->
+  verdict * stats

@@ -16,6 +16,15 @@ let accuracy c =
   if reported = 0 then 0.0
   else float_of_int c.true_positives /. float_of_int reported
 
+type refined = {
+  confirmed_issues : int;
+  plausible_issues : int;
+  confirmed_tp : int;
+  confirmed_fp : int;
+      (* the headline precision metric: false positives *among the
+         Confirmed subset* vs. the overall false-positive count *)
+}
+
 type run = {
   r_app : string;
   r_algorithm : Config.algorithm;
@@ -25,11 +34,12 @@ type run = {
   r_cg_nodes : int;
   r_classification : classification option;  (* None if did not complete *)
   r_phases : Taj.phase_times option;         (* None if did not complete *)
+  r_refined : refined option;                (* None unless refine ran *)
 }
 
 (** Attribute each reported issue to its planted pattern and classify. *)
-let classify (truth : Ground_truth.t) (builder : Sdg.Builder.t)
-    (report : Report.t) : classification =
+let classify_issues (truth : Ground_truth.t) (builder : Sdg.Builder.t)
+    (issues : Report.issue_report list) : classification =
   let tp = ref 0 and fp = ref 0 and unattributed = ref 0 in
   let hit_patterns = Hashtbl.create 32 in
   List.iter
@@ -44,7 +54,7 @@ let classify (truth : Ground_truth.t) (builder : Sdg.Builder.t)
          Hashtbl.replace hit_patterns (p.Ground_truth.p_id, p.Ground_truth.p_sink_method) ();
          if p.Ground_truth.p_real then incr tp else incr fp
        | None -> incr unattributed)
-    report.Report.issues;
+    issues;
   let fn =
     List.length
       (List.filter
@@ -60,10 +70,39 @@ let classify (truth : Ground_truth.t) (builder : Sdg.Builder.t)
     false_negatives = fn;
     unattributed = !unattributed }
 
-(** Run one algorithm over a loaded app and score it. *)
-let run_config ?(jobs = 1) ~(loaded : Taj.loaded) ~(truth : Ground_truth.t)
-    ~(app : string) ~(scale : float) (algorithm : Config.algorithm) : run =
-  let config = Config.preset ~scale algorithm in
+let classify (truth : Ground_truth.t) (builder : Sdg.Builder.t)
+    (report : Report.t) : classification =
+  classify_issues truth builder report.Report.issues
+
+(* Per-verdict classification: score the Confirmed subset on its own. *)
+let refined_of (truth : Ground_truth.t) (builder : Sdg.Builder.t)
+    (report : Report.t) : refined option =
+  match Report.verdict_counts report with
+  | None -> None
+  | Some (confirmed_issues, plausible_issues) ->
+    let confirmed =
+      List.filter
+        (fun (ir : Report.issue_report) ->
+           ir.Report.ir_verdict = Some Sdg.Refine.Confirmed)
+        report.Report.issues
+    in
+    let c = classify_issues truth builder confirmed in
+    Some
+      { confirmed_issues;
+        plausible_issues;
+        confirmed_tp = c.true_positives;
+        confirmed_fp = c.false_positives }
+
+(** Run one algorithm over a loaded app and score it. [refine] switches on
+    the access-path second pass; [refine_k]/[refine_steps] tune it. *)
+let run_config ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
+    ?(refine_steps = 4096) ~(loaded : Taj.loaded)
+    ~(truth : Ground_truth.t) ~(app : string) ~(scale : float)
+    (algorithm : Config.algorithm) : run =
+  let config =
+    { (Config.preset ~scale algorithm) with
+      Config.refine; refine_k; refine_steps }
+  in
   (* wall clock, not CPU time: Table 3 reports elapsed analysis time *)
   let analysis, seconds =
     Obs.Telemetry.timed (fun () -> Taj.run ~jobs loaded config)
@@ -72,7 +111,7 @@ let run_config ?(jobs = 1) ~(loaded : Taj.loaded) ~(truth : Ground_truth.t)
   | Taj.Did_not_complete _ ->
     { r_app = app; r_algorithm = algorithm; r_completed = false;
       r_issues = 0; r_seconds = seconds; r_cg_nodes = 0;
-      r_classification = None; r_phases = None }
+      r_classification = None; r_phases = None; r_refined = None }
   | Taj.Completed c ->
     { r_app = app;
       r_algorithm = algorithm;
@@ -81,22 +120,25 @@ let run_config ?(jobs = 1) ~(loaded : Taj.loaded) ~(truth : Ground_truth.t)
       r_seconds = seconds;
       r_cg_nodes = c.Taj.cg_nodes;
       r_classification = Some (classify truth c.Taj.builder c.Taj.report);
-      r_phases = Some c.Taj.times }
+      r_phases = Some c.Taj.times;
+      r_refined = refined_of truth c.Taj.builder c.Taj.report }
 
 (** Run all five Table 1 configurations over one app. *)
-let run_app ?(scale = 0.05) ?(jobs = 1)
-    ?(algorithms = Config.all_algorithms) (a : Apps.app) : run list =
+let run_app ?(scale = 0.05) ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
+    ?(refine_steps = 4096) ?(algorithms = Config.all_algorithms)
+    (a : Apps.app) : run list =
   let g = Apps.generate ~scale a in
   let loaded = Taj.load ~jobs (Codegen.to_input g) in
   List.map
-    (run_config ~jobs ~loaded ~truth:g.Codegen.g_truth ~app:a.Apps.name
-       ~scale)
+    (run_config ~jobs ~refine ~refine_k ~refine_steps ~loaded
+       ~truth:g.Codegen.g_truth ~app:a.Apps.name ~scale)
     algorithms
 
 (** {!run_app}, but a failure is returned as [(phase, error)] instead of
     raised — the machine-readable form the bench harness needs to emit
     failure rows with phase attribution. *)
-let run_app_result ?(scale = 0.05) ?(jobs = 1)
+let run_app_result ?(scale = 0.05) ?(jobs = 1) ?(refine = false)
+    ?(refine_k = 3) ?(refine_steps = 4096)
     ?(algorithms = Config.all_algorithms) (a : Apps.app) :
   (run list, string * string) result =
   match Apps.generate ~scale a with
@@ -107,8 +149,8 @@ let run_app_result ?(scale = 0.05) ?(jobs = 1)
      | loaded ->
        (match
           List.map
-            (run_config ~jobs ~loaded ~truth:g.Codegen.g_truth
-               ~app:a.Apps.name ~scale)
+            (run_config ~jobs ~refine ~refine_k ~refine_steps ~loaded
+               ~truth:g.Codegen.g_truth ~app:a.Apps.name ~scale)
             algorithms
         with
         | runs -> Ok runs

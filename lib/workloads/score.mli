@@ -11,6 +11,15 @@ type classification = {
 
 val accuracy : classification -> float
 
+type refined = {
+  confirmed_issues : int;
+  plausible_issues : int;
+  confirmed_tp : int;
+  confirmed_fp : int;
+      (** the headline precision metric: false positives among the
+          Confirmed subset vs. the overall false-positive count *)
+}
+
 type run = {
   r_app : string;
   r_algorithm : Core.Config.algorithm;
@@ -20,26 +29,35 @@ type run = {
   r_cg_nodes : int;
   r_classification : classification option;  (** None = did not complete *)
   r_phases : Core.Taj.phase_times option;    (** None = did not complete *)
+  r_refined : refined option;                (** None unless refine ran *)
 }
 
 (** Attribute each reported issue to its planted pattern and classify. *)
 val classify :
   Ground_truth.t -> Sdg.Builder.t -> Core.Report.t -> classification
 
+(** Classify a subset of a report's issues (used for per-verdict rates). *)
+val classify_issues :
+  Ground_truth.t -> Sdg.Builder.t -> Core.Report.issue_report list ->
+  classification
+
 val run_config :
-  ?jobs:int -> loaded:Core.Taj.loaded -> truth:Ground_truth.t ->
+  ?jobs:int -> ?refine:bool -> ?refine_k:int -> ?refine_steps:int ->
+  loaded:Core.Taj.loaded -> truth:Ground_truth.t ->
   app:string -> scale:float -> Core.Config.algorithm -> run
 
 (** Run the given configurations (default: all five) over one app.
     [jobs] sizes the worker pool inside each analysis (frontend parse and
     per-rule tabulation); default 1 = sequential. *)
 val run_app :
-  ?scale:float -> ?jobs:int -> ?algorithms:Core.Config.algorithm list ->
+  ?scale:float -> ?jobs:int -> ?refine:bool -> ?refine_k:int ->
+  ?refine_steps:int -> ?algorithms:Core.Config.algorithm list ->
   Apps.app -> run list
 
 (** {!run_app}, but a failure comes back as [Error (phase, error)] with
     [phase] one of ["generate"], ["frontend"], ["analysis"] — so partial
     bench runs stay machine-readable. *)
 val run_app_result :
-  ?scale:float -> ?jobs:int -> ?algorithms:Core.Config.algorithm list ->
+  ?scale:float -> ?jobs:int -> ?refine:bool -> ?refine_k:int ->
+  ?refine_steps:int -> ?algorithms:Core.Config.algorithm list ->
   Apps.app -> (run list, string * string) result

@@ -26,4 +26,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
       ("service", Test_service.suite);
-      ("securibench", Test_securibench.suite) ]
+      ("securibench", Test_securibench.suite);
+      ("refine", Test_refine.suite) ]

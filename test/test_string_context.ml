@@ -118,6 +118,56 @@ let test_hole_for_opaque_fragments () =
   Alcotest.(check bool) "still finds taint" true
     (List.exists (fun p -> p = String_context.Tainted) t)
 
+(* Classification edges on directly-constructed templates: what happens
+   when a Hole sits next to the Tainted piece, and the quote/bracket
+   states at the taint boundary. *)
+let test_classify_hole_adjacent () =
+  let open String_context in
+  (* a Hole before the taint hides the syntactic context entirely *)
+  Alcotest.(check bool) "hole-before-taint html" true
+    (html_context [ Hole; Tainted ] = Html_unknown);
+  Alcotest.(check bool) "hole-before-taint sql" true
+    (sql_context [ Hole; Tainted ] = Sql_unknown);
+  Alcotest.(check bool) "hole mid-prefix html" true
+    (html_context [ Lit "<b>"; Hole; Tainted ] = Html_unknown);
+  (* a Hole after the taint does not: the prefix is still known *)
+  Alcotest.(check bool) "hole-after-taint html" true
+    (html_context [ Lit "<b>"; Tainted; Hole ] = Html_text);
+  Alcotest.(check bool) "hole-after-taint sql" true
+    (sql_context [ Lit "WHERE n='"; Tainted; Hole ] = Sql_quoted)
+
+let test_classify_quote_edges () =
+  let open String_context in
+  (* open tag + open quote: attribute injection *)
+  Alcotest.(check bool) "attr" true
+    (html_context [ Lit "<a href=\""; Tainted; Lit "\">" ] = Html_attribute);
+  (* open tag but no quote: neither text nor a quoted attribute *)
+  Alcotest.(check bool) "unquoted in-tag" true
+    (html_context [ Lit "<img src="; Tainted ] = Html_unknown);
+  (* quote closed again before the taint: back to raw/text *)
+  Alcotest.(check bool) "quote closed html" true
+    (html_context [ Lit "<a href=\"x\">"; Tainted ] = Html_text);
+  Alcotest.(check bool) "quote closed sql" true
+    (sql_context [ Lit "SELECT 'x' WHERE id="; Tainted ] = Sql_raw)
+
+(* template reconstruction must also survive a flow whose taint travels
+   through a carrier collection, not just straight concatenation *)
+let test_template_through_carrier () =
+  let b, flows =
+    flows_of
+      [ {|class P extends HttpServlet {
+            public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+              Vector v = new Vector();
+              v.add(req.getParameter("n"));
+              String s = (String) v.get(0);
+              resp.getWriter().println("<i>" + s + "</i>");
+            }
+          }|} ]
+  in
+  let _, t = the_template b flows in
+  Alcotest.(check bool) "taint survives the carrier" true
+    (List.exists (fun p -> p = String_context.Tainted) t)
+
 let test_diagnose_strings () =
   let b, flows =
     flows_of
@@ -147,4 +197,9 @@ let suite =
     Alcotest.test_case "sql raw context" `Quick test_sql_raw_context;
     Alcotest.test_case "holes for opaque fragments" `Quick
       test_hole_for_opaque_fragments;
+    Alcotest.test_case "hole adjacent to taint" `Quick
+      test_classify_hole_adjacent;
+    Alcotest.test_case "quote/bracket edges" `Quick test_classify_quote_edges;
+    Alcotest.test_case "template through carrier" `Quick
+      test_template_through_carrier;
     Alcotest.test_case "diagnose" `Quick test_diagnose_strings ]
