@@ -626,6 +626,7 @@ let ablate_bound_kind () =
 
 let svc_clients = ref 4
 let svc_requests = ref 25
+let svc_cluster = ref false
 
 (* N concurrent synthetic clients hammer an in-process Serve.Service:
    latency percentiles (exact, over the collected sample) and the count
@@ -723,6 +724,73 @@ let service_bench () =
     (float_of_int (List.length rs) /. wall)
     (Serve.Service.clean_drain h)
 
+(* Cluster throughput: the same bimodal job mix pushed through the
+   multi-process coordinator at 1, 2 and 4 workers. Submission and the
+   supervision pump run on the main thread — the coordinator must stay
+   single-domain so its forks (initial and respawn) are safe — so this
+   measures end-to-end coordinator throughput, not client concurrency. *)
+let cluster_service_bench () =
+  header
+    (Printf.sprintf "Service cluster throughput: %d request(s) at 1/2/4 workers"
+       (!svc_clients * !svc_requests));
+  let inline_source =
+    {|class Cell { String v; }
+      class Page extends HttpServlet {
+        public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+          Cell c = new Cell();
+          c.v = req.getParameter("x");
+          resp.getWriter().println(c.v);
+        }
+      }|}
+  in
+  let total = !svc_clients * !svc_requests in
+  Printf.printf "%8s %10s %10s %10s %10s\n" "workers" "completed" "failed"
+    "wall(s)" "jobs/s";
+  List.iter
+    (fun size ->
+       let config =
+         { Serve.Cluster.default_config with
+           size;
+           announce = false;
+           service =
+             { Serve.Service.default_config with
+               workers = max 1 !jobs;
+               queue_cap = max 8 (2 * total);
+               seed = 42 } }
+       in
+       let c = Serve.Cluster.create ~config () in
+       let completed = ref 0 and failed = ref 0 and responses = ref 0 in
+       let respond r =
+         incr responses;
+         match r.Serve.Service.rp_status with
+         | Serve.Service.Completed | Serve.Service.Degraded ->
+           incr completed
+         | _ -> incr failed
+       in
+       let wall0 = Unix.gettimeofday () in
+       for i = 0 to total - 1 do
+         let id = Printf.sprintf "b%d" i in
+         let rq =
+           if i mod 4 = 0 then
+             Serve.Service.request ~app:"BlueBlog" ~scale:0.02 ~priority:2
+               id
+           else Serve.Service.request ~source:inline_source ~priority:1 id
+         in
+         Serve.Cluster.submit c rq ~respond;
+         (* interleave supervision so worker results drain while the
+            batch streams in *)
+         Serve.Cluster.pump c ~timeout:0.0
+       done;
+       while not (Serve.Cluster.idle c) do
+         Serve.Cluster.pump c ~timeout:0.02
+       done;
+       Serve.Cluster.await_drained c;
+       let wall = Unix.gettimeofday () -. wall0 in
+       Printf.printf "%8d %10d %10d %10.3f %10.1f\n" size !completed
+         !failed wall
+         (float_of_int !responses /. wall))
+    [ 1; 2; 4 ]
+
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -805,6 +873,9 @@ let () =
     | "--requests" :: v :: rest ->
       svc_requests := max 1 (int_of_string v);
       parse cmds rest
+    | "--cluster" :: rest ->
+      svc_cluster := true;
+      parse cmds rest
     | cmd :: rest -> parse (cmd :: cmds) rest
   in
   let cmds = List.rev (parse [] (List.tl args)) in
@@ -824,7 +895,8 @@ let () =
     | "securibench" -> securibench ()
     | "csv" -> csv ()
     | "inventory" -> inventory ()
-    | "service" -> service_bench ()
+    | "service" ->
+      if !svc_cluster then cluster_service_bench () else service_bench ()
     | "micro" -> micro ()
     | "all" ->
       table1 (); table2 (); table3 (); figure4 (); summary ();

@@ -915,9 +915,62 @@ let serve_cmd =
                 SITE@AFTER@ACTION[@once|every] with ACTION one of fail, \
                 transient, stall:SECONDS. For chaos testing only.")
   in
+  let cluster =
+    Arg.(value & opt int 0
+         & info [ "cluster" ] ~docv:"N"
+             ~doc:
+               "Shard the service over $(docv) worker processes, each a \
+                full single-process engine, under a supervising \
+                coordinator: jobs route by consistent hash of the \
+                application, a crashed worker's in-flight jobs are \
+                retried on peers, and the worker is respawned with \
+                exponential backoff behind a per-worker circuit breaker. \
+                0 (the default) serves single-process.")
+  in
+  let crash_retries =
+    Arg.(value & opt int 2
+         & info [ "crash-retries" ] ~docv:"N"
+             ~doc:
+               "Worker crashes a single job may survive before it is \
+                answered failed:worker_crashed (cluster mode).")
+  in
+  let respawn_base =
+    Arg.(value & opt float 0.2
+         & info [ "respawn-base" ] ~docv:"SECONDS"
+             ~doc:
+               "First respawn backoff for a crashed worker; doubles per \
+                consecutive crash (cluster mode).")
+  in
+  let respawn_max =
+    Arg.(value & opt float 5.0
+         & info [ "respawn-max" ] ~docv:"SECONDS"
+             ~doc:"Respawn backoff cap (cluster mode).")
+  in
+  let ring_replicas =
+    Arg.(value & opt int 32
+         & info [ "ring-replicas" ] ~docv:"N"
+             ~doc:
+               "Virtual nodes per worker on the consistent-hash routing \
+                ring (cluster mode).")
+  in
+  let worker_breaker_threshold =
+    Arg.(value & opt int 3
+         & info [ "worker-breaker-threshold" ] ~docv:"N"
+             ~doc:
+               "Consecutive crashes that open a worker's circuit breaker \
+                and take it out of the routing ring (cluster mode).")
+  in
+  let worker_breaker_cooldown =
+    Arg.(value & opt float 5.0
+         & info [ "worker-breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:
+               "Open worker-breaker cooldown before one probe job is \
+                routed to it again (cluster mode).")
+  in
   let run socket workers job_jobs queue_cap max_retries retry_base seed
-      breaker_threshold breaker_cooldown mem_soft_mb drain_grace arms trace
-      metrics =
+      breaker_threshold breaker_cooldown mem_soft_mb drain_grace arms
+      cluster crash_retries respawn_base respawn_max ring_replicas
+      worker_breaker_threshold worker_breaker_cooldown trace metrics =
     telemetry_setup ~trace ~metrics;
     List.iter
       (fun (site, after, action, once) ->
@@ -929,6 +982,45 @@ let serve_cmd =
         breaker_threshold; breaker_cooldown;
         mem_soft_limit_mb = mem_soft_mb; drain_grace }
     in
+    if cluster > 0 then begin
+      (* telemetry is enabled (or not) before the fork so workers
+         inherit the flag; each writes its own trace file at drain and
+         the coordinator merges them *)
+      let ccfg =
+        { Serve.Cluster.default_config with
+          size = cluster; ring_replicas; crash_retries;
+          respawn_base; respawn_max;
+          worker_breaker_threshold; worker_breaker_cooldown;
+          worker_trace_prefix = trace; service = config }
+      in
+      let c = Serve.Cluster.create ~config:ccfg () in
+      let h =
+        match socket with
+        | Some path ->
+          (try Serve.Cluster.run_socket c path
+           with Unix.Unix_error (e, fn, arg) ->
+             Printf.eprintf "error: cannot serve on %s: %s (%s %s)\n" path
+               (Unix.error_message e) fn arg;
+             exit 1)
+        | None -> Serve.Cluster.run_stdio c
+      in
+      (match trace with
+       | Some path ->
+         Serve.Cluster.write_merged_trace c path;
+         Printf.eprintf "merged trace written to %s\n" path
+       | None -> ());
+      if metrics then Fmt.epr "%a@." Obs.Telemetry.pp_metrics ();
+      Printf.eprintf
+        "drained: cluster %d: %d completed, %d degraded, %d failed, %d \
+         rejected, %d shed; %d worker crash(es), %d respawn(s), %d \
+         rerouted, %d crash-failed\n"
+        h.Serve.Cluster.ch_size h.Serve.Cluster.ch_completed
+        h.Serve.Cluster.ch_degraded h.Serve.Cluster.ch_failed
+        h.Serve.Cluster.ch_rejected h.Serve.Cluster.ch_shed
+        h.Serve.Cluster.ch_crashes h.Serve.Cluster.ch_respawns
+        h.Serve.Cluster.ch_rerouted h.Serve.Cluster.ch_crash_failed;
+      if Serve.Cluster.clean_drain h then exit 0 else exit 5
+    end;
     let service = Serve.Service.create ~config () in
     let h =
       match socket with
@@ -969,6 +1061,16 @@ let serve_cmd =
         "On SIGINT, SIGTERM or end of input the service drains: it stops \
          admitting, finishes every admitted job, and writes a final \
          health snapshot line ($(b,event)=health).";
+      `P
+        "With $(b,--cluster) N the same protocol is served by a \
+         coordinator supervising N forked worker processes. Jobs route \
+         by consistent hash of the application so repeated submissions \
+         hit a warm worker; a worker killed mid-job (segfault, OOM, \
+         kill -9) has its in-flight jobs retried on peers up to \
+         $(b,--crash-retries) times (then answered \
+         failed:worker_crashed) and is respawned with exponential \
+         backoff behind a per-worker circuit breaker. The final health \
+         line aggregates per-worker counters.";
       `S Manpage.s_exit_status;
       `P "0 on a clean drain: every admitted job ran to a terminal state \
           and none was shed or turned away by a full queue.";
@@ -987,7 +1089,10 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(const run $ socket $ workers $ job_jobs $ queue_cap $ max_retries
           $ retry_base $ seed $ breaker_threshold $ breaker_cooldown
-          $ mem_soft_mb $ drain_grace $ arms $ trace_file $ metrics_flag)
+          $ mem_soft_mb $ drain_grace $ arms $ cluster $ crash_retries
+          $ respawn_base $ respawn_max $ ring_replicas
+          $ worker_breaker_threshold $ worker_breaker_cooldown
+          $ trace_file $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 

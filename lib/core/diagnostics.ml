@@ -39,6 +39,26 @@ type degradation =
   | Breaker_transition of { key : string; state : string }
   | Resource_pressure of { level : int; heap_mb : int }
   | Ir_violation of { meth : string; where : string; message : string }
+  | Worker_spawned of { worker : int; pid : int }
+  | Worker_exited of {
+      worker : int;
+      pid : int;
+      reason : string;
+      in_flight : int;
+    }
+  | Worker_respawned of {
+      worker : int;
+      pid : int;
+      crashes : int;
+      backoff : float;
+    }
+  | Job_rerouted of {
+      job : string;
+      from_worker : int;
+      crashes : int;
+      delay : float;
+    }
+  | Client_disconnected of { peer : string; error : string }
 
 let pp_degradation ppf = function
   | Deadline_expired { phase; elapsed } ->
@@ -70,6 +90,19 @@ let pp_degradation ppf = function
     Fmt.pf ppf "memory pressure level %d (heap %d MB)" level heap_mb
   | Ir_violation { meth; where; message } ->
     Fmt.pf ppf "IR verification failed in %s at %s: %s" meth where message
+  | Worker_spawned { worker; pid } ->
+    Fmt.pf ppf "worker %d spawned (pid %d)" worker pid
+  | Worker_exited { worker; pid; reason; in_flight } ->
+    Fmt.pf ppf "worker %d (pid %d) exited: %s (%d job(s) in flight)" worker
+      pid reason in_flight
+  | Worker_respawned { worker; pid; crashes; backoff } ->
+    Fmt.pf ppf "worker %d respawned (pid %d) after %d crash(es), backoff %.3fs"
+      worker pid crashes backoff
+  | Job_rerouted { job; from_worker; crashes; delay } ->
+    Fmt.pf ppf "job %s rerouted off crashed worker %d (crash %d, delay %.3fs)"
+      job from_worker crashes delay
+  | Client_disconnected { peer; error } ->
+    Fmt.pf ppf "client %s disconnected mid-response (%s)" peer error
 
 (* A stable machine-readable tag per constructor, for the CLI's JSON
    diagnostics block and the telemetry instant-event names. *)
@@ -86,6 +119,11 @@ let kind_name = function
   | Breaker_transition _ -> "breaker-transition"
   | Resource_pressure _ -> "resource-pressure"
   | Ir_violation _ -> "ir-violation"
+  | Worker_spawned _ -> "worker-spawned"
+  | Worker_exited _ -> "worker-exited"
+  | Worker_respawned _ -> "worker-respawned"
+  | Job_rerouted _ -> "job-rerouted"
+  | Client_disconnected _ -> "client-disconnected"
 
 type t = { mutable rev_events : degradation list }
 

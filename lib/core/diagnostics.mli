@@ -37,6 +37,29 @@ type degradation =
   | Ir_violation of { meth : string; where : string; message : string }
       (** [--verify-ir]: the loaded program failed an IR well-formedness
           check *)
+  | Worker_spawned of { worker : int; pid : int }
+      (** the cluster coordinator forked a worker process *)
+  | Worker_exited of {
+      worker : int;
+      pid : int;
+      reason : string;
+      in_flight : int;
+    }  (** a worker process died (or drained); [in_flight] jobs were on it *)
+  | Worker_respawned of {
+      worker : int;
+      pid : int;
+      crashes : int;
+      backoff : float;
+    }  (** a crashed worker slot was refilled after its respawn backoff *)
+  | Job_rerouted of {
+      job : string;
+      from_worker : int;
+      crashes : int;
+      delay : float;
+    }  (** an in-flight job survived a worker crash and goes to a peer *)
+  | Client_disconnected of { peer : string; error : string }
+      (** a transport client vanished mid-response ([EPIPE]); responses to
+          it are dropped, the jobs stay terminal on the server side *)
 
 (** An append-only event log, recorded in arrival order. *)
 type t

@@ -76,7 +76,10 @@ let severity_name = function
     transient — are worth a retry. *)
 let classify : exn -> severity = function
   | Injected_transient _ -> Transient
-  | Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK | ECONNRESET), _, _) ->
+  | Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK | ECONNRESET | EPIPE), _, _)
+    ->
+    (* EPIPE: the peer process (a crashed cluster worker) went away under
+       us — the job itself is fine and is worth a retry elsewhere *)
     Transient
   | Out_of_memory -> Transient      (* pressure may subside between tries *)
   | Injected _ | Stack_overflow | _ -> Permanent

@@ -29,9 +29,10 @@ val site_worker : string
     job deterministically regardless of worker scheduling. *)
 val site_job : string -> string
 
-(** Retry taxonomy: [Transient] failures (interrupted syscalls, transient
-    resource exhaustion, faults injected as transient) are worth a retry;
-    [Permanent] ones (anything the deterministic analysis raises) are not. *)
+(** Retry taxonomy: [Transient] failures (interrupted syscalls, broken
+    pipes to a crashed peer process, transient resource exhaustion, faults
+    injected as transient) are worth a retry; [Permanent] ones (anything
+    the deterministic analysis raises) are not. *)
 type severity =
   | Transient
   | Permanent

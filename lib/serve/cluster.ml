@@ -1,0 +1,938 @@
+(** Sharded multi-process analysis cluster: a coordinator that forks N
+    worker processes, each running the single-process {!Service} engine,
+    and supervises them so a hard worker crash (segfault, OOM kill,
+    [kill -9]) is an ordinary recoverable event instead of the end of the
+    service.
+
+    Topology and responsibilities:
+
+    - {e Routing}: jobs are routed by consistent hash of {!Service.job_key}
+      (application name, or a hash of the inline source) over a ring of
+      virtual nodes, so repeated submissions of one application land on the
+      same warm worker and adding/removing a worker only moves the keys
+      adjacent to it.
+    - {e Supervision}: each worker talks to the coordinator over a
+      socketpair carrying {!Proto} frames. A crash is detected by EOF on
+      that socketpair (and confirmed by [waitpid]); the worker slot enters
+      a down state and is respawned after an exponential per-slot backoff.
+      A per-worker {!Breaker} (keys ["worker-<i>"]) takes a crash-looping
+      worker out of the routing ring until its cooldown probe succeeds.
+    - {e Zero lost jobs}: the coordinator keeps every dispatched job in an
+      in-flight table until its [Result] frame arrives. Jobs in flight on
+      a crashed worker are classified with {!Core.Fault.classify} (a dead
+      peer is a transient infrastructure failure) and rerouted to a peer
+      after the service's seeded backoff, up to [crash_retries] crashes;
+      beyond that they are answered [failed:worker_crashed]. Every
+      submitted job still reaches exactly one terminal response.
+    - {e Drain}: on SIGTERM/SIGINT or end of input the coordinator stops
+      admitting, flushes pending reroutes, sends each worker a [Drain]
+      frame; workers drain their engines, emit a final [Health] frame and
+      exit 0; the coordinator reaps them and aggregates a cluster health
+      snapshot with per-worker counters.
+
+    The coordinator deliberately runs no domains of its own — it is a
+    single-threaded select pump — so [Unix.fork] stays safe not only at
+    startup but at every respawn. *)
+
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  size : int;                      (** worker processes *)
+  ring_replicas : int;             (** virtual nodes per worker *)
+  crash_retries : int;             (** worker crashes one job survives *)
+  respawn_base : float;            (** first respawn backoff, seconds *)
+  respawn_factor : float;
+  respawn_max : float;
+  worker_breaker_threshold : int;  (** consecutive crashes to open *)
+  worker_breaker_cooldown : float;
+  worker_trace_prefix : string option;
+      (** [Some p]: worker [i] writes its telemetry trace to
+          [p ^ ".worker-<i>.json"] at drain, for {!merged_trace} *)
+  announce : bool;                 (** log lifecycle lines to stderr *)
+  service : Service.config;        (** per-worker engine configuration *)
+}
+
+let default_config =
+  { size = 2; ring_replicas = 32; crash_retries = 2;
+    respawn_base = 0.2; respawn_factor = 2.0; respawn_max = 5.0;
+    worker_breaker_threshold = 3; worker_breaker_cooldown = 5.0;
+    worker_trace_prefix = None; announce = true;
+    service = Service.default_config }
+
+(** Pure per-slot respawn schedule: exponential in the number of
+    consecutive crashes, capped. *)
+let respawn_delay cfg ~crashes =
+  let exp =
+    cfg.respawn_base *. (cfg.respawn_factor ** float_of_int (max 0 crashes - 1))
+  in
+  Float.min cfg.respawn_max exp
+
+(* ------------------------------------------------------------------ *)
+(* State                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cjob = {
+  cj_req : Service.request;
+  cj_respond : Service.response -> unit;
+  cj_submitted : float;
+  mutable cj_crashes : int;        (* worker crashes survived so far *)
+}
+
+type slot_state =
+  | Up
+  | Down of float                  (* respawn due at this clock value *)
+
+type slot = {
+  s_index : int;
+  mutable s_pid : int;
+  mutable s_fd : Unix.file_descr;
+  mutable s_reader : Proto.reader;
+  mutable s_state : slot_state;
+  mutable s_crashes : int;         (* consecutive, reset on a result *)
+  mutable s_spawns : int;
+  mutable s_drain_sent : bool;
+  mutable s_reaped : bool;
+  mutable s_health : Service.health option;
+  s_inflight : (string, cjob) Hashtbl.t;
+}
+
+type t = {
+  cfg : config;
+  started_at : float;
+  slots : slot array;
+  ring : (int * int) array;        (* (hash point, worker index), sorted *)
+  breaker : Breaker.t;
+  diagnostics : Diagnostics.t;
+  diag_lock : Mutex.t;
+  mutable pending : (float * cjob) list;  (* reroutes waiting on backoff *)
+  mutable draining : bool;
+  sig_drain : bool Atomic.t;
+  (* terminal-response accounting, for the aggregated health snapshot *)
+  mutable n_submitted : int;
+  mutable n_completed : int;
+  mutable n_degraded : int;
+  mutable n_failed : int;
+  mutable n_rejected : int;
+  mutable n_shed : int;            (* responses with reason "shed" *)
+  mutable n_rejected_full : int;   (* responses with reason "queue_full" *)
+  mutable n_crashes : int;
+  mutable n_respawns : int;
+  mutable n_rerouted : int;
+  mutable n_crash_failed : int;
+}
+
+let now t = t.cfg.service.Service.now ()
+
+let record_diag t d =
+  Mutex.lock t.diag_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.diag_lock)
+    (fun () -> Diagnostics.record t.diagnostics d)
+
+let announce t fmt =
+  if t.cfg.announce then Printf.eprintf ("cluster: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* ------------------------------------------------------------------ *)
+(* Worker process                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let worker_trace_file cfg index =
+  Option.map
+    (fun p -> Printf.sprintf "%s.worker-%d.json" p index)
+    cfg.worker_trace_prefix
+
+(* Runs in the forked child; never returns. The engine (and its domains)
+   is created only after the fork — the child starts single-domain. All
+   communication with the coordinator is Proto frames on [fd]; stdio is
+   inherited but never written to, so cluster stdout stays the
+   coordinator's alone. *)
+let worker_main cfg ~index fd : 'a =
+  Io.ignore_sigpipe ();
+  (* drain is driven by the coordinator (Drain frame / EOF), not by the
+     terminal's signal broadcast: a ^C must not make workers race their
+     coordinator's orderly drain *)
+  Sys.set_signal Sys.sigterm Sys.Signal_ignore;
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  let exit_code = ref 0 in
+  (try
+     let service = Service.create ~config:cfg.service () in
+     let wlock = Mutex.create () in
+     let send m =
+       Mutex.lock wlock;
+       Fun.protect
+         ~finally:(fun () -> Mutex.unlock wlock)
+         (fun () ->
+            try Proto.write fd m
+            with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+              (* coordinator gone: nothing left to report to *)
+              ())
+     in
+     let reader = Proto.reader fd in
+     let rec pump () =
+       match Proto.read_block reader with
+       | `Msg (Proto.Job rq) ->
+         Service.submit service rq ~respond:(fun r ->
+           send (Proto.Result r));
+         pump ()
+       | `Msg Proto.Drain | `Eof | `Error _ -> ()
+       | `Msg _ -> pump ()
+     in
+     pump ();
+     Service.request_drain service;
+     Service.await_drained service;
+     (match worker_trace_file cfg index with
+      | Some path when Obs.Telemetry.enabled () ->
+        (try Obs.Telemetry.write_trace path with Sys_error _ -> ())
+      | _ -> ());
+     send (Proto.Health (Service.health service));
+     (try Unix.close fd with Unix.Unix_error _ -> ())
+   with e ->
+     Printf.eprintf "cluster: worker %d fatal: %s\n%!" index
+       (Printexc.to_string e);
+     exit_code := 1);
+  (* _exit, not exit: at-exit handlers and stdio buffers inherited from
+     the coordinator must not run/flush twice *)
+  Unix._exit !exit_code
+
+let spawn_slot t (s : slot) =
+  flush stdout;
+  flush stderr;
+  let parent_fd, child_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  match Unix.fork () with
+  | 0 ->
+    (try Unix.close parent_fd with Unix.Unix_error _ -> ());
+    (* drop the other workers' pipe ends so their EOF semantics are owned
+       by the coordinator alone *)
+    Array.iter
+      (fun (o : slot) ->
+         if o.s_index <> s.s_index && o.s_state = Up then
+           try Unix.close o.s_fd with Unix.Unix_error _ -> ())
+      t.slots;
+    worker_main t.cfg ~index:s.s_index child_fd
+  | pid ->
+    (try Unix.close child_fd with Unix.Unix_error _ -> ());
+    s.s_pid <- pid;
+    s.s_fd <- parent_fd;
+    s.s_reader <- Proto.reader parent_fd;
+    s.s_state <- Up;
+    s.s_spawns <- s.s_spawns + 1;
+    s.s_drain_sent <- false;
+    s.s_reaped <- false;
+    s.s_health <- None
+
+(* ------------------------------------------------------------------ *)
+(* Consistent-hash ring                                               *)
+(* ------------------------------------------------------------------ *)
+
+let build_ring ~size ~replicas =
+  let points =
+    Array.init (size * replicas) (fun i ->
+      let w = i / replicas and r = i mod replicas in
+      (Hashtbl.hash ("cluster-ring", w, r), w))
+  in
+  Array.sort compare points;
+  points
+
+(* First ring point at or after the key's hash (wrapping), then the ring
+   order of distinct workers from there: the routing preference list. *)
+let ring_order ring ~size key =
+  let h = Hashtbl.hash key in
+  let n = Array.length ring in
+  let start =
+    (* binary search: least index with point >= h, else 0 (wrap) *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst ring.(mid) < h then lo := mid + 1 else hi := mid
+    done;
+    if !lo = n then 0 else !lo
+  in
+  let seen = Array.make size false in
+  let order = ref [] in
+  let found = ref 0 in
+  let i = ref start in
+  while !found < size do
+    let _, w = ring.(!i mod n) in
+    if not seen.(w) then begin
+      seen.(w) <- true;
+      order := w :: !order;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !order
+
+(* ------------------------------------------------------------------ *)
+(* Creation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let worker_key i = Printf.sprintf "worker-%d" i
+
+let create ?(config = default_config) () =
+  let config = { config with size = max 1 config.size } in
+  Io.ignore_sigpipe ();
+  let t =
+    { cfg = config;
+      started_at = config.service.Service.now ();
+      slots =
+        Array.init config.size (fun i ->
+          { s_index = i; s_pid = 0; s_fd = Unix.stdin;
+            s_reader = Proto.reader Unix.stdin; s_state = Down 0.0;
+            s_crashes = 0; s_spawns = 0; s_drain_sent = false;
+            s_reaped = true; s_health = None;
+            s_inflight = Hashtbl.create 16 });
+      ring = build_ring ~size:config.size ~replicas:(max 1 config.ring_replicas);
+      breaker =
+        Breaker.create ~now:config.service.Service.now
+          ~threshold:config.worker_breaker_threshold
+          ~cooldown:config.worker_breaker_cooldown ();
+      diagnostics = Diagnostics.create ();
+      diag_lock = Mutex.create ();
+      pending = []; draining = false; sig_drain = Atomic.make false;
+      n_submitted = 0; n_completed = 0; n_degraded = 0; n_failed = 0;
+      n_rejected = 0; n_shed = 0; n_rejected_full = 0;
+      n_crashes = 0; n_respawns = 0; n_rerouted = 0; n_crash_failed = 0 }
+  in
+  Array.iter
+    (fun s ->
+       spawn_slot t s;
+       record_diag t
+         (Diagnostics.Worker_spawned { worker = s.s_index; pid = s.s_pid });
+       announce t "worker %d spawned (pid %d)" s.s_index s.s_pid)
+    t.slots;
+  t
+
+let worker_pids t =
+  Array.to_list t.slots
+  |> List.filter_map (fun s ->
+    if s.s_state = Up then Some s.s_pid else None)
+
+let route t key =
+  match ring_order t.ring ~size:t.cfg.size key with
+  | w :: _ -> w
+  | [] -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Terminal accounting                                                *)
+(* ------------------------------------------------------------------ *)
+
+let answer t (cj : cjob) (r : Service.response) =
+  (match r.Service.rp_status with
+   | Service.Completed -> t.n_completed <- t.n_completed + 1
+   | Service.Degraded -> t.n_degraded <- t.n_degraded + 1
+   | Service.Failed -> t.n_failed <- t.n_failed + 1
+   | Service.Rejected ->
+     t.n_rejected <- t.n_rejected + 1;
+     (match r.Service.rp_reason with
+      | "shed" -> t.n_shed <- t.n_shed + 1
+      | "queue_full" -> t.n_rejected_full <- t.n_rejected_full + 1
+      | _ -> ()));
+  cj.cj_respond r
+
+let synth_response t (cj : cjob) status reason =
+  { Service.rp_id = cj.cj_req.Service.rq_id; rp_status = status;
+    rp_reason = reason; rp_issues = 0; rp_attempts = cj.cj_crashes;
+    rp_degradations = 0; rp_seconds = now t -. cj.cj_submitted }
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch and crash handling                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* First worker in ring preference order that is up and whose breaker
+   admits this job (a [`Probe] admission MUST be used — the acquire call
+   seized the half-open probe slot for this job id). *)
+let choose_slot t (cj : cjob) =
+  let key = Service.job_key cj.cj_req in
+  let job = cj.cj_req.Service.rq_id in
+  List.find_map
+    (fun w ->
+       let s = t.slots.(w) in
+       if s.s_state <> Up || s.s_drain_sent then None
+       else
+         match Breaker.acquire ~job t.breaker (worker_key w) with
+         | `Proceed | `Probe -> Some s
+         | `Fast_fail -> None)
+    (ring_order t.ring ~size:t.cfg.size key)
+
+let rec dispatch t (cj : cjob) =
+  match choose_slot t cj with
+  | None ->
+    if t.draining then
+      answer t cj (synth_response t cj Service.Failed "worker_crashed")
+    else begin
+      (* whole cluster momentarily unroutable (crash storm / breakers
+         open): park the job and let the pump retry it shortly *)
+      t.pending <- (now t +. 0.05, cj) :: t.pending
+    end
+  | Some s ->
+    (* Hashtbl.add, not replace: duplicate client ids are two distinct
+       jobs and each must keep its own terminal answer *)
+    Hashtbl.add s.s_inflight cj.cj_req.Service.rq_id cj;
+    (match Proto.write s.s_fd (Proto.Job cj.cj_req) with
+     | () -> ()
+     | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+       (* found dead before waitpid/EOF did; [slot_died] reroutes the
+          in-flight jobs — including the one just added *)
+       slot_died t s ~reason:"write failed")
+
+(* A worker is gone: fail its breaker, reroute or fail its in-flight
+   jobs, and schedule the respawn. [reason] is diagnostic text. *)
+and slot_died t (s : slot) ~reason =
+  if s.s_state = Up then begin
+    let inflight = Hashtbl.fold (fun _ cj acc -> cj :: acc) s.s_inflight [] in
+    Hashtbl.reset s.s_inflight;
+    t.n_crashes <- t.n_crashes + 1;
+    s.s_crashes <- s.s_crashes + 1;
+    ignore (Breaker.failure t.breaker (worker_key s.s_index));
+    (try Unix.close s.s_fd with Unix.Unix_error _ -> ());
+    reap t s;
+    let delay = respawn_delay t.cfg ~crashes:s.s_crashes in
+    s.s_state <- Down (now t +. delay);
+    record_diag t
+      (Diagnostics.Worker_exited
+         { worker = s.s_index; pid = s.s_pid; reason;
+           in_flight = List.length inflight });
+    announce t "worker %d (pid %d) died: %s, %d in flight, respawn in %.3fs"
+      s.s_index s.s_pid reason (List.length inflight) delay;
+    List.iter
+      (fun cj ->
+         cj.cj_crashes <- cj.cj_crashes + 1;
+         (* a dead peer is the moral equivalent of a reset connection:
+            classify it with the shared taxonomy so cluster retry policy
+            and single-process retry policy can never drift apart *)
+         let severity =
+           Fault.classify (Unix.Unix_error (Unix.EPIPE, "worker", reason))
+         in
+         if
+           severity = Fault.Transient
+           && cj.cj_crashes <= t.cfg.crash_retries
+           && not t.draining
+         then begin
+           let delay =
+             Service.backoff_delay t.cfg.service
+               ~id:cj.cj_req.Service.rq_id ~attempt:cj.cj_crashes
+           in
+           t.n_rerouted <- t.n_rerouted + 1;
+           record_diag t
+             (Diagnostics.Job_rerouted
+                { job = cj.cj_req.Service.rq_id; from_worker = s.s_index;
+                  crashes = cj.cj_crashes; delay });
+           t.pending <- (now t +. delay, cj) :: t.pending
+         end
+         else begin
+           t.n_crash_failed <- t.n_crash_failed + 1;
+           answer t cj (synth_response t cj Service.Failed "worker_crashed")
+         end)
+      inflight
+  end
+
+and reap _t (s : slot) =
+  if not s.s_reaped then begin
+    (* the fd is closed (EOF seen or close forced), so the child is dead
+       or moments from it; make sure, then wait without hanging *)
+    (try Unix.kill s.s_pid Sys.sigkill
+     with Unix.Unix_error (Unix.ESRCH, _, _) -> ());
+    (try ignore (Io.retry_eintr (fun () -> Unix.waitpid [] s.s_pid))
+     with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+    s.s_reaped <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Event pump                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle_msg t (s : slot) = function
+  | Proto.Result r ->
+    (match Hashtbl.find_opt s.s_inflight r.Service.rp_id with
+     | None -> () (* response for a job already answered elsewhere *)
+     | Some cj ->
+       Hashtbl.remove s.s_inflight r.Service.rp_id;
+       s.s_crashes <- 0;
+       Breaker.success t.breaker (worker_key s.s_index);
+       answer t cj r)
+  | Proto.Health h -> s.s_health <- Some h
+  | Proto.Job _ | Proto.Drain -> () (* coordinator-bound only *)
+
+let drain_slot_frames t (s : slot) =
+  let rec go () =
+    match Proto.read_nonblock s.s_reader with
+    | `Msg m -> handle_msg t s m; go ()
+    | `Pending -> ()
+    | `Eof | `Error _ ->
+      if t.draining && s.s_health <> None then begin
+        (* orderly exit after its final health frame *)
+        (try Unix.close s.s_fd with Unix.Unix_error _ -> ());
+        reap t s;
+        if s.s_state = Up then s.s_state <- Down infinity;
+        record_diag t
+          (Diagnostics.Worker_exited
+             { worker = s.s_index; pid = s.s_pid; reason = "drained";
+               in_flight = 0 })
+      end
+      else slot_died t s ~reason:"pipe closed"
+  in
+  if s.s_state = Up then go ()
+
+let respawn_due t =
+  if not t.draining then
+    Array.iter
+      (fun s ->
+         match s.s_state with
+         | Down due when now t >= due && due < infinity ->
+           spawn_slot t s;
+           t.n_respawns <- t.n_respawns + 1;
+           record_diag t
+             (Diagnostics.Worker_respawned
+                { worker = s.s_index; pid = s.s_pid;
+                  crashes = s.s_crashes;
+                  backoff = respawn_delay t.cfg ~crashes:s.s_crashes });
+           announce t "worker %d respawned (pid %d) after %d crash(es)"
+             s.s_index s.s_pid s.s_crashes
+         | _ -> ())
+      t.slots
+
+let flush_pending t ~force =
+  let tnow = now t in
+  let due, later =
+    List.partition (fun (d, _) -> force || tnow >= d) t.pending
+  in
+  t.pending <- later;
+  List.iter (fun (_, cj) -> dispatch t cj) due
+
+(** One supervision step: poll worker pipes (crash detection included),
+    deliver due reroutes, refill due respawn slots. [timeout] bounds the
+    select wait; keep it small when interleaving with a transport. *)
+let pump t ~timeout =
+  let fds =
+    Array.to_list t.slots
+    |> List.filter_map (fun s ->
+      if s.s_state = Up then Some s.s_fd else None)
+  in
+  (* wake early if a reroute or respawn comes due before [timeout] *)
+  let tnow = now t in
+  let next_due =
+    List.fold_left
+      (fun a (d, _) -> Float.min a d)
+      (Array.fold_left
+         (fun a s ->
+            match s.s_state with
+            | Down due when due < infinity -> Float.min a due
+            | _ -> a)
+         infinity t.slots)
+      t.pending
+  in
+  let timeout =
+    if next_due = infinity then timeout
+    else Float.max 0.0 (Float.min timeout (next_due -. tnow))
+  in
+  let ready, _, _ = if fds = [] then ([], [], []) else Io.select fds [] [] timeout in
+  if fds = [] && timeout > 0.0 then t.cfg.service.Service.sleep (Float.min timeout 0.05);
+  List.iter
+    (fun fd ->
+       match
+         Array.to_list t.slots
+         |> List.find_opt (fun s -> s.s_state = Up && s.s_fd = fd)
+       with
+       | Some s -> drain_slot_frames t s
+       | None -> ())
+    ready;
+  (* catch a death whose EOF we haven't selected yet (e.g. no inflight
+     traffic): waitpid with WNOHANG is cheap and definitive *)
+  Array.iter
+    (fun s ->
+       if s.s_state = Up then
+         match Unix.waitpid [ Unix.WNOHANG ] s.s_pid with
+         | 0, _ -> ()
+         | _, _ ->
+           s.s_reaped <- true;
+           drain_slot_frames t s;
+           (* if the remaining frames didn't conclude drain, it died *)
+           if s.s_state = Up then slot_died t s ~reason:"process exited"
+         | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+           s.s_reaped <- true;
+           if s.s_state = Up then slot_died t s ~reason:"process exited")
+    t.slots;
+  respawn_due t;
+  flush_pending t ~force:false
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let submit t rq ~respond =
+  t.n_submitted <- t.n_submitted + 1;
+  let cj =
+    { cj_req = rq; cj_respond = respond; cj_submitted = now t;
+      cj_crashes = 0 }
+  in
+  if t.draining then
+    answer t cj (synth_response t cj Service.Rejected "draining")
+  else dispatch t cj
+
+let inflight_count t =
+  Array.fold_left (fun a s -> a + Hashtbl.length s.s_inflight) 0 t.slots
+
+let idle t = inflight_count t = 0 && t.pending = []
+
+(* ------------------------------------------------------------------ *)
+(* Drain                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let install_signals t =
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set t.sig_drain true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler
+
+let signal_pending t = Atomic.get t.sig_drain
+
+let request_drain t =
+  if not t.draining then begin
+    (* give parked reroutes their last chance on live workers before the
+       drain frames go out *)
+    flush_pending t ~force:true;
+    t.draining <- true;
+    Array.iter
+      (fun s ->
+         if s.s_state = Up && not s.s_drain_sent then begin
+           s.s_drain_sent <- true;
+           match Proto.write s.s_fd Proto.Drain with
+           | () -> ()
+           | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _)
+             ->
+             slot_died t s ~reason:"write failed"
+         end)
+      t.slots;
+    (* jobs that were parked because no worker would take them can no
+       longer be rerouted: answer them *)
+    flush_pending t ~force:true
+  end
+
+let drained t =
+  t.pending = []
+  && Array.for_all
+       (fun s -> s.s_state <> Up && Hashtbl.length s.s_inflight = 0)
+       t.slots
+
+let await_drained t =
+  request_drain t;
+  let deadline =
+    now t +. Option.value ~default:60.0 t.cfg.service.Service.drain_grace
+            +. 30.0
+  in
+  while (not (drained t)) && now t < deadline do
+    pump t ~timeout:0.1;
+    (* during drain a crashed worker's jobs are failed directly, but new
+       drain frames are never sent to respawns (none happen: respawn_due
+       is a no-op while draining) *)
+    Array.iter
+      (fun s ->
+         if s.s_state = Up && not s.s_drain_sent then begin
+           s.s_drain_sent <- true;
+           try Proto.write s.s_fd Proto.Drain
+           with Unix.Unix_error _ -> slot_died t s ~reason:"write failed"
+         end)
+      t.slots
+  done;
+  (* hard stop for anything that outlived the grace *)
+  Array.iter
+    (fun s ->
+       if s.s_state = Up then slot_died t s ~reason:"drain timeout")
+    t.slots;
+  flush_pending t ~force:true;
+  Array.iter (fun s -> reap t s) t.slots
+
+(* ------------------------------------------------------------------ *)
+(* Health                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type worker_health = {
+  wh_index : int;
+  wh_pid : int;
+  wh_up : bool;
+  wh_crashes : int;                (** consecutive, at snapshot time *)
+  wh_spawns : int;
+  wh_health : Service.health option;
+}
+
+type health = {
+  ch_uptime : float;
+  ch_size : int;
+  ch_submitted : int;
+  ch_completed : int;
+  ch_degraded : int;
+  ch_failed : int;
+  ch_rejected : int;
+  ch_shed : int;
+  ch_rejected_full : int;
+  ch_crashes : int;
+  ch_respawns : int;
+  ch_rerouted : int;
+  ch_crash_failed : int;
+  ch_workers : worker_health list;
+}
+
+let health t =
+  { ch_uptime = now t -. t.started_at;
+    ch_size = t.cfg.size;
+    ch_submitted = t.n_submitted;
+    ch_completed = t.n_completed;
+    ch_degraded = t.n_degraded;
+    ch_failed = t.n_failed;
+    ch_rejected = t.n_rejected;
+    ch_shed = t.n_shed;
+    ch_rejected_full = t.n_rejected_full;
+    ch_crashes = t.n_crashes;
+    ch_respawns = t.n_respawns;
+    ch_rerouted = t.n_rerouted;
+    ch_crash_failed = t.n_crash_failed;
+    ch_workers =
+      Array.to_list t.slots
+      |> List.map (fun s ->
+        { wh_index = s.s_index; wh_pid = s.s_pid;
+          wh_up = (s.s_state = Up); wh_crashes = s.s_crashes;
+          wh_spawns = s.s_spawns; wh_health = s.s_health }) }
+
+(** Same promise as the single-process service: clean when no admitted
+    job was shed and none was turned away by a full worker queue. Crash
+    recovery (reroutes, respawns, even crash-failed jobs) does not make a
+    drain unclean — those jobs got terminal answers. *)
+let clean_drain h = h.ch_shed = 0 && h.ch_rejected_full = 0
+
+let health_json (h : health) =
+  let num n = Json.Num (float_of_int n) in
+  Json.to_string
+    (Json.Obj
+       [ ("event", Json.Str "health");
+         ("cluster", num h.ch_size);
+         ("uptime", Json.Num (Float.round (h.ch_uptime *. 1000.) /. 1000.));
+         ("submitted", num h.ch_submitted);
+         ("completed", num h.ch_completed);
+         ("degraded", num h.ch_degraded);
+         ("failed", num h.ch_failed);
+         ("rejected", num h.ch_rejected);
+         ("shed", num h.ch_shed);
+         ("rejected_full", num h.ch_rejected_full);
+         ("worker_crashes", num h.ch_crashes);
+         ("worker_respawns", num h.ch_respawns);
+         ("jobs_rerouted", num h.ch_rerouted);
+         ("jobs_crash_failed", num h.ch_crash_failed);
+         ("clean_drain", Json.Bool (clean_drain h));
+         ("workers",
+          Json.Arr
+            (List.map
+               (fun w ->
+                  Json.Obj
+                    ([ ("worker", num w.wh_index);
+                       ("pid", num w.wh_pid);
+                       ("up", Json.Bool w.wh_up);
+                       ("spawns", num w.wh_spawns) ]
+                     @
+                     match w.wh_health with
+                     | None -> []
+                     | Some h -> [ ("health", Proto.health_json h) ]))
+               h.ch_workers)) ])
+
+let events t =
+  Mutex.lock t.diag_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.diag_lock)
+    (fun () -> Diagnostics.events t.diagnostics)
+
+(* ------------------------------------------------------------------ *)
+(* Trace merging                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Each worker writes its own Chrome trace with ["pid":1]; splice their
+   traceEvents into one document, rewriting the pid to [worker index + 2]
+   (the coordinator keeps pid 1) so about://tracing shows one lane per
+   process. String surgery is safe here because the trace format is ours
+   ({!Obs.Telemetry.trace_json}) and the pid field is emitted verbatim. *)
+let splice_events ~pid json =
+  match String.index_opt json '[' with
+  | None -> None
+  | Some start ->
+    let stop = String.rindex_opt json ']' in
+    (match stop with
+     | Some stop when stop > start ->
+       let events = String.trim (String.sub json (start + 1) (stop - start - 1)) in
+       if events = "" then None
+       else begin
+         let buf = Buffer.create (String.length events + 64) in
+         let old = "\"pid\":1," in
+         let replacement = Printf.sprintf "\"pid\":%d," pid in
+         let n = String.length events and m = String.length old in
+         let i = ref 0 in
+         while !i < n do
+           if !i + m <= n && String.sub events !i m = old then begin
+             Buffer.add_string buf replacement;
+             i := !i + m
+           end
+           else begin
+             Buffer.add_char buf events.[!i];
+             incr i
+           end
+         done;
+         Some (Buffer.contents buf)
+       end
+     | _ -> None)
+
+let merged_trace t =
+  let own = splice_events ~pid:1 (Obs.Telemetry.trace_json ()) in
+  let workers =
+    Array.to_list t.slots
+    |> List.filter_map (fun s ->
+      match worker_trace_file t.cfg s.s_index with
+      | None -> None
+      | Some path ->
+        (match Io.read_file path with
+         | json -> splice_events ~pid:(s.s_index + 2) json
+         | exception (Unix.Unix_error _ | Sys_error _) -> None))
+  in
+  "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+  ^ String.concat ",\n" (List.filter_map Fun.id (own :: List.map Option.some workers))
+  ^ "\n]}\n"
+
+let write_merged_trace t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (merged_trace t))
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* NDJSON request parsing, mirroring the single-process service's
+   transport contract: even an unparsable line gets a terminal answer. *)
+let handle_line t ~write line =
+  let line = String.trim line in
+  if line <> "" then begin
+    match
+      match Json.parse line with
+      | Error e -> Error ("bad_json: " ^ e)
+      | Ok j -> Service.request_of_json j
+    with
+    | Error reason ->
+      let id =
+        match Json.parse line with
+        | Ok j ->
+          (match Json.str_member "id" j with
+           | Some id -> Json.Str id
+           | None -> Json.Null)
+        | Error _ -> Json.Null
+      in
+      write
+        (Json.to_string
+           (Json.Obj
+              [ ("id", id);
+                ("status", Json.Str "rejected");
+                ("reason", Json.Str reason) ]))
+    | Ok rq ->
+      submit t rq ~respond:(fun r -> write (Service.response_json r))
+  end
+
+let finish t write =
+  request_drain t;
+  await_drained t;
+  let h = health t in
+  write (health_json h);
+  h
+
+let run_stdio ?(stdin = Unix.stdin) ?(stdout = Unix.stdout) t =
+  Io.ignore_sigpipe ();
+  install_signals t;
+  let write =
+    Io.make_writer stdout ~on_error:(fun e ->
+      record_diag t
+        (Diagnostics.Client_disconnected
+           { peer = "stdout"; error = Unix.error_message e }))
+  in
+  let reader = Io.line_reader stdin in
+  let rec loop () =
+    if signal_pending t then ()
+    else begin
+      match Io.read_line_nonblock reader with
+      | `Line l ->
+        handle_line t ~write l;
+        (* interleave supervision so worker results are drained while a
+           large batch is still streaming in *)
+        pump t ~timeout:0.0;
+        loop ()
+      | `Eof -> ()
+      | `Pending ->
+        ignore (Io.select [ stdin ] [] [] 0.02);
+        pump t ~timeout:0.05;
+        loop ()
+    end
+  in
+  loop ();
+  finish t write
+
+let run_socket t path =
+  let listen_fd =
+    match Io.bind_unix_socket path with
+    | Ok fd -> fd
+    | Error `Live ->
+      raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+  in
+  Unix.listen listen_fd 16;
+  Io.ignore_sigpipe ();
+  install_signals t;
+  let clients = ref [] in
+  let close_client (fd, _, _) =
+    clients := List.filter (fun (f, _, _) -> f <> fd) !clients;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let rec loop () =
+    if signal_pending t then ()
+    else begin
+      let fds = listen_fd :: List.map (fun (fd, _, _) -> fd) !clients in
+      let ready, _, _ = Io.select fds [] [] 0.05 in
+      List.iter
+        (fun fd ->
+           if fd = listen_fd then begin
+             let cfd, _ = Io.accept listen_fd in
+             let peer = Printf.sprintf "client-%d" (List.length !clients) in
+             let write =
+               Io.make_writer cfd ~on_error:(fun e ->
+                 record_diag t
+                   (Diagnostics.Client_disconnected
+                      { peer; error = Unix.error_message e }))
+             in
+             clients := (cfd, Io.line_reader cfd, write) :: !clients
+           end
+           else
+             match List.find_opt (fun (f, _, _) -> f = fd) !clients with
+             | None -> ()
+             | Some ((_, reader, write) as client) ->
+               let rec drain_lines () =
+                 match Io.read_line_nonblock reader with
+                 | `Line l -> handle_line t ~write l; drain_lines ()
+                 | `Eof -> close_client client
+                 | `Pending -> ()
+               in
+               drain_lines ())
+        ready;
+      pump t ~timeout:0.05;
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (fd, _, _) -> try Unix.close fd with _ -> ()) !clients;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+       loop ();
+       let h =
+         finish t (fun line ->
+           List.iter (fun (_, _, write) -> write line) !clients)
+       in
+       h)

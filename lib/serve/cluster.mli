@@ -1,0 +1,120 @@
+(** Sharded multi-process analysis cluster: a single-threaded coordinator
+    forks [size] worker processes (each a full {!Service} engine), routes
+    jobs to them by consistent hash of {!Service.job_key}, and supervises
+    them — a worker lost to a segfault or [kill -9] has its in-flight
+    jobs rerouted to peers (or answered [failed:worker_crashed] past the
+    retry budget) and is respawned under exponential backoff behind a
+    per-worker circuit breaker. Every submitted job still reaches exactly
+    one terminal response; drain aggregates per-worker health and
+    telemetry into one cluster snapshot. *)
+
+type config = {
+  size : int;                      (** worker processes *)
+  ring_replicas : int;             (** virtual ring nodes per worker *)
+  crash_retries : int;             (** worker crashes one job survives *)
+  respawn_base : float;            (** first respawn backoff, seconds *)
+  respawn_factor : float;
+  respawn_max : float;
+  worker_breaker_threshold : int;  (** consecutive crashes to open *)
+  worker_breaker_cooldown : float;
+  worker_trace_prefix : string option;
+      (** [Some p]: worker [i] writes its trace to [p.worker-<i>.json]
+          at drain, merged by {!write_merged_trace} *)
+  announce : bool;                 (** worker lifecycle lines on stderr *)
+  service : Service.config;        (** per-worker engine configuration *)
+}
+
+val default_config : config
+
+(** Pure per-slot respawn schedule (capped exponential in consecutive
+    crashes). *)
+val respawn_delay : config -> crashes:int -> float
+
+type t
+
+(** Fork the initial worker set. The calling process must not have live
+    domains of its own (the coordinator never spawns any, keeping every
+    later respawn fork safe too). *)
+val create : ?config:config -> unit -> t
+
+(** Preferred worker for a routing key (ring lookup only — ignores
+    liveness and breakers). Deterministic; exposed for tests. *)
+val route : t -> string -> int
+
+(** Pids of currently-live workers, in slot order. *)
+val worker_pids : t -> int list
+
+(** Route and dispatch one job. The respond callback fires exactly once,
+    always from the coordinator thread (during a {!pump}, {!submit} or
+    drain call). *)
+val submit : t -> Service.request -> respond:(Service.response -> unit) -> unit
+
+(** One supervision step: read worker frames, detect crashes ([waitpid] /
+    closed pipe), deliver due reroutes, respawn due slots. Interleave
+    with transport reads; [timeout] bounds the internal select. *)
+val pump : t -> timeout:float -> unit
+
+(** No job in flight and no reroute parked. *)
+val idle : t -> bool
+
+(** Stop admitting, flush parked reroutes, send every live worker a drain
+    frame. Idempotent. *)
+val request_drain : t -> unit
+
+(** Pump until every worker has drained (final health frame) or crashed,
+    every job is terminal, and all children are reaped. *)
+val await_drained : t -> unit
+
+(** SIGINT/SIGTERM set a flag (no domains involved); transports poll
+    {!signal_pending}. *)
+val install_signals : t -> unit
+
+val signal_pending : t -> bool
+
+(** {1 Health} *)
+
+type worker_health = {
+  wh_index : int;
+  wh_pid : int;
+  wh_up : bool;
+  wh_crashes : int;                (** consecutive, at snapshot time *)
+  wh_spawns : int;
+  wh_health : Service.health option;  (** final snapshot, once drained *)
+}
+
+type health = {
+  ch_uptime : float;
+  ch_size : int;
+  ch_submitted : int;
+  ch_completed : int;
+  ch_degraded : int;
+  ch_failed : int;
+  ch_rejected : int;
+  ch_shed : int;
+  ch_rejected_full : int;
+  ch_crashes : int;                (** worker processes lost *)
+  ch_respawns : int;
+  ch_rerouted : int;               (** jobs moved off a dead worker *)
+  ch_crash_failed : int;           (** jobs failed past the crash budget *)
+  ch_workers : worker_health list;
+}
+
+val health : t -> health
+
+(** Same promise as {!Service.clean_drain}: nothing shed, nothing turned
+    away by a full queue. Crash recovery does not make a drain unclean. *)
+val clean_drain : health -> bool
+
+val health_json : health -> string
+
+(** Coordinator-level lifecycle diagnostics, in arrival order. *)
+val events : t -> Core.Diagnostics.degradation list
+
+(** Merge the coordinator's telemetry with the per-worker trace files
+    into one Chrome trace (one pid lane per process). *)
+val write_merged_trace : t -> string -> unit
+
+(** {1 Transports} (NDJSON, same wire protocol as {!Service}) *)
+
+val run_stdio : ?stdin:Unix.file_descr -> ?stdout:Unix.file_descr -> t -> health
+val run_socket : t -> string -> health

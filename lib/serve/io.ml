@@ -11,6 +11,12 @@ let rec retry_eintr f =
   | v -> v
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
 
+(** A client that disconnects mid-response must surface as [EPIPE] on our
+    write, never as a process-killing signal. Idempotent; every serve /
+    cluster entry point calls it (workers too — fork does not inherit the
+    disposition set in an execed parent). *)
+let ignore_sigpipe () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
 let read fd buf pos len =
   retry_eintr (fun () -> Unix.read fd buf pos len)
 
@@ -21,6 +27,62 @@ let write_all fd s =
   while !off < n do
     off := !off + retry_eintr (fun () -> Unix.write fd b !off (n - !off))
   done
+
+(** Mutex-serialized newline-appending writer over [fd], shared by every
+    transport (service stdio/socket, cluster coordinator, workers). A
+    broken peer ([EPIPE] with SIGPIPE ignored, or a reset) marks the
+    writer dead and reports the error through [on_error] exactly once;
+    later writes are dropped silently — the peer is gone, the jobs whose
+    responses we were carrying are already terminal on our side. *)
+let make_writer ?(on_error = fun (_ : Unix.error) -> ()) fd =
+  let lock = Mutex.create () in
+  let dead = ref false in
+  fun line ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+         if not !dead then
+           try write_all fd (line ^ "\n")
+           with
+           | Unix.Unix_error
+               ((EPIPE | ECONNRESET | ESHUTDOWN | EBADF) as e, _, _) ->
+             dead := true;
+             on_error e)
+
+(** Bind a Unix-domain listening socket at [path], coping with the
+    leftover socket file of an uncleanly killed predecessor: if the path
+    exists we probe it with a connect — a refused connection proves the
+    file is stale (no listener behind it), so it is unlinked and the bind
+    retried; a successful connect proves a live server still owns the
+    path and the caller must not steal it ([Error `Live]). *)
+let bind_unix_socket path =
+  let try_bind () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.bind fd (Unix.ADDR_UNIX path) with
+    | () -> Some fd
+    | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+  in
+  match try_bind () with
+  | Some fd -> Ok fd
+  | None ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match retry_eintr (fun () -> Unix.connect probe (Unix.ADDR_UNIX path))
+      with
+      | () -> true
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then Error `Live
+    else begin
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      match try_bind () with
+      | Some fd -> Ok fd
+      | None -> Error `Live (* lost the race to another server *)
+    end
 
 (** [sleepf s] sleeps at least [s] seconds of wall clock, resuming after
     every interrupting signal with the remaining time. *)

@@ -6,8 +6,25 @@
 (** Retry [f] as long as it fails with [Unix_error (EINTR, _, _)]. *)
 val retry_eintr : (unit -> 'a) -> 'a
 
+(** Ignore SIGPIPE process-wide so a disconnected peer surfaces as
+    [EPIPE] on the write instead of killing the process. Idempotent. *)
+val ignore_sigpipe : unit -> unit
+
 val read : Unix.file_descr -> bytes -> int -> int -> int
 val write_all : Unix.file_descr -> string -> unit
+
+(** Mutex-serialized newline-appending line writer. The first broken-pipe
+    style failure ([EPIPE]/[ECONNRESET]/…) marks the writer dead and is
+    reported through [on_error] once; subsequent writes are dropped. *)
+val make_writer :
+  ?on_error:(Unix.error -> unit) -> Unix.file_descr -> string -> unit
+
+(** Bind a listening Unix-domain socket at [path]. A stale socket file
+    (connect refused — its server died without unlinking) is removed and
+    the bind retried; [Error `Live] when a running server still answers
+    on the path. The returned descriptor is bound but not yet listening. *)
+val bind_unix_socket :
+  string -> (Unix.file_descr, [ `Live ]) result
 
 (** Sleep at least this many wall-clock seconds, resuming after signals. *)
 val sleepf : float -> unit

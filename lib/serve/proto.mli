@@ -1,0 +1,35 @@
+(** Framed coordinator↔worker messages for the analysis cluster: 4-byte
+    big-endian length prefix + one JSON document per frame, over the
+    socketpair the coordinator shares with each forked worker. A frame
+    torn by a worker crash is detected and dropped; the job it carried
+    stays in flight on the coordinator side and is rerouted. *)
+
+type msg =
+  | Job of Service.request           (** coordinator → worker *)
+  | Result of Service.response       (** worker → coordinator, terminal *)
+  | Drain                            (** coordinator → worker: flush *)
+  | Health of Service.health         (** worker's final snapshot *)
+
+val write : Unix.file_descr -> msg -> unit
+
+(** Buffered frame reader over a descriptor. *)
+type reader
+
+val reader : Unix.file_descr -> reader
+
+(** Non-blocking: [`Pending] when no complete frame is available yet;
+    [`Eof] once the peer is gone (torn trailing bytes dropped); [`Error]
+    on a malformed frame (treat the channel as dead). *)
+val read_nonblock :
+  reader -> [ `Msg of msg | `Eof | `Pending | `Error of string ]
+
+(** Blocking variant for the worker's receive loop. *)
+val read_block : reader -> [ `Msg of msg | `Eof | `Error of string ]
+
+(** {1 JSON codecs} (exposed for tests) *)
+
+val request_json : Service.request -> Json.t
+val response_json : Service.response -> Json.t
+val response_of_json : Json.t -> (Service.response, string) result
+val health_json : Service.health -> Json.t
+val health_of_json : Json.t -> (Service.health, string) result

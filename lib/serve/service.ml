@@ -173,6 +173,10 @@ let breaker_key (rq : request) =
   | None, Some src -> Printf.sprintf "inline:%08x" (Hashtbl.hash src)
   | None, None -> "inline:invalid"
 
+(* The same key doubles as the cluster's consistent-hash routing key, so
+   repeated submissions of one application land on one warm worker. *)
+let job_key = breaker_key
+
 (* ------------------------------------------------------------------ *)
 (* Job execution                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -641,16 +645,16 @@ let health_json (h : health) =
 (* ------------------------------------------------------------------ *)
 
 (* Submissions arrive on the transport domain; responses are written by
-   worker domains. One lock serializes the NDJSON output stream. *)
-let make_writer fd =
-  let lock = Mutex.create () in
-  fun line ->
-    Mutex.lock lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock lock)
-      (fun () ->
-         try Io.write_all fd (line ^ "\n")
-         with Unix.Unix_error _ -> () (* peer gone; job already terminal *))
+   worker domains. One lock serializes the NDJSON output stream. A peer
+   that vanishes mid-response becomes a per-connection diagnostic, never
+   a crash: SIGPIPE is ignored on every transport and the EPIPE shows up
+   here exactly once. *)
+let make_writer t ~peer fd =
+  Io.make_writer fd
+    ~on_error:(fun e ->
+      record_diag t
+        (Diagnostics.Client_disconnected
+           { peer; error = Unix.error_message e }))
 
 let handle_line t ~write line =
   let line = String.trim line in
@@ -683,8 +687,9 @@ let handle_line t ~write line =
     signal; returns the final health snapshot (also written as the last
     output line). *)
 let run_stdio ?(stdin = Unix.stdin) ?(stdout = Unix.stdout) t =
+  Io.ignore_sigpipe ();
   install_signals t;
-  let write = make_writer stdout in
+  let write = make_writer t ~peer:"stdout" stdout in
   let reader = Io.line_reader stdin in
   let rec pump () =
     if signal_pending t || draining t then ()
@@ -708,11 +713,16 @@ let run_stdio ?(stdin = Unix.stdin) ?(stdout = Unix.stdout) t =
     with [select]; each client gets its jobs' responses on its own
     connection. Returns the final health snapshot at drain. *)
 let run_socket t path =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  (* a stale socket file from an unclean shutdown is probed and unlinked;
+     a live server on the path is never stolen from *)
+  let listen_fd =
+    match Io.bind_unix_socket path with
+    | Ok fd -> fd
+    | Error `Live ->
+      raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+  in
   Unix.listen listen_fd 16;
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Io.ignore_sigpipe ();
   install_signals t;
   let clients = ref [] in        (* (fd, reader, writer) *)
   let close_client (fd, _, _) =
@@ -728,8 +738,12 @@ let run_socket t path =
         (fun fd ->
            if fd = listen_fd then begin
              let cfd, _ = Io.accept listen_fd in
+             let peer =
+               Printf.sprintf "client-%d" (List.length !clients)
+             in
              clients :=
-               (cfd, Io.line_reader cfd, make_writer cfd) :: !clients
+               (cfd, Io.line_reader cfd, make_writer t ~peer cfd)
+               :: !clients
            end
            else
              match List.find_opt (fun (f, _, _) -> f = fd) !clients with

@@ -36,6 +36,11 @@ type status = Completed | Degraded | Rejected | Failed
 
 val status_name : status -> string
 
+(** Stable key identifying the workload of a request: the application
+    name, or a hash of the inline source. Used for the per-app circuit
+    breakers and as the cluster's consistent-hash routing key. *)
+val job_key : request -> string
+
 type response = {
   rp_id : string;
   rp_status : status;

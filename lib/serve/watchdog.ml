@@ -14,19 +14,23 @@ type t = {
   soft_limit_mb : int option;
   max_level : int;
   level : int Atomic.t;
+  read_heap : unit -> int;
 }
 
 let g_pressure = Obs.Telemetry.gauge "serve.pressure"
 let g_heap_mb = Obs.Telemetry.gauge "serve.heap_mb"
 
-let create ?(max_level = 4) ~soft_limit_mb () =
-  { soft_limit_mb; max_level = max 1 max_level; level = Atomic.make 0 }
-
-let level t = Atomic.get t.level
-
 let heap_mb () =
   let words = (Gc.quick_stat ()).Gc.heap_words in
   words * (Sys.word_size / 8) / 1_000_000
+
+(* [heap] is injectable so the ladder transitions are unit-testable with
+   a scripted heap profile; production uses the real [Gc.quick_stat]. *)
+let create ?(max_level = 4) ?(heap = heap_mb) ~soft_limit_mb () =
+  { soft_limit_mb; max_level = max 1 max_level; level = Atomic.make 0;
+    read_heap = heap }
+
+let level t = Atomic.get t.level
 
 (** Take one sample; returns the (possibly new) pressure level. The CAS
     keeps concurrent samples from different workers monotone: a sample
@@ -37,7 +41,7 @@ let sample ?(on_event = fun (_ : Core.Diagnostics.degradation) -> ()) t =
   match t.soft_limit_mb with
   | None -> 0
   | Some limit ->
-    let mb = heap_mb () in
+    let mb = t.read_heap () in
     Obs.Telemetry.set g_heap_mb mb;
     let cur = Atomic.get t.level in
     let want =

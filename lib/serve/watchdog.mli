@@ -5,7 +5,11 @@
 
 type t
 
-val create : ?max_level:int -> soft_limit_mb:int option -> unit -> t
+(** [heap] overrides the heap measurement (default: real [Gc.quick_stat])
+    so level transitions can be driven deterministically in tests. *)
+val create :
+  ?max_level:int -> ?heap:(unit -> int) -> soft_limit_mb:int option ->
+  unit -> t
 
 (** Current pressure level (0 = none). *)
 val level : t -> int

@@ -1,0 +1,4 @@
+(* Separate runner: the cluster coordinator forks, and OCaml 5 refuses
+   Unix.fork in a process that has ever spawned a domain — which the main
+   runner's suites do. This executable stays domain-free. *)
+let () = Alcotest.run "taj-cluster" [ ("cluster", Test_cluster.suite) ]

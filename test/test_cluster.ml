@@ -1,0 +1,386 @@
+(* The multi-process analysis cluster: framed proto round-trips, the
+   consistent-hash routing ring, the cross-process zero-lost-jobs
+   invariant, SIGKILL chaos (crash detection, rerouting, respawn), and
+   drain aggregation. Every test forks real worker processes — the
+   coordinator is single-domain, so forking from the test runner is safe
+   as long as earlier suites joined their domains (they do). *)
+
+let two_flows =
+  {|class Cell { String v; }
+    class Page extends HttpServlet {
+      public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+        Cell c = new Cell();
+        c.v = req.getParameter("x");
+        resp.getWriter().println(c.v);
+        Connection conn = DriverManager.getConnection("jdbc:db");
+        Statement st = conn.createStatement();
+        st.executeQuery(c.v);
+      }
+    }|}
+
+let cluster_config ?(size = 2) ?(crash_retries = 2) () =
+  { Serve.Cluster.default_config with
+    size; crash_retries;
+    announce = false;
+    respawn_base = 0.05; respawn_max = 0.5;
+    worker_breaker_threshold = 3; worker_breaker_cooldown = 0.2;
+    service =
+      { Serve.Service.default_config with
+        workers = 1; queue_cap = 256; seed = 7 } }
+
+(* Responses arrive on the coordinator (= test) thread, during pump /
+   submit / drain calls: a plain list is safe. *)
+let collector () =
+  let responses = ref [] in
+  let respond r = responses := r :: !responses in
+  (responses, respond)
+
+let pump_until c ~timeout pred =
+  let t0 = Unix.gettimeofday () in
+  while (not (pred ())) && Unix.gettimeofday () -. t0 < timeout do
+    Serve.Cluster.pump c ~timeout:0.02
+  done
+
+let submit_batch c respond ids =
+  List.iter
+    (fun (id, app) ->
+       let rq =
+         match app with
+         | Some a -> Serve.Service.request ~app:a ~scale:0.02 id
+         | None -> Serve.Service.request ~source:two_flows id
+       in
+       Serve.Cluster.submit c rq ~respond;
+       Serve.Cluster.pump c ~timeout:0.0)
+    ids
+
+(* ------------------------------------------------------------------ *)
+(* Proto framing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_proto_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* large enough to span many reads, small enough to fit the socketpair
+     buffer: the writer has no concurrent reader in this test *)
+  let big_source = String.concat "\n" (List.init 100 (fun _ -> two_flows)) in
+  let rq =
+    Serve.Service.request ~source:big_source ~descriptor:"d"
+      ~algorithm:Core.Config.Cs_thin_slicing ~scale:0.25 ~deadline:3.5
+      ~priority:9 "job-1"
+  in
+  let rp =
+    { Serve.Service.rp_id = "job-1"; rp_status = Serve.Service.Degraded;
+      rp_reason = "deadline"; rp_issues = 4; rp_attempts = 2;
+      rp_degradations = 1; rp_seconds = 0.125 }
+  in
+  Serve.Proto.write a (Serve.Proto.Job rq);
+  Serve.Proto.write a Serve.Proto.Drain;
+  Serve.Proto.write a (Serve.Proto.Result rp);
+  let r = Serve.Proto.reader b in
+  (match Serve.Proto.read_block r with
+   | `Msg (Serve.Proto.Job got) ->
+     Alcotest.(check string) "job id survives" "job-1"
+       got.Serve.Service.rq_id;
+     Alcotest.(check bool) "large inline source survives" true
+       (got.Serve.Service.rq_source = Some big_source);
+     Alcotest.(check bool) "algorithm survives" true
+       (got.Serve.Service.rq_algorithm = Core.Config.Cs_thin_slicing);
+     Alcotest.(check bool) "deadline survives" true
+       (got.Serve.Service.rq_deadline = Some 3.5);
+     Alcotest.(check int) "priority survives" 9
+       got.Serve.Service.rq_priority
+   | _ -> Alcotest.fail "expected a Job frame");
+  (match Serve.Proto.read_block r with
+   | `Msg Serve.Proto.Drain -> ()
+   | _ -> Alcotest.fail "expected a Drain frame");
+  (match Serve.Proto.read_block r with
+   | `Msg (Serve.Proto.Result got) ->
+     Alcotest.(check bool) "response round-trips" true (got = rp)
+   | _ -> Alcotest.fail "expected a Result frame");
+  Unix.close a;
+  (match Serve.Proto.read_block r with
+   | `Eof -> ()
+   | _ -> Alcotest.fail "expected EOF after peer close");
+  Unix.close b
+
+let test_proto_partial_frames () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* hand-build a Drain frame and deliver it byte-dribbled: the reader
+     must report Pending, never a torn frame *)
+  let payload = "{\"t\":\"drain\"}" in
+  let n = String.length payload in
+  let frame =
+    Printf.sprintf "%c%c%c%c%s"
+      (Char.chr ((n lsr 24) land 0xff))
+      (Char.chr ((n lsr 16) land 0xff))
+      (Char.chr ((n lsr 8) land 0xff))
+      (Char.chr (n land 0xff))
+      payload
+  in
+  let r = Serve.Proto.reader b in
+  Alcotest.(check bool) "nothing yet: pending" true
+    (Serve.Proto.read_nonblock r = `Pending);
+  Serve.Io.write_all a (String.sub frame 0 3);
+  Alcotest.(check bool) "torn length prefix: pending" true
+    (Serve.Proto.read_nonblock r = `Pending);
+  Serve.Io.write_all a (String.sub frame 3 5);
+  Alcotest.(check bool) "torn payload: pending" true
+    (Serve.Proto.read_nonblock r = `Pending);
+  Serve.Io.write_all a
+    (String.sub frame 8 (String.length frame - 8));
+  (match Serve.Proto.read_nonblock r with
+   | `Msg Serve.Proto.Drain -> ()
+   | _ -> Alcotest.fail "expected the completed Drain frame");
+  (* a frame torn by a crash: length prefix promises more than arrives *)
+  Serve.Io.write_all a (String.sub frame 0 6);
+  Unix.close a;
+  (match Serve.Proto.read_block r with
+   | `Eof -> ()
+   | _ -> Alcotest.fail "torn trailing frame must read as EOF");
+  Unix.close b
+
+(* ------------------------------------------------------------------ *)
+(* Routing ring                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_routing () =
+  let c = Serve.Cluster.create ~config:(cluster_config ~size:4 ()) () in
+  Fun.protect
+    ~finally:(fun () -> Serve.Cluster.await_drained c)
+    (fun () ->
+       let keys = List.init 200 (Printf.sprintf "app-%d") in
+       let routes = List.map (fun k -> Serve.Cluster.route c k) keys in
+       Alcotest.(check bool) "routing is deterministic" true
+         (routes = List.map (fun k -> Serve.Cluster.route c k) keys);
+       let hits = Array.make 4 0 in
+       List.iter (fun w -> hits.(w) <- hits.(w) + 1) routes;
+       Array.iteri
+         (fun i n ->
+            Alcotest.(check bool)
+              (Printf.sprintf "worker %d gets a fair share" i)
+              true (n > 0))
+         hits;
+       Alcotest.(check bool) "same app, same worker" true
+         (Serve.Cluster.route c "BlueBlog"
+          = Serve.Cluster.route c "BlueBlog"))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: every job terminal exactly once; 1 ≡ 4 workers         *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch ~size ids =
+  let c = Serve.Cluster.create ~config:(cluster_config ~size ()) () in
+  let responses, respond = collector () in
+  submit_batch c respond ids;
+  pump_until c ~timeout:60.0 (fun () -> Serve.Cluster.idle c);
+  Serve.Cluster.await_drained c;
+  let h = Serve.Cluster.health c in
+  (!responses, h)
+
+let test_cluster_completes_batch () =
+  let ids =
+    List.init 8 (fun i ->
+      (Printf.sprintf "b%d" i, if i mod 2 = 0 then Some "BlueBlog" else None))
+  in
+  let rs, h = run_batch ~size:2 ids in
+  Alcotest.(check int) "every job answered exactly once" 8 (List.length rs);
+  List.iter
+    (fun (id, _) ->
+       Alcotest.(check int)
+         (Printf.sprintf "one terminal response for %s" id)
+         1
+         (List.length
+            (List.filter (fun r -> r.Serve.Service.rp_id = id) rs)))
+    ids;
+  Alcotest.(check bool) "all completed" true
+    (List.for_all
+       (fun r -> r.Serve.Service.rp_status = Serve.Service.Completed)
+       rs);
+  Alcotest.(check bool) "clean drain" true (Serve.Cluster.clean_drain h);
+  Alcotest.(check int) "coordinator counted them" 8 h.Serve.Cluster.ch_submitted;
+  Alcotest.(check int) "no crashes" 0 h.Serve.Cluster.ch_crashes
+
+(* Per-job analysis output must not depend on the cluster size: the same
+   batch through 1 and 4 workers yields identical (status, issues) per
+   job. *)
+let test_cluster_size_invariant () =
+  let ids =
+    List.init 10 (fun i ->
+      (Printf.sprintf "d%d" i, if i mod 3 = 0 then Some "BlueBlog" else None))
+  in
+  let key rs =
+    rs
+    |> List.map (fun r ->
+      ( r.Serve.Service.rp_id,
+        Serve.Service.status_name r.Serve.Service.rp_status,
+        r.Serve.Service.rp_issues ))
+    |> List.sort compare
+  in
+  let rs1, _ = run_batch ~size:1 ids in
+  let rs4, _ = run_batch ~size:4 ids in
+  Alcotest.(check bool)
+    "per-job output identical across cluster sizes" true
+    (key rs1 = key rs4)
+
+(* ------------------------------------------------------------------ *)
+(* SIGKILL chaos                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_cluster_sigkill_chaos () =
+  let c = Serve.Cluster.create ~config:(cluster_config ~size:4 ()) () in
+  let responses, respond = collector () in
+  (* all of these route to one worker: the one we are about to murder *)
+  let victim = Serve.Cluster.route c "BlueBlog" in
+  let pids = Array.of_list (Serve.Cluster.worker_pids c) in
+  Alcotest.(check int) "four workers live" 4 (Array.length pids);
+  let wave1 =
+    List.init 6 (fun i -> (Printf.sprintf "k%d" i, Some "BlueBlog"))
+  in
+  submit_batch c respond wave1;
+  (* SIGKILL mid-batch: the jobs above are in flight on the victim *)
+  Unix.kill pids.(victim) Sys.sigkill;
+  pump_until c ~timeout:60.0 (fun () ->
+    Serve.Cluster.idle c && List.length !responses >= 6);
+  Alcotest.(check int) "zero lost, zero duplicated" 6
+    (List.length !responses);
+  List.iteri
+    (fun i _ ->
+       let id = Printf.sprintf "k%d" i in
+       Alcotest.(check int)
+         (Printf.sprintf "exactly one terminal response for %s" id)
+         1
+         (List.length
+            (List.filter
+               (fun r -> r.Serve.Service.rp_id = id)
+               !responses)))
+    wave1;
+  (* the dead worker respawns and serves subsequent jobs routed to it *)
+  pump_until c ~timeout:10.0 (fun () ->
+    (Serve.Cluster.health c).Serve.Cluster.ch_respawns >= 1);
+  let wave2 =
+    List.init 4 (fun i -> (Printf.sprintf "p%d" i, Some "BlueBlog"))
+  in
+  submit_batch c respond wave2;
+  pump_until c ~timeout:60.0 (fun () ->
+    Serve.Cluster.idle c && List.length !responses >= 10);
+  Serve.Cluster.await_drained c;
+  let h = Serve.Cluster.health c in
+  Alcotest.(check int) "second wave answered too" 10
+    (List.length !responses);
+  Alcotest.(check bool) "post-respawn jobs completed" true
+    (List.for_all
+       (fun (id, _) ->
+          List.exists
+            (fun r ->
+               r.Serve.Service.rp_id = id
+               && r.Serve.Service.rp_status = Serve.Service.Completed)
+            !responses)
+       wave2);
+  Alcotest.(check bool) "the crash was observed" true
+    (h.Serve.Cluster.ch_crashes >= 1);
+  Alcotest.(check bool) "the worker respawned" true
+    (h.Serve.Cluster.ch_respawns >= 1);
+  Alcotest.(check bool) "a crash diagnostic was recorded" true
+    (List.exists
+       (function
+         | Core.Diagnostics.Worker_exited _ -> true
+         | _ -> false)
+       (Serve.Cluster.events c));
+  Alcotest.(check bool) "a respawn diagnostic was recorded" true
+    (List.exists
+       (function
+         | Core.Diagnostics.Worker_respawned _ -> true
+         | _ -> false)
+       (Serve.Cluster.events c));
+  (* killed mid-batch yet the drain stays clean: crash recovery answered
+     every job, nothing was shed or turned away *)
+  Alcotest.(check bool) "clean drain despite the kill" true
+    (Serve.Cluster.clean_drain h)
+
+(* Past the crash budget the job is answered failed:worker_crashed, not
+   lost and not retried forever. *)
+let test_cluster_crash_budget () =
+  let c =
+    Serve.Cluster.create
+      ~config:(cluster_config ~size:1 ~crash_retries:0 ()) ()
+  in
+  let responses, respond = collector () in
+  let victim =
+    match Serve.Cluster.worker_pids c with
+    | [ pid ] -> pid
+    | _ -> Alcotest.fail "expected one worker"
+  in
+  Serve.Cluster.submit c
+    (Serve.Service.request ~app:"BlueBlog" ~scale:0.02 "doomed")
+    ~respond;
+  Unix.kill victim Sys.sigkill;
+  pump_until c ~timeout:30.0 (fun () -> List.length !responses >= 1);
+  (match !responses with
+   | [ r ] ->
+     Alcotest.(check string) "failed terminally" "failed"
+       (Serve.Service.status_name r.Serve.Service.rp_status);
+     Alcotest.(check string) "with the crash reason" "worker_crashed"
+       r.Serve.Service.rp_reason
+   | rs ->
+     Alcotest.fail
+       (Printf.sprintf "expected exactly one response, got %d"
+          (List.length rs)));
+  Serve.Cluster.await_drained c
+
+(* ------------------------------------------------------------------ *)
+(* Drain aggregation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cluster_drain_aggregates () =
+  let ids = List.init 6 (fun i -> (Printf.sprintf "h%d" i, None)) in
+  let rs, h = run_batch ~size:2 ids in
+  Alcotest.(check int) "all jobs terminal" 6 (List.length rs);
+  Alcotest.(check int) "snapshot covers both workers" 2
+    (List.length h.Serve.Cluster.ch_workers);
+  List.iter
+    (fun (w : Serve.Cluster.worker_health) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "worker %d sent its final health" w.wh_index)
+         true
+         (w.Serve.Cluster.wh_health <> None))
+    h.Serve.Cluster.ch_workers;
+  let worker_submitted =
+    List.fold_left
+      (fun acc (w : Serve.Cluster.worker_health) ->
+         match w.Serve.Cluster.wh_health with
+         | Some sh -> acc + sh.Serve.Service.h_submitted
+         | None -> acc)
+      0 h.Serve.Cluster.ch_workers
+  in
+  Alcotest.(check int)
+    "worker-side submissions sum to the coordinator's" 6 worker_submitted;
+  Alcotest.(check int) "coordinator terminal accounting" 6
+    (h.Serve.Cluster.ch_completed + h.Serve.Cluster.ch_degraded
+     + h.Serve.Cluster.ch_failed + h.Serve.Cluster.ch_rejected);
+  (* the aggregated snapshot is valid NDJSON with per-worker blocks *)
+  match Serve.Json.parse (Serve.Cluster.health_json h) with
+  | Error e -> Alcotest.fail ("health_json unparsable: " ^ e)
+  | Ok j ->
+    Alcotest.(check bool) "health json carries the worker array" true
+      (match Serve.Json.member "workers" j with
+       | Some (Serve.Json.Arr ws) -> List.length ws = 2
+       | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "proto: frame round-trip" `Quick
+      test_proto_roundtrip;
+    Alcotest.test_case "proto: partial and torn frames" `Quick
+      test_proto_partial_frames;
+    Alcotest.test_case "ring: deterministic balanced routing" `Slow
+      test_ring_routing;
+    Alcotest.test_case "cluster: batch terminal exactly once" `Slow
+      test_cluster_completes_batch;
+    Alcotest.test_case "cluster: output identical at 1 and 4 workers"
+      `Slow test_cluster_size_invariant;
+    Alcotest.test_case "chaos: SIGKILL mid-batch, reroute and respawn"
+      `Slow test_cluster_sigkill_chaos;
+    Alcotest.test_case "chaos: crash budget exhausts to failed" `Slow
+      test_cluster_crash_budget;
+    Alcotest.test_case "drain: aggregates per-worker health" `Slow
+      test_cluster_drain_aggregates ]

@@ -690,6 +690,31 @@ let test_watchdog_levels () =
   Alcotest.(check int) "no soft limit, no pressure" 0
     (Serve.Watchdog.sample disabled)
 
+(* A scripted heap profile drives every transition of the level machine:
+   up at [mb >= limit], hold inside the hysteresis band
+   [3/4·limit, limit), down below it, full recovery to 0. *)
+let test_watchdog_hysteresis () =
+  let heap = ref 0 in
+  let w =
+    Serve.Watchdog.create ~max_level:4 ~heap:(fun () -> !heap)
+      ~soft_limit_mb:(Some 100) ()
+  in
+  let events = ref 0 in
+  let on_event (_ : Diagnostics.degradation) = incr events in
+  let sample mb = heap := mb; Serve.Watchdog.sample ~on_event w in
+  Alcotest.(check int) "under the limit: stays 0" 0 (sample 50);
+  Alcotest.(check int) "at the limit: up to 1" 1 (sample 100);
+  Alcotest.(check int) "over the limit: up to 2" 2 (sample 140);
+  Alcotest.(check int) "hysteresis band holds the level" 2 (sample 90);
+  Alcotest.(check int) "band lower edge still holds" 2 (sample 75);
+  Alcotest.(check int) "below three quarters: down to 1" 1 (sample 74);
+  Alcotest.(check int) "recovery continues: down to 0" 0 (sample 10);
+  Alcotest.(check int) "and stays recovered" 0 (sample 10);
+  Alcotest.(check int) "one level change per sample, even from far over"
+    1 (sample 10_000);
+  Alcotest.(check int) "level reads back" 1 (Serve.Watchdog.level w);
+  Alcotest.(check int) "five level-change events in all" 5 !events
+
 let test_watchdog_degrades_config () =
   let base = Config.preset ~scale:1.0 Config.Hybrid_unbounded in
   let s0, c0 = Serve.Watchdog.degrade_config ~scale:1.0 base 0 in
@@ -901,11 +926,62 @@ let test_fault_taxonomy () =
   Alcotest.(check string) "EINTR is transient" "transient"
     (Fault.severity_name
        (Fault.classify (Unix.Unix_error (Unix.EINTR, "read", ""))));
+  Alcotest.(check string) "EPIPE (crashed cluster peer) is transient"
+    "transient"
+    (Fault.severity_name
+       (Fault.classify (Unix.Unix_error (Unix.EPIPE, "worker", ""))));
   Alcotest.(check string) "injected permanent faults are permanent"
     "permanent"
     (Fault.severity_name (Fault.classify (Fault.Injected "x")));
   Alcotest.(check string) "analysis exceptions are permanent" "permanent"
     (Fault.severity_name (Fault.classify (Failure "boom")))
+
+(* A peer that vanished mid-connection must cost one diagnostic, not the
+   process: the writer reports the first EPIPE through [on_error] and
+   swallows everything after. *)
+let test_writer_broken_pipe () =
+  Serve.Io.ignore_sigpipe ();
+  let r, w = Unix.pipe () in
+  Unix.close r;
+  let errors = ref [] in
+  let write =
+    Serve.Io.make_writer ~on_error:(fun e -> errors := e :: !errors) w
+  in
+  write "first line after the peer died";
+  Alcotest.(check bool) "EPIPE reported once, not raised" true
+    (!errors = [ Unix.EPIPE ]);
+  write "second line";
+  write "third line";
+  Alcotest.(check int) "later writes dropped silently" 1
+    (List.length !errors);
+  Unix.close w
+
+let test_stale_socket_handling () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taj-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* a server that died without unlinking leaves a socket file nobody
+     answers on: binding must reclaim it *)
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  Alcotest.(check bool) "socket file left behind" true
+    (Sys.file_exists path);
+  (match Serve.Io.bind_unix_socket path with
+   | Ok fd ->
+     (* now play the live server: listen, and check a second bind is
+        refused instead of stealing the path *)
+     Unix.listen fd 8;
+     (match Serve.Io.bind_unix_socket path with
+      | Error `Live -> ()
+      | Ok fd' ->
+        Unix.close fd';
+        Alcotest.fail "bound over a live server");
+     Unix.close fd
+   | Error `Live -> Alcotest.fail "stale socket reported live");
+  (try Unix.unlink path with Unix.Unix_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 
@@ -945,6 +1021,8 @@ let suite =
       test_service_probe_transient_retry_recovers;
     Alcotest.test_case "watchdog: pressure levels" `Quick
       test_watchdog_levels;
+    Alcotest.test_case "watchdog: hysteresis and recovery" `Quick
+      test_watchdog_hysteresis;
     Alcotest.test_case "watchdog: ladder mapping" `Quick
       test_watchdog_degrades_config;
     Alcotest.test_case "watchdog: jobs degrade under pressure" `Slow
@@ -956,4 +1034,8 @@ let suite =
       test_request_decoding;
     Alcotest.test_case "io: retry_eintr" `Quick test_retry_eintr;
     Alcotest.test_case "faults: retry taxonomy" `Quick
-      test_fault_taxonomy ]
+      test_fault_taxonomy;
+    Alcotest.test_case "io: broken pipe contained" `Quick
+      test_writer_broken_pipe;
+    Alcotest.test_case "io: stale socket reclaimed, live refused" `Quick
+      test_stale_socket_handling ]
