@@ -19,8 +19,11 @@
      service        load-generate against an in-process analysis service
                     (--clients N, --requests M per client): latency
                     percentiles and terminal-outcome counts
+     incremental    cold vs warm vs one-edit latency through the
+                    incremental cache per app (writes incremental.csv)
      micro          Bechamel micro-benchmarks of the pipeline phases
-     all            everything above except service (default)
+     all            everything above except service and incremental
+                    (default)
 
    Options: --scale <float> (default 0.05) scales workload sizes and the
    published bounds together; --jobs <int> (default: TAJ_JOBS or 1) sizes
@@ -847,6 +850,98 @@ let micro () =
     instances
 
 (* ------------------------------------------------------------------ *)
+(* Incremental-cache benchmark                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold vs warm vs one-edit analysis latency through the incremental
+   cache, per app. Two edit flavours, because they exercise different
+   tiers: a comment edit changes the source digest but not the parsed
+   AST, so the semantic result key still hits (the cheap case); a
+   semantic edit (an appended class) forces re-analysis on top of warm
+   ast/defuse entries. Writes incremental.csv. *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let edit_last f (input : Taj.input) =
+  match List.rev input.Taj.app_sources with
+  | [] -> input
+  | last :: rest ->
+    { input with Taj.app_sources = List.rev (f last :: rest) }
+
+let incremental () =
+  header "Incremental cache: cold vs warm vs one-edit latency";
+  let options =
+    { Supervisor.default_options with scale = !scale; jobs = !jobs }
+  in
+  let config = Config.preset ~scale:!scale Config.Hybrid_optimized in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taj-bench-incr-%d" (Unix.getpid ()))
+  in
+  rm_rf root;
+  let oc = open_out "incremental.csv" in
+  output_string oc
+    "app,cold_s,warm_s,comment_edit_s,semantic_edit_s,issues,\
+     warm_speedup,comment_speedup,semantic_speedup\n";
+  Printf.printf "%-14s %8s %8s %8s %8s | %7s %7s %7s\n" "application"
+    "cold" "warm" "comment" "semantic" "w-spd" "c-spd" "s-spd";
+  let totals = Array.make 4 0.0 in
+  List.iter
+    (fun (a : Apps.app) ->
+       let input = Codegen.to_input (Apps.generate ~scale:!scale a) in
+       let dir = Filename.concat root a.Apps.name in
+       let cache = Cache.Incr.create ~dir in
+       let timed input =
+         let t0 = Unix.gettimeofday () in
+         let o = Cache.Incr.analyze ~cache ~options ~config input in
+         (o, Unix.gettimeofday () -. t0)
+       in
+       let cold, t_cold = timed input in
+       let warm, t_warm = timed input in
+       if warm.Cache.Incr.i_report <> cold.Cache.Incr.i_report then
+         Printf.printf "  !! %s: warm report differs from cold\n"
+           a.Apps.name;
+       let _, t_comment =
+         timed (edit_last (fun s -> s ^ "\n// one-line edit\n") input)
+       in
+       let _, t_semantic =
+         timed
+           (edit_last
+              (fun s ->
+                 s ^ "\nclass BenchProbeOrphan { int probe(int x) \
+                      { return x; } }\n")
+              input)
+       in
+       let spd t = if t > 0.0 then t_cold /. t else 0.0 in
+       totals.(0) <- totals.(0) +. t_cold;
+       totals.(1) <- totals.(1) +. t_warm;
+       totals.(2) <- totals.(2) +. t_comment;
+       totals.(3) <- totals.(3) +. t_semantic;
+       Printf.printf "%-14s %8.3f %8.3f %8.3f %8.3f | %6.1fx %6.1fx %6.1fx\n"
+         a.Apps.name t_cold t_warm t_comment t_semantic (spd t_warm)
+         (spd t_comment) (spd t_semantic);
+       Printf.fprintf oc "%s,%.4f,%.4f,%.4f,%.4f,%d,%.2f,%.2f,%.2f\n"
+         (csv_field a.Apps.name) t_cold t_warm t_comment t_semantic
+         cold.Cache.Incr.i_issues (spd t_warm) (spd t_comment)
+         (spd t_semantic))
+    Apps.table2;
+  close_out oc;
+  rm_rf root;
+  let spd i = if totals.(i) > 0.0 then totals.(0) /. totals.(i) else 0.0 in
+  Printf.printf "%s\n%-14s %8.3f %8.3f %8.3f %8.3f | %6.1fx %6.1fx %6.1fx\n"
+    line "total" totals.(0) totals.(1) totals.(2) totals.(3) (spd 1)
+    (spd 2) (spd 3);
+  Printf.printf
+    "wrote incremental.csv (scale %.2f); one-line (comment) edit: %.1fx\n"
+    !scale (spd 2)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -897,6 +992,7 @@ let () =
     | "inventory" -> inventory ()
     | "service" ->
       if !svc_cluster then cluster_service_bench () else service_bench ()
+    | "incremental" -> incremental ()
     | "micro" -> micro ()
     | "all" ->
       table1 (); table2 (); table3 (); figure4 (); summary ();

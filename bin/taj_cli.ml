@@ -99,6 +99,61 @@ let refine_steps =
 let with_refine cfg ~refine ~refine_k ~refine_steps =
   { cfg with Config.refine; refine_k; refine_steps }
 
+let cache_dir_arg =
+  let doc =
+    "Persist and reuse the incremental analysis cache in $(docv): parsed \
+     units, the frontend product, per-method def/use summaries and clean \
+     final reports, each keyed by content digests. A re-run of unchanged \
+     sources — or sources differing only in comments or whitespace — \
+     reuses everything downstream of the change. A corrupted store file \
+     is discarded with a diagnostic and the run proceeds cold."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let no_cache_flag =
+  let doc = "Ignore --cache: analyze everything from scratch." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+(* the session (when caching is on) carries the open store and the hooks
+   threaded into the supervisor; the caller commits it after the run *)
+let cache_session ~cache_dir ~no_cache ~app =
+  match (if no_cache then None else cache_dir) with
+  | None -> None
+  | Some dir ->
+    let s = Cache.Incr.start (Cache.Incr.create ~dir) ~app in
+    (match Cache.Incr.corruption s with
+     | Some d -> Fmt.epr "%a@." Diagnostics.pp_degradation d
+     | None -> ());
+    Some s
+
+(* persist whatever the run learned; a clean completed analysis also
+   refreshes the summary tier and stores its rendered report *)
+let cache_commit session ~config (outcome : Supervisor.outcome)
+    (input : Taj.input) =
+  match session with
+  | None -> ()
+  | Some s ->
+    (match outcome.Supervisor.sv_analysis with
+     | Some ({ Taj.result = Taj.Completed c; _ } as analysis)
+       when (not (Report.is_partial c.Taj.report))
+            && outcome.Supervisor.sv_diagnostics = [] ->
+       let cr =
+         { Cache.Incr.cr_report =
+             Cache.Incr.render_report c.Taj.builder c.Taj.report;
+           cr_issues = Report.issue_count c.Taj.report;
+           cr_flows = Report.flow_count c.Taj.report }
+       in
+       let rules = Rules.default_rules in
+       let keys =
+         Cache.Incr.result_key ~rules ~config input
+         :: Option.to_list
+              (Cache.Incr.ast_result_key ~rules ~config
+                 ~loaded:analysis.Taj.loaded s)
+       in
+       Cache.Incr.commit ~results:(List.map (fun k -> (k, cr)) keys)
+         ~analysis:c s
+     | _ -> Cache.Incr.commit s)
+
 (* Telemetry stays off (single-atomic-load probes) unless one of the
    observability flags asks for it. *)
 let telemetry_setup ~trace ~metrics =
@@ -122,7 +177,7 @@ let app_name =
 
 (* EINTR-safe whole-file read: a drain signal arriving mid-read must not
    surface as a load failure. *)
-let read_file = Serve.Io.read_file
+let read_file = Io.read_file
 
 let load_input ~name ~srcs ~descriptor_file =
   { Taj.name;
@@ -296,14 +351,20 @@ let analyze_cmd =
                 block, and exits with status 6.")
   in
   let run algorithm scale jobs descriptor_file srcs json stats csrf deadline
-      no_degrade verify_ir refine refine_k refine_steps trace metrics =
+      no_degrade verify_ir refine refine_k refine_steps trace metrics
+      cache_dir no_cache =
     let input = load_input ~name:"cli" ~srcs ~descriptor_file in
+    let session = cache_session ~cache_dir ~no_cache ~app:input.Taj.name in
     let options =
       { Supervisor.default_options with
         deadline;
         degrade = not no_degrade;
         scale;
-        jobs }
+        jobs;
+        cache =
+          (match session with
+           | Some s -> Cache.Incr.hooks s
+           | None -> Cache_iface.none) }
     in
     telemetry_setup ~trace ~metrics;
     if verify_ir then begin
@@ -345,10 +406,12 @@ let analyze_cmd =
         exit 6
     end;
     let config =
-      with_refine (Config.preset ~scale algorithm) ~refine ~refine_k
-        ~refine_steps
+      { (with_refine (Config.preset ~scale algorithm) ~refine ~refine_k
+           ~refine_steps)
+        with Config.cache_dir = (if no_cache then None else cache_dir) }
     in
     let outcome = Supervisor.run ~options ~config input in
+    cache_commit session ~config outcome input;
     (* export before the exit-code branches so a partial or failed run
        still yields its trace and metrics *)
     telemetry_export ~trace ~metrics;
@@ -439,7 +502,7 @@ let analyze_cmd =
     Term.(const run $ algorithm $ scale $ jobs $ descriptor_file $ sources
           $ json $ stats $ csrf $ deadline $ no_degrade $ verify_ir
           $ refine_flag $ refine_k $ refine_steps $ trace_file
-          $ metrics_flag)
+          $ metrics_flag $ cache_dir_arg $ no_cache_flag)
 
 (* ------------------------------------------------------------------ *)
 (* dump-ir                                                            *)
@@ -684,12 +747,7 @@ let generate_cmd =
            end
          in
          mkdirs dir;
-         let write path contents =
-           let oc = open_out path in
-           Fun.protect
-             ~finally:(fun () -> close_out oc)
-             (fun () -> output_string oc contents)
-         in
+         let write = Io.write_file in
          List.iteri
            (fun i src ->
               write (Filename.concat dir (Printf.sprintf "unit_%03d.mjava" i))
@@ -970,7 +1028,8 @@ let serve_cmd =
   let run socket workers job_jobs queue_cap max_retries retry_base seed
       breaker_threshold breaker_cooldown mem_soft_mb drain_grace arms
       cluster crash_retries respawn_base respawn_max ring_replicas
-      worker_breaker_threshold worker_breaker_cooldown trace metrics =
+      worker_breaker_threshold worker_breaker_cooldown trace metrics
+      cache_dir no_cache =
     telemetry_setup ~trace ~metrics;
     List.iter
       (fun (site, after, action, once) ->
@@ -980,7 +1039,8 @@ let serve_cmd =
       { Serve.Service.default_config with
         workers; job_jobs; queue_cap; max_retries; retry_base; seed;
         breaker_threshold; breaker_cooldown;
-        mem_soft_limit_mb = mem_soft_mb; drain_grace }
+        mem_soft_limit_mb = mem_soft_mb; drain_grace;
+        cache_dir = (if no_cache then None else cache_dir) }
     in
     if cluster > 0 then begin
       (* telemetry is enabled (or not) before the fork so workers
@@ -1092,7 +1152,7 @@ let serve_cmd =
           $ mem_soft_mb $ drain_grace $ arms $ cluster $ crash_retries
           $ respawn_base $ respawn_max $ ring_replicas
           $ worker_breaker_threshold $ worker_breaker_cooldown
-          $ trace_file $ metrics_flag)
+          $ trace_file $ metrics_flag $ cache_dir_arg $ no_cache_flag)
 
 (* ------------------------------------------------------------------ *)
 

@@ -1,0 +1,40 @@
+exception Corrupt of string
+
+let max_frame = 256 * 1024 * 1024
+let digest_len = 16
+let header_len = 4 + digest_len
+
+let add buf payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Frame.add: oversized frame";
+  Buffer.add_char buf (Char.chr ((len lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((len lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((len lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (len land 0xff));
+  Buffer.add_string buf (Digest.string payload);
+  Buffer.add_string buf payload
+
+let read data pos =
+  let remaining = String.length data - pos in
+  if remaining = 0 then None
+  else if remaining < header_len then raise (Corrupt "truncated frame header")
+  else begin
+    let b i = Char.code data.[pos + i] in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if len > max_frame then raise (Corrupt "implausible frame length");
+    if remaining < header_len + len then
+      raise (Corrupt "truncated frame payload");
+    let sum = String.sub data (pos + 4) digest_len in
+    let payload = String.sub data (pos + header_len) len in
+    if not (String.equal (Digest.string payload) sum) then
+      raise (Corrupt "frame checksum mismatch");
+    Some (payload, pos + header_len + len)
+  end
+
+let read_all data =
+  let rec go pos acc =
+    match read data pos with
+    | None -> List.rev acc
+    | Some (payload, pos') -> go pos' (payload :: acc)
+  in
+  go 0 []

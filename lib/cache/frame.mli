@@ -1,0 +1,25 @@
+(** Checksummed length-prefixed frames for the on-disk cache store.
+
+    Same shape as the cluster's {!Serve.Proto} wire framing — a 4-byte
+    big-endian length prefix — plus a 16-byte MD5 of the payload between
+    the length and the payload, because a store file must survive what a
+    socket never sees: torn writes from a crash mid-[rename], a disk
+    returning stale sectors, a hand-edited file. Any anomaly raises
+    {!Corrupt}; the store layer catches it and degrades to a cold cache,
+    never a crash and never a wrong answer. *)
+
+exception Corrupt of string
+
+(** Frames above this are a corrupt length field, not a plausible entry. *)
+val max_frame : int
+
+(** Append one frame ([length ^ md5 ^ payload]) to the buffer. *)
+val add : Buffer.t -> string -> unit
+
+(** Decode the frame starting at [pos]; [None] at end of input, [Some
+    (payload, next_pos)] otherwise. Raises {!Corrupt} on a truncated
+    header or payload, an implausible length, or a checksum mismatch. *)
+val read : string -> int -> (string * int) option
+
+(** Decode every frame in the string, in order. Raises {!Corrupt}. *)
+val read_all : string -> string list

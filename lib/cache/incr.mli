@@ -1,0 +1,120 @@
+(** The incremental analysis cache: content-hash-keyed reuse of pipeline
+    products across runs, persisted per application via {!Store}.
+
+    Four tiers, each keyed by a digest of exactly the inputs that
+    determine it, so validity is decided by key lookup alone — there is
+    no mtime, no generation counter, nothing to invalidate eagerly:
+
+    - {b ast}: one parsed compilation unit, keyed by its source text (plus
+      a frontend version salt). An edited unit simply misses.
+    - {b front}: the whole-program lower/SSA/rewrite product, keyed by the
+      digests of the parsed unit ASTs plus the deployment descriptor.
+      A comment or whitespace edit changes the source digest but not the
+      AST digest, so everything below the parser still hits — the paper's
+      "one-line edit" case.
+    - {b defuse}: per-method SDG def/use summaries from
+      {!Sdg.Builder}, keyed by the method body.
+    - {b summary}: the tabulation summary edges per method, stored under a
+      call-closure (Merkle) digest — the digest of every method body
+      reachable from it in the call graph. Editing a callee flips the
+      closure digests of all its transitive callers (they are
+      invalidated); untouched siblings keep their entries (hits). These
+      entries are validation/accounting only: they are {e never} injected
+      into a traversal, because seeding the worklist would change witness
+      discovery order and break byte-identical reports.
+
+    A fifth entry kind, {b result}, memoizes the fully rendered report of
+    a clean, complete run under a digest of the entire request (sources,
+    descriptor, configuration, rules): a warm re-run of an unchanged
+    input — including after a [taj serve] restart — returns it without
+    analyzing at all.
+
+    Counters: [cache.hit] / [cache.miss] / [cache.invalidated], plus
+    per-tier variants ([cache.<tier>.hit], ...). Store I/O runs under a
+    [phase.cache] telemetry span. A corrupt store file surfaces as a
+    {!Core.Diagnostics.Cache_corrupt} diagnostic and a cold run. *)
+
+(** A cache handle: the store directory plus its per-app open stores. *)
+type t
+
+(** Open (creating the directory if needed) a cache rooted at [dir]. *)
+val create : dir:string -> t
+
+val dir : t -> string
+
+(** One run's view of one application's store. *)
+type session
+
+(** Open [app]'s store (loading its file under a [phase.cache] span). *)
+val start : t -> app:string -> session
+
+(** The [Cache_corrupt] diagnostic to report, when the store file had to
+    be discarded at load. *)
+val corruption : session -> Core.Diagnostics.degradation option
+
+(** Pipeline hooks (ast / front / defuse tiers) backed by this session,
+    for {!Core.Supervisor.options} or {!Core.Taj.load}/[run]. *)
+val hooks : session -> Core.Cache_iface.t
+
+(** The raw result-tier key for a request: a digest of the source texts,
+    descriptor, configuration (minus [cache_dir]) and rule set. Computable
+    before any parsing — the key a service consults on admission. *)
+val result_key :
+  rules:Core.Rules.rule list -> config:Core.Config.t -> Core.Taj.input ->
+  string
+
+(** The semantic result-tier key: parsed-unit AST digests in place of
+    source digests, so an edit the parser discards (comments, whitespace)
+    maps to the same entry. Only available after this session's hooks
+    have seen the frontend (i.e. after a load through {!hooks}), and only
+    when the load skipped no units; [None] otherwise. *)
+val ast_result_key :
+  rules:Core.Rules.rule list -> config:Core.Config.t ->
+  loaded:Core.Taj.loaded -> session -> string option
+
+type cached_result = {
+  cr_report : string;       (** the rendered report, byte-identical *)
+  cr_issues : int;
+  cr_flows : int;
+}
+
+(** Result-tier lookup; bumps [cache.result.hit]/[.miss]. *)
+val lookup_result : session -> key:string -> cached_result option
+
+(** End the session: validate and refresh the summary tier against the
+    completed analysis (when one is given — pass the analysis only for a
+    clean, complete, undegraded run), store the result entries (same
+    caveat), and persist the store. Safe to call after a degraded or
+    failed run with both options absent: the content-keyed tiers it
+    filled are valid regardless and still get persisted. *)
+val commit :
+  ?results:(string * cached_result) list ->
+  ?analysis:Core.Taj.completed ->
+  session -> unit
+
+(** Render a report exactly as the result tier stores it. *)
+val render_report : Sdg.Builder.t -> Core.Report.t -> string
+
+type outcome = {
+  i_report : string;          (** rendered report ("" if none) *)
+  i_issues : int;
+  i_flows : int;
+  i_partial : bool;           (** degraded, partial, or failed *)
+  i_from_cache : bool;        (** satisfied by the result tier *)
+  i_supervisor : Core.Supervisor.outcome option;
+      (** [None] exactly when [i_from_cache] *)
+  i_diags : Core.Diagnostics.degradation list;
+      (** cache-layer diagnostics ({!Core.Diagnostics.Cache_corrupt}) *)
+}
+
+(** Supervised analysis through the cache: result-tier lookup, else a
+    {!Core.Supervisor.run} with the tier hooks threaded in, then
+    {!commit}. With [cache = None] this is exactly a supervised run (the
+    uncached baseline the metamorphic tests compare against). *)
+val analyze :
+  ?cache:t ->
+  ?rules:Core.Rules.rule list ->
+  ?options:Core.Supervisor.options ->
+  ?config:Core.Config.t ->
+  Core.Taj.input ->
+  outcome

@@ -1,0 +1,39 @@
+(** Hook points the incremental cache plugs into the pipeline.
+
+    The cache subsystem proper lives in [lib/cache], {e above} this
+    library in the dependency graph (it needs [Taj], [Config] and the
+    SDG), so the pipeline cannot call it directly. Instead {!Taj.load},
+    {!Taj.run} and {!Supervisor.run} accept this record of closures: a
+    memoizing wrapper per cacheable stage. Every wrapper receives the
+    work as a thunk and must return either the thunk's result or a
+    previously cached value that is {e observably identical} to it —
+    the cache layer owns keying, validation, persistence and hit/miss
+    accounting; the pipeline stays oblivious.
+
+    [none] is the identity: every wrapper just runs its thunk. *)
+
+type t = {
+  unit_ast :
+    src:string ->
+    parse:(unit -> Jir.Ast.compilation_unit) ->
+    Jir.Ast.compilation_unit;
+      (** tier 1a — per-unit parse, keyed by source digest. May be
+          called concurrently from parser worker domains. *)
+  frontend :
+    descriptor:string ->
+    asts:Jir.Ast.compilation_unit list ->
+    build:
+      (unit -> Jir.Program.t * Models.Reflection.stats * int) ->
+    Jir.Program.t * Models.Reflection.stats * int;
+      (** tier 1b — the whole-program lower/SSA/rewrite product, keyed
+          by the digests of the parsed units (so comment/whitespace
+          edits hit) plus the deployment descriptor *)
+  defuse : Sdg.Builder.defuse_cache option;
+      (** tier 2 — per-method def/use summaries, threaded into
+          {!Sdg.Builder.build} *)
+}
+
+let none =
+  { unit_ast = (fun ~src:_ ~parse -> parse ());
+    frontend = (fun ~descriptor:_ ~asts:_ ~build -> build ());
+    defuse = None }

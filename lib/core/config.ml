@@ -43,6 +43,7 @@ type t = {
   refine : bool;                      (* access-path replay of each flow *)
   refine_k : int;                     (* access-path depth bound *)
   refine_steps : int;                 (* per-flow replay step budget *)
+  cache_dir : string option;          (* incremental-cache store directory *)
 }
 
 let default_whitelist = [ "Math"; "Random"; "Date"; "Logger" ]
@@ -67,7 +68,8 @@ let preset ?(scale = 1.0) (algorithm : algorithm) : t =
       excluded_classes = default_whitelist;
       refine = false;
       refine_k = 3;
-      refine_steps = 4096 }
+      refine_steps = 4096;
+      cache_dir = None }
   in
   match algorithm with
   | Hybrid_unbounded -> base
@@ -100,12 +102,14 @@ let all_algorithms =
    CS configuration does on large applications (Table 3). Each rung is
    paired with the scale it was built at, for diagnostics. *)
 let degradation_ladder ?(scale = 1.0) (c : t) : (float * t) list =
-  (* ladder rungs are fresh presets: carry over the refinement settings so
-     a degraded retry still classifies its (fewer) flows *)
+  (* ladder rungs are fresh presets: carry over the refinement and cache
+     settings so a degraded retry still classifies its (fewer) flows and
+     keeps reading the same store *)
   let carry (s, cfg) =
     (s, { cfg with refine = c.refine;
                    refine_k = c.refine_k;
-                   refine_steps = c.refine_steps })
+                   refine_steps = c.refine_steps;
+                   cache_dir = c.cache_dir })
   in
   let rungs =
     List.map carry

@@ -59,6 +59,7 @@ type degradation =
       delay : float;
     }
   | Client_disconnected of { peer : string; error : string }
+  | Cache_corrupt of { app : string; reason : string }
 
 let pp_degradation ppf = function
   | Deadline_expired { phase; elapsed } ->
@@ -103,6 +104,9 @@ let pp_degradation ppf = function
       job from_worker crashes delay
   | Client_disconnected { peer; error } ->
     Fmt.pf ppf "client %s disconnected mid-response (%s)" peer error
+  | Cache_corrupt { app; reason } ->
+    Fmt.pf ppf "cache store for %s unreadable (%s); falling back to cold"
+      app reason
 
 (* A stable machine-readable tag per constructor, for the CLI's JSON
    diagnostics block and the telemetry instant-event names. *)
@@ -124,6 +128,7 @@ let kind_name = function
   | Worker_respawned _ -> "worker-respawned"
   | Job_rerouted _ -> "job-rerouted"
   | Client_disconnected _ -> "client-disconnected"
+  | Cache_corrupt _ -> "cache-corrupt"
 
 type t = { mutable rev_events : degradation list }
 

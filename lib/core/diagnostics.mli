@@ -60,6 +60,10 @@ type degradation =
   | Client_disconnected of { peer : string; error : string }
       (** a transport client vanished mid-response ([EPIPE]); responses to
           it are dropped, the jobs stay terminal on the server side *)
+  | Cache_corrupt of { app : string; reason : string }
+      (** a persisted cache store failed validation (torn write, bit
+          flip, version bump); all its entries were discarded and the
+          run proceeds cold — never a crash, never a stale answer *)
 
 (** An append-only event log, recorded in arrival order. *)
 type t

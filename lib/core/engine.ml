@@ -40,6 +40,9 @@ type outcome = {
          missing but the other rules still ran (fault isolation) *)
   refined : refine_summary option;
       (* present iff the access-path refinement stage ran *)
+  summary_edges : (int * int) list;
+      (* union of per-rule IFDS summary edges, sorted; persisted by the
+         incremental cache under a call-closure digest *)
 }
 
 let mode_of (config : Config.t) : Sdg.Tabulation.mode =
@@ -234,6 +237,7 @@ type per_rule = {
   pr_exhausted : bool;
   pr_interrupted : bool;
   pr_fault : Diagnostics.degradation option;
+  pr_summary_edges : (int * int) list;
 }
 
 let run ?(jobs = 1) ?(interrupt = fun () -> false)
@@ -305,7 +309,8 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
           rs_exhausted = res.Sdg.Tabulation.exhausted };
       pr_exhausted = res.Sdg.Tabulation.exhausted;
       pr_interrupted = res.Sdg.Tabulation.interrupted;
-      pr_fault = None }
+      pr_fault = None;
+      pr_summary_edges = res.Sdg.Tabulation.summary_edges }
   in
   (* fault isolation: a raising rule contributes no flows and a diagnostic;
      the remaining rules still run. Catching *inside* the task keeps an
@@ -327,7 +332,8 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
           Some
             (Diagnostics.Rule_failed
                { rule = rule.Rules.rule_name;
-                 error = Printexc.to_string e }) }
+                 error = Printexc.to_string e });
+        pr_summary_edges = [] }
   in
   let results =
     if jobs <= 1 then List.map guarded rules
@@ -359,4 +365,7 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
     exhausted = List.exists (fun r -> r.pr_exhausted) results;
     interrupted;
     rule_faults = List.filter_map (fun r -> r.pr_fault) results;
-    refined }
+    refined;
+    summary_edges =
+      List.sort_uniq compare
+        (List.concat_map (fun r -> r.pr_summary_edges) results) }

@@ -52,6 +52,8 @@ let site_sdg = "sdg"
 let site_tabulation = "tabulation"
 let site_heap = "heap-transition"
 let site_worker = "serve-worker"
+let site_cache_read = "cache:read"
+let site_cache_write = "cache:write"
 
 (* Per-job site for the analysis service: arming ["job:<id>"] targets one
    job deterministically even when worker scheduling is racy. *)

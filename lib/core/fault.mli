@@ -25,6 +25,12 @@ val site_tabulation : string
 val site_heap : string
 val site_worker : string
 
+(** The cache store's read/load and write/flush paths. An injected fault
+    on either degrades the affected store to cold — it must never crash
+    a run or change its report. *)
+val site_cache_read : string
+val site_cache_write : string
+
 (** ["job:<id>"] — a per-job service site, so chaos tests can target one
     job deterministically regardless of worker scheduling. *)
 val site_job : string -> string

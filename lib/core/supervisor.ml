@@ -19,11 +19,12 @@ type options = {
   scale : float;              (** scale the ladder's presets were built at *)
   cancel : bool Atomic.t;     (** shared cooperative cancellation token *)
   jobs : int;                 (** worker-pool size for parallel stages *)
+  cache : Cache_iface.t;      (** incremental-cache hooks; [none] = off *)
 }
 
 let default_options =
   { deadline = None; degrade = true; scale = 1.0;
-    cancel = Atomic.make false; jobs = 1 }
+    cancel = Atomic.make false; jobs = 1; cache = Cache_iface.none }
 
 type attempt = {
   at_algorithm : Config.algorithm;
@@ -53,8 +54,8 @@ let degraded outcome = outcome.sv_diagnostics <> []
     degradation ladder from [config] until an attempt completes, the
     deadline expires, or the ladder is exhausted. Never raises. *)
 let run ?(rules = Rules.default_rules) ?(options = default_options)
-    ?(config = Config.preset Config.Hybrid_unbounded) (input : Taj.input) :
-  outcome =
+    ?(config = Config.preset Config.Hybrid_unbounded) ?loaded
+    (input : Taj.input) : outcome =
   let budget =
     Budget.create ?deadline:options.deadline ~cancel:options.cancel ()
   in
@@ -80,7 +81,11 @@ let run ?(rules = Rules.default_rules) ?(options = default_options)
       sv_attempts = List.rev !attempts;
       sv_elapsed = Budget.elapsed budget }
   in
-  match Taj.load ~lenient:true ~jobs:options.jobs input with
+  match
+    match loaded with
+    | Some l -> l
+    | None -> Taj.load ~lenient:true ~jobs:options.jobs ~cache:options.cache input
+  with
   | exception e ->
     (* total frontend failure: still a value, never an exception *)
     Diagnostics.record diagnostics
@@ -99,7 +104,8 @@ let run ?(rules = Rules.default_rules) ?(options = default_options)
             [ ("algorithm", Config.algorithm_name cfg.Config.algorithm);
               ("scale", Printf.sprintf "%.3f" scale) ]
           (fun () ->
-             Taj.run ~rules ~jobs:options.jobs ~budget ~diagnostics loaded cfg)
+             Taj.run ~rules ~jobs:options.jobs ~budget ~diagnostics
+               ~cache:options.cache loaded cfg)
       with
       | exception e ->
         (* Taj.run contains phase faults itself; this is a belt for truly

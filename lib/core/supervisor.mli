@@ -12,9 +12,13 @@ type options = {
   jobs : int;                 (** worker-pool size for the parallel stages
                                   (frontend parse, per-rule tabulation);
                                   1 = fully sequential *)
+  cache : Cache_iface.t;      (** incremental-cache hooks threaded into
+                                  every rung's load and run;
+                                  {!Cache_iface.none} = caching off *)
 }
 
-(** No deadline, degradation enabled, scale 1.0, fresh token, jobs 1. *)
+(** No deadline, degradation enabled, scale 1.0, fresh token, jobs 1,
+    no cache. *)
 val default_options : options
 
 (** One rung of the ladder that actually executed. *)
@@ -46,10 +50,13 @@ val degraded : outcome -> bool
 
 (** Load leniently, then walk the degradation ladder from [config]
     (default: unbounded hybrid) until an attempt completes, the deadline
-    expires, or the ladder is exhausted. Never raises. *)
+    expires, or the ladder is exhausted. Never raises. [loaded] skips the
+    load when the caller already has one for this input (the cache layer
+    loads first to compute its result key). *)
 val run :
   ?rules:Rules.rule list ->
   ?options:options ->
   ?config:Config.t ->
+  ?loaded:Taj.loaded ->
   Taj.input ->
   outcome

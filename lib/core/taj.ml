@@ -97,20 +97,21 @@ let now = Unix.gettimeofday
     {!Parallel.map} domain pool (each unit's parse touches only unit-local
     state); results merge in unit order, so the loaded program is identical
     to a sequential load. *)
-let load ?(lenient = false) ?(jobs = 1) (input : input) : loaded =
+let load ?(lenient = false) ?(jobs = 1) ?(cache = Cache_iface.none)
+    (input : input) : loaded =
   wrap_frontend_errors input.name @@ fun () ->
   let (prog, reflection_stats, synthesized_sources, skipped), frontend_seconds =
     Telemetry.phase "phase.frontend" ~args:[ ("app", input.name) ]
     @@ fun () ->
-    let prog = Program.create () in
     let jdk_units = Models.Jdklib.units () in
     let parse_unit (i, src) =
       Telemetry.with_span "frontend.parse_unit"
         ~args:[ ("unit", string_of_int i) ]
       @@ fun () ->
       match
-        Fault.tick Fault.site_parse;
-        Parser.parse src
+        cache.Cache_iface.unit_ast ~src ~parse:(fun () ->
+          Fault.tick Fault.site_parse;
+          Parser.parse src)
       with
       | u -> Either.Left u
       | exception
@@ -129,34 +130,49 @@ let load ?(lenient = false) ?(jobs = 1) (input : input) : loaded =
     let skipped =
       List.filter_map (function Either.Right s -> Some s | _ -> None) parsed
     in
-    let descriptor = Models.Frameworks.parse_descriptor input.descriptor in
-    let synth_units =
-      Telemetry.with_span "frontend.synthesize" @@ fun () ->
-      List.iter (Lower.declare prog ~library:true) jdk_units;
-      List.iter (Lower.declare prog ~library:false) app_units;
-      (* framework synthesis needs declarations but not bodies *)
-      let cast_constraints =
-        Models.Frameworks.form_cast_constraints app_units
-      in
-      let synth_src =
-        Models.Frameworks.synthesize ~cast_constraints prog.Program.table
-          descriptor
-      in
-      [ Parser.parse synth_src ]
+    let prog, reflection_stats, synthesized_sources =
+      (* everything below the parse is a pure function of the surviving
+         unit ASTs and the descriptor text, which is exactly what the
+         frontend cache tier keys on *)
+      cache.Cache_iface.frontend ~descriptor:input.descriptor
+        ~asts:app_units
+        ~build:(fun () ->
+          let prog = Program.create () in
+          let descriptor =
+            Models.Frameworks.parse_descriptor input.descriptor
+          in
+          let synth_units =
+            Telemetry.with_span "frontend.synthesize" @@ fun () ->
+            List.iter (Lower.declare prog ~library:true) jdk_units;
+            List.iter (Lower.declare prog ~library:false) app_units;
+            (* framework synthesis needs declarations but not bodies *)
+            let cast_constraints =
+              Models.Frameworks.form_cast_constraints app_units
+            in
+            let synth_src =
+              Models.Frameworks.synthesize ~cast_constraints
+                prog.Program.table descriptor
+            in
+            [ Parser.parse synth_src ]
+          in
+          Telemetry.with_span "frontend.lower" (fun () ->
+            List.iter (Lower.declare prog ~library:false) synth_units;
+            List.iter (Lower.define prog ~library:true) jdk_units;
+            List.iter (Lower.define prog ~library:false) app_units;
+            List.iter (Lower.define prog ~library:false) synth_units;
+            Program.add_entrypoint prog Models.Frameworks.entry_method);
+          Telemetry.with_span "frontend.ssa" (fun () ->
+            Ssa.convert_program prog);
+          Telemetry.with_span "frontend.rewrites" @@ fun () ->
+          let ejb_registry = Models.Frameworks.ejb_registry descriptor in
+          let reflection_stats =
+            Models.Reflection.rewrite_program ~ejb_registry prog
+          in
+          let synthesized_sources =
+            Models.Exceptions.rewrite_program prog
+          in
+          (prog, reflection_stats, synthesized_sources))
     in
-    Telemetry.with_span "frontend.lower" (fun () ->
-      List.iter (Lower.declare prog ~library:false) synth_units;
-      List.iter (Lower.define prog ~library:true) jdk_units;
-      List.iter (Lower.define prog ~library:false) app_units;
-      List.iter (Lower.define prog ~library:false) synth_units;
-      Program.add_entrypoint prog Models.Frameworks.entry_method);
-    Telemetry.with_span "frontend.ssa" (fun () -> Ssa.convert_program prog);
-    Telemetry.with_span "frontend.rewrites" @@ fun () ->
-    let ejb_registry = Models.Frameworks.ejb_registry descriptor in
-    let reflection_stats =
-      Models.Reflection.rewrite_program ~ejb_registry prog
-    in
-    let synthesized_sources = Models.Exceptions.rewrite_program prog in
     (prog, reflection_stats, synthesized_sources, skipped)
   in
   { input;
@@ -215,7 +231,8 @@ let record_budget_stop (diagnostics : Diagnostics.t) (budget : Budget.t)
     walk the degradation ladder. New degradations are appended to
     [diagnostics] (shared across supervisor attempts). *)
 let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
-    (loaded : loaded) (config : Config.t) : analysis =
+    ?(cache = Cache_iface.none) (loaded : loaded) (config : Config.t) :
+  analysis =
   let budget =
     match budget with Some b -> b | None -> Budget.unlimited ()
   in
@@ -266,7 +283,7 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
            ~interrupt:(fun () ->
              Fault.tick Fault.site_sdg;
              interrupt ())
-           loaded.program andersen
+           ?defuse_cache:cache.Cache_iface.defuse loaded.program andersen
        in
        (builder, Pointer.Heapgraph.build andersen)
      with
@@ -328,6 +345,6 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
 
 (** Convenience: load and analyze in one call. *)
 let analyze ?rules ?(jobs = 1)
-    ?(config = Config.preset Config.Hybrid_unbounded) (input : input) :
+    ?(config = Config.preset Config.Hybrid_unbounded) ?cache (input : input) :
   analysis =
-  run ?rules ~jobs (load ~jobs input) config
+  run ?rules ~jobs ?cache (load ~jobs ?cache input) config

@@ -66,8 +66,12 @@ exception Load_error of string
     is skipped and recorded in [skipped_units] instead of failing the
     whole load. With [jobs > 1] (default 1), compilation units parse on a
     {!Parallel.map} domain pool; the loaded program is identical to a
-    sequential load. *)
-val load : ?lenient:bool -> ?jobs:int -> input -> loaded
+    sequential load. [cache] supplies the incremental-cache hooks
+    ({!Cache_iface.none} when absent): per-unit parses and the
+    whole-program frontend product may then be satisfied from cached
+    entries instead of recomputed. *)
+val load :
+  ?lenient:bool -> ?jobs:int -> ?cache:Cache_iface.t -> input -> loaded
 
 (** [budget] supplies the wall-clock deadline / cancellation token, polled
     cooperatively in every long-running loop; an expiry mid-phase yields a
@@ -77,14 +81,20 @@ val load : ?lenient:bool -> ?jobs:int -> input -> loaded
     supervisor attempts). With [jobs > 1] (default 1) the taint rules run
     on a {!Parallel.map} domain pool; results are structurally identical
     to the sequential run, and the budget/deadline keeps working across
-    domains. *)
+    domains. [cache] threads the incremental-cache hooks into the SDG
+    builder (per-method def/use summaries). *)
 val run :
   ?rules:Rules.rule list ->
   ?jobs:int ->
   ?budget:Budget.t ->
   ?diagnostics:Diagnostics.t ->
+  ?cache:Cache_iface.t ->
   loaded -> Config.t -> analysis
 
 (** [load] + [run]. *)
 val analyze :
-  ?rules:Rules.rule list -> ?jobs:int -> ?config:Config.t -> input -> analysis
+  ?rules:Rules.rule list ->
+  ?jobs:int ->
+  ?config:Config.t ->
+  ?cache:Cache_iface.t ->
+  input -> analysis

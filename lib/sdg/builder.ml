@@ -32,6 +32,37 @@ type node_index = {
   ni_uses : (Tac.var, use list) Hashtbl.t;
 }
 
+(** A node index in node-relative coordinates ({!Stmt.kind} instead of
+    {!Stmt.t}): a pure function of the method body alone — parameter
+    defs, SSA def/use chains and the per-method dictionary-operation
+    classification ([Dict_model.const_of_meth] is body-local) — so the
+    incremental cache can persist it keyed by a body digest and rebind
+    it to whatever call-graph node the method lands on next run. The
+    entry lists are kept in a canonical order so the marshaled bytes are
+    deterministic across hashtable layouts. *)
+type rel_use =
+  | RU_plain of Stmt.kind
+  | RU_stored of Stmt.kind
+  | RU_arg of Stmt.kind * int
+  | RU_returned
+  | RU_thrown of Stmt.kind
+
+type defuse_summary = {
+  ds_defs : (Tac.var * Stmt.kind) list;
+  ds_uses : (Tac.var * rel_use list) list;
+      (** per-var use lists verbatim, preserving the order
+          [build_node_index] produced — traversal order downstream
+          depends on it *)
+}
+
+type defuse_cache = {
+  dc_lookup : Tac.meth -> defuse_summary option;
+      (** validated lookup: the cache implementation compares its stored
+          body digest against the current method and returns [None] on
+          any mismatch (counting the invalidation) *)
+  dc_store : Tac.meth -> defuse_summary -> unit;
+}
+
 type t = {
   prog : Program.t;
   a : Pointer.Andersen.t;
@@ -52,6 +83,7 @@ type t = {
   all_calls : (Stmt.t * Tac.call) list ref;
   dict_ops : (Stmt.t, Models.Dict_model.op) Hashtbl.t;
   thread_of : (int, Int_set.t) Hashtbl.t;             (* node -> thread ids *)
+  defuse_cache : defuse_cache option;
   mutable interrupted : bool;        (* build stopped before every node *)
 }
 
@@ -139,6 +171,46 @@ let build_node_index t (n : int) : node_index =
     m.Tac.m_blocks;
   { ni_def; ni_uses }
 
+(* Node-relative strip/rebind for the persistent def/use cache. A
+   round trip ([materialize ~node (strip ni)]) reproduces the exact
+   hashtable content [build_node_index] would have produced for that
+   node: single-binding defs are order-insensitive under [replace], and
+   the per-var use lists are carried verbatim. *)
+let strip_use (u : use) : rel_use =
+  match u with
+  | U_plain s -> RU_plain s.Stmt.kind
+  | U_stored s -> RU_stored s.Stmt.kind
+  | U_arg (s, i) -> RU_arg (s.Stmt.kind, i)
+  | U_returned -> RU_returned
+  | U_thrown s -> RU_thrown s.Stmt.kind
+
+let strip_index (ni : node_index) : defuse_summary =
+  let defs =
+    Hashtbl.fold (fun v s acc -> (v, s.Stmt.kind) :: acc) ni.ni_def []
+  in
+  let uses =
+    Hashtbl.fold
+      (fun v us acc -> (v, List.map strip_use us) :: acc)
+      ni.ni_uses []
+  in
+  { ds_defs = List.sort compare defs; ds_uses = List.sort compare uses }
+
+let materialize_summary ~node (s : defuse_summary) : node_index =
+  let abs kind = { Stmt.node; kind } in
+  let abs_use = function
+    | RU_plain k -> U_plain (abs k)
+    | RU_stored k -> U_stored (abs k)
+    | RU_arg (k, i) -> U_arg (abs k, i)
+    | RU_returned -> U_returned
+    | RU_thrown k -> U_thrown (abs k)
+  in
+  let ni_def = Hashtbl.create 64 and ni_uses = Hashtbl.create 64 in
+  List.iter (fun (v, k) -> Hashtbl.replace ni_def v (abs k)) s.ds_defs;
+  List.iter
+    (fun (v, us) -> Hashtbl.replace ni_uses v (List.map abs_use us))
+    s.ds_uses;
+  { ni_def; ni_uses }
+
 (* The def/use indexes are memoized per node, on demand: most nodes are
    never touched by a slice, so forcing them all up front costs more
    than the slicing itself. Under the parallel engine the memo must not
@@ -172,9 +244,24 @@ let node_index t n =
     ni
   | None ->
     Telemetry.incr m_memo_misses;
-    let ni = build_node_index t n in
+    let ni =
+      match t.defuse_cache with
+      | None -> build_node_index t n
+      | Some dc ->
+        (* persistent tier: a validated summary rebinds to this node;
+           a miss rebuilds and refreshes the cache entry *)
+        let m = node_meth t n in
+        (match dc.dc_lookup m with
+         | Some s -> materialize_summary ~node:n s
+         | None ->
+           let ni = build_node_index t n in
+           dc.dc_store m (strip_index ni);
+           ni)
+    in
     Hashtbl.replace tbl n ni;
     ni
+
+let strip_index_of_node t n = strip_index (node_index t n)
 
 (** The statement defining register [v] in node [n], if any. *)
 let def_of t ~node v = Hashtbl.find_opt (node_index t node).ni_def v
@@ -505,7 +592,7 @@ let compute_threads t =
 
 let next_uid = Atomic.make 0
 
-let build ?(interrupt = fun () -> false) (prog : Program.t)
+let build ?(interrupt = fun () -> false) ?defuse_cache (prog : Program.t)
     (a : Pointer.Andersen.t) : t =
   Telemetry.with_span "sdg.build" @@ fun () ->
   let t =
@@ -526,6 +613,7 @@ let build ?(interrupt = fun () -> false) (prog : Program.t)
       all_calls = ref [];
       dict_ops = Hashtbl.create 64;
       thread_of = Hashtbl.create 256;
+      defuse_cache;
       interrupted = false }
   in
   let n_nodes = Pointer.Callgraph.node_count t.cg in

@@ -17,12 +17,54 @@ type use =
 
 type t
 
+(** {2 Persistent def/use summaries}
+
+    A per-node def/use index in node-relative coordinates ({!Stmt.kind}
+    instead of {!Stmt.t}). It is a pure function of the method body —
+    parameter defs, SSA def/use chains and the body-local
+    dictionary-operation classification — so the incremental cache can
+    persist it keyed by a digest of the body and rebind it to whatever
+    call-graph node the method occupies in a later run. Marshalable;
+    entries are kept in a canonical order so the bytes are
+    deterministic. *)
+type rel_use =
+  | RU_plain of Stmt.kind
+  | RU_stored of Stmt.kind
+  | RU_arg of Stmt.kind * int
+  | RU_returned
+  | RU_thrown of Stmt.kind
+
+type defuse_summary = {
+  ds_defs : (Jir.Tac.var * Stmt.kind) list;
+  ds_uses : (Jir.Tac.var * rel_use list) list;
+}
+
+(** Hooks into a persistent def/use cache. [dc_lookup] must return a
+    summary only when its stored body digest matches the method passed —
+    validation (and hit/miss/invalidation accounting) lives on the cache
+    side; the builder blindly rebinds whatever it gets. [dc_store] is
+    called with a freshly built summary on every lookup miss. Both may
+    be called from worker domains concurrently and must synchronize
+    internally. *)
+type defuse_cache = {
+  dc_lookup : Jir.Tac.meth -> defuse_summary option;
+  dc_store : Jir.Tac.meth -> defuse_summary -> unit;
+}
+
+(** The summary of node [n]'s (possibly memoized) def/use index — what
+    [dc_store] would persist for it. Exposed for the cache-equivalence
+    tests, which assert a strip/rebind round trip changes nothing. *)
+val strip_index_of_node : t -> int -> defuse_summary
+
 (** Build the dependence-graph indexes. [interrupt] is polled once per
     call-graph node; when it returns [true] the remaining nodes are left
     unindexed and the partial builder (an underapproximation) is
-    returned. *)
+    returned. [defuse_cache] plugs the persistent per-method summary
+    tier into the on-demand def/use memo. *)
 val build :
-  ?interrupt:(unit -> bool) -> Jir.Program.t -> Pointer.Andersen.t -> t
+  ?interrupt:(unit -> bool) ->
+  ?defuse_cache:defuse_cache ->
+  Jir.Program.t -> Pointer.Andersen.t -> t
 
 (** Did [interrupt] stop the build before every node was indexed? *)
 val interrupted : t -> bool

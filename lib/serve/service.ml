@@ -84,6 +84,9 @@ type config = {
   breaker_cooldown : float;
   mem_soft_limit_mb : int option;
   drain_grace : float option;      (** deadline cap for runs during drain *)
+  cache_dir : string option;
+      (** incremental-cache store directory; a restarted service points
+          at the same directory and starts warm *)
   now : unit -> float;
   sleep : float -> unit;
       (** the queue's poll wait for delayed retries; injectable for tests *)
@@ -93,7 +96,7 @@ let default_config =
   { workers = 2; job_jobs = 1; queue_cap = 64; max_retries = 2;
     retry_base = 0.05; retry_factor = 2.0; retry_max_delay = 2.0;
     seed = 0; breaker_threshold = 5; breaker_cooldown = 30.0;
-    mem_soft_limit_mb = None; drain_grace = Some 30.0;
+    mem_soft_limit_mb = None; drain_grace = Some 30.0; cache_dir = None;
     now = Unix.gettimeofday; sleep = Io.sleepf }
 
 (** The retry schedule is a pure function of (seed, job id, attempt):
@@ -123,6 +126,7 @@ type t = {
   queue : job Queue.t;
   breaker : Breaker.t;
   watchdog : Watchdog.t;
+  cache : Cache.Incr.t option;
   diagnostics : Diagnostics.t;     (* service-level events *)
   diag_lock : Mutex.t;
   (* terminal-state accounting; atomics because workers race *)
@@ -262,36 +266,94 @@ let execute t (job : job) : exec_outcome =
         | None, g -> g
       else rq.rq_deadline
     in
-    let options =
-      { Supervisor.default_options with
-        deadline; scale; jobs = t.cfg.job_jobs }
+    let session =
+      Option.map (fun c -> Cache.Incr.start c ~app:input.Taj.name) t.cache
     in
-    match Supervisor.run ~options ~config input with
-    | exception e ->
-      Exec_failed
-        { reason = Printexc.to_string e; severity = Fault.classify e;
-          breaker_counts = true }
-    | outcome ->
-      let degradations = List.length outcome.Supervisor.sv_diagnostics in
-      (match outcome.Supervisor.sv_analysis with
-       | Some { Taj.result = Taj.Completed c; _ } ->
-         let issues = Report.issue_count c.Taj.report in
-         if
-           Report.is_partial c.Taj.report
-           || outcome.Supervisor.sv_diagnostics <> []
-         then Exec_ok (Degraded, "supervisor_degraded", issues, degradations)
-         else if pressure > 0 then
-           Exec_ok (Degraded, "memory_pressure", issues, degradations)
-         else Exec_ok (Completed, "", issues, degradations)
-       | Some { Taj.result = Taj.Did_not_complete reason; _ } ->
-         Exec_failed
-           { reason = "did_not_complete: " ^ reason;
-             severity = Fault.Permanent;
-             breaker_counts = rq.rq_deadline = None }
-       | None ->
-         Exec_failed
-           { reason = "load_failed"; severity = Fault.Permanent;
-             breaker_counts = true })
+    (match Option.bind session Cache.Incr.corruption with
+     | Some d -> record_diag t d
+     | None -> ());
+    let result_key =
+      Cache.Incr.result_key ~rules:Rules.default_rules ~config input
+    in
+    (* a memory-pressure run answers Degraded even when complete, so it
+       neither consults nor feeds the result tier *)
+    let cached =
+      if pressure > 0 then None
+      else
+        Option.bind session (fun s ->
+          Cache.Incr.lookup_result s ~key:result_key)
+    in
+    match cached with
+    | Some cr -> Exec_ok (Completed, "", cr.Cache.Incr.cr_issues, 0)
+    | None ->
+      let options =
+        { Supervisor.default_options with
+          deadline; scale; jobs = t.cfg.job_jobs;
+          cache =
+            (match session with
+             | Some s -> Cache.Incr.hooks s
+             | None -> Cache_iface.none) }
+      in
+      match Supervisor.run ~options ~config input with
+      | exception e ->
+        Exec_failed
+          { reason = Printexc.to_string e; severity = Fault.classify e;
+            breaker_counts = true }
+      | outcome ->
+        let degradations = List.length outcome.Supervisor.sv_diagnostics in
+        let commit ?completed () =
+          match session with
+          | None -> ()
+          | Some s ->
+            (match completed, outcome.Supervisor.sv_analysis with
+             | Some c, Some analysis ->
+               let cr =
+                 { Cache.Incr.cr_report =
+                     Cache.Incr.render_report c.Taj.builder c.Taj.report;
+                   cr_issues = Report.issue_count c.Taj.report;
+                   cr_flows = Report.flow_count c.Taj.report }
+               in
+               let keys =
+                 result_key
+                 :: Option.to_list
+                      (Cache.Incr.ast_result_key
+                         ~rules:Rules.default_rules ~config
+                         ~loaded:analysis.Taj.loaded s)
+               in
+               Cache.Incr.commit
+                 ~results:(List.map (fun k -> (k, cr)) keys)
+                 ~analysis:c s
+             | _ -> Cache.Incr.commit s)
+        in
+        (match outcome.Supervisor.sv_analysis with
+         | Some { Taj.result = Taj.Completed c; _ } ->
+           let issues = Report.issue_count c.Taj.report in
+           if
+             Report.is_partial c.Taj.report
+             || outcome.Supervisor.sv_diagnostics <> []
+           then begin
+             commit ();
+             Exec_ok (Degraded, "supervisor_degraded", issues, degradations)
+           end
+           else if pressure > 0 then begin
+             commit ();
+             Exec_ok (Degraded, "memory_pressure", issues, degradations)
+           end
+           else begin
+             commit ~completed:c ();
+             Exec_ok (Completed, "", issues, degradations)
+           end
+         | Some { Taj.result = Taj.Did_not_complete reason; _ } ->
+           commit ();
+           Exec_failed
+             { reason = "did_not_complete: " ^ reason;
+               severity = Fault.Permanent;
+               breaker_counts = rq.rq_deadline = None }
+         | None ->
+           commit ();
+           Exec_failed
+             { reason = "load_failed"; severity = Fault.Permanent;
+               breaker_counts = true })
 
 let process t (job : job) =
   let key = breaker_key job.j_req in
@@ -392,6 +454,7 @@ let create ?(config = default_config) () =
         Breaker.create ~now:cfg.now ~on_transition:record
           ~threshold:cfg.breaker_threshold ~cooldown:cfg.breaker_cooldown ();
       watchdog = Watchdog.create ~soft_limit_mb:cfg.mem_soft_limit_mb ();
+      cache = Option.map (fun dir -> Cache.Incr.create ~dir) cfg.cache_dir;
       diagnostics; diag_lock;
       n_submitted = Atomic.make 0; n_admitted = Atomic.make 0;
       n_completed = Atomic.make 0; n_degraded = Atomic.make 0;

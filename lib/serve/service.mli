@@ -67,6 +67,10 @@ type config = {
   breaker_cooldown : float;
   mem_soft_limit_mb : int option;
   drain_grace : float option;      (** deadline cap for runs during drain *)
+  cache_dir : string option;
+      (** incremental-cache store directory ({!Cache.Incr}); [None]
+          disables caching. A restarted service pointed at the same
+          directory starts warm. *)
   now : unit -> float;
   sleep : float -> unit;
       (** the queue's poll wait for delayed retries; injectable for tests *)

@@ -27,4 +27,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("service", Test_service.suite);
       ("securibench", Test_securibench.suite);
-      ("refine", Test_refine.suite) ]
+      ("refine", Test_refine.suite);
+      ("incremental", Test_incremental.suite) ]
