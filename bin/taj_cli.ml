@@ -367,6 +367,9 @@ let analyze_cmd =
            | None -> Cache_iface.none) }
     in
     telemetry_setup ~trace ~metrics;
+    (* --stats percentiles come from the telemetry histograms, so stats
+       implies recording *)
+    if stats then Obs.Telemetry.enable ();
     if verify_ir then begin
       let loaded =
         match Taj.load ~lenient:true ~jobs input with
@@ -440,7 +443,21 @@ let analyze_cmd =
           c.Taj.cg_nodes c.Taj.cg_edges c.Taj.jobs
           c.Taj.times.Taj.t_frontend c.Taj.times.Taj.t_pointer
           c.Taj.times.Taj.t_sdg c.Taj.times.Taj.t_taint
-          c.Taj.times.Taj.t_total
+          c.Taj.times.Taj.t_total;
+        (* distribution shape of every histogram the run populated *)
+        List.iter
+          (fun (name, v) ->
+             match v with
+             | Obs.Telemetry.V_histogram h
+               when h.Obs.Telemetry.hs_count > 0 ->
+               Printf.eprintf
+                 "  %s: n %d, max %d, p50 %d, p95 %d, p99 %d\n" name
+                 h.Obs.Telemetry.hs_count h.Obs.Telemetry.hs_max
+                 (Obs.Telemetry.snapshot_quantile h 0.50)
+                 (Obs.Telemetry.snapshot_quantile h 0.95)
+                 (Obs.Telemetry.snapshot_quantile h 0.99)
+             | _ -> ())
+          (Obs.Telemetry.metrics ())
       end;
       (* supervisor-level events (downgrades etc.) that are not already
          part of the report's partial block go to stderr *)
@@ -1025,12 +1042,57 @@ let serve_cmd =
                "Open worker-breaker cooldown before one probe job is \
                 routed to it again (cluster mode).")
   in
+  let admin_socket =
+    Arg.(value & opt (some string) None
+         & info [ "admin-socket" ] ~docv:"PATH"
+             ~doc:
+               "Serve the admin channel on a second Unix domain socket \
+                at $(docv): one command line in (health, metrics, \
+                metrics.json, dump), one reply out. In cluster mode \
+                replies aggregate the coordinator and every live worker. \
+                taj top renders from this endpoint.")
+  in
+  let log_file =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:
+               "Append the structured NDJSON event log to $(docv). In \
+                cluster mode worker lines are forwarded over the \
+                supervised pipe so $(docv) carries one merged stream.")
+  in
+  let flight_recorder =
+    Arg.(value & opt int 256
+         & info [ "flight-recorder" ] ~docv:"N"
+             ~doc:
+               "Always-on flight recorder: keep the last $(docv) \
+                telemetry events per domain in a bounded ring, dumped as \
+                a Chrome trace on worker crash, SIGUSR1 or an admin dump \
+                command — no --trace needed. 0 disables.")
+  in
+  let flight_dump_file =
+    Arg.(value & opt string "taj-flight.json"
+         & info [ "flight-dump" ] ~docv:"FILE"
+             ~doc:"Where the flight-recorder dump is written.")
+  in
   let run socket workers job_jobs queue_cap max_retries retry_base seed
       breaker_threshold breaker_cooldown mem_soft_mb drain_grace arms
       cluster crash_retries respawn_base respawn_max ring_replicas
-      worker_breaker_threshold worker_breaker_cooldown trace metrics
+      worker_breaker_threshold worker_breaker_cooldown admin_socket
+      log_file flight_recorder flight_dump_file trace metrics
       cache_dir no_cache =
     telemetry_setup ~trace ~metrics;
+    (* armed (and logging configured) before the cluster forks so
+       workers inherit both *)
+    if flight_recorder > 0 then Obs.Telemetry.arm_flight flight_recorder;
+    let flight_dump =
+      if flight_recorder > 0 then Some flight_dump_file else None
+    in
+    (match log_file with
+     | Some path ->
+       Obs.Log.open_file path;
+       Obs.Log.set_context
+         [ ("proc", if cluster > 0 then "coordinator" else "serve") ]
+     | None -> ());
     List.iter
       (fun (site, after, action, once) ->
          Fault.arm ~once ~action site ~after)
@@ -1051,18 +1113,19 @@ let serve_cmd =
           size = cluster; ring_replicas; crash_retries;
           respawn_base; respawn_max;
           worker_breaker_threshold; worker_breaker_cooldown;
-          worker_trace_prefix = trace; service = config }
+          worker_trace_prefix = trace; flight_dump;
+          forward_logs = log_file <> None; service = config }
       in
       let c = Serve.Cluster.create ~config:ccfg () in
       let h =
         match socket with
         | Some path ->
-          (try Serve.Cluster.run_socket c path
+          (try Serve.Cluster.run_socket ?admin:admin_socket c path
            with Unix.Unix_error (e, fn, arg) ->
              Printf.eprintf "error: cannot serve on %s: %s (%s %s)\n" path
                (Unix.error_message e) fn arg;
              exit 1)
-        | None -> Serve.Cluster.run_stdio c
+        | None -> Serve.Cluster.run_stdio ?admin:admin_socket c
       in
       (match trace with
        | Some path ->
@@ -1081,16 +1144,19 @@ let serve_cmd =
         h.Serve.Cluster.ch_rerouted h.Serve.Cluster.ch_crash_failed;
       if Serve.Cluster.clean_drain h then exit 0 else exit 5
     end;
-    let service = Serve.Service.create ~config () in
+    let service =
+      Serve.Service.create
+        ~config:{ config with Serve.Service.flight_dump } ()
+    in
     let h =
       match socket with
       | Some path ->
-        (try Serve.Service.run_socket service path
+        (try Serve.Service.run_socket ?admin:admin_socket service path
          with Unix.Unix_error (e, fn, arg) ->
            Printf.eprintf "error: cannot serve on %s: %s (%s %s)\n" path
              (Unix.error_message e) fn arg;
            exit 1)
-      | None -> Serve.Service.run_stdio service
+      | None -> Serve.Service.run_stdio ?admin:admin_socket service
     in
     telemetry_export ~trace ~metrics;
     Printf.eprintf
@@ -1131,6 +1197,16 @@ let serve_cmd =
          failed:worker_crashed) and is respawned with exponential \
          backoff behind a per-worker circuit breaker. The final health \
          line aggregates per-worker counters.";
+      `P
+        "With $(b,--admin-socket) a second Unix socket answers one-line \
+         admin commands — $(b,health) (JSON), $(b,metrics) (Prometheus \
+         text exposition ending in # EOF), $(b,metrics.json), $(b,dump) \
+         — without touching the job stream; in cluster mode the answers \
+         aggregate every live worker. $(b,taj top) renders a live \
+         dashboard from this endpoint. SIGUSR1, a worker crash, or the \
+         $(b,dump) command writes the always-on flight recorder \
+         ($(b,--flight-recorder)) as a Chrome trace at \
+         $(b,--flight-dump).";
       `S Manpage.s_exit_status;
       `P "0 on a clean drain: every admitted job ran to a terminal state \
           and none was shed or turned away by a full queue.";
@@ -1152,7 +1228,192 @@ let serve_cmd =
           $ mem_soft_mb $ drain_grace $ arms $ cluster $ crash_retries
           $ respawn_base $ respawn_max $ ring_replicas
           $ worker_breaker_threshold $ worker_breaker_cooldown
+          $ admin_socket $ log_file $ flight_recorder $ flight_dump_file
           $ trace_file $ metrics_flag $ cache_dir_arg $ no_cache_flag)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One admin transaction per poll: connect, send the command, half-close
+   the write side, read the reply to EOF (the server answers the command
+   line, then drops the half-closed peer). A fresh connection per poll
+   keeps the dashboard stateless across server restarts. *)
+let admin_query path cmd =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.connect fd (Unix.ADDR_UNIX path);
+       let line = Bytes.of_string (cmd ^ "\n") in
+       ignore (Unix.write fd line 0 (Bytes.length line));
+       Unix.shutdown fd Unix.SHUTDOWN_SEND;
+       let buf = Buffer.create 4096 in
+       let chunk = Bytes.create 4096 in
+       let rec go () =
+         match Unix.read fd chunk 0 (Bytes.length chunk) with
+         | 0 -> ()
+         | n ->
+           Buffer.add_subbytes buf chunk 0 n;
+           go ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+       in
+       go ();
+       Buffer.contents buf)
+
+let top_cmd =
+  let admin_path =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ADMIN_SOCKET"
+             ~doc:"Path of the serve --admin-socket endpoint to poll.")
+  in
+  let interval =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Refresh interval between polls.")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:
+               "Render a single frame without clearing the screen and \
+                exit; for scripts and CI.")
+  in
+  let module J = Serve.Json in
+  let jint k j = Option.value ~default:0 (J.int_member k j) in
+  let jnum k j = Option.value ~default:0.0 (J.num_member k j) in
+  (* previous (time, completed) sample, for the throughput estimate *)
+  let prev = ref None in
+  let render ~metrics h =
+    let b = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    let completed = jint "completed" h in
+    let tnow = Unix.gettimeofday () in
+    let rate =
+      match !prev with
+      | Some (t0, c0) when tnow > t0 ->
+        float_of_int (completed - c0) /. (tnow -. t0)
+      | _ -> 0.0
+    in
+    prev := Some (tnow, completed);
+    (match J.int_member "cluster" h with
+     | Some n -> line "taj top — cluster of %d — uptime %.1fs" n (jnum "uptime" h)
+     | None -> line "taj top — uptime %.1fs" (jnum "uptime" h));
+    line "jobs      submitted %d  completed %d  degraded %d  failed %d  \
+          rejected %d  shed %d  (%.1f jobs/s)"
+      (jint "submitted" h) completed (jint "degraded" h) (jint "failed" h)
+      (jint "rejected" h + jint "rejected_full" h
+       + jint "rejected_draining" h)
+      (jint "shed" h) rate;
+    (* single-process health carries these inline; the cluster aggregate
+       gets them from the merged metrics snapshot below *)
+    (match J.member "latency_ms_p50" h with
+     | Some _ ->
+       line "latency   p50 %dms  p95 %dms  p99 %dms"
+         (jint "latency_ms_p50" h) (jint "latency_ms_p95" h)
+         (jint "latency_ms_p99" h);
+       line "state     queue %d  rung %d  breakers open %d  cache %d/%d \
+             hit/miss (%d invalidated)"
+         (jint "queue_depth" h) (jint "rung" h)
+         (match J.member "open_breakers" h with
+          | Some (J.Arr l) -> List.length l
+          | _ -> 0)
+         (jint "cache_hits" h) (jint "cache_misses" h)
+         (jint "cache_invalidated" h)
+     | None -> ());
+    (match metrics with
+     | None -> ()
+     | Some m ->
+       (match J.member "serve.latency_ms" m with
+        | Some lat ->
+          line "latency   p50 %dms  p95 %dms  p99 %dms  (n=%d, cluster-wide)"
+            (jint "p50" lat) (jint "p95" lat) (jint "p99" lat)
+            (jint "count" lat)
+        | None -> ());
+       let counter k = J.int_member k m in
+       (match counter "cache.hit", counter "cache.miss" with
+        | None, None -> ()
+        | hit, miss ->
+          line "cache     %d hit  %d miss  %d invalidated"
+            (Option.value ~default:0 hit) (Option.value ~default:0 miss)
+            (Option.value ~default:0
+               (counter "cache.invalidated"))));
+    (match J.member "workers" h with
+     | Some (J.Arr ws) ->
+       line "workers   %d/%d up  (%d crash(es), %d respawn(s), %d \
+             rerouted, %d crash-failed)"
+         (List.length
+            (List.filter
+               (fun w -> J.member "up" w = Some (J.Bool true))
+               ws))
+         (List.length ws)
+         (jint "worker_crashes" h) (jint "worker_respawns" h)
+         (jint "jobs_rerouted" h) (jint "jobs_crash_failed" h);
+       List.iter
+         (fun w ->
+            let up =
+              if J.member "up" w = Some (J.Bool true) then "up  " else "DOWN"
+            in
+            match J.member "health" w with
+            | Some wh ->
+              line "  worker %d  %s pid %-7d spawns %d  queue %d  \
+                    completed %d  p99 %dms  rung %d"
+                (jint "worker" w) up (jint "pid" w) (jint "spawns" w)
+                (jint "queue_depth" wh) (jint "completed" wh)
+                (jint "latency_p99" wh) (jint "pressure" wh)
+            | None ->
+              line "  worker %d  %s pid %-7d spawns %d"
+                (jint "worker" w) up (jint "pid" w) (jint "spawns" w))
+         ws
+     | _ -> ());
+    Buffer.contents b
+  in
+  let frame path =
+    match admin_query path "health" with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "taj top: %s: %s\n" path (Unix.error_message e);
+      false
+    | reply ->
+      let metrics =
+        match admin_query path "metrics.json" with
+        | m -> Result.to_option (J.parse (String.trim m))
+        | exception Unix.Unix_error _ -> None
+      in
+      (match J.parse (String.trim reply) with
+       | Error e ->
+         Printf.eprintf "taj top: bad health reply: %s\n" e;
+         false
+       | Ok h ->
+         print_string (render ~metrics h);
+         true)
+  in
+  let run path interval once =
+    if once then begin if not (frame path) then exit 1 end
+    else begin
+      let stop = ref false in
+      Sys.set_signal Sys.sigint
+        (Sys.Signal_handle (fun _ -> stop := true));
+      while not !stop do
+        (* repaint in place: clear screen, home cursor *)
+        print_string "\027[2J\027[H";
+        ignore (frame path);
+        flush stdout;
+        Unix.sleepf interval
+      done
+    end
+  in
+  let doc = "Live terminal dashboard over a serve --admin-socket." in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Polls the admin endpoint of a running $(b,taj serve) \
+         ($(b,--admin-socket)) and renders throughput, latency \
+         percentiles, queue depth, degradation rung, breaker and cache \
+         state, and — in cluster mode — per-worker liveness. One \
+         connection per poll; the dashboard survives server restarts." ]
+  in
+  Cmd.v (Cmd.info "top" ~doc ~man)
+    Term.(const run $ admin_path $ interval $ once)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1163,4 +1424,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; explain_cmd; graph_cmd; jsp_cmd; dump_ir_cmd;
-            generate_cmd; apps_cmd; score_cmd; serve_cmd ]))
+            generate_cmd; apps_cmd; score_cmd; serve_cmd; top_cmd ]))

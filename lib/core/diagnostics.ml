@@ -136,11 +136,14 @@ let create () = { rev_events = [] }
 
 (* Every degradation is also an instant event on the telemetry trace, so
    budget trips, ladder steps and rule faults line up with the phase spans
-   they interrupted. *)
+   they interrupted. Instants route through Obs.Log, so with a log sink
+   installed each degradation becomes a warn-level NDJSON line carrying
+   the stable kind tag and rendered detail as fields. *)
 let record t d =
   Obs.Telemetry.instant
     ("diag." ^ kind_name d)
-    ~args:[ ("detail", Fmt.str "%a" pp_degradation d) ];
+    ~args:
+      [ ("kind", kind_name d); ("detail", Fmt.str "%a" pp_degradation d) ];
   t.rev_events <- d :: t.rev_events
 
 let events t = List.rev t.rev_events

@@ -43,11 +43,35 @@
 (* Enabled flag                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* [on] is the recording fast-path flag probes test; it is true when
+   either full tracing ([enable]) or the bounded flight recorder
+   ([arm_flight]) is active. [full] distinguishes the two: only full
+   tracing keeps unbounded buffers and triggers end-of-run trace files. *)
 let on = Atomic.make false
+let full = Atomic.make false
+let flight_cap = Atomic.make 0
 
-let enabled () = Atomic.get on
-let enable () = Atomic.set on true
-let disable () = Atomic.set on false
+let enabled () = Atomic.get full
+
+let enable () =
+  Atomic.set full true;
+  Atomic.set on true
+
+let disable () =
+  Atomic.set full false;
+  Atomic.set on (Atomic.get flight_cap > 0)
+
+(** Arm the always-on flight recorder: per-domain event buffers become
+    rings keeping (roughly) the most recent [cap] events each, and
+    metric updates go live, without the unbounded growth or exit-time
+    exports of [enable]. [arm_flight 0] disarms. Full tracing takes
+    precedence over the ring bound when both are on. *)
+let arm_flight cap =
+  let cap = max 0 cap in
+  Atomic.set flight_cap cap;
+  Atomic.set on (cap > 0 || Atomic.get full)
+
+let flight_armed () = Atomic.get flight_cap > 0
 
 (* ------------------------------------------------------------------ *)
 (* Clock                                                              *)
@@ -84,7 +108,11 @@ type event = {
   ev_args : (string * string) list;
 }
 
-type buffer = { bf_tid : int; mutable bf_events : event list }
+type buffer = {
+  bf_tid : int;
+  mutable bf_events : event list;
+  mutable bf_count : int;
+}
 
 let registry : buffer list ref = ref []
 let registry_lock = Mutex.create ()
@@ -98,13 +126,29 @@ let locked lock f =
    still drainable after the pool joins. *)
 let buf_key : buffer Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-    let b = { bf_tid = (Domain.self () :> int); bf_events = [] } in
+    let b = { bf_tid = (Domain.self () :> int); bf_events = []; bf_count = 0 } in
     locked registry_lock (fun () -> registry := b :: !registry);
     b)
 
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+(* Flight-recorder bound: when armed without full tracing, trim the
+   (newest-first) list back to [cap] once it doubles — amortized O(1)
+   per event, and each domain always retains its last [cap..2*cap]
+   events for post-incident dumps. *)
 let record ev =
   let b = Domain.DLS.get buf_key in
-  b.bf_events <- ev :: b.bf_events
+  b.bf_events <- ev :: b.bf_events;
+  b.bf_count <- b.bf_count + 1;
+  if not (Atomic.get full) then begin
+    let cap = Atomic.get flight_cap in
+    if cap > 0 && b.bf_count > 2 * cap then begin
+      b.bf_events <- take cap b.bf_events;
+      b.bf_count <- cap
+    end
+  end
 
 (** All recorded events, oldest first. *)
 let events () =
@@ -147,12 +191,15 @@ let phase ?args name f =
   (r, !dt)
 
 (** Mark a point in time on the current domain's track (budget trip,
-    ladder step, injected fault, ...). *)
+    ladder step, injected fault, ...). Instants also route through
+    {!Log.emit_instant}, so a live NDJSON stream of them exists whenever
+    a log sink is installed — independently of tracing being on. *)
 let instant ?(args = []) name =
   if Atomic.get on then
     record
       { ev_name = name; ev_kind = Instant; ev_ts = us_of (now ());
-        ev_dur = 0.0; ev_tid = (Domain.self () :> int); ev_args = args }
+        ev_dur = 0.0; ev_tid = (Domain.self () :> int); ev_args = args };
+  Log.emit_instant name args
 
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                   *)
@@ -320,7 +367,11 @@ let find_value name =
     is untouched. *)
 let reset () =
   locked registry_lock (fun () ->
-    List.iter (fun b -> b.bf_events <- []) !registry);
+    List.iter
+      (fun b ->
+        b.bf_events <- [];
+        b.bf_count <- 0)
+      !registry);
   locked metrics_lock (fun () ->
     Hashtbl.iter
       (fun _ m ->
@@ -407,6 +458,54 @@ let write_trace path =
     (fun () -> output_string oc (trace_json ()))
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder dump                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The most recent events, capped per domain at the flight cap. Unlike
+   [events] this is meant to run while other domains are still
+   recording: [bf_events] is read racily, which under the OCaml 5
+   memory model yields some previously written (fully initialized,
+   immutable) list — a valid, possibly slightly stale snapshot. The
+   registry itself is read under its lock. *)
+let flight_events () =
+  let cap =
+    match Atomic.get flight_cap with 0 -> max_int | c -> c
+  in
+  let bufs = locked registry_lock (fun () -> !registry) in
+  List.concat_map (fun b -> take cap b.bf_events) bufs
+  |> List.sort (fun a b -> compare (a.ev_ts, a.ev_dur) (b.ev_ts, b.ev_dur))
+
+(* Chrome-trace document of the flight ring; same shape as
+   [trace_json] so the two open in the same viewers and the cluster's
+   pid-splicing applies unchanged. *)
+let flight_json () =
+  let evs = flight_events () in
+  let tids =
+    List.sort_uniq compare (List.map (fun ev -> ev.ev_tid) evs)
+  in
+  let meta =
+    Printf.sprintf
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+       \"args\":{\"name\":\"taj flight\"}}"
+    :: List.map
+         (fun tid ->
+            Printf.sprintf
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+               \"args\":{\"name\":\"domain-%d\"}}"
+              tid tid)
+         tids
+  in
+  "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+  ^ String.concat ",\n" (meta @ List.map event_json evs)
+  ^ "\n]}\n"
+
+let write_flight path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (flight_json ()))
+
+(* ------------------------------------------------------------------ *)
 (* Export: metrics                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,10 +517,12 @@ let pp_metrics ppf () =
     | V_gauge n -> Format.fprintf ppf "%-38s %12d  (gauge)@," name n
     | V_histogram h ->
       Format.fprintf ppf
-        "%-38s %12d  (sum %d, max %d, mean %.1f)@," name h.hs_count
-        h.hs_sum h.hs_max
+        "%-38s %12d  (sum %d, max %d, mean %.1f, p50 %d, p95 %d, p99 %d)@,"
+        name h.hs_count h.hs_sum h.hs_max
         (if h.hs_count = 0 then 0.0
          else float_of_int h.hs_sum /. float_of_int h.hs_count)
+        (snapshot_quantile h 0.50) (snapshot_quantile h 0.95)
+        (snapshot_quantile h 0.99)
   in
   Format.fprintf ppf "@[<v>";
   List.iter pp_one (metrics ());

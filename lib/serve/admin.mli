@@ -1,0 +1,27 @@
+(** The admin Unix socket listener shared by the serve transports.
+
+    A second, line-oriented socket next to the job transport: clients
+    send one command per line and get the reply the owner's [reply]
+    function produces (one JSON line for [health] / [metrics.json] /
+    [dump], a Prometheus exposition block ending in a ["# EOF"] line
+    for [metrics]). The owning transport folds {!fds} into its select
+    loop and calls {!step} with the ready descriptors. *)
+
+type t
+
+val create : string -> t
+(** Bind and listen on the given path. A stale socket file is unlinked;
+    a live server raises [Unix.Unix_error (EADDRINUSE, _, _)]. *)
+
+val path : t -> string
+
+val fds : t -> Unix.file_descr list
+(** The listener plus every connected admin client. *)
+
+val step : t -> reply:(string -> string) -> Unix.file_descr list -> unit
+(** Handle the subset of ready fds that belong to this listener. The
+    reply string gets a trailing newline appended; a reply may itself
+    span multiple lines (Prometheus). *)
+
+val close : t -> unit
+(** Close every client and the listener, and unlink the socket path. *)

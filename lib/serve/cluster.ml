@@ -52,6 +52,16 @@ type config = {
   worker_trace_prefix : string option;
       (** [Some p]: worker [i] writes its telemetry trace to
           [p ^ ".worker-<i>.json"] at drain, for {!merged_trace} *)
+  flight_dump : string option;
+      (** [Some p]: the merged flight-recorder dump is written to [p] on
+          worker crash, SIGUSR1 or an admin [dump] request; worker [i]
+          keeps its ring snapshot current at [p ^ ".worker-<i>.json"]
+          after every result, so even a SIGKILLed worker's last events
+          survive into the merge *)
+  forward_logs : bool;
+      (** workers replace their inherited {!Obs.Log} sink with a
+          [Log_line] pipe forwarder, so the coordinator's sink carries
+          one merged stream *)
   announce : bool;                 (** log lifecycle lines to stderr *)
   service : Service.config;        (** per-worker engine configuration *)
 }
@@ -60,8 +70,8 @@ let default_config =
   { size = 2; ring_replicas = 32; crash_retries = 2;
     respawn_base = 0.2; respawn_factor = 2.0; respawn_max = 5.0;
     worker_breaker_threshold = 3; worker_breaker_cooldown = 5.0;
-    worker_trace_prefix = None; announce = true;
-    service = Service.default_config }
+    worker_trace_prefix = None; flight_dump = None; forward_logs = false;
+    announce = true; service = Service.default_config }
 
 (** Pure per-slot respawn schedule: exponential in the number of
     consecutive crashes, capped. *)
@@ -97,6 +107,12 @@ type slot = {
   mutable s_drain_sent : bool;
   mutable s_reaped : bool;
   mutable s_health : Service.health option;
+      (* the final snapshot of an orderly drain — only ever set after
+         the drain frame went out, so admin replies can't be mistaken
+         for it *)
+  mutable s_admin_health : Service.health option;   (* last Health_req reply *)
+  mutable s_admin_metrics : (string * Obs.Telemetry.value) list option;
+  mutable s_admin_dump : string option;             (* last Dump reply *)
   s_inflight : (string, cjob) Hashtbl.t;
 }
 
@@ -111,6 +127,7 @@ type t = {
   mutable pending : (float * cjob) list;  (* reroutes waiting on backoff *)
   mutable draining : bool;
   sig_drain : bool Atomic.t;
+  sig_dump : bool Atomic.t;        (* SIGUSR1: flight dump requested *)
   (* terminal-response accounting, for the aggregated health snapshot *)
   mutable n_submitted : int;
   mutable n_completed : int;
@@ -146,6 +163,14 @@ let worker_trace_file cfg index =
     (fun p -> Printf.sprintf "%s.worker-%d.json" p index)
     cfg.worker_trace_prefix
 
+(* The worker's flight-ring snapshot file: rewritten (atomically, via
+   temp+rename) after every result, so when the process is SIGKILLed the
+   coordinator can still merge the worker's recent events from disk. *)
+let worker_flight_file cfg index =
+  Option.map
+    (fun p -> Printf.sprintf "%s.worker-%d.json" p index)
+    cfg.flight_dump
+
 (* Runs in the forked child; never returns. The engine (and its domains)
    is created only after the fork — the child starts single-domain. All
    communication with the coordinator is Proto frames on [fd]; stdio is
@@ -158,9 +183,11 @@ let worker_main cfg ~index fd : 'a =
      coordinator's orderly drain *)
   Sys.set_signal Sys.sigterm Sys.Signal_ignore;
   Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  (* a SIGUSR1 aimed at the process group must dump once, from the
+     coordinator (whose merge includes the worker snapshots below) *)
+  Sys.set_signal Sys.sigusr1 Sys.Signal_ignore;
   let exit_code = ref 0 in
   (try
-     let service = Service.create ~config:cfg.service () in
      let wlock = Mutex.create () in
      let send m =
        Mutex.lock wlock;
@@ -172,12 +199,49 @@ let worker_main cfg ~index fd : 'a =
               (* coordinator gone: nothing left to report to *)
               ())
      in
+     if cfg.forward_logs then begin
+       (* the inherited file sink belongs to the coordinator; this
+          worker's lines travel the supervised pipe instead, pre-rendered
+          with the worker's sticky context *)
+       Obs.Log.set_sink (Some (fun line -> send (Proto.Log_line line)));
+       Obs.Log.set_context [ ("proc", Printf.sprintf "worker-%d" index) ]
+     end;
+     let flight_file = worker_flight_file cfg index in
+     let flight_lock = Mutex.create () in
+     let flight_snapshot () =
+       match flight_file with
+       | Some path
+         when Obs.Telemetry.flight_armed () || Obs.Telemetry.enabled () ->
+         Mutex.lock flight_lock;
+         Fun.protect
+           ~finally:(fun () -> Mutex.unlock flight_lock)
+           (fun () ->
+             try Io.write_file path (Obs.Telemetry.flight_json ())
+             with Unix.Unix_error _ | Sys_error _ -> ())
+       | _ -> ()
+     in
+     let service = Service.create ~config:cfg.service () in
      let reader = Proto.reader fd in
      let rec pump () =
        match Proto.read_block reader with
        | `Msg (Proto.Job rq) ->
          Service.submit service rq ~respond:(fun r ->
+           (* snapshot BEFORE the result frame: once the coordinator can
+              observe the result, the ring covering it must already be on
+              disk — a SIGKILL right after the send still leaves the
+              worker's last spans for the crash dump *)
+           flight_snapshot ();
            send (Proto.Result r));
+         pump ()
+       | `Msg Proto.Health_req ->
+         send (Proto.Health (Service.health service));
+         pump ()
+       | `Msg Proto.Metrics_req ->
+         send (Proto.Metrics (Obs.Telemetry.metrics ()));
+         pump ()
+       | `Msg Proto.Dump_req ->
+         flight_snapshot ();
+         send (Proto.Dump (Obs.Telemetry.flight_json ()));
          pump ()
        | `Msg Proto.Drain | `Eof | `Error _ -> ()
        | `Msg _ -> pump ()
@@ -189,6 +253,7 @@ let worker_main cfg ~index fd : 'a =
       | Some path when Obs.Telemetry.enabled () ->
         (try Obs.Telemetry.write_trace path with Sys_error _ -> ())
       | _ -> ());
+     flight_snapshot ();
      send (Proto.Health (Service.health service));
      (try Unix.close fd with Unix.Unix_error _ -> ())
    with e ->
@@ -225,7 +290,10 @@ let spawn_slot t (s : slot) =
     s.s_spawns <- s.s_spawns + 1;
     s.s_drain_sent <- false;
     s.s_reaped <- false;
-    s.s_health <- None
+    s.s_health <- None;
+    s.s_admin_health <- None;
+    s.s_admin_metrics <- None;
+    s.s_admin_dump <- None
 
 (* ------------------------------------------------------------------ *)
 (* Consistent-hash ring                                               *)
@@ -287,6 +355,8 @@ let create ?(config = default_config) () =
             s_reader = Proto.reader Unix.stdin; s_state = Down 0.0;
             s_crashes = 0; s_spawns = 0; s_drain_sent = false;
             s_reaped = true; s_health = None;
+            s_admin_health = None; s_admin_metrics = None;
+            s_admin_dump = None;
             s_inflight = Hashtbl.create 16 });
       ring = build_ring ~size:config.size ~replicas:(max 1 config.ring_replicas);
       breaker =
@@ -296,6 +366,7 @@ let create ?(config = default_config) () =
       diagnostics = Diagnostics.create ();
       diag_lock = Mutex.create ();
       pending = []; draining = false; sig_drain = Atomic.make false;
+      sig_dump = Atomic.make false;
       n_submitted = 0; n_completed = 0; n_degraded = 0; n_failed = 0;
       n_rejected = 0; n_shed = 0; n_rejected_full = 0;
       n_crashes = 0; n_respawns = 0; n_rerouted = 0; n_crash_failed = 0 }
@@ -318,6 +389,95 @@ let route t key =
   match ring_order t.ring ~size:t.cfg.size key with
   | w :: _ -> w
   | [] -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Trace splicing and the merged flight dump                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each worker writes its own Chrome trace with ["pid":1]; splice their
+   traceEvents into one document, rewriting the pid to [worker index + 2]
+   (the coordinator keeps pid 1) so about://tracing shows one lane per
+   process. String surgery is safe here because the trace format is ours
+   ({!Obs.Telemetry.trace_json}) and the pid field is emitted verbatim. *)
+let splice_events ~pid json =
+  match String.index_opt json '[' with
+  | None -> None
+  | Some start ->
+    let stop = String.rindex_opt json ']' in
+    (match stop with
+     | Some stop when stop > start ->
+       let events = String.trim (String.sub json (start + 1) (stop - start - 1)) in
+       if events = "" then None
+       else begin
+         let buf = Buffer.create (String.length events + 64) in
+         let old = "\"pid\":1," in
+         let replacement = Printf.sprintf "\"pid\":%d," pid in
+         let n = String.length events and m = String.length old in
+         let i = ref 0 in
+         while !i < n do
+           if !i + m <= n && String.sub events !i m = old then begin
+             Buffer.add_string buf replacement;
+             i := !i + m
+           end
+           else begin
+             Buffer.add_char buf events.[!i];
+             incr i
+           end
+         done;
+         Some (Buffer.contents buf)
+       end
+     | _ -> None)
+
+let splice_docs docs =
+  "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+  ^ String.concat ",\n" (List.filter_map Fun.id docs)
+  ^ "\n]}\n"
+
+(* The merged flight-recorder document: the coordinator's own ring on
+   pid 1 plus each worker's ring on pid [index + 2] — from a fresh
+   [Dump] reply when one exists, otherwise from the snapshot file the
+   worker keeps current after every result. The file is all that is
+   left of a SIGKILLed worker, which is exactly the crash this dump is
+   for. *)
+let merged_flight t =
+  let own = splice_events ~pid:1 (Obs.Telemetry.flight_json ()) in
+  let workers =
+    Array.to_list t.slots
+    |> List.map (fun s ->
+      let doc =
+        match s.s_admin_dump with
+        | Some d -> Some d
+        | None ->
+          Option.bind (worker_flight_file t.cfg s.s_index) (fun path ->
+            match Io.read_file path with
+            | json -> Some json
+            | exception (Unix.Unix_error _ | Sys_error _) -> None)
+      in
+      Option.bind doc (fun d -> splice_events ~pid:(s.s_index + 2) d))
+  in
+  splice_docs (own :: workers)
+
+(** Write the merged flight dump to [cfg.flight_dump]. Triggered by a
+    worker crash, SIGUSR1, or an admin [dump] command; cheap enough to
+    run inline in the supervision pump. Returns the path written, or
+    [None] when dumping is off. *)
+let flight_dump t ~cause =
+  match t.cfg.flight_dump with
+  | None -> None
+  | Some path ->
+    (try
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc (merged_flight t))
+     with Sys_error _ -> ());
+    Obs.Telemetry.instant "obs.flight_dump"
+      ~args:[ ("cause", cause); ("path", path) ];
+    Some path
+
+let signal_dump_pending t =
+  if Atomic.exchange t.sig_dump false then
+    ignore (flight_dump t ~cause:"sigusr1")
 
 (* ------------------------------------------------------------------ *)
 (* Terminal accounting                                                *)
@@ -401,6 +561,11 @@ and slot_died t (s : slot) ~reason =
            in_flight = List.length inflight });
     announce t "worker %d (pid %d) died: %s, %d in flight, respawn in %.3fs"
       s.s_index s.s_pid reason (List.length inflight) delay;
+    (* the worker's flight-ring snapshot file survives the SIGKILL; merge
+       it into a dump now, while the crash context is fresh *)
+    ignore
+      (flight_dump t
+         ~cause:(Printf.sprintf "worker_crash:%d:%s" s.s_index reason));
     List.iter
       (fun cj ->
          cj.cj_crashes <- cj.cj_crashes + 1;
@@ -457,8 +622,20 @@ let handle_msg t (s : slot) = function
        s.s_crashes <- 0;
        Breaker.success t.breaker (worker_key s.s_index);
        answer t cj r)
-  | Proto.Health h -> s.s_health <- Some h
-  | Proto.Job _ | Proto.Drain -> () (* coordinator-bound only *)
+  | Proto.Health h ->
+    (* only a post-drain-frame snapshot is the worker's final word; any
+       other Health frame answers an admin Health_req *)
+    if s.s_drain_sent then s.s_health <- Some h;
+    s.s_admin_health <- Some h
+  | Proto.Metrics kvs -> s.s_admin_metrics <- Some kvs
+  | Proto.Dump trace -> s.s_admin_dump <- Some trace
+  | Proto.Log_line line ->
+    (* forwarded worker log line, pre-rendered: append verbatim to the
+       coordinator's sink so one merged stream exists *)
+    Obs.Log.raw line
+  | Proto.Job _ | Proto.Drain | Proto.Health_req | Proto.Metrics_req
+  | Proto.Dump_req ->
+    () (* coordinator-bound only *)
 
 let drain_slot_frames t (s : slot) =
   let rec go () =
@@ -510,6 +687,7 @@ let flush_pending t ~force =
     deliver due reroutes, refill due respawn slots. [timeout] bounds the
     select wait; keep it small when interleaving with a transport. *)
 let pump t ~timeout =
+  signal_dump_pending t;
   let fds =
     Array.to_list t.slots
     |> List.filter_map (fun s ->
@@ -588,7 +766,10 @@ let idle t = inflight_count t = 0 && t.pending = []
 let install_signals t =
   let handler = Sys.Signal_handle (fun _ -> Atomic.set t.sig_drain true) in
   Sys.set_signal Sys.sigterm handler;
-  Sys.set_signal Sys.sigint handler
+  Sys.set_signal Sys.sigint handler;
+  (* flight dump on demand; the handler only sets a flag, [pump] writes *)
+  Sys.set_signal Sys.sigusr1
+    (Sys.Signal_handle (fun _ -> Atomic.set t.sig_dump true))
 
 let signal_pending t = Atomic.get t.sig_drain
 
@@ -697,7 +878,13 @@ let health t =
       |> List.map (fun s ->
         { wh_index = s.s_index; wh_pid = s.s_pid;
           wh_up = (s.s_state = Up); wh_crashes = s.s_crashes;
-          wh_spawns = s.s_spawns; wh_health = s.s_health }) }
+          wh_spawns = s.s_spawns;
+          wh_health =
+            (* the final drain snapshot when there is one, else the most
+               recent interim answer to an admin [Health_req] *)
+            (match s.s_health with
+             | Some _ as h -> h
+             | None -> s.s_admin_health) }) }
 
 (** Same promise as the single-process service: clean when no admitted
     job was shed and none was turned away by a full worker queue. Crash
@@ -746,48 +933,108 @@ let events t =
     (fun () -> Diagnostics.events t.diagnostics)
 
 (* ------------------------------------------------------------------ *)
-(* Trace merging                                                      *)
+(* Admin channel: per-worker aggregation                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Each worker writes its own Chrome trace with ["pid":1]; splice their
-   traceEvents into one document, rewriting the pid to [worker index + 2]
-   (the coordinator keeps pid 1) so about://tracing shows one lane per
-   process. String surgery is safe here because the trace format is ours
-   ({!Obs.Telemetry.trace_json}) and the pid field is emitted verbatim. *)
-let splice_events ~pid json =
-  match String.index_opt json '[' with
-  | None -> None
-  | Some start ->
-    let stop = String.rindex_opt json ']' in
-    (match stop with
-     | Some stop when stop > start ->
-       let events = String.trim (String.sub json (start + 1) (stop - start - 1)) in
-       if events = "" then None
-       else begin
-         let buf = Buffer.create (String.length events + 64) in
-         let old = "\"pid\":1," in
-         let replacement = Printf.sprintf "\"pid\":%d," pid in
-         let n = String.length events and m = String.length old in
-         let i = ref 0 in
-         while !i < n do
-           if !i + m <= n && String.sub events !i m = old then begin
-             Buffer.add_string buf replacement;
-             i := !i + m
-           end
-           else begin
-             Buffer.add_char buf events.[!i];
-             incr i
-           end
-         done;
-         Some (Buffer.contents buf)
-       end
-     | _ -> None)
+let broadcast t m =
+  Array.iter
+    (fun s ->
+       if s.s_state = Up then
+         match Proto.write s.s_fd m with
+         | () -> ()
+         | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _)
+           ->
+           slot_died t s ~reason:"write failed")
+    t.slots
+
+(* Ask every live worker [req] and pump until each answered ([got]) or
+   ~[timeout] real seconds passed. The cleared mailboxes are restored
+   from [saved] when a worker dies (or stalls) mid-collect, so the
+   aggregate falls back to its last known snapshot instead of dropping
+   the worker silently. *)
+let collect t req ~clear ~restore ~got ~timeout =
+  Array.iter clear t.slots;
+  broadcast t req;
+  let deadline = Unix.gettimeofday () +. timeout in
+  let outstanding () =
+    Array.exists (fun s -> s.s_state = Up && not (got s)) t.slots
+  in
+  while outstanding () && Unix.gettimeofday () < deadline do
+    pump t ~timeout:0.02
+  done;
+  Array.iteri (fun i s -> if not (got s) then restore i s) t.slots
+
+(** Aggregated health with interim per-worker snapshots refreshed over
+    the pipes — the live counterpart of the final drain snapshot. *)
+let admin_health ?(timeout = 1.0) t =
+  let saved = Array.map (fun s -> s.s_admin_health) t.slots in
+  collect t Proto.Health_req
+    ~clear:(fun s -> s.s_admin_health <- None)
+    ~restore:(fun i s -> s.s_admin_health <- saved.(i))
+    ~got:(fun s -> s.s_admin_health <> None)
+    ~timeout;
+  health t
+
+(** The coordinator's own telemetry registry merged with a fresh
+    [Metrics] snapshot from every live worker (counters and gauges sum,
+    histograms merge bucket-wise). *)
+let admin_metrics ?(timeout = 1.0) t =
+  let saved = Array.map (fun s -> s.s_admin_metrics) t.slots in
+  collect t Proto.Metrics_req
+    ~clear:(fun s -> s.s_admin_metrics <- None)
+    ~restore:(fun i s -> s.s_admin_metrics <- saved.(i))
+    ~got:(fun s -> s.s_admin_metrics <> None)
+    ~timeout;
+  let workers =
+    Array.to_list t.slots |> List.filter_map (fun s -> s.s_admin_metrics)
+  in
+  Obs.Export.merge (Obs.Telemetry.metrics () :: workers)
+
+(* Fresh [Dump] replies where workers still answer; [merged_flight]
+   falls back to the on-disk snapshot files for the rest. *)
+let admin_dump ?(timeout = 1.0) t =
+  let saved = Array.map (fun s -> s.s_admin_dump) t.slots in
+  collect t Proto.Dump_req
+    ~clear:(fun s -> s.s_admin_dump <- None)
+    ~restore:(fun i s -> s.s_admin_dump <- saved.(i))
+    ~got:(fun s -> s.s_admin_dump <> None)
+    ~timeout;
+  flight_dump t ~cause:"admin"
+
+(** Mirror of {!Service.admin_reply}, aggregating the coordinator and
+    every live worker into one answer. *)
+let admin_reply t line =
+  match String.trim line with
+  | "health" -> health_json (admin_health t)
+  | "metrics" -> Obs.Export.prometheus_of (admin_metrics t)
+  | "metrics.json" -> Obs.Export.json_of (admin_metrics t)
+  | "dump" ->
+    (match admin_dump t with
+     | Some path ->
+       Json.to_string
+         (Json.Obj
+            [ ("event", Json.Str "dump"); ("path", Json.Str path) ])
+     | None ->
+       Json.to_string
+         (Json.Obj
+            [ ("event", Json.Str "error");
+              ("error", Json.Str "flight_dump_disabled") ]))
+  | other ->
+    Json.to_string
+      (Json.Obj
+         [ ("event", Json.Str "error");
+           ("error", Json.Str "unknown_command");
+           ("command", Json.Str other) ])
+
+(* ------------------------------------------------------------------ *)
+(* Trace merging                                                      *)
+(* ------------------------------------------------------------------ *)
 
 let merged_trace t =
   let own = splice_events ~pid:1 (Obs.Telemetry.trace_json ()) in
   let workers =
     Array.to_list t.slots
-    |> List.filter_map (fun s ->
+    |> List.map (fun s ->
       match worker_trace_file t.cfg s.s_index with
       | None -> None
       | Some path ->
@@ -795,9 +1042,7 @@ let merged_trace t =
          | json -> splice_events ~pid:(s.s_index + 2) json
          | exception (Unix.Unix_error _ | Sys_error _) -> None))
   in
-  "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
-  ^ String.concat ",\n" (List.filter_map Fun.id (own :: List.map Option.some workers))
-  ^ "\n]}\n"
+  splice_docs (own :: workers)
 
 let write_merged_trace t path =
   let oc = open_out path in
@@ -845,9 +1090,13 @@ let finish t write =
   write (health_json h);
   h
 
-let run_stdio ?(stdin = Unix.stdin) ?(stdout = Unix.stdout) t =
+let run_stdio ?(stdin = Unix.stdin) ?(stdout = Unix.stdout) ?admin t =
   Io.ignore_sigpipe ();
   install_signals t;
+  let adm = Option.map Admin.create admin in
+  let admin_fds () =
+    match adm with Some a -> Admin.fds a | None -> []
+  in
   let write =
     Io.make_writer stdout ~on_error:(fun e ->
       record_diag t
@@ -867,15 +1116,23 @@ let run_stdio ?(stdin = Unix.stdin) ?(stdout = Unix.stdout) t =
         loop ()
       | `Eof -> ()
       | `Pending ->
-        ignore (Io.select [ stdin ] [] [] 0.02);
+        let ready, _, _ =
+          Io.select (stdin :: admin_fds ()) [] [] 0.02
+        in
+        (match adm with
+         | Some a -> Admin.step a ~reply:(admin_reply t) ready
+         | None -> ());
         pump t ~timeout:0.05;
         loop ()
     end
   in
-  loop ();
-  finish t write
+  Fun.protect
+    ~finally:(fun () -> Option.iter Admin.close adm)
+    (fun () ->
+       loop ();
+       finish t write)
 
-let run_socket t path =
+let run_socket ?admin t path =
   let listen_fd =
     match Io.bind_unix_socket path with
     | Ok fd -> fd
@@ -885,6 +1142,10 @@ let run_socket t path =
   Unix.listen listen_fd 16;
   Io.ignore_sigpipe ();
   install_signals t;
+  let adm = Option.map Admin.create admin in
+  let admin_fds () =
+    match adm with Some a -> Admin.fds a | None -> []
+  in
   let clients = ref [] in
   let close_client (fd, _, _) =
     clients := List.filter (fun (f, _, _) -> f <> fd) !clients;
@@ -893,8 +1154,14 @@ let run_socket t path =
   let rec loop () =
     if signal_pending t then ()
     else begin
-      let fds = listen_fd :: List.map (fun (fd, _, _) -> fd) !clients in
+      let fds =
+        (listen_fd :: List.map (fun (fd, _, _) -> fd) !clients)
+        @ admin_fds ()
+      in
       let ready, _, _ = Io.select fds [] [] 0.05 in
+      (match adm with
+       | Some a -> Admin.step a ~reply:(admin_reply t) ready
+       | None -> ());
       List.iter
         (fun fd ->
            if fd = listen_fd then begin
@@ -926,6 +1193,7 @@ let run_socket t path =
   in
   Fun.protect
     ~finally:(fun () ->
+      Option.iter Admin.close adm;
       List.iter (fun (fd, _, _) -> try Unix.close fd with _ -> ()) !clients;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       try Unix.unlink path with Unix.Unix_error _ -> ())

@@ -20,6 +20,17 @@ type config = {
   worker_trace_prefix : string option;
       (** [Some p]: worker [i] writes its trace to [p.worker-<i>.json]
           at drain, merged by {!write_merged_trace} *)
+  flight_dump : string option;
+      (** [Some p]: the merged flight-recorder dump is written to [p] on
+          worker crash, SIGUSR1, or an admin [dump] command. Worker [i]
+          keeps a ring snapshot current at [p.worker-<i>.json] (rewritten
+          before each result frame is sent, so any observed result is
+          covered) and a SIGKILLed worker's recent events still
+          reach the merge. [None] disables dumping. *)
+  forward_logs : bool;
+      (** workers send their {!Obs.Log} lines over the supervised pipe
+          (pre-rendered, with per-worker context) so the coordinator's
+          sink carries one merged stream *)
   announce : bool;                 (** worker lifecycle lines on stderr *)
   service : Service.config;        (** per-worker engine configuration *)
 }
@@ -65,8 +76,9 @@ val request_drain : t -> unit
     every job is terminal, and all children are reaped. *)
 val await_drained : t -> unit
 
-(** SIGINT/SIGTERM set a flag (no domains involved); transports poll
-    {!signal_pending}. *)
+(** SIGINT/SIGTERM set a drain flag (no domains involved); transports
+    poll {!signal_pending}. SIGUSR1 sets a dump flag; the next {!pump}
+    writes the merged flight dump. *)
 val install_signals : t -> unit
 
 val signal_pending : t -> bool
@@ -79,7 +91,9 @@ type worker_health = {
   wh_up : bool;
   wh_crashes : int;                (** consecutive, at snapshot time *)
   wh_spawns : int;
-  wh_health : Service.health option;  (** final snapshot, once drained *)
+  wh_health : Service.health option;
+      (** the final drain snapshot, or the most recent interim answer to
+          an admin health request *)
 }
 
 type health = {
@@ -114,7 +128,36 @@ val events : t -> Core.Diagnostics.degradation list
     into one Chrome trace (one pid lane per process). *)
 val write_merged_trace : t -> string -> unit
 
+(** {1 Admin channel} *)
+
+(** Aggregated health: each live worker is asked for a fresh interim
+    snapshot over its pipe (bounded by [timeout] seconds, default 1.0); a
+    worker that dies or stalls mid-collect keeps its last known one. *)
+val admin_health : ?timeout:float -> t -> health
+
+(** Coordinator registry merged with a fresh telemetry snapshot from
+    every live worker: counters and gauges sum, histograms merge
+    bucket-wise (see {!Obs.Export.merge}). *)
+val admin_metrics :
+  ?timeout:float -> t -> (string * Obs.Telemetry.value) list
+
+(** Write the merged flight-recorder dump (coordinator ring on pid 1,
+    worker rings on pid index+2 — fresh [Dump] replies where possible,
+    on-disk ring snapshots for dead workers) to [config.flight_dump].
+    Returns the path written, [None] when dumping is disabled. *)
+val flight_dump : t -> cause:string -> string option
+
+(** One admin command line → one reply, same command set as
+    {!Service.admin_reply} (["health"], ["metrics"], ["metrics.json"],
+    ["dump"]), answered with cluster-wide aggregates. *)
+val admin_reply : t -> string -> string
+
 (** {1 Transports} (NDJSON, same wire protocol as {!Service}) *)
 
-val run_stdio : ?stdin:Unix.file_descr -> ?stdout:Unix.file_descr -> t -> health
-val run_socket : t -> string -> health
+(** [admin] opens the admin socket at that path, served from the
+    coordinator's supervision loop. *)
+val run_stdio :
+  ?stdin:Unix.file_descr -> ?stdout:Unix.file_descr -> ?admin:string ->
+  t -> health
+
+val run_socket : ?admin:string -> t -> string -> health

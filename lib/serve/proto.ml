@@ -9,18 +9,33 @@
     job it carried as still in flight and reroutes it, which is exactly
     the zero-lost-jobs behaviour the supervision layer needs.
 
-    Four message kinds flow over a worker socketpair:
+    Message kinds flowing over a worker socketpair:
     - [Job]: coordinator → worker, a full analysis request;
     - [Result]: worker → coordinator, the terminal response for one job;
     - [Drain]: coordinator → worker, stop admitting and flush;
-    - [Health]: worker → coordinator, the final per-worker health
-      snapshot sent once the worker has drained (its last frame). *)
+    - [Health]: worker → coordinator, a health snapshot — the final one
+      once the worker has drained (its last frame), or an interim one
+      answering [Health_req];
+    - [Health_req] / [Metrics_req] / [Dump_req]: coordinator → worker,
+      the admin channel's live queries;
+    - [Metrics]: worker → coordinator, the worker's telemetry-registry
+      snapshot (merged by {!Obs.Export.merge} for aggregated scrapes);
+    - [Dump]: worker → coordinator, the worker's flight-recorder ring as
+      a complete Chrome-trace document (spliced into the merged dump);
+    - [Log_line]: worker → coordinator, one pre-rendered NDJSON log line
+      forwarded to the coordinator's sink so one merged stream exists. *)
 
 type msg =
   | Job of Service.request
   | Result of Service.response
   | Drain
   | Health of Service.health
+  | Health_req
+  | Metrics_req
+  | Metrics of (string * Obs.Telemetry.value) list
+  | Dump_req
+  | Dump of string
+  | Log_line of string
 
 (* Frames above this are a protocol violation (a desynchronized or
    corrupted stream), not a plausible request. *)
@@ -105,7 +120,13 @@ let health_json (h : Service.health) =
       ("breaker_opens", num h.h_breaker_opens);
       ("open_breakers",
        Json.Arr (List.map (fun k -> Json.Str k) h.h_open_breakers));
-      ("events", num h.h_events) ]
+      ("events", num h.h_events);
+      ("latency_p50", num h.h_latency_p50);
+      ("latency_p95", num h.h_latency_p95);
+      ("latency_p99", num h.h_latency_p99);
+      ("cache_hits", num h.h_cache_hits);
+      ("cache_misses", num h.h_cache_misses);
+      ("cache_invalidated", num h.h_cache_invalidated) ]
 
 let health_of_json j : (Service.health, string) result =
   let int k = Option.value ~default:0 (Json.int_member k j) in
@@ -134,7 +155,79 @@ let health_of_json j : (Service.health, string) result =
                (function Json.Str s -> Some s | _ -> None)
                vs
            | _ -> []);
-        h_events = int "events" }
+        h_events = int "events";
+        h_latency_p50 = int "latency_p50";
+        h_latency_p95 = int "latency_p95";
+        h_latency_p99 = int "latency_p99";
+        h_cache_hits = int "cache_hits";
+        h_cache_misses = int "cache_misses";
+        h_cache_invalidated = int "cache_invalidated" }
+
+(* Telemetry values, for the [Metrics] frame. Kind is a one-letter tag;
+   histograms carry their sparse log2 buckets as [lo, count] pairs. *)
+let value_json (v : Obs.Telemetry.value) =
+  match v with
+  | Obs.Telemetry.V_counter n ->
+    Json.Obj [ ("k", Json.Str "c"); ("v", num n) ]
+  | Obs.Telemetry.V_gauge n ->
+    Json.Obj [ ("k", Json.Str "g"); ("v", num n) ]
+  | Obs.Telemetry.V_histogram h ->
+    Json.Obj
+      [ ("k", Json.Str "h");
+        ("count", num h.Obs.Telemetry.hs_count);
+        ("sum", num h.Obs.Telemetry.hs_sum);
+        ("max", num h.Obs.Telemetry.hs_max);
+        ("buckets",
+         Json.Arr
+           (List.map
+              (fun (lo, n) -> Json.Arr [ num lo; num n ])
+              h.Obs.Telemetry.hs_buckets)) ]
+
+let value_of_json j : (Obs.Telemetry.value, string) result =
+  let int k = Option.value ~default:0 (Json.int_member k j) in
+  match Json.str_member "k" j with
+  | Some "c" -> Ok (Obs.Telemetry.V_counter (int "v"))
+  | Some "g" -> Ok (Obs.Telemetry.V_gauge (int "v"))
+  | Some "h" ->
+    Ok
+      (Obs.Telemetry.V_histogram
+         { Obs.Telemetry.hs_count = int "count";
+           hs_sum = int "sum";
+           hs_max = int "max";
+           hs_buckets =
+             (match Json.member "buckets" j with
+              | Some (Json.Arr vs) ->
+                List.filter_map
+                  (function
+                    | Json.Arr [ Json.Num lo; Json.Num n ] ->
+                      Some (int_of_float lo, int_of_float n)
+                    | _ -> None)
+                  vs
+              | _ -> []) })
+  | Some other -> Error (Printf.sprintf "metrics: unknown kind %S" other)
+  | None -> Error "metrics: missing kind"
+
+let metrics_json kvs =
+  Json.Arr
+    (List.map
+       (fun (name, v) ->
+         Json.Obj [ ("n", Json.Str name); ("v", value_json v) ])
+       kvs)
+
+let metrics_of_json j : ((string * Obs.Telemetry.value) list, string) result
+    =
+  match j with
+  | Json.Arr items ->
+    List.fold_left
+      (fun acc item ->
+        Result.bind acc (fun acc ->
+            match Json.str_member "n" item, Json.member "v" item with
+            | Some name, Some vj ->
+              Result.map (fun v -> (name, v) :: acc) (value_of_json vj)
+            | _ -> Error "metrics: entry missing n or v"))
+      (Ok []) items
+    |> Result.map List.rev
+  | _ -> Error "metrics: expected array"
 
 let msg_json = function
   | Job rq -> Json.Obj [ ("t", Json.Str "job"); ("rq", request_json rq) ]
@@ -143,6 +236,14 @@ let msg_json = function
   | Drain -> Json.Obj [ ("t", Json.Str "drain") ]
   | Health h ->
     Json.Obj [ ("t", Json.Str "health"); ("h", health_json h) ]
+  | Health_req -> Json.Obj [ ("t", Json.Str "health_req") ]
+  | Metrics_req -> Json.Obj [ ("t", Json.Str "metrics_req") ]
+  | Metrics kvs ->
+    Json.Obj [ ("t", Json.Str "metrics"); ("m", metrics_json kvs) ]
+  | Dump_req -> Json.Obj [ ("t", Json.Str "dump_req") ]
+  | Dump trace -> Json.Obj [ ("t", Json.Str "dump"); ("d", Json.Str trace) ]
+  | Log_line line ->
+    Json.Obj [ ("t", Json.Str "log"); ("l", Json.Str line) ]
 
 let msg_of_json j : (msg, string) result =
   let field k =
@@ -161,6 +262,20 @@ let msg_of_json j : (msg, string) result =
   | Some "health" ->
     Result.bind (field "h") (fun h ->
       Result.map (fun h -> Health h) (health_of_json h))
+  | Some "health_req" -> Ok Health_req
+  | Some "metrics_req" -> Ok Metrics_req
+  | Some "metrics" ->
+    Result.bind (field "m") (fun m ->
+      Result.map (fun kvs -> Metrics kvs) (metrics_of_json m))
+  | Some "dump_req" -> Ok Dump_req
+  | Some "dump" ->
+    (match Json.str_member "d" j with
+     | Some trace -> Ok (Dump trace)
+     | None -> Error "dump: missing d")
+  | Some "log" ->
+    (match Json.str_member "l" j with
+     | Some line -> Ok (Log_line line)
+     | None -> Error "log: missing l")
   | Some other -> Error (Printf.sprintf "frame: unknown type %S" other)
   | None -> Error "frame: missing type"
 

@@ -8,7 +8,18 @@ type msg =
   | Job of Service.request           (** coordinator → worker *)
   | Result of Service.response       (** worker → coordinator, terminal *)
   | Drain                            (** coordinator → worker: flush *)
-  | Health of Service.health         (** worker's final snapshot *)
+  | Health of Service.health
+      (** worker → coordinator: final snapshot at drain, or interim
+          answer to [Health_req] *)
+  | Health_req                       (** coordinator → worker: admin *)
+  | Metrics_req                      (** coordinator → worker: admin *)
+  | Metrics of (string * Obs.Telemetry.value) list
+      (** worker → coordinator: telemetry-registry snapshot *)
+  | Dump_req                         (** coordinator → worker: admin *)
+  | Dump of string
+      (** worker → coordinator: flight ring as a Chrome-trace document *)
+  | Log_line of string
+      (** worker → coordinator: one forwarded NDJSON log line *)
 
 val write : Unix.file_descr -> msg -> unit
 
@@ -33,3 +44,5 @@ val response_json : Service.response -> Json.t
 val response_of_json : Json.t -> (Service.response, string) result
 val health_json : Service.health -> Json.t
 val health_of_json : Json.t -> (Service.health, string) result
+val value_json : Obs.Telemetry.value -> Json.t
+val value_of_json : Json.t -> (Obs.Telemetry.value, string) result

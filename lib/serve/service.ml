@@ -87,6 +87,11 @@ type config = {
   cache_dir : string option;
       (** incremental-cache store directory; a restarted service points
           at the same directory and starts warm *)
+  flight_dump : string option;
+      (** where the flight-recorder ring is dumped as a Chrome trace on
+          SIGUSR1, an admin [dump] request, or a terminal job failure;
+          [None] disables dumping (the ring itself is armed by the CLI
+          via {!Obs.Telemetry.arm_flight}) *)
   now : unit -> float;
   sleep : float -> unit;
       (** the queue's poll wait for delayed retries; injectable for tests *)
@@ -97,7 +102,7 @@ let default_config =
     retry_base = 0.05; retry_factor = 2.0; retry_max_delay = 2.0;
     seed = 0; breaker_threshold = 5; breaker_cooldown = 30.0;
     mem_soft_limit_mb = None; drain_grace = Some 30.0; cache_dir = None;
-    now = Unix.gettimeofday; sleep = Io.sleepf }
+    flight_dump = None; now = Unix.gettimeofday; sleep = Io.sleepf }
 
 (** The retry schedule is a pure function of (seed, job id, attempt):
     byte-identical across runs and across worker-pool sizes. [attempt] is
@@ -143,6 +148,8 @@ type t = {
   n_breaker_opens : int Atomic.t;
   started_at : float;
   sig_drain : bool Atomic.t;       (* set (only) by signal handlers *)
+  sig_dump : bool Atomic.t;        (* SIGUSR1: flight dump requested *)
+  dump_lock : Mutex.t;             (* one flight dump writes at a time *)
   drain_started : bool Atomic.t;
   joined : bool Atomic.t;
   mutable domains : unit Domain.t list;
@@ -180,6 +187,35 @@ let breaker_key (rq : request) =
 (* The same key doubles as the cluster's consistent-hash routing key, so
    repeated submissions of one application land on one warm worker. *)
 let job_key = breaker_key
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Dump the flight-recorder ring (the bounded per-domain buffers of
+    recent spans/instants) as a Chrome trace at [cfg.flight_dump].
+    Safe from any domain — the ring is snapshotted racily — and
+    serialized so concurrent triggers never interleave in the file.
+    Returns the path written, or [None] when dumping is off. *)
+let flight_dump t ~cause =
+  match t.cfg.flight_dump with
+  | None -> None
+  | Some path ->
+    Mutex.lock t.dump_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.dump_lock)
+      (fun () ->
+        (try Obs.Telemetry.write_flight path
+         with Sys_error _ -> ());
+        Obs.Telemetry.instant "obs.flight_dump"
+          ~args:[ ("cause", cause); ("path", path) ];
+        Some path)
+
+(* SIGUSR1 handlers only set this flag; transport pumps turn it into a
+   dump from a safe context. *)
+let signal_dump_pending t =
+  if Atomic.exchange t.sig_dump false then
+    ignore (flight_dump t ~cause:"sigusr1")
 
 (* ------------------------------------------------------------------ *)
 (* Job execution                                                      *)
@@ -403,7 +439,10 @@ let process t (job : job) =
             leaving the cell half-open would wedge the key forever *)
          if breaker_counts || admission = `Probe then
            ignore (Breaker.failure t.breaker key);
-         respond t job Failed reason ~issues:0 ~degradations:0
+         respond t job Failed reason ~issues:0 ~degradations:0;
+         (* a terminal failure is exactly the moment the recent-event
+            ring pays off: dump it while the evidence is still inside *)
+         ignore (flight_dump t ~cause:("failed:" ^ job.j_req.rq_id))
        end)
 
 let worker t () =
@@ -463,7 +502,9 @@ let create ?(config = default_config) () =
       n_retries = Atomic.make 0;
       n_breaker_fast_fails = Atomic.make 0; n_breaker_opens;
       started_at = cfg.now ();
-      sig_drain = Atomic.make false; drain_started = Atomic.make false;
+      sig_drain = Atomic.make false;
+      sig_dump = Atomic.make false; dump_lock = Mutex.create ();
+      drain_started = Atomic.make false;
       joined = Atomic.make false; domains = []; join_lock = Mutex.create () }
   in
   t.domains <- List.init cfg.workers (fun _ -> Domain.spawn (worker t));
@@ -554,6 +595,8 @@ let install_signals t =
   let handler = Sys.Signal_handle (fun _ -> Atomic.set t.sig_drain true) in
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigusr1
+    (Sys.Signal_handle (fun _ -> Atomic.set t.sig_dump true));
   let watcher () =
     let rec loop () =
       if Atomic.get t.sig_drain then request_drain t
@@ -589,7 +632,28 @@ type health = {
   h_breaker_opens : int;
   h_open_breakers : string list;
   h_events : int;                  (** service-level diagnostics recorded *)
+  h_latency_p50 : int;             (** submit-to-terminal ms (log2 est.) *)
+  h_latency_p95 : int;
+  h_latency_p99 : int;
+  h_cache_hits : int;              (** incremental-cache tier hits … *)
+  h_cache_misses : int;
+  h_cache_invalidated : int;       (** … and evicted stale entries *)
 }
+
+(* Latency percentiles and cache-tier counters come from the telemetry
+   registry (zero when telemetry is off): the histogram is fed by
+   [respond], the cache counters by [Cache.Incr]. In a cluster worker
+   process this reads the worker's own post-fork registry, so the
+   aggregated health sums per-worker cache behaviour. *)
+let telemetry_counter name =
+  match Obs.Telemetry.find_value name with
+  | Some (Obs.Telemetry.V_counter n) -> n
+  | _ -> 0
+
+let latency_quantile q =
+  match Obs.Telemetry.find_value "serve.latency_ms" with
+  | Some (Obs.Telemetry.V_histogram s) -> Obs.Telemetry.snapshot_quantile s q
+  | _ -> 0
 
 let health t =
   { h_uptime = t.cfg.now () -. t.started_at;
@@ -611,7 +675,13 @@ let health t =
       (Mutex.lock t.diag_lock;
        Fun.protect
          ~finally:(fun () -> Mutex.unlock t.diag_lock)
-         (fun () -> Diagnostics.count t.diagnostics)) }
+         (fun () -> Diagnostics.count t.diagnostics));
+    h_latency_p50 = latency_quantile 0.50;
+    h_latency_p95 = latency_quantile 0.95;
+    h_latency_p99 = latency_quantile 0.99;
+    h_cache_hits = telemetry_counter "cache.hit";
+    h_cache_misses = telemetry_counter "cache.miss";
+    h_cache_invalidated = telemetry_counter "cache.invalidated" }
 
 (** A drain is clean when no admitted job was shed and no job was turned
     away by a full queue: the service kept every promise it made. Failed
@@ -674,18 +744,16 @@ let response_json (r : response) =
 
 let health_json (h : health) =
   let num n = Json.Num (float_of_int n) in
-  let latency q =
-    match Obs.Telemetry.find_value "serve.latency_ms" with
-    | Some (Obs.Telemetry.V_histogram s) ->
-      num (Obs.Telemetry.snapshot_quantile s q)
-    | _ -> Json.Null
-  in
   Json.to_string
     (Json.Obj
        [ ("event", Json.Str "health");
          ("uptime", Json.Num (Float.round (h.h_uptime *. 1000.) /. 1000.));
          ("queue_depth", num h.h_queue_depth);
          ("pressure", num h.h_pressure);
+         (* the watchdog pressure level is the degradation-ladder rung
+            jobs currently run at; surfaced under both names so ladder
+            dashboards need no mapping *)
+         ("rung", num h.h_pressure);
          ("submitted", num h.h_submitted);
          ("admitted", num h.h_admitted);
          ("completed", num h.h_completed);
@@ -699,9 +767,48 @@ let health_json (h : health) =
          ("breaker_opens", num h.h_breaker_opens);
          ("open_breakers",
           Json.Arr (List.map (fun k -> Json.Str k) h.h_open_breakers));
-         ("latency_ms_p50", latency 0.5);
-         ("latency_ms_p95", latency 0.95);
+         ("latency_ms_p50", num h.h_latency_p50);
+         ("latency_ms_p95", num h.h_latency_p95);
+         ("latency_ms_p99", num h.h_latency_p99);
+         ("cache_hits", num h.h_cache_hits);
+         ("cache_misses", num h.h_cache_misses);
+         ("cache_invalidated", num h.h_cache_invalidated);
          ("clean_drain", Json.Bool (clean_drain h)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Admin channel                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** One admin command line → one reply. Commands:
+    - ["health"]: the live health snapshot as one JSON line;
+    - ["metrics"]: the telemetry registry as Prometheus text exposition,
+      terminated by a ["# EOF"] line;
+    - ["metrics.json"]: the same registry as one JSON line;
+    - ["dump"]: write the flight-recorder ring to the configured dump
+      path and answer with a one-line receipt.
+    Unknown commands get a one-line JSON error, never silence. *)
+let admin_reply t line =
+  match String.trim line with
+  | "health" -> health_json (health t)
+  | "metrics" -> Obs.Export.prometheus ()
+  | "metrics.json" -> Obs.Export.json ()
+  | "dump" ->
+    (match flight_dump t ~cause:"admin" with
+     | Some path ->
+       Json.to_string
+         (Json.Obj
+            [ ("event", Json.Str "dump"); ("path", Json.Str path) ])
+     | None ->
+       Json.to_string
+         (Json.Obj
+            [ ("event", Json.Str "error");
+              ("error", Json.Str "flight_dump_disabled") ]))
+  | other ->
+    Json.to_string
+      (Json.Obj
+         [ ("event", Json.Str "error");
+           ("error", Json.Str "unknown_command");
+           ("command", Json.Str other) ])
 
 (* ------------------------------------------------------------------ *)
 (* Transports                                                         *)
@@ -748,34 +855,45 @@ let handle_line t ~write line =
 
 (** Serve newline-delimited JSON over stdin/stdout until EOF or a drain
     signal; returns the final health snapshot (also written as the last
-    output line). *)
-let run_stdio ?(stdin = Unix.stdin) ?(stdout = Unix.stdout) t =
+    output line). [admin] opens the admin socket next to the stream. *)
+let run_stdio ?(stdin = Unix.stdin) ?(stdout = Unix.stdout) ?admin t =
   Io.ignore_sigpipe ();
   install_signals t;
+  let adm = Option.map Admin.create admin in
+  let admin_fds () =
+    match adm with Some a -> Admin.fds a | None -> []
+  in
   let write = make_writer t ~peer:"stdout" stdout in
   let reader = Io.line_reader stdin in
   let rec pump () =
     if signal_pending t || draining t then ()
     else begin
+      signal_dump_pending t;
       match Io.read_line_nonblock reader with
       | `Line l -> handle_line t ~write l; pump ()
       | `Eof -> ()
       | `Pending ->
-        ignore (Io.select [ stdin ] [] [] 0.2);
+        let ready, _, _ = Io.select (stdin :: admin_fds ()) [] [] 0.2 in
+        (match adm with
+         | Some a -> Admin.step a ~reply:(admin_reply t) ready
+         | None -> ());
         pump ()
     end
   in
-  pump ();
-  request_drain t;
-  await_drained t;
-  let h = health t in
-  write (health_json h);
-  h
+  Fun.protect
+    ~finally:(fun () -> Option.iter Admin.close adm)
+    (fun () ->
+      pump ();
+      request_drain t;
+      await_drained t;
+      let h = health t in
+      write (health_json h);
+      h)
 
 (** Serve over a Unix domain socket, multiplexing any number of clients
     with [select]; each client gets its jobs' responses on its own
     connection. Returns the final health snapshot at drain. *)
-let run_socket t path =
+let run_socket ?admin t path =
   (* a stale socket file from an unclean shutdown is probed and unlinked;
      a live server on the path is never stolen from *)
   let listen_fd =
@@ -787,6 +905,10 @@ let run_socket t path =
   Unix.listen listen_fd 16;
   Io.ignore_sigpipe ();
   install_signals t;
+  let adm = Option.map Admin.create admin in
+  let admin_fds () =
+    match adm with Some a -> Admin.fds a | None -> []
+  in
   let clients = ref [] in        (* (fd, reader, writer) *)
   let close_client (fd, _, _) =
     clients := List.filter (fun (f, _, _) -> f <> fd) !clients;
@@ -795,8 +917,15 @@ let run_socket t path =
   let rec pump () =
     if signal_pending t || draining t then ()
     else begin
-      let fds = listen_fd :: List.map (fun (fd, _, _) -> fd) !clients in
+      signal_dump_pending t;
+      let fds =
+        (listen_fd :: List.map (fun (fd, _, _) -> fd) !clients)
+        @ admin_fds ()
+      in
       let ready, _, _ = Io.select fds [] [] 0.2 in
+      (match adm with
+       | Some a -> Admin.step a ~reply:(admin_reply t) ready
+       | None -> ());
       List.iter
         (fun fd ->
            if fd = listen_fd then begin
@@ -825,6 +954,7 @@ let run_socket t path =
   in
   Fun.protect
     ~finally:(fun () ->
+      Option.iter Admin.close adm;
       List.iter (fun (fd, _, _) -> try Unix.close fd with _ -> ())
         !clients;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());

@@ -71,6 +71,10 @@ type config = {
       (** incremental-cache store directory ({!Cache.Incr}); [None]
           disables caching. A restarted service pointed at the same
           directory starts warm. *)
+  flight_dump : string option;
+      (** where the flight-recorder ring is written as a Chrome trace on
+          SIGUSR1, an admin [dump] command, or a terminal job failure;
+          [None] disables dumping *)
   now : unit -> float;
   sleep : float -> unit;
       (** the queue's poll wait for delayed retries; injectable for tests *)
@@ -103,12 +107,21 @@ val draining : t -> bool
     reached its terminal state. Implies {!request_drain}. Idempotent. *)
 val await_drained : t -> unit
 
-(** Install SIGINT/SIGTERM handlers that trigger the drain protocol.
-    Handlers only set an atomic flag; a watcher domain (joined by
-    {!await_drained}) performs the drain. *)
+(** Install SIGINT/SIGTERM handlers that trigger the drain protocol, and
+    a SIGUSR1 handler that requests a flight-recorder dump. Handlers only
+    set atomic flags; a watcher domain (joined by {!await_drained})
+    performs the drain, and the transport pumps perform the dump. *)
 val install_signals : t -> unit
 
 val signal_pending : t -> bool
+
+(** {1 Flight recorder} *)
+
+(** Write the flight-recorder ring (recent spans/instants, bounded per
+    domain — see {!Obs.Telemetry.arm_flight}) as a Chrome trace at
+    [cfg.flight_dump]. Safe from any domain; serialized internally.
+    Returns the path written, [None] when dumping is disabled. *)
+val flight_dump : t -> cause:string -> string option
 
 (** {1 Health} *)
 
@@ -129,6 +142,16 @@ type health = {
   h_breaker_opens : int;
   h_open_breakers : string list;
   h_events : int;
+  h_latency_p50 : int;
+      (** submit-to-terminal latency percentiles in ms, estimated from
+          the log2 [serve.latency_ms] histogram (0 when telemetry off) *)
+  h_latency_p95 : int;
+  h_latency_p99 : int;
+  h_cache_hits : int;
+      (** incremental-cache tier counters ({!Cache.Incr}); in a cluster
+          worker these are the worker's own post-fork counts *)
+  h_cache_misses : int;
+  h_cache_invalidated : int;
 }
 
 val health : t -> health
@@ -145,10 +168,20 @@ val request_of_json : Json.t -> (request, string) result
 val response_json : response -> string
 val health_json : health -> string
 
+(** {1 Admin channel} *)
+
+(** One admin command line → one reply: ["health"] (JSON line),
+    ["metrics"] (Prometheus text exposition ending in ["# EOF"]),
+    ["metrics.json"] (JSON line), ["dump"] (write the flight ring,
+    answer a receipt). Unknown commands get a one-line JSON error. *)
+val admin_reply : t -> string -> string
+
 (** Serve newline-delimited JSON requests over stdin/stdout until EOF or
     SIGINT/SIGTERM; drains and returns (and writes, as the final line)
-    the health snapshot. *)
-val run_stdio : ?stdin:Unix.file_descr -> ?stdout:Unix.file_descr -> t -> health
+    the health snapshot. [admin] opens the admin socket at that path. *)
+val run_stdio :
+  ?stdin:Unix.file_descr -> ?stdout:Unix.file_descr -> ?admin:string ->
+  t -> health
 
 (** Serve over a Unix domain socket at [path], multiplexing clients. *)
-val run_socket : t -> string -> health
+val run_socket : ?admin:string -> t -> string -> health

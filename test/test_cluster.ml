@@ -138,6 +138,49 @@ let test_proto_partial_frames () =
    | _ -> Alcotest.fail "torn trailing frame must read as EOF");
   Unix.close b
 
+(* The admin frames (interim health, metrics snapshots, flight dumps,
+   forwarded log lines) ride the same framed pipe as jobs. *)
+let test_proto_admin_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let kvs =
+    [ ("cache.hit", Obs.Telemetry.V_counter 12);
+      ("serve.queue_depth", Obs.Telemetry.V_gauge 3);
+      ( "serve.latency_ms",
+        Obs.Telemetry.V_histogram
+          { Obs.Telemetry.hs_count = 5; hs_sum = 40; hs_max = 16;
+            hs_buckets = [ (1, 2); (8, 3) ] } ) ]
+  in
+  let log_line = {|{"seq":4,"ts":1.5,"level":"info","event":"serve.admit"}|} in
+  List.iter (Serve.Proto.write a)
+    [ Serve.Proto.Health_req; Serve.Proto.Metrics_req;
+      Serve.Proto.Dump_req; Serve.Proto.Metrics kvs;
+      Serve.Proto.Dump "{\"traceEvents\":[]}";
+      Serve.Proto.Log_line log_line ];
+  let r = Serve.Proto.reader b in
+  let next () =
+    match Serve.Proto.read_block r with
+    | `Msg m -> m
+    | _ -> Alcotest.fail "expected a frame"
+  in
+  Alcotest.(check bool) "health_req" true (next () = Serve.Proto.Health_req);
+  Alcotest.(check bool) "metrics_req" true
+    (next () = Serve.Proto.Metrics_req);
+  Alcotest.(check bool) "dump_req" true (next () = Serve.Proto.Dump_req);
+  (match next () with
+   | Serve.Proto.Metrics got ->
+     Alcotest.(check bool) "metrics snapshot round-trips" true (got = kvs)
+   | _ -> Alcotest.fail "expected a Metrics frame");
+  (match next () with
+   | Serve.Proto.Dump d ->
+     Alcotest.(check string) "dump round-trips" "{\"traceEvents\":[]}" d
+   | _ -> Alcotest.fail "expected a Dump frame");
+  (match next () with
+   | Serve.Proto.Log_line l ->
+     Alcotest.(check string) "log line verbatim" log_line l
+   | _ -> Alcotest.fail "expected a Log_line frame");
+  Unix.close a;
+  Unix.close b
+
 (* ------------------------------------------------------------------ *)
 (* Routing ring                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -327,6 +370,84 @@ let test_cluster_crash_budget () =
   Serve.Cluster.await_drained c
 
 (* ------------------------------------------------------------------ *)
+(* Admin channel under chaos                                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Mid-batch SIGKILL of one worker must not corrupt the admin channel:
+   the aggregated health reply stays well-formed, the Prometheus scrape
+   parses (and still carries the serve counters), and the crash itself
+   triggers a flight-recorder dump containing the dead worker's last
+   spans — recovered from its on-disk ring snapshot, since the process
+   is gone. *)
+let test_cluster_admin_under_chaos () =
+  let dir = Filename.temp_file "taj-flight" "" in
+  Unix.unlink dir;
+  Unix.mkdir dir 0o700;
+  let dump = Filename.concat dir "flight.json" in
+  (* armed before the fork so workers inherit the ring *)
+  Obs.Telemetry.arm_flight 64;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Telemetry.arm_flight 0;
+      Array.iter
+        (fun f ->
+           try Unix.unlink (Filename.concat dir f)
+           with Unix.Unix_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let cfg =
+        { (cluster_config ~size:2 ()) with
+          Serve.Cluster.flight_dump = Some dump }
+      in
+      let c = Serve.Cluster.create ~config:cfg () in
+      let responses, respond = collector () in
+      let victim = Serve.Cluster.route c "BlueBlog" in
+      (* one completed job first, so the victim's ring snapshot file is
+         on disk before the murder *)
+      submit_batch c respond [ ("warm", Some "BlueBlog") ];
+      pump_until c ~timeout:60.0 (fun () -> List.length !responses >= 1);
+      let wave =
+        List.init 4 (fun i -> (Printf.sprintf "a%d" i, Some "BlueBlog"))
+      in
+      submit_batch c respond wave;
+      let pids = Array.of_list (Serve.Cluster.worker_pids c) in
+      Unix.kill pids.(victim) Sys.sigkill;
+      (* aggregated replies while the crash is being detected/handled *)
+      (match Serve.Json.parse (Serve.Cluster.admin_reply c "health") with
+       | Error e -> Alcotest.fail ("admin health unparsable: " ^ e)
+       | Ok j ->
+         Alcotest.(check bool) "health covers both workers" true
+           (match Serve.Json.member "workers" j with
+            | Some (Serve.Json.Arr ws) -> List.length ws = 2
+            | _ -> false));
+      let prom = Serve.Cluster.admin_reply c "metrics" in
+      Alcotest.(check bool) "scrape carries the serve counters" true
+        (contains ~needle:"taj_serve_completed" prom);
+      Alcotest.(check bool) "scrape ends with the EOF marker" true
+        (contains ~needle:"# EOF" prom);
+      pump_until c ~timeout:60.0 (fun () ->
+        Serve.Cluster.idle c && List.length !responses >= 5);
+      Alcotest.(check int) "every job still answered exactly once" 5
+        (List.length !responses);
+      (* the crash wrote a merged dump; the dead worker's lane is pid
+         [victim index + 2] *)
+      let doc = Serve.Io.read_file dump in
+      Alcotest.(check bool) "flight dump is non-empty" true
+        (String.length doc > 0);
+      (match Serve.Json.parse doc with
+       | Error e -> Alcotest.fail ("flight dump unparsable: " ^ e)
+       | Ok _ -> ());
+      Alcotest.(check bool) "dump holds the crashed worker's events" true
+        (contains ~needle:(Printf.sprintf "\"pid\":%d," (victim + 2)) doc);
+      Serve.Cluster.await_drained c)
+
+(* ------------------------------------------------------------------ *)
 (* Drain aggregation                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -370,6 +491,8 @@ let test_cluster_drain_aggregates () =
 let suite =
   [ Alcotest.test_case "proto: frame round-trip" `Quick
       test_proto_roundtrip;
+    Alcotest.test_case "proto: admin frames round-trip" `Quick
+      test_proto_admin_roundtrip;
     Alcotest.test_case "proto: partial and torn frames" `Quick
       test_proto_partial_frames;
     Alcotest.test_case "ring: deterministic balanced routing" `Slow
@@ -382,5 +505,8 @@ let suite =
       `Slow test_cluster_sigkill_chaos;
     Alcotest.test_case "chaos: crash budget exhausts to failed" `Slow
       test_cluster_crash_budget;
+    Alcotest.test_case
+      "admin: aggregated replies and flight dump under SIGKILL" `Slow
+      test_cluster_admin_under_chaos;
     Alcotest.test_case "drain: aggregates per-worker health" `Slow
       test_cluster_drain_aggregates ]

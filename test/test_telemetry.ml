@@ -12,13 +12,19 @@ module Telemetry = Obs.Telemetry
    how the case exits. *)
 let isolated f () =
   Fault.reset ();
+  Telemetry.arm_flight 0;
   Telemetry.disable ();
   Telemetry.reset ();
+  Obs.Log.set_sink None;
+  Obs.Log.set_context [];
   Fun.protect
     ~finally:(fun () ->
       Fault.reset ();
+      Telemetry.arm_flight 0;
       Telemetry.disable ();
-      Telemetry.reset ())
+      Telemetry.reset ();
+      Obs.Log.set_sink None;
+      Obs.Log.set_context [])
     f
 
 let input srcs =
@@ -587,6 +593,189 @@ let test_disabled_overhead () =
       (100.0 *. overhead) probes (per_probe *. 1e9) disabled_seconds
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Armed without enable: events keep recording into a bounded ring (so
+   the last moments before a crash are always dumpable), metric updates
+   go live, but [enabled] stays false — no unbounded buffers, no
+   exit-time exports. *)
+let test_flight_ring_bounding () =
+  Telemetry.arm_flight 16;
+  Alcotest.(check bool) "armed is not enabled" false (Telemetry.enabled ());
+  Alcotest.(check bool) "but the recorder is armed" true
+    (Telemetry.flight_armed ());
+  for i = 1 to 1000 do
+    Telemetry.instant (Printf.sprintf "test.flight.%d" i)
+  done;
+  let ring = Telemetry.flight_events () in
+  Alcotest.(check bool)
+    (Printf.sprintf "ring stays bounded (%d kept)" (List.length ring))
+    true
+    (List.length ring <= 16 && List.length ring > 0);
+  Alcotest.(check bool) "the newest event is retained" true
+    (List.exists
+       (fun (e : Telemetry.event) -> e.Telemetry.ev_name = "test.flight.1000")
+       ring);
+  Alcotest.(check bool) "the oldest event was evicted" false
+    (List.exists
+       (fun (e : Telemetry.event) -> e.Telemetry.ev_name = "test.flight.1")
+       ring);
+  (* metric updates are live while armed *)
+  let c = Telemetry.counter "test.flight.counter" in
+  Telemetry.incr c;
+  Alcotest.(check (option int)) "counters record while armed"
+    (Some 1)
+    (match Telemetry.find_value "test.flight.counter" with
+     | Some (Telemetry.V_counter n) -> Some n
+     | _ -> None);
+  (* the dump document is a valid Chrome trace with the flight label *)
+  let doc = Telemetry.flight_json () in
+  (match Serve.Json.parse doc with
+   | Error e -> Alcotest.fail ("flight_json unparsable: " ^ e)
+   | Ok _ -> ());
+  Alcotest.(check bool) "flight doc labels the process" true
+    (contains ~needle:"taj flight" doc)
+
+(* ------------------------------------------------------------------ *)
+(* Exports                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_export_prometheus () =
+  Telemetry.enable ();
+  let c = Telemetry.counter "test.export.counter" in
+  let h = Telemetry.histogram "test.export.hist" in
+  Telemetry.add c 5;
+  List.iter (Telemetry.observe h) [ 0; 1; 3; 8; 8 ];
+  let prom = Obs.Export.prometheus () in
+  Alcotest.(check bool) "counter typed and valued" true
+    (contains ~needle:"# TYPE taj_test_export_counter counter" prom
+     && contains ~needle:"taj_test_export_counter 5" prom);
+  Alcotest.(check bool) "histogram has cumulative buckets" true
+    (contains ~needle:"# TYPE taj_test_export_hist histogram" prom
+     && contains ~needle:"taj_test_export_hist_bucket{le=\"+Inf\"} 5" prom
+     && contains ~needle:"taj_test_export_hist_count 5" prom
+     && contains ~needle:"taj_test_export_hist_sum 20" prom);
+  Alcotest.(check bool) "quantile companion gauges" true
+    (contains ~needle:"taj_test_export_hist_p50" prom
+     && contains ~needle:"taj_test_export_hist_p99" prom);
+  Alcotest.(check bool) "exposition ends with the EOF marker" true
+    (contains ~needle:"# EOF\n" prom);
+  (* and the JSON form parses with the same numbers *)
+  match Serve.Json.parse (Obs.Export.json ()) with
+  | Error e -> Alcotest.fail ("metrics json unparsable: " ^ e)
+  | Ok j ->
+    Alcotest.(check (option int)) "json counter"
+      (Some 5)
+      (Serve.Json.int_member "test.export.counter" j);
+    (match Serve.Json.member "test.export.hist" j with
+     | Some hj ->
+       Alcotest.(check (option int)) "json histogram count" (Some 5)
+         (Serve.Json.int_member "count" hj)
+     | None -> Alcotest.fail "histogram missing from json export")
+
+let test_export_merge () =
+  let hist count sum max_ buckets =
+    Telemetry.V_histogram
+      { Telemetry.hs_count = count; hs_sum = sum; hs_max = max_;
+        hs_buckets = buckets }
+  in
+  let a =
+    [ ("c", Telemetry.V_counter 2); ("g", Telemetry.V_gauge 1);
+      ("h", hist 3 10 8 [ (1, 1); (8, 2) ]) ]
+  in
+  let b =
+    [ ("c", Telemetry.V_counter 5); ("only_b", Telemetry.V_counter 1);
+      ("h", hist 2 4 2 [ (2, 2) ]) ]
+  in
+  let m = Obs.Export.merge [ a; b ] in
+  Alcotest.(check bool) "counters sum" true
+    (List.assoc "c" m = Telemetry.V_counter 7);
+  Alcotest.(check bool) "singletons survive" true
+    (List.assoc "only_b" m = Telemetry.V_counter 1);
+  (match List.assoc "h" m with
+   | Telemetry.V_histogram s ->
+     Alcotest.(check int) "histogram counts add" 5 s.Telemetry.hs_count;
+     Alcotest.(check int) "histogram sums add" 14 s.Telemetry.hs_sum;
+     Alcotest.(check int) "max of maxes" 8 s.Telemetry.hs_max;
+     Alcotest.(check bool) "buckets merge sorted" true
+       (s.Telemetry.hs_buckets = [ (1, 1); (2, 2); (8, 2) ])
+   | _ -> Alcotest.fail "merged histogram lost its kind");
+  (* exact nearest-rank percentiles, used by the bench harness *)
+  let samples = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "p50 nearest-rank" 3.0
+    (Obs.Export.percentile samples 0.5);
+  Alcotest.(check (float 1e-9)) "p100 is the max" 5.0
+    (Obs.Export.percentile samples 1.0);
+  Alcotest.(check (float 1e-9)) "empty is zero" 0.0
+    (Obs.Export.percentile [||] 0.99)
+
+(* ------------------------------------------------------------------ *)
+(* Structured log                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_sink_levels_ndjson () =
+  let lines = ref [] in
+  Obs.Log.set_sink (Some (fun l -> lines := l :: !lines));
+  Obs.Log.set_level Obs.Log.Info;
+  Obs.Log.set_context [ ("proc", "test") ];
+  Obs.Log.log ~level:Obs.Log.Debug "below.threshold";
+  Obs.Log.log ~fields:[ ("job", "j1") ] "test.event";
+  (* Telemetry.instant routes through the log even with telemetry off:
+     diag.* infers warn, anything unprefixed infers debug (filtered) *)
+  Telemetry.instant "diag.something" ~args:[ ("kind", "x") ];
+  Telemetry.instant "quiet.event";
+  let got = List.rev !lines in
+  Alcotest.(check int) "debug lines filtered at info" 2 (List.length got);
+  (match got with
+   | [ first; second ] ->
+     (match Serve.Json.parse first with
+      | Error e -> Alcotest.fail ("log line unparsable: " ^ e)
+      | Ok j ->
+        Alcotest.(check (option string)) "event name" (Some "test.event")
+          (Serve.Json.str_member "event" j);
+        Alcotest.(check (option string)) "level" (Some "info")
+          (Serve.Json.str_member "level" j);
+        Alcotest.(check (option string)) "sticky context" (Some "test")
+          (Serve.Json.str_member "proc" j);
+        Alcotest.(check (option string)) "per-call field" (Some "j1")
+          (Serve.Json.str_member "job" j);
+        Alcotest.(check bool) "carries seq and ts" true
+          (Serve.Json.member "seq" j <> None
+           && Serve.Json.member "ts" j <> None));
+     (match Serve.Json.parse second with
+      | Error e -> Alcotest.fail ("instant line unparsable: " ^ e)
+      | Ok j ->
+        Alcotest.(check (option string)) "diag.* infers warn" (Some "warn")
+          (Serve.Json.str_member "level" j);
+        Alcotest.(check (option string)) "instant args become fields"
+          (Some "x")
+          (Serve.Json.str_member "kind" j))
+   | _ -> Alcotest.fail "expected exactly the two passing lines");
+  (* seq is monotonic across the stream *)
+  let seqs =
+    List.filter_map
+      (fun l ->
+         Result.to_option (Serve.Json.parse l)
+         |> Fun.flip Option.bind (Serve.Json.int_member "seq"))
+      got
+  in
+  Alcotest.(check bool) "seq strictly increases" true
+    (match seqs with
+     | [ a; b ] -> b > a
+     | _ -> false);
+  (* disabled fast path: no sink, emits are no-ops *)
+  Obs.Log.set_sink None;
+  Alcotest.(check bool) "no sink, not enabled" false (Obs.Log.enabled ());
+  Obs.Log.log "dropped.silently";
+  Alcotest.(check int) "nothing new arrived" 2 (List.length got)
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [ Alcotest.test_case "counter/gauge/histogram" `Quick
@@ -610,5 +799,13 @@ let suite =
       (isolated test_budget_trip_instant);
     Alcotest.test_case "fault and ladder instants" `Quick
       (isolated test_fault_and_ladder_instants);
+    Alcotest.test_case "flight recorder: bounded ring while armed" `Quick
+      (isolated test_flight_ring_bounding);
+    Alcotest.test_case "export: prometheus exposition and json" `Quick
+      (isolated test_export_prometheus);
+    Alcotest.test_case "export: cross-process merge and percentiles"
+      `Quick (isolated test_export_merge);
+    Alcotest.test_case "log: levels, context, NDJSON shape" `Quick
+      (isolated test_log_sink_levels_ndjson);
     Alcotest.test_case "disabled-mode overhead guard" `Slow
       (isolated test_disabled_overhead) ]
