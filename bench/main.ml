@@ -21,6 +21,8 @@
                     percentiles and terminal-outcome counts
      incremental    cold vs warm vs one-edit latency through the
                     incremental cache per app (writes incremental.csv)
+     triage         type-triage rung zero vs full analysis latency per
+                    app (writes triage.csv)
      micro          Bechamel micro-benchmarks of the pipeline phases
      all            everything above except service and incremental
                     (default)
@@ -56,6 +58,7 @@ let alg_label = function
   | Config.Hybrid_optimized -> "Hybrid/Optimized"
   | Config.Cs_thin_slicing -> "CS"
   | Config.Ci_thin_slicing -> "CI"
+  | Config.Type_triage -> "Triage"
 
 (* Phase attribution for failure rows: wrap each pipeline step so a failed
    app's row can say *which* phase raised, not just that something did. *)
@@ -425,13 +428,7 @@ let inventory () =
 (* RFC-4180 quoting: failure rows carry exception messages, which can
    contain commas, quotes or newlines and would otherwise shift every
    column after them. Clean fields pass through unquoted. *)
-let csv_field s =
-  if
-    String.exists
-      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
-      s
-  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
-  else s
+let csv_field = Obs.Csv.field
 
 let csv () =
   header "CSV export: table3.csv and figure4.csv";
@@ -466,6 +463,7 @@ let csv () =
                 | Config.Hybrid_optimized -> a.Apps.paper.Apps.optimized
                 | Config.Cs_thin_slicing -> a.Apps.paper.Apps.cs
                 | Config.Ci_thin_slicing -> a.Apps.paper.Apps.ci
+                | Config.Type_triage -> a.Apps.paper.Apps.ci
               in
               let popt = function Some v -> string_of_int v | None -> "" in
               (* per-phase telemetry times; empty on did-not-complete rows *)
@@ -709,6 +707,25 @@ let service_bench () =
   let h = Serve.Service.health t in
   Printf.printf "%-12s %9d\n" "retries" h.Serve.Service.h_retries;
   Printf.printf "%-12s %9d\n" "shed" h.Serve.Service.h_shed;
+  (* one row per response; reasons can carry free-text exception
+     messages, so the shared RFC-4180 writer quotes them *)
+  let oc = open_out "service.csv" in
+  Obs.Csv.write_row oc
+    [ "id"; "status"; "reason"; "verdict"; "issues"; "degradations";
+      "seconds" ];
+  List.iter
+    (fun (r : Serve.Service.response) ->
+       Obs.Csv.write_row oc
+         [ r.Serve.Service.rp_id;
+           Serve.Service.status_name r.Serve.Service.rp_status;
+           r.Serve.Service.rp_reason;
+           Option.value ~default:"" r.Serve.Service.rp_verdict;
+           string_of_int r.Serve.Service.rp_issues;
+           string_of_int r.Serve.Service.rp_degradations;
+           Printf.sprintf "%.4f" r.Serve.Service.rp_seconds ])
+    rs;
+  close_out oc;
+  Printf.printf "wrote service.csv (%d rows)\n" (List.length rs);
   Printf.printf "\nlatency (submit to terminal, non-rejected):\n";
   List.iter
     (fun (label, q) -> Printf.printf "  %-5s %8.4fs\n" label (pct q))
@@ -939,6 +956,61 @@ let incremental () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Triage vs full analysis: how much latency does rung zero save, and
+   how coarse is its answer? One row per app — type-qualifier triage
+   wall clock against the full Hybrid_optimized pipeline on the same
+   loaded program. Writes triage.csv. *)
+let triage_bench () =
+  header "Type-triage rung zero vs full analysis";
+  Printf.printf "%-14s %9s %9s %8s | %8s %8s\n" "application" "triage"
+    "full" "speedup" "findings" "issues";
+  let rows =
+    Parallel.map ~jobs:!jobs
+      (fun (a : Apps.app) ->
+         let loaded =
+           Taj.load (Codegen.to_input (Apps.generate ~scale:!scale a))
+         in
+         let verdict, t_triage =
+           Obs.Telemetry.timed (fun () ->
+               Taj.triage ~rules:Rules.default_rules loaded)
+         in
+         let analysis, t_full =
+           Obs.Telemetry.timed (fun () ->
+               Taj.run loaded (Config.preset ~scale:!scale Config.Hybrid_optimized))
+         in
+         let issues =
+           match analysis.Taj.result with
+           | Taj.Completed c -> Report.issue_count c.Taj.report
+           | Taj.Did_not_complete _ -> 0
+         in
+         (a.Apps.name, t_triage, t_full,
+          List.length (Triage.findings verdict), issues))
+      Apps.table2
+  in
+  let oc = open_out "triage.csv" in
+  Obs.Csv.write_row oc
+    [ "app"; "triage_s"; "full_s"; "speedup"; "triage_findings";
+      "full_issues" ];
+  let sum_t = ref 0.0 and sum_f = ref 0.0 in
+  List.iter
+    (fun (name, t_triage, t_full, findings, issues) ->
+       sum_t := !sum_t +. t_triage;
+       sum_f := !sum_f +. t_full;
+       let spd = if t_triage > 0.0 then t_full /. t_triage else 0.0 in
+       Printf.printf "%-14s %8.3fs %8.3fs %7.1fx | %8d %8d\n" name
+         t_triage t_full spd findings issues;
+       Obs.Csv.write_row oc
+         [ name; Printf.sprintf "%.4f" t_triage;
+           Printf.sprintf "%.4f" t_full; Printf.sprintf "%.1f" spd;
+           string_of_int findings; string_of_int issues ])
+    rows;
+  close_out oc;
+  Printf.printf "%s\ntotal: triage %.3fs vs full %.3fs (%.1fx); wrote \
+                 triage.csv (scale %.2f)\n"
+    line !sum_t !sum_f
+    (if !sum_t > 0.0 then !sum_f /. !sum_t else 0.0)
+    !scale
+
 let () =
   let args = Array.to_list Sys.argv in
   let rec parse cmds = function
@@ -989,6 +1061,7 @@ let () =
     | "service" ->
       if !svc_cluster then cluster_service_bench () else service_bench ()
     | "incremental" -> incremental ()
+    | "triage" -> triage_bench ()
     | "micro" -> micro ()
     | "all" ->
       table1 (); table2 (); table3 (); figure4 (); summary ();

@@ -22,10 +22,12 @@ let algorithm_conv =
     | "optimized" | "hybrid-optimized" -> Ok Config.Hybrid_optimized
     | "cs" -> Ok Config.Cs_thin_slicing
     | "ci" -> Ok Config.Ci_thin_slicing
+    | "triage" -> Ok Config.Type_triage
     | _ ->
       Error
         (`Msg
-           "expected one of: hybrid, prioritized, optimized, cs, ci")
+           "expected one of: hybrid, prioritized, optimized, cs, ci, \
+            triage")
   in
   let print ppf a = Fmt.string ppf (Config.algorithm_name a) in
   Arg.conv (parse, print)
@@ -33,7 +35,8 @@ let algorithm_conv =
 let algorithm =
   let doc =
     "Analysis configuration: hybrid (unbounded), prioritized, optimized, \
-     cs, or ci."
+     cs, ci, or triage (the type-qualifier rung zero: findings without \
+     flow paths)."
   in
   Arg.(value & opt algorithm_conv Config.Hybrid_optimized
        & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
@@ -253,6 +256,15 @@ let attempt_json (a : Supervisor.attempt) =
     (json_escape a.Supervisor.at_outcome)
     a.Supervisor.at_seconds
 
+let triage_finding_json (f : Triage.finding) =
+  Printf.sprintf
+    "    { \"issue\": \"%s\", \"rule\": \"%s\", \"class\": \"%s\", \
+     \"method\": \"%s\", \"sink\": \"%s\", \"qualifier\": \"%s\" }"
+    (json_escape f.Triage.f_issue) (json_escape f.Triage.f_rule)
+    (json_escape f.Triage.f_class) (json_escape f.Triage.f_meth)
+    (json_escape f.Triage.f_sink)
+    (Triage.qual_name f.Triage.f_qual)
+
 (* issues + the supervisor's diagnostics block; [builder] is absent exactly
    when no attempt completed, in which case the report has no issues.
    [completed] (the successful attempt, when there is one) contributes the
@@ -295,17 +307,32 @@ let emit_json ?builder ?completed (outcome : Supervisor.outcome)
        | None -> "  \"refined\": null,\n")
     | None -> "  \"refined\": null,\n"
   in
+  (* present exactly when the run answered at the type-triage rung zero:
+     type-level findings, no flow paths *)
+  let triage_block =
+    match outcome.Supervisor.sv_triage with
+    | None -> ""
+    | Some v ->
+      Printf.sprintf
+        "  \"triage\": { \"verdict\": \"type_only\", \"findings\": \
+         [\n%s\n  ] },\n"
+        (String.concat ",\n"
+           (List.map triage_finding_json (Triage.findings v)))
+  in
   Printf.printf
     "{\n\
     \  \"issues\": [\n%s\n  ],\n\
     \  \"completeness\": \"%s\",\n\
-     %s%s%s\
+     %s%s%s%s\
     \  \"diagnostics\": [\n%s\n  ],\n\
     \  \"attempts\": [\n%s\n  ]\n\
      }\n"
     issues
-    (if Report.is_partial report then "partial" else "complete")
-    timing refined metrics
+    (match report.Report.completeness with
+     | Report.Complete -> "complete"
+     | Report.Partial _ -> "partial"
+     | Report.Type_only _ -> "type_only")
+    timing refined triage_block metrics
     (String.concat ",\n"
        (List.map degradation_json outcome.Supervisor.sv_diagnostics))
     (String.concat ",\n"
@@ -350,9 +377,29 @@ let analyze_cmd =
                 violation is printed, emitted in the JSON diagnostics \
                 block, and exits with status 6.")
   in
+  let triage =
+    Arg.(value & flag
+         & info [ "triage" ]
+             ~doc:
+               "Run only the type-qualifier triage (rung zero of the \
+                degradation ladder): no pointer analysis, no slicing — \
+                type-level findings with no flow paths, in milliseconds. \
+                Equivalent to --algorithm triage.")
+  in
+  let no_triage_filter =
+    Arg.(value & flag
+         & info [ "no-triage-filter" ]
+             ~doc:
+               "Disable the triage pre-filter that skips \
+                provably-untaint-reachable methods during dependence-graph \
+                construction and rules with no matched source. The report \
+                is byte-identical either way; this exists for \
+                cross-checking and for timing the filter's effect.")
+  in
   let run algorithm scale jobs descriptor_file srcs json stats csrf deadline
-      no_degrade verify_ir refine refine_k refine_steps trace metrics
-      cache_dir no_cache =
+      no_degrade verify_ir triage no_triage_filter refine refine_k
+      refine_steps trace metrics cache_dir no_cache =
+    let algorithm = if triage then Config.Type_triage else algorithm in
     let input = load_input ~name:"cli" ~srcs ~descriptor_file in
     let session = cache_session ~cache_dir ~no_cache ~app:input.Taj.name in
     let options =
@@ -399,6 +446,7 @@ let analyze_cmd =
           let outcome =
             { Supervisor.sv_analysis = None;
               sv_report = Report.empty ~completeness:(Report.Partial events);
+              sv_triage = None;
               sv_diagnostics = events;
               sv_attempts = [];
               sv_elapsed = 0.0 }
@@ -411,7 +459,9 @@ let analyze_cmd =
     let config =
       { (with_refine (Config.preset ~scale algorithm) ~refine ~refine_k
            ~refine_steps)
-        with Config.cache_dir = (if no_cache then None else cache_dir) }
+        with
+        Config.cache_dir = (if no_cache then None else cache_dir);
+        triage_filter = not no_triage_filter }
     in
     let outcome = Supervisor.run ~options ~config input in
     cache_commit session ~config outcome input;
@@ -419,6 +469,28 @@ let analyze_cmd =
        still yields its trace and metrics *)
     telemetry_export ~trace ~metrics;
     let degradations = outcome.Supervisor.sv_diagnostics in
+    match outcome.Supervisor.sv_triage with
+    | Some v ->
+      (* the run answered at rung zero — requested (--triage) or after
+         every slicing rung failed: type-level findings, no flow paths *)
+      let findings = Triage.findings v in
+      if json then emit_json outcome outcome.Supervisor.sv_report
+      else begin
+        Printf.printf
+          "TYPE_ONLY RESULT — type-qualifier triage, no flow paths (%d \
+           finding(s))\n"
+          (List.length findings);
+        List.iter (fun f -> Fmt.pr "  %a@." Triage.pp_finding f) findings
+      end;
+      if degradations <> [] then begin
+        Printf.eprintf "analysis degraded (%d event(s)):\n"
+          (List.length degradations);
+        List.iter
+          (fun d -> Fmt.epr "  %a@." Diagnostics.pp_degradation d)
+          degradations
+      end;
+      exit 5
+    | None ->
     match outcome.Supervisor.sv_analysis with
     | None ->
       (* even the lenient frontend could not produce a program *)
@@ -513,13 +585,18 @@ let analyze_cmd =
       `P
         "4 if the deadline expired mid-phase: the report holds the flows \
          found so far and is explicitly partial.";
+      `P
+        "5 if the run answered at the type-triage rung zero — requested \
+         with --triage, or because every slicing rung failed: the \
+         findings are type-level, with no flow paths.";
       `P "6 if --verify-ir found IR well-formedness violations." ]
   in
   Cmd.v (Cmd.info "analyze" ~doc ~man)
     Term.(const run $ algorithm $ scale $ jobs $ descriptor_file $ sources
           $ json $ stats $ csrf $ deadline $ no_degrade $ verify_ir
-          $ refine_flag $ refine_k $ refine_steps $ trace_file
-          $ metrics_flag $ cache_dir_arg $ no_cache_flag)
+          $ triage $ no_triage_filter $ refine_flag $ refine_k
+          $ refine_steps $ trace_file $ metrics_flag $ cache_dir_arg
+          $ no_cache_flag)
 
 (* ------------------------------------------------------------------ *)
 (* dump-ir                                                            *)
@@ -810,16 +887,92 @@ let apps_cmd =
   Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
 
 let score_cmd =
-  let run name scale jobs refine refine_k refine_steps trace metrics =
+  let rung_flag =
+    Arg.(value & flag
+         & info [ "rung" ]
+             ~doc:
+               "Score every rung of the degradation ladder instead of the \
+                five configurations: the requested algorithm first, then \
+                each supervisor fallback, ending at the type-triage rung \
+                zero. Rung zero over-approximates, so it must keep every \
+                planted true positive; only precision may drop.")
+  in
+  let rung_csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"With --rung, also write the per-rung table to $(docv).")
+  in
+  let score_no_filter =
+    Arg.(value & flag
+         & info [ "no-triage-filter" ]
+             ~doc:
+               "Score with the triage pre-filter disabled. The filter is \
+                metamorphic — it may only skip provably taint-free work — \
+                so the scored reports must be identical either way; this \
+                flag exists for CI to check exactly that.")
+  in
+  let run_rungs app ~scale ~jobs ~algorithm ~csv =
+    let rows =
+      Workloads.Score.run_rungs ~scale ~jobs ~algorithm app
+    in
+    Printf.printf "%-20s %7s %5s %5s %5s %9s %8s\n" "rung" "issues" "TP"
+      "FP" "FN" "accuracy" "time";
+    List.iter
+      (fun (r : Workloads.Score.rung_run) ->
+         match r.Workloads.Score.rr_classification with
+         | None ->
+           Printf.printf "%-20s (did not complete)\n"
+             r.Workloads.Score.rr_rung
+         | Some c ->
+           Printf.printf "%-20s %7d %5d %5d %5d %9.2f %7.2fs\n"
+             r.Workloads.Score.rr_rung r.Workloads.Score.rr_issues
+             c.Workloads.Score.true_positives
+             c.Workloads.Score.false_positives
+             c.Workloads.Score.false_negatives
+             (Workloads.Score.accuracy c) r.Workloads.Score.rr_seconds)
+      rows;
+    match csv with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      Obs.Csv.write_row oc
+        [ "rung"; "completed"; "issues"; "tp"; "fp"; "fn"; "accuracy";
+          "seconds" ];
+      List.iter
+        (fun (r : Workloads.Score.rung_run) ->
+           let c, tp, fp, fn, acc =
+             match r.Workloads.Score.rr_classification with
+             | None -> (false, "", "", "", "")
+             | Some c ->
+               ( true,
+                 string_of_int c.Workloads.Score.true_positives,
+                 string_of_int c.Workloads.Score.false_positives,
+                 string_of_int c.Workloads.Score.false_negatives,
+                 Printf.sprintf "%.3f" (Workloads.Score.accuracy c) )
+           in
+           Obs.Csv.write_row oc
+             [ r.Workloads.Score.rr_rung; string_of_bool c;
+               string_of_int r.Workloads.Score.rr_issues; tp; fp; fn; acc;
+               Printf.sprintf "%.4f" r.Workloads.Score.rr_seconds ])
+        rows;
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  in
+  let run name algorithm rung csv no_filter scale jobs refine refine_k
+      refine_steps trace metrics =
     match Workloads.Apps.find name with
     | None ->
       Printf.eprintf "unknown app %s\n" name;
       exit 1
+    | Some app when rung ->
+      telemetry_setup ~trace ~metrics;
+      run_rungs app ~scale ~jobs ~algorithm ~csv;
+      telemetry_export ~trace ~metrics
     | Some app ->
       telemetry_setup ~trace ~metrics;
       let runs =
         Workloads.Score.run_app ~scale ~jobs ~refine ~refine_k ~refine_steps
-          app
+          ~triage_filter:(not no_filter) app
       in
       telemetry_export ~trace ~metrics;
       if refine then
@@ -859,11 +1012,13 @@ let score_cmd =
         runs
   in
   let doc =
-    "Generate a benchmark app, run all five configurations and score them \
-     against the ground truth."
+    "Generate a benchmark app, run all five configurations (or, with \
+     --rung, every degradation-ladder rung) and score them against the \
+     ground truth."
   in
   Cmd.v (Cmd.info "score" ~doc)
-    Term.(const run $ app_name $ scale $ jobs $ refine_flag $ refine_k
+    Term.(const run $ app_name $ algorithm $ rung_flag $ rung_csv
+          $ score_no_filter $ scale $ jobs $ refine_flag $ refine_k
           $ refine_steps $ trace_file $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
@@ -1312,9 +1467,12 @@ let top_cmd =
        line "latency   p50 %dms  p95 %dms  p99 %dms"
          (jint "latency_ms_p50" h) (jint "latency_ms_p95" h)
          (jint "latency_ms_p99" h);
-       line "state     queue %d  rung %d  breakers open %d  cache %d/%d \
-             hit/miss (%d invalidated)"
-         (jint "queue_depth" h) (jint "rung" h)
+       line "state     queue %d  pressure %d  rung %s  breakers open %d  \
+             cache %d/%d hit/miss (%d invalidated)"
+         (jint "queue_depth" h) (jint "pressure" h)
+         (match J.str_member "rung" h with
+          | Some r when r <> "" -> r
+          | _ -> "-")
          (match J.member "open_breakers" h with
           | Some (J.Arr l) -> List.length l
           | _ -> 0)
@@ -1337,7 +1495,32 @@ let top_cmd =
           line "cache     %d hit  %d miss  %d invalidated"
             (Option.value ~default:0 hit) (Option.value ~default:0 miss)
             (Option.value ~default:0
-               (counter "cache.invalidated"))));
+               (counter "cache.invalidated")));
+       (* per-rung response counters: one "serve.rung.<algorithm>"
+          counter per ladder rung a job actually ran on *)
+       (match m with
+        | J.Obj kvs ->
+          let prefix = "serve.rung." in
+          let plen = String.length prefix in
+          let rungs =
+            List.filter_map
+              (fun (k, _) ->
+                 if String.length k > plen && String.sub k 0 plen = prefix
+                 then
+                   Option.map
+                     (fun n ->
+                        (String.sub k plen (String.length k - plen), n))
+                     (counter k)
+                 else None)
+              kvs
+          in
+          if rungs <> [] then
+            line "rungs     %s"
+              (String.concat "  "
+                 (List.map
+                    (fun (k, n) -> Printf.sprintf "%s %d" k n)
+                    rungs))
+        | _ -> ()));
     (match J.member "workers" h with
      | Some (J.Arr ws) ->
        line "workers   %d/%d up  (%d crash(es), %d respawn(s), %d \
@@ -1357,10 +1540,13 @@ let top_cmd =
             match J.member "health" w with
             | Some wh ->
               line "  worker %d  %s pid %-7d spawns %d  queue %d  \
-                    completed %d  p99 %dms  rung %d"
+                    completed %d  p99 %dms  rung %s"
                 (jint "worker" w) up (jint "pid" w) (jint "spawns" w)
                 (jint "queue_depth" wh) (jint "completed" wh)
-                (jint "latency_p99" wh) (jint "pressure" wh)
+                (jint "latency_p99" wh)
+                (match J.str_member "rung" wh with
+                 | Some r when r <> "" -> r
+                 | _ -> string_of_int (jint "pressure" wh))
             | None ->
               line "  worker %d  %s pid %-7d spawns %d"
                 (jint "worker" w) up (jint "pid" w) (jint "spawns" w))

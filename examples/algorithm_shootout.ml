@@ -89,6 +89,7 @@ let () =
            | Config.Hybrid_unbounded | Config.Hybrid_prioritized
            | Config.Hybrid_optimized ->
              "all 3 real + factory FP (context-free heap)"
+           | Config.Type_triage -> "type-only triage (no flow paths)"
          in
          Printf.printf "%-22s %7d   %s\n" (Config.algorithm_name alg) n comment)
     Config.all_algorithms;

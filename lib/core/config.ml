@@ -19,6 +19,7 @@ type algorithm =
   | Hybrid_optimized
   | Cs_thin_slicing
   | Ci_thin_slicing
+  | Type_triage
 
 let algorithm_name = function
   | Hybrid_unbounded -> "hybrid-unbounded"
@@ -26,6 +27,7 @@ let algorithm_name = function
   | Hybrid_optimized -> "hybrid-optimized"
   | Cs_thin_slicing -> "cs"
   | Ci_thin_slicing -> "ci"
+  | Type_triage -> "triage"
 
 type t = {
   algorithm : algorithm;
@@ -44,6 +46,11 @@ type t = {
   refine_k : int;                     (* access-path depth bound *)
   refine_steps : int;                 (* per-flow replay step budget *)
   cache_dir : string option;          (* incremental-cache store directory *)
+  triage_filter : bool;
+      (* consult the type-qualifier triage verdict before building the
+         SDG, skipping methods proven untaint-reachable; reports are
+         byte-identical either way (the filter is disabled internally
+         when refinement runs, whose replay walks unfiltered indexes) *)
 }
 
 let default_whitelist = [ "Math"; "Random"; "Date"; "Logger" ]
@@ -69,7 +76,8 @@ let preset ?(scale = 1.0) (algorithm : algorithm) : t =
       refine = false;
       refine_k = 3;
       refine_steps = 4096;
-      cache_dir = None }
+      cache_dir = None;
+      triage_filter = true }
   in
   match algorithm with
   | Hybrid_unbounded -> base
@@ -90,6 +98,11 @@ let preset ?(scale = 1.0) (algorithm : algorithm) : t =
        completes on the handful of smallest benchmarks, as in Table 3. *)
     { base with cs_budget = Some (scaled 25_000) }
   | Ci_thin_slicing -> base
+  | Type_triage ->
+    (* rung zero: no pointer analysis, no SDG, no slicing — the
+       flow-insensitive type-qualifier pass answers from the class table
+       and the JIR alone, so every budget field is irrelevant *)
+    base
 
 let all_algorithms =
   [ Hybrid_unbounded; Hybrid_prioritized; Hybrid_optimized;
@@ -102,14 +115,22 @@ let all_algorithms =
    CS configuration does on large applications (Table 3). Each rung is
    paired with the scale it was built at, for diagnostics. *)
 let degradation_ladder ?(scale = 1.0) (c : t) : (float * t) list =
-  (* ladder rungs are fresh presets: carry over the refinement and cache
-     settings so a degraded retry still classifies its (fewer) flows and
-     keeps reading the same store *)
+  (* ladder rungs are fresh presets: carry over the refinement, cache
+     and triage-filter settings so a degraded retry still classifies its
+     (fewer) flows and keeps reading the same store *)
   let carry (s, cfg) =
     (s, { cfg with refine = c.refine;
                    refine_k = c.refine_k;
                    refine_steps = c.refine_steps;
-                   cache_dir = c.cache_dir })
+                   cache_dir = c.cache_dir;
+                   triage_filter = c.triage_filter })
+  in
+  (* rung zero is always last: when every slicing preset has exhausted
+     its budget, the type-qualifier triage still answers — no pointer
+     analysis, no SDG, so it cannot exhaust the budgets that got us
+     here. It is the floor under the whole ladder. *)
+  let rung_zero =
+    carry (scale /. 4., preset ~scale:(scale /. 4.) Type_triage)
   in
   let rungs =
     List.map carry
@@ -119,9 +140,29 @@ let degradation_ladder ?(scale = 1.0) (c : t) : (float * t) list =
         (scale /. 4., preset ~scale:(scale /. 4.) Hybrid_optimized) ]
   in
   match c.algorithm with
-  | Hybrid_unbounded | Cs_thin_slicing | Ci_thin_slicing -> rungs
-  | Hybrid_prioritized -> List.tl rungs
+  | Hybrid_unbounded | Cs_thin_slicing | Ci_thin_slicing ->
+    rungs @ [ rung_zero ]
+  | Hybrid_prioritized -> List.tl rungs @ [ rung_zero ]
   | Hybrid_optimized ->
     List.map carry
       [ (scale /. 2., preset ~scale:(scale /. 2.) Hybrid_optimized);
         (scale /. 4., preset ~scale:(scale /. 4.) Hybrid_optimized) ]
+    @ [ rung_zero ]
+  | Type_triage -> []
+
+(* A short human-readable label for a ladder rung: the algorithm name
+   with the scale it was built at. *)
+let rung_label (scale, cfg) =
+  if cfg.algorithm = Type_triage then "triage"
+  else Printf.sprintf "%s@%.3g" (algorithm_name cfg.algorithm) scale
+
+(* Name of the preset the memory watchdog selects for [c] at pressure
+   level [p] (0 = no pressure, i.e. the configuration itself). Rendered
+   by `taj top` and the admin health reply instead of the bare level. *)
+let pressure_rung_name ?scale (c : t) (p : int) : string =
+  if p <= 0 then algorithm_name c.algorithm
+  else
+    let ladder = degradation_ladder ?scale c in
+    let n = List.length ladder in
+    if n = 0 then algorithm_name c.algorithm
+    else rung_label (List.nth ladder (min p n - 1))

@@ -1,4 +1,7 @@
-(** Analysis configurations: the five algorithm settings of Table 1. *)
+(** Analysis configurations: the five algorithm settings of Table 1,
+    plus [Type_triage] — the flow-insensitive type-qualifier pass that
+    serves as rung zero of the degradation ladder (no pointer analysis,
+    no SDG; see {!Triage}). *)
 
 type algorithm =
   | Hybrid_unbounded
@@ -6,6 +9,7 @@ type algorithm =
   | Hybrid_optimized
   | Cs_thin_slicing
   | Ci_thin_slicing
+  | Type_triage
 
 val algorithm_name : algorithm -> string
 
@@ -26,6 +30,12 @@ type t = {
   cache_dir : string option;
       (** directory of the persistent incremental-cache store; [None]
           (every preset's default) disables caching entirely *)
+  triage_filter : bool;
+      (** consult the triage verdict before the SDG scan and the
+          per-rule engine, skipping work proven irrelevant; on by
+          default, disabled internally when [refine] is set (the replay
+          walks unfiltered store indexes). Reports are byte-identical
+          with the filter on or off. *)
 }
 
 val default_whitelist : string list
@@ -40,10 +50,24 @@ val paper_nested_depth : int
     workload size (default 1.0). *)
 val preset : ?scale:float -> algorithm -> t
 
+(** The five Table-1 algorithms ([Type_triage] is excluded: it is a
+    degradation floor, not a paper configuration). *)
 val all_algorithms : algorithm list
 
 (** The §6 degradation ladder below a configuration: progressively stricter
     bounded presets (prioritized, optimized, optimized at shrinking scale),
-    each paired with the scale it was built at. The supervisor walks this
-    when a rung exhausts its budget. *)
+    each paired with the scale it was built at, and always ending in the
+    [Type_triage] rung zero — the floor that answers without pointer
+    analysis or slicing and therefore cannot exhaust a budget. The
+    supervisor walks this when a rung exhausts its budget. A
+    [Type_triage] configuration has an empty ladder. *)
 val degradation_ladder : ?scale:float -> t -> (float * t) list
+
+(** A short label for a ladder rung: the algorithm name plus the scale,
+    or just ["triage"] for rung zero. *)
+val rung_label : float * t -> string
+
+(** Name of the rung the memory watchdog selects for a base
+    configuration at pressure level [p] (0 = the configuration itself).
+    Used by [taj top] and the admin health reply. *)
+val pressure_rung_name : ?scale:float -> t -> int -> string

@@ -7,13 +7,14 @@
     event is recorded here instead of being collapsed into a boolean or an
     exception, so partial results stay attributable. *)
 
-type phase = Frontend | Pointer | Sdg | Taint | Serve
+type phase = Frontend | Pointer | Sdg | Taint | Triage | Serve
 
 let phase_name = function
   | Frontend -> "frontend"
   | Pointer -> "pointer"
   | Sdg -> "sdg"
   | Taint -> "taint"
+  | Triage -> "triage"
   | Serve -> "serve"
 
 type degradation =
@@ -60,6 +61,7 @@ type degradation =
     }
   | Client_disconnected of { peer : string; error : string }
   | Cache_corrupt of { app : string; reason : string }
+  | Triage_fallback of { reason : string; findings : int }
 
 let pp_degradation ppf = function
   | Deadline_expired { phase; elapsed } ->
@@ -107,6 +109,10 @@ let pp_degradation ppf = function
   | Cache_corrupt { app; reason } ->
     Fmt.pf ppf "cache store for %s unreadable (%s); falling back to cold"
       app reason
+  | Triage_fallback { reason; findings } ->
+    Fmt.pf ppf
+      "degraded to type-only triage (%s): %d finding(s), no flow paths"
+      reason findings
 
 (* A stable machine-readable tag per constructor, for the CLI's JSON
    diagnostics block and the telemetry instant-event names. *)
@@ -129,6 +135,7 @@ let kind_name = function
   | Job_rerouted _ -> "job-rerouted"
   | Client_disconnected _ -> "client-disconnected"
   | Cache_corrupt _ -> "cache-corrupt"
+  | Triage_fallback _ -> "triage-fallback"
 
 type t = { mutable rev_events : degradation list }
 

@@ -2,7 +2,7 @@
     every precision-for-termination trade the pipeline makes is recorded as
     an event so partial results stay attributable. *)
 
-type phase = Frontend | Pointer | Sdg | Taint | Serve
+type phase = Frontend | Pointer | Sdg | Taint | Triage | Serve
 
 val phase_name : phase -> string
 
@@ -64,6 +64,10 @@ type degradation =
       (** a persisted cache store failed validation (torn write, bit
           flip, version bump); all its entries were discarded and the
           run proceeds cold — never a crash, never a stale answer *)
+  | Triage_fallback of { reason : string; findings : int }
+      (** rung zero: every slicing preset was exhausted, so the answer
+          is the type-qualifier triage verdict — sink findings without
+          flow paths (reported as [TYPE_ONLY]) *)
 
 (** An append-only event log, recorded in arrival order. *)
 type t

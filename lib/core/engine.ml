@@ -52,7 +52,10 @@ let mode_of (config : Config.t) : Sdg.Tabulation.mode =
     { Sdg.Tabulation.cs_mode with
       Sdg.Tabulation.max_steps = config.Config.cs_budget }
   | Config.Hybrid_unbounded | Config.Hybrid_prioritized
-  | Config.Hybrid_optimized ->
+  | Config.Hybrid_optimized
+  (* Type_triage never reaches the slicer (the supervisor intercepts
+     it); an arm here keeps the match total for direct callers *)
+  | Config.Type_triage ->
     { Sdg.Tabulation.hybrid_mode with
       Sdg.Tabulation.max_heap_transitions = config.Config.max_heap_transitions;
       max_steps = config.Config.max_slice_steps }
@@ -242,10 +245,31 @@ type per_rule = {
 
 let run ?(jobs = 1) ?(interrupt = fun () -> false)
     ?(on_heap_transition = fun () -> ())
+    ?(skip_rule = fun (_ : Rules.rule) -> false)
     ~(prog : Program.t) ~(builder : Sdg.Builder.t)
     ~(heapgraph : Pointer.Heapgraph.t) ~(rules : Rules.rule list)
     ~(config : Config.t) () : outcome =
   let mode = mode_of config in
+  (* [skip_rule rule] means the triage verdict proved no call in the
+     program matches any of the rule's sources, so [seeds_of] would
+     return [] and the tabulation would visit nothing. The synthesized
+     per-rule record below is exactly what [run_rule] builds from an
+     empty-seed run, so the merged outcome stays byte-identical. *)
+  let skipped_rule rule =
+    Telemetry.incr m_rules;
+    { pr_flows = [];
+      pr_filtered = 0;
+      pr_stats =
+        { rs_rule = rule.Rules.rule_name;
+          rs_seeds = 0;
+          rs_visited = 0;
+          rs_heap_transitions = 0;
+          rs_exhausted = false };
+      pr_exhausted = false;
+      pr_interrupted = false;
+      pr_fault = None;
+      pr_summary_edges = [] }
+  in
   let run_rule rule =
     Telemetry.with_span "taint.rule"
       ~args:[ ("rule", rule.Rules.rule_name) ]
@@ -316,7 +340,7 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
      the remaining rules still run. Catching *inside* the task keeps an
      injected fault contained to the worker that hit it. *)
   let guarded rule =
-    try run_rule rule with
+    try if skip_rule rule then skipped_rule rule else run_rule rule with
     | e ->
       { pr_flows = [];
         pr_filtered = 0;

@@ -43,6 +43,10 @@ val mode_of : Config.t -> Sdg.Tabulation.mode
 (** Run every rule. [interrupt]/[on_heap_transition] are threaded into the
     slicer (deadline polling and fault injection). A rule that raises is
     isolated: it contributes no flows plus a [Rule_failed] diagnostic.
+    [skip_rule] is the triage pre-filter hook: a rule it accepts is
+    answered with the synthesized zero record an empty-seed run would
+    produce — sound only when the caller has proven the rule matches no
+    source call in the program (see [Triage.rule_has_source]).
     With [jobs > 1] the rules run on a {!Parallel.map} domain pool over the
     shared read-only SDG (its shared caches are warmed first; per-node
     indexes are memoized domain-locally); the merged
@@ -52,6 +56,7 @@ val run :
   ?jobs:int ->
   ?interrupt:(unit -> bool) ->
   ?on_heap_transition:(unit -> unit) ->
+  ?skip_rule:(Rules.rule -> bool) ->
   prog:Jir.Program.t ->
   builder:Sdg.Builder.t ->
   heapgraph:Pointer.Heapgraph.t ->

@@ -54,6 +54,8 @@ let site_heap = "heap-transition"
 let site_worker = "serve-worker"
 let site_cache_read = "cache:read"
 let site_cache_write = "cache:write"
+let site_triage_infer = "triage:infer"
+let site_triage_filter = "triage:filter"
 
 (* Per-job site for the analysis service: arming ["job:<id>"] targets one
    job deterministically even when worker scheduling is racy. *)

@@ -31,6 +31,12 @@ val site_worker : string
 val site_cache_read : string
 val site_cache_write : string
 
+(** The type-triage fixpoint (ticked once per method per sweep) and the
+    pre-filter's keep queries. A fault on either must degrade the run to
+    an unfiltered full analysis (one rung up), never fail the job. *)
+val site_triage_infer : string
+val site_triage_filter : string
+
 (** ["job:<id>"] — a per-job service site, so chaos tests can target one
     job deterministically regardless of worker scheduling. *)
 val site_job : string -> string

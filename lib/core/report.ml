@@ -15,6 +15,7 @@ type issue_report = {
 type completeness =
   | Complete
   | Partial of Diagnostics.degradation list
+  | Type_only of Diagnostics.degradation list
 
 type t = {
   issues : issue_report list;
@@ -48,7 +49,9 @@ let issue_count t = List.length t.issues
 let flow_count t = List.length t.raw_flows
 
 let is_partial t =
-  match t.completeness with Complete -> false | Partial _ -> true
+  match t.completeness with
+  | Complete -> false
+  | Partial _ | Type_only _ -> true
 
 (** (confirmed, plausible) issue counts; [None] when refinement did not
     run (no issue carries a verdict). *)
@@ -66,7 +69,9 @@ let verdict_counts t =
          (0, 0) refined)
 
 let degradations t =
-  match t.completeness with Complete -> [] | Partial ds -> ds
+  match t.completeness with
+  | Complete -> []
+  | Partial ds | Type_only ds -> ds
 
 let pp_stmt (b : Sdg.Builder.t) ppf (s : Sdg.Stmt.t) =
   let m = Sdg.Builder.node_meth b s.Sdg.Stmt.node in
@@ -110,6 +115,12 @@ let pp (b : Sdg.Builder.t) ppf (t : t) =
   | Complete -> ()
   | Partial ds ->
     Fmt.pf ppf "@,@[<v2>PARTIAL RESULT — %d degradation(s):@,%a@]"
+      (List.length ds)
+      (Fmt.list ~sep:Fmt.cut Diagnostics.pp_degradation)
+      ds
+  | Type_only ds ->
+    Fmt.pf ppf
+      "@,@[<v2>TYPE_ONLY RESULT — type-qualifier triage, no flow paths        (%d degradation(s)):@,%a@]"
       (List.length ds)
       (Fmt.list ~sep:Fmt.cut Diagnostics.pp_degradation)
       ds

@@ -15,6 +15,10 @@ type issue_report = {
 type completeness =
   | Complete
   | Partial of Diagnostics.degradation list
+  | Type_only of Diagnostics.degradation list
+      (** rung zero answered: the issues list is empty and the findings
+          live on the supervisor outcome's triage verdict — sink
+          classifications without witness paths *)
 
 type t = {
   issues : issue_report list;
@@ -29,6 +33,8 @@ val empty : completeness:completeness -> t
 
 val issue_count : t -> int
 val flow_count : t -> int
+
+(** [true] for [Partial] and [Type_only] reports alike. *)
 val is_partial : t -> bool
 val degradations : t -> Diagnostics.degradation list
 

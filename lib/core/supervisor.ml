@@ -37,6 +37,9 @@ type outcome = {
   sv_analysis : Taj.analysis option;
       (** the successful (possibly partial) analysis, if any rung ran *)
   sv_report : Report.t;       (** always present; possibly empty partial *)
+  sv_triage : Triage.verdict option;
+      (** rung zero's answer, when the run ended there: type-qualifier
+          sink findings without flow paths ([TYPE_ONLY]) *)
   sv_diagnostics : Diagnostics.degradation list;
       (** every event across all attempts, including downgrades *)
   sv_attempts : attempt list; (** in execution order *)
@@ -49,6 +52,9 @@ let completed_report (outcome : outcome) =
   | _ -> None
 
 let degraded outcome = outcome.sv_diagnostics <> []
+
+(** Did the run end on rung zero (a triage-only answer)? *)
+let type_only outcome = outcome.sv_triage <> None
 
 (** Supervise one analysis end to end: load leniently, then walk the
     degradation ladder from [config] until an attempt completes, the
@@ -69,14 +75,20 @@ let run ?(rules = Rules.default_rules) ?(options = default_options)
         at_seconds = Budget.elapsed budget -. t0 }
       :: !attempts
   in
-  let finish analysis =
+  let finish ?triage analysis =
     { sv_analysis = analysis;
       sv_report =
-        (match analysis with
-         | Some { Taj.result = Taj.Completed c; _ } -> c.Taj.report
-         | Some { Taj.result = Taj.Did_not_complete _; _ } | None ->
+        (match (triage, analysis) with
+         | Some _, _ ->
+           (* rung zero answered: an empty-issue report whose completeness
+              says why, with the findings on [sv_triage] *)
+           Report.empty
+             ~completeness:(Report.Type_only (Diagnostics.events diagnostics))
+         | None, Some { Taj.result = Taj.Completed c; _ } -> c.Taj.report
+         | None, (Some { Taj.result = Taj.Did_not_complete _; _ } | None) ->
            Report.empty
              ~completeness:(Report.Partial (Diagnostics.events diagnostics)));
+      sv_triage = triage;
       sv_diagnostics = Diagnostics.events diagnostics;
       sv_attempts = List.rev !attempts;
       sv_elapsed = Budget.elapsed budget }
@@ -95,6 +107,39 @@ let run ?(rules = Rules.default_rules) ?(options = default_options)
     let rec attempt scale (cfg : Config.t)
         (rungs : (float * Config.t) list) (last : Taj.analysis option) =
       let t0 = Budget.elapsed budget in
+      if cfg.Config.algorithm = Config.Type_triage then begin
+        (* rung zero: no pointer analysis, no SDG — the type-qualifier
+           pass always answers unless a fault is injected into it, in
+           which case the run finishes with what it has (rung zero is
+           the floor; there is nothing below to descend to) *)
+        match
+          Obs.Telemetry.with_span "supervisor.attempt"
+            ~args:
+              [ ("algorithm", Config.algorithm_name cfg.Config.algorithm);
+                ("scale", Printf.sprintf "%.3f" scale) ]
+            (fun () ->
+               Taj.triage
+                 ~tick:(fun () -> Fault.tick Fault.site_triage_infer)
+                 ~rules loaded)
+        with
+        | exception e ->
+          Diagnostics.record diagnostics
+            (Phase_fault { phase = Triage; error = Printexc.to_string e });
+          note_attempt cfg scale t0 (Printexc.to_string e);
+          descend scale cfg rungs last (Printexc.to_string e)
+        | verdict ->
+          let reason =
+            if !attempts = [] then "requested"
+            else "every slicing rung failed"
+          in
+          Diagnostics.record diagnostics
+            (Triage_fallback
+               { reason;
+                 findings = List.length (Triage.findings verdict) });
+          note_attempt cfg scale t0 "type_only";
+          finish ~triage:verdict last
+      end
+      else
       match
         (* one span per ladder rung, so retries are visible as sibling
            attempts on the trace; Fun.protect inside [with_span] closes the

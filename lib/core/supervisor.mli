@@ -34,8 +34,12 @@ type outcome = {
       (** the last attempt's analysis ([None] only if loading itself
           faulted); [Completed] here may still hold a [Partial] report *)
   sv_report : Report.t;
-      (** always present: the completed attempt's report, or an empty
-          [Partial] one carrying the diagnostics *)
+      (** always present: the completed attempt's report, an empty
+          [Partial] one carrying the diagnostics, or an empty
+          [Type_only] one when rung zero answered *)
+  sv_triage : Triage.verdict option;
+      (** rung zero's answer, when the run ended there — type-qualifier
+          sink findings ({!Triage.findings}) without flow paths *)
   sv_diagnostics : Diagnostics.degradation list;
       (** every event across all attempts, downgrades included *)
   sv_attempts : attempt list; (** in execution order *)
@@ -48,9 +52,15 @@ val completed_report : outcome -> Report.t option
 (** [true] iff anything at all went wrong (= diagnostics are non-empty). *)
 val degraded : outcome -> bool
 
+(** Did the run end on rung zero (a triage-only answer)? *)
+val type_only : outcome -> bool
+
 (** Load leniently, then walk the degradation ladder from [config]
     (default: unbounded hybrid) until an attempt completes, the deadline
-    expires, or the ladder is exhausted. Never raises. [loaded] skips the
+    expires, or the ladder is exhausted. The ladder always ends in the
+    [Type_triage] rung zero, so "exhausted" normally means a type-only
+    answer rather than an empty one; a [Type_triage] base configuration
+    runs rung zero directly. Never raises. [loaded] skips the
     load when the caller already has one for this input (the cache layer
     loads first to compute its result key). *)
 val run :

@@ -182,6 +182,50 @@ let load ?(lenient = false) ?(jobs = 1) ?(cache = Cache_iface.none)
     skipped_units = skipped;
     frontend_seconds }
 
+(* ------------------------------------------------------------------ *)
+(* Type-based triage (rung zero / pre-filter)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Bridge the security-rule set to the triage classifier: one matcher
+   (memoized internally) answers all of a call's rule interactions. *)
+let triage ?tick ~(rules : Rules.rule list) (loaded : loaded) :
+  Triage.verdict =
+  let m = Rules.matcher loaded.program.Program.table in
+  let classify (c : Tac.call) =
+    let target = c.Tac.target in
+    let source_ret = ref [] and source_params = ref [] in
+    let sinks = ref [] in
+    let san_any = ref false and san_all = ref true in
+    List.iter
+      (fun (rule : Rules.rule) ->
+         (match Rules.source_of m rule target with
+          | Some { Rules.src_kind = Rules.Tainted_return; _ } ->
+            source_ret := rule.Rules.rule_name :: !source_ret
+          | Some { Rules.src_kind = Rules.Taints_param i; _ } ->
+            source_params := (i, rule.Rules.rule_name) :: !source_params
+          | None -> ());
+         (match Rules.sink_of m rule target with
+          | Some snk ->
+            sinks := (rule.Rules.rule_name, snk.Rules.snk_params) :: !sinks
+          | None -> ());
+         if Rules.is_sanitizer m rule target then san_any := true
+         else san_all := false)
+      rules;
+    { Triage.cr_source_ret = List.rev !source_ret;
+      cr_source_params = List.rev !source_params;
+      cr_sanitizer = !san_any;
+      (* endorsing a return value is only sound when the call sanitizes
+         for every rule: the triage taint bit is rule-insensitive *)
+      cr_sanitizes_all = !san_any && !san_all;
+      cr_sinks = List.rev !sinks }
+  in
+  let issue_of_rule name =
+    match List.find_opt (fun r -> r.Rules.rule_name = name) rules with
+    | Some r -> Rules.issue_name r.Rules.issue
+    | None -> name
+  in
+  Triage.infer ?tick ~issue_of_rule ~classify loaded.program
+
 let pointer_config ~interrupt (loaded : loaded) (config : Config.t)
     (rules : Rules.rule list) : Pointer.Andersen.config =
   let m = Rules.matcher loaded.program.Program.table in
@@ -194,7 +238,8 @@ let pointer_config ~interrupt (loaded : loaded) (config : Config.t)
     match config.Config.algorithm with
     | Config.Cs_thin_slicing -> Pointer.Policy.deep ~taint_api ()
     | Config.Ci_thin_slicing | Config.Hybrid_unbounded
-    | Config.Hybrid_prioritized | Config.Hybrid_optimized ->
+    | Config.Hybrid_prioritized | Config.Hybrid_optimized
+    | Config.Type_triage ->
       Pointer.Policy.default ~taint_api ()
   in
   { Pointer.Andersen.policy;
@@ -257,6 +302,63 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
     loaded.skipped_units;
   let interrupt () = Budget.exceeded budget in
   let t_start = now () in
+  if config.Config.algorithm = Config.Type_triage then
+    (* rung zero is not a slicing configuration: the supervisor runs the
+       triage pass directly (see {!Supervisor}); asking the full
+       pipeline for it is answered, never crashed *)
+    fail "type-triage has no slicing pipeline (run it via the supervisor)"
+  else
+  (* The triage pre-filter: a flow-insensitive qualifier pass whose
+     verdict lets the SDG scan and the per-rule engine skip provably
+     irrelevant work. Disabled under refinement (the replay walks
+     unfiltered store indexes). A fault anywhere in the pass degrades
+     this run to an unfiltered full analysis — recorded, never fatal. *)
+  let filter =
+    if not (config.Config.triage_filter && not config.Config.refine) then
+      None
+    else
+      match
+        Telemetry.phase "phase.triage" @@ fun () ->
+        triage
+          ~tick:(fun () -> Fault.tick Fault.site_triage_infer)
+          ~rules loaded
+      with
+      | v, _ -> Some v
+      | exception e ->
+        Diagnostics.record diagnostics
+          (Phase_fault { phase = Triage; error = Printexc.to_string e });
+        None
+  in
+  let scan_filter =
+    match filter with
+    | None -> fun _ -> true
+    | Some v ->
+      (* after a filter-site fault, keep everything for the rest of the
+         scan: already-skipped methods were decided by the intact
+         verdict, so the indexes stay sound *)
+      let broken = ref false in
+      fun meth ->
+        !broken
+        ||
+        (try
+           Fault.tick Fault.site_triage_filter;
+           Triage.keep v meth
+         with e ->
+           broken := true;
+           Diagnostics.record diagnostics
+             (Phase_fault { phase = Triage; error = Printexc.to_string e });
+           true)
+  in
+  let skip_rule =
+    match filter with
+    | None -> fun _ -> false
+    | Some v ->
+      fun (rule : Rules.rule) ->
+        (try
+           Fault.tick Fault.site_triage_filter;
+           not (Triage.rule_has_source v rule.Rules.rule_name)
+         with _ -> false)
+  in
   match
     Telemetry.phase "phase.pointer" @@ fun () ->
     Pointer.Andersen.run
@@ -283,6 +385,7 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
            ~interrupt:(fun () ->
              Fault.tick Fault.site_sdg;
              interrupt ())
+           ~scan_filter
            ?defuse_cache:cache.Cache_iface.defuse loaded.program andersen
        in
        (builder, Pointer.Heapgraph.build andersen)
@@ -298,6 +401,7 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
               Fault.tick Fault.site_tabulation;
               interrupt ())
             ~on_heap_transition:(fun () -> Fault.tick Fault.site_heap)
+            ~skip_rule
             ~prog:loaded.program ~builder ~heapgraph ~rules ~config ()
         with
         | exception e -> fault Taint e

@@ -91,6 +91,17 @@ val run :
   ?cache:Cache_iface.t ->
   loaded -> Config.t -> analysis
 
+(** Run the flow-insensitive type-qualifier triage over a loaded program
+    under the given rule set — the analysis behind both the SDG
+    pre-filter and rung zero of the degradation ladder. Needs no pointer
+    analysis and no budget; [tick] is the fault-injection hook
+    ({!Fault.site_triage_infer}), called once per method per fixpoint
+    sweep. Exceptions (injected faults) escape to the caller. *)
+val triage :
+  ?tick:(unit -> unit) ->
+  rules:Rules.rule list ->
+  loaded -> Triage.verdict
+
 (** [load] + [run]. *)
 val analyze :
   ?rules:Rules.rule list ->

@@ -1,0 +1,11 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let field s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row fields = String.concat "," (List.map field fields) ^ "\n"
+
+let write_row oc fields = output_string oc (row fields)

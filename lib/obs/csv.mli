@@ -1,0 +1,17 @@
+(** Minimal RFC-4180 CSV writing, shared by every exporter that emits
+    spreadsheet-ready files (bench csv/incremental/service, the per-rung
+    score export). Only quoting and row assembly live here — column
+    layout stays with each caller. *)
+
+(** Quote a field iff it needs it: a field containing a comma, double
+    quote, CR or LF is wrapped in double quotes with embedded quotes
+    doubled (RFC 4180 §2.6–2.7); clean fields pass through byte-for-byte
+    so existing numeric columns are unchanged. *)
+val field : string -> string
+
+(** Join already-raw fields into one CSV record, quoting each with
+    {!field} and terminating with a single ['\n']. *)
+val row : string list -> string
+
+(** [write_row oc fields] = [output_string oc (row fields)]. *)
+val write_row : out_channel -> string list -> unit

@@ -592,8 +592,8 @@ let compute_threads t =
 
 let next_uid = Atomic.make 0
 
-let build ?(interrupt = fun () -> false) ?defuse_cache (prog : Program.t)
-    (a : Pointer.Andersen.t) : t =
+let build ?(interrupt = fun () -> false) ?(scan_filter = fun _ -> true)
+    ?defuse_cache (prog : Program.t) (a : Pointer.Andersen.t) : t =
   Telemetry.with_span "sdg.build" @@ fun () ->
   let t =
     { prog; a;
@@ -621,8 +621,15 @@ let build ?(interrupt = fun () -> false) ?defuse_cache (prog : Program.t)
   while !n < n_nodes && not t.interrupted do
     if interrupt () then t.interrupted <- true
     else begin
-      scan_node t !n;
-      Telemetry.incr m_nodes_scanned;
+      (* the triage pre-filter: a node proven untaint-reachable (and free
+         of rule-relevant calls) contributes nothing any slice can reach,
+         so its heap/call/throw indexing is skipped wholesale. The lazy
+         per-node def/use memo is unaffected — it only materializes for
+         nodes a slice actually visits. *)
+      if scan_filter (node_meth t !n) then begin
+        scan_node t !n;
+        Telemetry.incr m_nodes_scanned
+      end;
       incr n
     end
   done;

@@ -59,10 +59,14 @@ val strip_index_of_node : t -> int -> defuse_summary
 (** Build the dependence-graph indexes. [interrupt] is polled once per
     call-graph node; when it returns [true] the remaining nodes are left
     unindexed and the partial builder (an underapproximation) is
-    returned. [defuse_cache] plugs the persistent per-method summary
-    tier into the on-demand def/use memo. *)
+    returned. [scan_filter] (default: keep everything) is the triage
+    pre-filter hook: a node whose method it rejects is not scanned at
+    all — sound only when the caller has proven no slice can reach the
+    method (see [Triage]). [defuse_cache] plugs the persistent
+    per-method summary tier into the on-demand def/use memo. *)
 val build :
   ?interrupt:(unit -> bool) ->
+  ?scan_filter:(Jir.Tac.meth -> bool) ->
   ?defuse_cache:defuse_cache ->
   Jir.Program.t -> Pointer.Andersen.t -> t
 

@@ -76,13 +76,16 @@ let status_of_string = function
 
 let response_json (r : Service.response) =
   Json.Obj
-    [ ("id", Json.Str r.rp_id);
-      ("status", Json.Str (Service.status_name r.rp_status));
-      ("reason", Json.Str r.rp_reason);
-      ("issues", num r.rp_issues);
-      ("attempts", num r.rp_attempts);
-      ("degradations", num r.rp_degradations);
-      ("seconds", Json.Num r.rp_seconds) ]
+    ([ ("id", Json.Str r.rp_id);
+       ("status", Json.Str (Service.status_name r.rp_status));
+       ("reason", Json.Str r.rp_reason) ]
+     @ (match r.rp_verdict with
+        | Some v -> [ ("verdict", Json.Str v) ]
+        | None -> [])
+     @ [ ("issues", num r.rp_issues);
+         ("attempts", num r.rp_attempts);
+         ("degradations", num r.rp_degradations);
+         ("seconds", Json.Num r.rp_seconds) ])
 
 let response_of_json j : (Service.response, string) result =
   match Json.str_member "id" j, Json.str_member "status" j with
@@ -96,6 +99,7 @@ let response_of_json j : (Service.response, string) result =
        Ok
          { Service.rp_id = id; rp_status = status;
            rp_reason = Option.value ~default:"" (Json.str_member "reason" j);
+           rp_verdict = Json.str_member "verdict" j;
            rp_issues = int "issues";
            rp_attempts = int "attempts";
            rp_degradations = int "degradations";
@@ -107,6 +111,7 @@ let health_json (h : Service.health) =
     [ ("uptime", Json.Num h.h_uptime);
       ("queue_depth", num h.h_queue_depth);
       ("pressure", num h.h_pressure);
+      ("rung", Json.Str h.h_rung);
       ("submitted", num h.h_submitted);
       ("admitted", num h.h_admitted);
       ("completed", num h.h_completed);
@@ -137,6 +142,7 @@ let health_of_json j : (Service.health, string) result =
       { Service.h_uptime = uptime;
         h_queue_depth = int "queue_depth";
         h_pressure = int "pressure";
+        h_rung = Option.value ~default:"" (Json.str_member "rung" j);
         h_submitted = int "submitted";
         h_admitted = int "admitted";
         h_completed = int "completed";

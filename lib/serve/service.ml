@@ -61,6 +61,9 @@ type response = {
   rp_status : status;
   rp_reason : string;              (** "" | queue_full | shed | draining
                                        | breaker_open | … *)
+  rp_verdict : string option;
+      (** ["type_only"] when the answer came from rung zero (triage sink
+          findings, no flow paths); [None] for full-analysis answers *)
   rp_issues : int;
   rp_attempts : int;               (** executions, incl. the final one *)
   rp_degradations : int;           (** supervisor events of the last run *)
@@ -221,7 +224,7 @@ let signal_dump_pending t =
 (* Job execution                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let respond t (job : job) status reason ~issues ~degradations =
+let respond ?verdict t (job : job) status reason ~issues ~degradations =
   (match status with
    | Completed -> Atomic.incr t.n_completed; Obs.Telemetry.incr m_completed
    | Degraded -> Atomic.incr t.n_degraded; Obs.Telemetry.incr m_degraded
@@ -235,7 +238,8 @@ let respond t (job : job) status reason ~issues ~degradations =
         ("reason", reason) ];
   let r =
     { rp_id = job.j_req.rq_id; rp_status = status; rp_reason = reason;
-      rp_issues = issues; rp_attempts = job.j_attempts;
+      rp_verdict = verdict; rp_issues = issues;
+      rp_attempts = job.j_attempts;
       rp_degradations = degradations; rp_seconds = seconds }
   in
   (* a failing response sink must not take down the worker *)
@@ -255,7 +259,13 @@ let build_input (rq : request) : (Taj.input, string) result =
   | None, None -> Error "empty_request"
 
 type exec_outcome =
-  | Exec_ok of status * string * int * int   (* status reason issues degr *)
+  | Exec_ok of {
+      st : status;
+      why : string;
+      issues : int;
+      degradations : int;
+      verdict : string option;      (* Some "type_only" for rung zero *)
+    }
   | Exec_failed of {
       reason : string;
       severity : Fault.severity;
@@ -292,6 +302,12 @@ let execute t (job : job) : exec_outcome =
         (Config.preset ~scale:rq.rq_scale rq.rq_algorithm)
         pressure
     in
+    (* per-rung execution counters ("serve.rung.<algorithm>"): bounded
+       cardinality, so the Prometheus exposition shows how much of the
+       fleet's work runs degraded and how much hit the triage floor *)
+    Obs.Telemetry.incr
+      (Obs.Telemetry.counter
+         ("serve.rung." ^ Config.algorithm_name config.Config.algorithm));
     let deadline =
       (* during drain, cap each run so a pathological job cannot hold the
          shutdown hostage; its flows so far become a degraded result *)
@@ -320,7 +336,10 @@ let execute t (job : job) : exec_outcome =
           Cache.Incr.lookup_result s ~key:result_key)
     in
     match cached with
-    | Some cr -> Exec_ok (Completed, "", cr.Cache.Incr.cr_issues, 0)
+    | Some cr ->
+      Exec_ok
+        { st = Completed; why = ""; issues = cr.Cache.Incr.cr_issues;
+          degradations = 0; verdict = None }
     | None ->
       let options =
         { Supervisor.default_options with
@@ -361,7 +380,18 @@ let execute t (job : job) : exec_outcome =
                  ~analysis:c s
              | _ -> Cache.Incr.commit s)
         in
-        (match outcome.Supervisor.sv_analysis with
+        (match outcome.Supervisor.sv_triage with
+         | Some v ->
+           (* rung zero answered: a terminal, degraded response carrying
+              the triage sink findings — never a failure. This is the
+              floor under "every admitted job gets an answer". *)
+           commit ();
+           Exec_ok
+             { st = Degraded; why = "type_only";
+               issues = List.length (Triage.findings v);
+               degradations; verdict = Some "type_only" }
+         | None ->
+         match outcome.Supervisor.sv_analysis with
          | Some { Taj.result = Taj.Completed c; _ } ->
            let issues = Report.issue_count c.Taj.report in
            if
@@ -369,15 +399,21 @@ let execute t (job : job) : exec_outcome =
              || outcome.Supervisor.sv_diagnostics <> []
            then begin
              commit ();
-             Exec_ok (Degraded, "supervisor_degraded", issues, degradations)
+             Exec_ok
+               { st = Degraded; why = "supervisor_degraded"; issues;
+                 degradations; verdict = None }
            end
            else if pressure > 0 then begin
              commit ();
-             Exec_ok (Degraded, "memory_pressure", issues, degradations)
+             Exec_ok
+               { st = Degraded; why = "memory_pressure"; issues;
+                 degradations; verdict = None }
            end
            else begin
              commit ~completed:c ();
-             Exec_ok (Completed, "", issues, degradations)
+             Exec_ok
+               { st = Completed; why = ""; issues; degradations;
+                 verdict = None }
            end
          | Some { Taj.result = Taj.Did_not_complete reason; _ } ->
            commit ();
@@ -400,9 +436,9 @@ let process t (job : job) =
   | (`Proceed | `Probe) as admission ->
     job.j_attempts <- job.j_attempts + 1;
     (match execute t job with
-     | Exec_ok (status, reason, issues, degradations) ->
+     | Exec_ok { st; why; issues; degradations; verdict } ->
        Breaker.success t.breaker key;
-       respond t job status reason ~issues ~degradations
+       respond ?verdict t job st why ~issues ~degradations
      | Exec_failed { reason; severity; breaker_counts } ->
        let retryable =
          severity = Fault.Transient
@@ -527,7 +563,8 @@ let submit t (rq : request) ~(respond : response -> unit) =
       ~args:[ ("job", job.j_req.rq_id); ("reason", reason) ];
     let r =
       { rp_id = job.j_req.rq_id; rp_status = Rejected; rp_reason = reason;
-        rp_issues = 0; rp_attempts = job.j_attempts; rp_degradations = 0;
+        rp_verdict = None; rp_issues = 0; rp_attempts = job.j_attempts;
+        rp_degradations = 0;
         rp_seconds = t.cfg.now () -. job.j_submitted }
     in
     try job.j_respond r with _ -> ()
@@ -619,6 +656,10 @@ type health = {
   h_uptime : float;
   h_queue_depth : int;
   h_pressure : int;
+  h_rung : string;
+      (** name of the degradation-ladder rung jobs currently run at
+          (the default ladder's rung for [h_pressure]; ["triage"] when
+          pressure has pushed execution down to the type-only floor) *)
   h_submitted : int;
   h_admitted : int;
   h_completed : int;
@@ -659,6 +700,10 @@ let health t =
   { h_uptime = t.cfg.now () -. t.started_at;
     h_queue_depth = Queue.length t.queue;
     h_pressure = Watchdog.level t.watchdog;
+    h_rung =
+      Config.pressure_rung_name
+        (Config.preset Config.Hybrid_optimized)
+        (Watchdog.level t.watchdog);
     h_submitted = Atomic.get t.n_submitted;
     h_admitted = Atomic.get t.n_admitted;
     h_completed = Atomic.get t.n_completed;
@@ -704,6 +749,7 @@ let algorithm_of_string = function
   | "optimized" | "hybrid-optimized" -> Ok Config.Hybrid_optimized
   | "cs" -> Ok Config.Cs_thin_slicing
   | "ci" -> Ok Config.Ci_thin_slicing
+  | "triage" -> Ok Config.Type_triage
   | other -> Error (Printf.sprintf "unknown algorithm %S" other)
 
 let request_of_json (j : Json.t) : (request, string) result =
@@ -733,14 +779,17 @@ let request_of_json (j : Json.t) : (request, string) result =
 let response_json (r : response) =
   Json.to_string
     (Json.Obj
-       [ ("id", Json.Str r.rp_id);
-         ("status", Json.Str (status_name r.rp_status));
-         ("reason", Json.Str r.rp_reason);
-         ("issues", Json.Num (float_of_int r.rp_issues));
-         ("attempts", Json.Num (float_of_int r.rp_attempts));
-         ("degradations", Json.Num (float_of_int r.rp_degradations));
-         ("seconds", Json.Num (Float.round (r.rp_seconds *. 1000.) /. 1000.))
-       ])
+       ([ ("id", Json.Str r.rp_id);
+          ("status", Json.Str (status_name r.rp_status));
+          ("reason", Json.Str r.rp_reason) ]
+        @ (match r.rp_verdict with
+           | Some v -> [ ("verdict", Json.Str v) ]
+           | None -> [])
+        @ [ ("issues", Json.Num (float_of_int r.rp_issues));
+            ("attempts", Json.Num (float_of_int r.rp_attempts));
+            ("degradations", Json.Num (float_of_int r.rp_degradations));
+            ("seconds",
+             Json.Num (Float.round (r.rp_seconds *. 1000.) /. 1000.)) ]))
 
 let health_json (h : health) =
   let num n = Json.Num (float_of_int n) in
@@ -750,10 +799,10 @@ let health_json (h : health) =
          ("uptime", Json.Num (Float.round (h.h_uptime *. 1000.) /. 1000.));
          ("queue_depth", num h.h_queue_depth);
          ("pressure", num h.h_pressure);
-         (* the watchdog pressure level is the degradation-ladder rung
-            jobs currently run at; surfaced under both names so ladder
-            dashboards need no mapping *)
-         ("rung", num h.h_pressure);
+         (* the watchdog pressure level selects the degradation-ladder
+            rung jobs currently run at; the rung is surfaced by name so
+            dashboards need no level-to-preset mapping *)
+         ("rung", Json.Str h.h_rung);
          ("submitted", num h.h_submitted);
          ("admitted", num h.h_admitted);
          ("completed", num h.h_completed);

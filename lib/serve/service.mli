@@ -46,6 +46,10 @@ type response = {
   rp_status : status;
   rp_reason : string;
       (** "" | [queue_full] | [shed] | [draining] | [breaker_open] | … *)
+  rp_verdict : string option;
+      (** ["type_only"] when the answer came from the degradation
+          ladder's triage floor (sink findings without flow paths);
+          [None] for full-analysis answers *)
   rp_issues : int;
   rp_attempts : int;               (** executions, incl. the final one *)
   rp_degradations : int;
@@ -129,6 +133,9 @@ type health = {
   h_uptime : float;
   h_queue_depth : int;
   h_pressure : int;
+  h_rung : string;
+      (** the degradation-ladder rung jobs currently run at, by name
+          (["triage"] once pressure reaches the type-only floor) *)
   h_submitted : int;
   h_admitted : int;
   h_completed : int;

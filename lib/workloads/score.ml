@@ -96,12 +96,12 @@ let refined_of (truth : Ground_truth.t) (builder : Sdg.Builder.t)
 (** Run one algorithm over a loaded app and score it. [refine] switches on
     the access-path second pass; [refine_k]/[refine_steps] tune it. *)
 let run_config ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
-    ?(refine_steps = 4096) ~(loaded : Taj.loaded)
+    ?(refine_steps = 4096) ?(triage_filter = true) ~(loaded : Taj.loaded)
     ~(truth : Ground_truth.t) ~(app : string) ~(scale : float)
     (algorithm : Config.algorithm) : run =
   let config =
     { (Config.preset ~scale algorithm) with
-      Config.refine; refine_k; refine_steps }
+      Config.refine; refine_k; refine_steps; triage_filter }
   in
   (* wall clock, not CPU time: Table 3 reports elapsed analysis time *)
   let analysis, seconds =
@@ -125,20 +125,20 @@ let run_config ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
 
 (** Run all five Table 1 configurations over one app. *)
 let run_app ?(scale = 0.05) ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
-    ?(refine_steps = 4096) ?(algorithms = Config.all_algorithms)
-    (a : Apps.app) : run list =
+    ?(refine_steps = 4096) ?(triage_filter = true)
+    ?(algorithms = Config.all_algorithms) (a : Apps.app) : run list =
   let g = Apps.generate ~scale a in
   let loaded = Taj.load ~jobs (Codegen.to_input g) in
   List.map
-    (run_config ~jobs ~refine ~refine_k ~refine_steps ~loaded
-       ~truth:g.Codegen.g_truth ~app:a.Apps.name ~scale)
+    (run_config ~jobs ~refine ~refine_k ~refine_steps ~triage_filter
+       ~loaded ~truth:g.Codegen.g_truth ~app:a.Apps.name ~scale)
     algorithms
 
 (** {!run_app}, but a failure is returned as [(phase, error)] instead of
     raised — the machine-readable form the bench harness needs to emit
     failure rows with phase attribution. *)
 let run_app_result ?(scale = 0.05) ?(jobs = 1) ?(refine = false)
-    ?(refine_k = 3) ?(refine_steps = 4096)
+    ?(refine_k = 3) ?(refine_steps = 4096) ?(triage_filter = true)
     ?(algorithms = Config.all_algorithms) (a : Apps.app) :
   (run list, string * string) result =
   match Apps.generate ~scale a with
@@ -149,9 +149,102 @@ let run_app_result ?(scale = 0.05) ?(jobs = 1) ?(refine = false)
      | loaded ->
        (match
           List.map
-            (run_config ~jobs ~refine ~refine_k ~refine_steps ~loaded
-               ~truth:g.Codegen.g_truth ~app:a.Apps.name ~scale)
+            (run_config ~jobs ~refine ~refine_k ~refine_steps
+               ~triage_filter ~loaded ~truth:g.Codegen.g_truth
+               ~app:a.Apps.name ~scale)
             algorithms
         with
         | runs -> Ok runs
         | exception e -> Error ("analysis", Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Per-rung scoring: walk the degradation ladder                      *)
+(* ------------------------------------------------------------------ *)
+
+type rung_run = {
+  rr_rung : string;
+  rr_completed : bool;
+  rr_seconds : float;
+  rr_issues : int;
+  rr_classification : classification option;
+}
+
+(** Attribute triage sink findings by the (class, method) they live in —
+    the same attribution key {!classify_issues} derives from the sink
+    statement's SDG node, but read straight off the finding so no
+    builder is needed. A pattern hit by several findings counts once
+    toward the false-negative complement, like the issue-level path. *)
+let classify_triage (truth : Ground_truth.t)
+    (findings : Triage.finding list) : classification =
+  let tp = ref 0 and fp = ref 0 and unattributed = ref 0 in
+  let hit_patterns = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Triage.finding) ->
+       match
+         Ground_truth.attribute truth ~cls:f.Triage.f_class
+           ~meth:f.Triage.f_meth
+       with
+       | Some p ->
+         Hashtbl.replace hit_patterns
+           (p.Ground_truth.p_id, p.Ground_truth.p_sink_method) ();
+         if p.Ground_truth.p_real then incr tp else incr fp
+       | None -> incr unattributed)
+    findings;
+  let fn =
+    List.length
+      (List.filter
+         (fun (p : Ground_truth.planted) ->
+            p.Ground_truth.p_real
+            && not
+                 (Hashtbl.mem hit_patterns
+                    (p.Ground_truth.p_id, p.Ground_truth.p_sink_method)))
+         truth)
+  in
+  { true_positives = !tp;
+    false_positives = !fp;
+    false_negatives = fn;
+    unattributed = !unattributed }
+
+(** Score every rung of [algorithm]'s degradation ladder over one app:
+    the requested configuration first, then each fallback the supervisor
+    would try, ending at the type-triage rung zero. The rung-zero row is
+    scored from the triage findings directly — recall there must not lose
+    a planted true positive (over-approximation), only precision may. *)
+let run_rungs ?(scale = 0.05) ?(jobs = 1)
+    ?(algorithm = Config.Hybrid_optimized) (a : Apps.app) : rung_run list =
+  let g = Apps.generate ~scale a in
+  let loaded = Taj.load ~jobs (Codegen.to_input g) in
+  let truth = g.Codegen.g_truth in
+  let base = Config.preset ~scale algorithm in
+  let rungs = (scale, base) :: Config.degradation_ladder ~scale base in
+  List.map
+    (fun ((_, cfg) as rung) ->
+       let label = Config.rung_label rung in
+       if cfg.Config.algorithm = Config.Type_triage then begin
+         let verdict, seconds =
+           Obs.Telemetry.timed (fun () ->
+               Taj.triage ~rules:Rules.default_rules loaded)
+         in
+         let findings = Triage.findings verdict in
+         { rr_rung = label;
+           rr_completed = true;
+           rr_seconds = seconds;
+           rr_issues = List.length findings;
+           rr_classification = Some (classify_triage truth findings) }
+       end
+       else
+         let analysis, seconds =
+           Obs.Telemetry.timed (fun () -> Taj.run ~jobs loaded cfg)
+         in
+         match analysis.Taj.result with
+         | Taj.Did_not_complete _ ->
+           { rr_rung = label; rr_completed = false; rr_seconds = seconds;
+             rr_issues = 0; rr_classification = None }
+         | Taj.Completed c ->
+           { rr_rung = label;
+             rr_completed = true;
+             rr_seconds = seconds;
+             rr_issues = Report.issue_count c.Taj.report;
+             rr_classification =
+               Some (classify truth c.Taj.builder c.Taj.report) })
+    rungs

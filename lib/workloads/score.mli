@@ -43,15 +43,19 @@ val classify_issues :
 
 val run_config :
   ?jobs:int -> ?refine:bool -> ?refine_k:int -> ?refine_steps:int ->
+  ?triage_filter:bool ->
   loaded:Core.Taj.loaded -> truth:Ground_truth.t ->
   app:string -> scale:float -> Core.Config.algorithm -> run
 
 (** Run the given configurations (default: all five) over one app.
     [jobs] sizes the worker pool inside each analysis (frontend parse and
-    per-rule tabulation); default 1 = sequential. *)
+    per-rule tabulation); default 1 = sequential. [triage_filter] (default
+    on) lets the metamorphic CI check score with the pre-filter disabled —
+    the reports must not change. *)
 val run_app :
   ?scale:float -> ?jobs:int -> ?refine:bool -> ?refine_k:int ->
-  ?refine_steps:int -> ?algorithms:Core.Config.algorithm list ->
+  ?refine_steps:int -> ?triage_filter:bool ->
+  ?algorithms:Core.Config.algorithm list ->
   Apps.app -> run list
 
 (** {!run_app}, but a failure comes back as [Error (phase, error)] with
@@ -59,5 +63,29 @@ val run_app :
     bench runs stay machine-readable. *)
 val run_app_result :
   ?scale:float -> ?jobs:int -> ?refine:bool -> ?refine_k:int ->
-  ?refine_steps:int -> ?algorithms:Core.Config.algorithm list ->
+  ?refine_steps:int -> ?triage_filter:bool ->
+  ?algorithms:Core.Config.algorithm list ->
   Apps.app -> (run list, string * string) result
+
+(** One row of the per-rung score table ({!run_rungs}). *)
+type rung_run = {
+  rr_rung : string;               (** {!Core.Config.rung_label} *)
+  rr_completed : bool;
+  rr_seconds : float;
+  rr_issues : int;                (** issues, or triage findings at rung 0 *)
+  rr_classification : classification option;  (** None = did not complete *)
+}
+
+(** Classify triage sink findings against the planted ground truth by the
+    (class, method) carried on each finding — no SDG builder required. *)
+val classify_triage :
+  Ground_truth.t -> Triage.finding list -> classification
+
+(** Score every rung of [algorithm]'s degradation ladder (default:
+    Hybrid_optimized) over one app: the requested configuration first,
+    then each supervisor fallback, ending at the type-triage rung zero.
+    Rung zero must not lose a planted true positive — it over-approximates
+    — so only its precision column is allowed to drop. *)
+val run_rungs :
+  ?scale:float -> ?jobs:int -> ?algorithm:Core.Config.algorithm ->
+  Apps.app -> rung_run list

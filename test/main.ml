@@ -28,4 +28,5 @@ let () =
       ("service", Test_service.suite);
       ("securibench", Test_securibench.suite);
       ("refine", Test_refine.suite);
+      ("triage", Test_triage.suite);
       ("incremental", Test_incremental.suite) ]

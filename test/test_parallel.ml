@@ -297,12 +297,12 @@ let test_worker_persistent_fault_walks_ladder () =
   let outcome = supervise_par () in
   Alcotest.(check (list string)) "every rung was attempted, in order"
     [ "hybrid-unbounded"; "hybrid-prioritized"; "hybrid-optimized";
-      "hybrid-optimized"; "hybrid-optimized" ]
+      "hybrid-optimized"; "hybrid-optimized"; "triage" ]
     (List.map
        (fun (a : Supervisor.attempt) ->
           Config.algorithm_name a.Supervisor.at_algorithm)
        outcome.Supervisor.sv_attempts);
-  Alcotest.(check int) "no Downgraded event was lost" 4
+  Alcotest.(check int) "no Downgraded event was lost" 5
     (List.length
        (List.filter
           (function Diagnostics.Downgraded _ -> true | _ -> false)

@@ -79,9 +79,10 @@ let test_ladder_order () =
   let rungs =
     Config.degradation_ladder (Config.preset Config.Hybrid_unbounded)
   in
-  Alcotest.(check (list string)) "prioritized, then shrinking optimized"
+  Alcotest.(check (list string))
+    "prioritized, then shrinking optimized, then triage"
     [ "hybrid-prioritized"; "hybrid-optimized"; "hybrid-optimized";
-      "hybrid-optimized" ]
+      "hybrid-optimized"; "triage" ]
     (List.map (fun (_, c) -> Config.algorithm_name c.Config.algorithm) rungs);
   let scales = List.map fst rungs in
   Alcotest.(check bool) "scales shrink monotonically" true
@@ -145,19 +146,24 @@ let test_persistent_fault_exhausts_ladder () =
   let outcome = supervise () in
   Alcotest.(check (list string)) "every rung was attempted, in order"
     [ "hybrid-unbounded"; "hybrid-prioritized"; "hybrid-optimized";
-      "hybrid-optimized"; "hybrid-optimized" ]
+      "hybrid-optimized"; "hybrid-optimized"; "triage" ]
     (List.map
        (fun (a : Supervisor.attempt) ->
           Config.algorithm_name a.Supervisor.at_algorithm)
        outcome.Supervisor.sv_attempts);
-  Alcotest.(check int) "four downgrades recorded" 4
+  Alcotest.(check int) "five downgrades recorded" 5
     (List.length
        (List.filter
           (function Diagnostics.Downgraded _ -> true | _ -> false)
           outcome.Supervisor.sv_diagnostics));
+  (* the pointer fault cannot touch rung zero, which needs no pointer
+     analysis: the floor still answers, as an explicitly type-only report *)
   Alcotest.(check bool) "the final report is partial" true
     (Report.is_partial outcome.Supervisor.sv_report);
-  Alcotest.(check int) "and empty" 0 (issue_count outcome)
+  Alcotest.(check bool) "and type-only" true
+    (Supervisor.type_only outcome);
+  Alcotest.(check int) "and empty of flow-path issues" 0
+    (issue_count outcome)
 
 let test_no_degrade_fails_fast () =
   Fault.reset ();
