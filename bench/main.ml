@@ -23,6 +23,9 @@
                     incremental cache per app (writes incremental.csv)
      triage         type-triage rung zero vs full analysis latency per
                     app (writes triage.csv)
+     contexts       sanitization-context judge off vs on per app, with
+                    verdict counts and planted-mismatch recall (writes
+                    contexts.csv)
      micro          Bechamel micro-benchmarks of the pipeline phases
      all            everything above except service and incremental
                     (default)
@@ -1011,6 +1014,65 @@ let triage_bench () =
     (if !sum_t > 0.0 then !sum_f /. !sum_t else 0.0)
     !scale
 
+(* ------------------------------------------------------------------ *)
+
+(* Context-sensitive sanitization: the judge's cost and verdict mix on
+   the ground-truth apps plus the scored Table 2 apps. One row per app —
+   analysis wall clock with the judge off and on, the verdict counts,
+   and the planted-mismatch recall. Writes contexts.csv. *)
+let contexts_bench () =
+  header "Context-sensitive sanitization judge";
+  Printf.printf "%-14s %9s %9s %6s %7s %9s\n" "application" "off" "on"
+    "mism" "unsanit" "expected";
+  let apps = Apps.contexts_apps @ Apps.scored_apps in
+  let rows =
+    Parallel.map ~jobs:!jobs
+      (fun (a : Apps.app) ->
+         let g = Apps.generate ~scale:!scale a in
+         let loaded = Taj.load (Codegen.to_input g) in
+         let truth = g.Codegen.g_truth in
+         let off =
+           Score.run_config ~loaded ~truth ~app:a.Apps.name ~scale:!scale
+             Config.Hybrid_optimized
+         in
+         let on =
+           Score.run_config ~contexts:true ~loaded ~truth ~app:a.Apps.name
+             ~scale:!scale Config.Hybrid_optimized
+         in
+         (a.Apps.name, off, on))
+      apps
+  in
+  let oc = open_out "contexts.csv" in
+  Obs.Csv.write_row oc
+    [ "app"; "off_s"; "on_s"; "issues_off"; "issues_on"; "mismatched";
+      "unsanitized"; "expected"; "matched" ];
+  let missed = ref 0 in
+  List.iter
+    (fun (name, (off : Score.run), (on : Score.run)) ->
+       let mism, unsan, expected, matched =
+         match on.Score.r_sanitization with
+         | Some s ->
+           missed := !missed + (s.Score.sz_expected - s.Score.sz_matched);
+           ( s.Score.sz_mismatched, s.Score.sz_unsanitized,
+             s.Score.sz_expected, s.Score.sz_matched )
+         | None -> (0, 0, 0, 0)
+       in
+       Printf.printf "%-14s %8.3fs %8.3fs %6d %7d %5d/%d\n" name
+         off.Score.r_seconds on.Score.r_seconds mism unsan matched expected;
+       Obs.Csv.write_row oc
+         [ name; Printf.sprintf "%.4f" off.Score.r_seconds;
+           Printf.sprintf "%.4f" on.Score.r_seconds;
+           string_of_int off.Score.r_issues; string_of_int on.Score.r_issues;
+           string_of_int mism; string_of_int unsan;
+           string_of_int expected; string_of_int matched ])
+    rows;
+  close_out oc;
+  Printf.printf "%s\nwrote contexts.csv (scale %.2f)\n" line !scale;
+  if !missed > 0 then begin
+    Printf.eprintf "%d planted sanitizer mismatch(es) missed\n" !missed;
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let rec parse cmds = function
@@ -1062,6 +1124,7 @@ let () =
       if !svc_cluster then cluster_service_bench () else service_bench ()
     | "incremental" -> incremental ()
     | "triage" -> triage_bench ()
+    | "contexts" -> contexts_bench ()
     | "micro" -> micro ()
     | "all" ->
       table1 (); table2 (); table3 (); figure4 (); summary ();

@@ -102,6 +102,29 @@ let refine_steps =
 let with_refine cfg ~refine ~refine_k ~refine_steps =
   { cfg with Config.refine; refine_k; refine_steps }
 
+let contexts_flag =
+  let doc =
+    "Context-sensitive sanitization (record-and-judge): propagate taint \
+     through sanitizers instead of stopping at them, reconstruct the \
+     string template of each sink value interprocedurally, and judge \
+     every sanitizer on the path against the sink's syntactic context \
+     (html-text, html-attribute, sql-quoted, sql-raw, path, shell). \
+     Correctly-sanitized flows are dropped as before; flows whose \
+     sanitizer does not protect the computed context are reported as \
+     $(b,mismatched-sanitizer) with the applied/required pair."
+  in
+  Arg.(value & flag & info [ "contexts" ] ~doc)
+
+let no_contexts_flag =
+  let doc =
+    "Force context-sensitive sanitization off (the default): sanitizers \
+     kill flows where they are applied. Overrides --contexts."
+  in
+  Arg.(value & flag & info [ "no-contexts" ] ~doc)
+
+let with_contexts cfg ~contexts ~no_contexts =
+  { cfg with Config.contexts = contexts && not no_contexts }
+
 let cache_dir_arg =
   let doc =
     "Persist and reuse the incremental analysis cache in $(docv): parsed \
@@ -218,6 +241,36 @@ let verdict_json = function
          (Sdg.Refine.verdict_name v)
          (json_escape (Sdg.Refine.reason_name r)))
 
+(* the per-issue sanitization judgement: null when contexts were off *)
+let sanitization_json (ir : Report.issue_report) =
+  match ir.Report.ir_sanitization with
+  | None -> "null"
+  | Some v ->
+    let template =
+      match ir.Report.ir_template with
+      | Some tpl ->
+        Printf.sprintf "\"%s\""
+          (json_escape (Fmt.str "%a" Strings.Template.pp tpl))
+      | None -> "null"
+    in
+    (match v with
+     | Strings.Context.Unsanitized ->
+       Printf.sprintf
+         "{ \"class\": \"unsanitized\", \"template\": %s }" template
+     | Strings.Context.Sanitized ->
+       Printf.sprintf "{ \"class\": \"sanitized\", \"template\": %s }"
+         template
+     | Strings.Context.Mismatched_sanitizer { applied; required } ->
+       Printf.sprintf
+         "{ \"class\": \"mismatched-sanitizer\", \"applied\": [%s], \
+          \"required\": \"%s\", \"template\": %s }"
+         (String.concat ", "
+            (List.map
+               (fun id -> Printf.sprintf "\"%s\"" (json_escape id))
+               applied))
+         (Strings.Context.name required)
+         template)
+
 let issues_json builder (report : Report.t) =
   let issue_json (ir : Report.issue_report) =
     let stmt_str s = Fmt.str "%a" (Report.pp_stmt builder) s in
@@ -229,12 +282,14 @@ let issues_json builder (report : Report.t) =
     Printf.sprintf
       "    { \"issue\": \"%s\", \"flows\": %d, \"sink\": \"%s\",\n\
       \      \"verdict\": %s,\n\
+      \      \"sanitization\": %s,\n\
       \      \"remediation\": %s,\n\
       \      \"witness\": [%s] }"
       (Rules.issue_name ir.Report.ir_issue)
       ir.Report.ir_flow_count
       (json_escape (stmt_str ir.Report.ir_representative.Flows.fl_sink))
       (verdict_json ir.Report.ir_verdict)
+      (sanitization_json ir)
       (match ir.Report.ir_lcp with
        | Some lcp -> Printf.sprintf "\"%s\"" (json_escape (stmt_str lcp))
        | None -> "null")
@@ -398,7 +453,7 @@ let analyze_cmd =
   in
   let run algorithm scale jobs descriptor_file srcs json stats csrf deadline
       no_degrade verify_ir triage no_triage_filter refine refine_k
-      refine_steps trace metrics cache_dir no_cache =
+      refine_steps contexts no_contexts trace metrics cache_dir no_cache =
     let algorithm = if triage then Config.Type_triage else algorithm in
     let input = load_input ~name:"cli" ~srcs ~descriptor_file in
     let session = cache_session ~cache_dir ~no_cache ~app:input.Taj.name in
@@ -457,8 +512,10 @@ let analyze_cmd =
         exit 6
     end;
     let config =
-      { (with_refine (Config.preset ~scale algorithm) ~refine ~refine_k
-           ~refine_steps)
+      { (with_contexts
+           (with_refine (Config.preset ~scale algorithm) ~refine ~refine_k
+              ~refine_steps)
+           ~contexts ~no_contexts)
         with
         Config.cache_dir = (if no_cache then None else cache_dir);
         triage_filter = not no_triage_filter }
@@ -595,7 +652,8 @@ let analyze_cmd =
     Term.(const run $ algorithm $ scale $ jobs $ descriptor_file $ sources
           $ json $ stats $ csrf $ deadline $ no_degrade $ verify_ir
           $ triage $ no_triage_filter $ refine_flag $ refine_k
-          $ refine_steps $ trace_file $ metrics_flag $ cache_dir_arg
+          $ refine_steps $ contexts_flag $ no_contexts_flag
+          $ trace_file $ metrics_flag $ cache_dir_arg
           $ no_cache_flag)
 
 (* ------------------------------------------------------------------ *)
@@ -959,7 +1017,7 @@ let score_cmd =
       Printf.printf "wrote %s\n" file
   in
   let run name algorithm rung csv no_filter scale jobs refine refine_k
-      refine_steps trace metrics =
+      refine_steps contexts trace metrics =
     match Workloads.Apps.find name with
     | None ->
       Printf.eprintf "unknown app %s\n" name;
@@ -972,16 +1030,21 @@ let score_cmd =
       telemetry_setup ~trace ~metrics;
       let runs =
         Workloads.Score.run_app ~scale ~jobs ~refine ~refine_k ~refine_steps
-          ~triage_filter:(not no_filter) app
+          ~triage_filter:(not no_filter) ~contexts app
       in
       telemetry_export ~trace ~metrics;
       if refine then
         Printf.printf "%-20s %7s %5s %5s %5s %9s %5s %5s %8s %8s\n"
           "configuration" "issues" "TP" "FP" "FN" "accuracy" "conf" "plaus"
           "conf-FP" "time"
+      else if contexts then
+        Printf.printf "%-20s %7s %5s %5s %5s %9s %6s %7s %8s %8s\n"
+          "configuration" "issues" "TP" "FP" "FN" "accuracy" "mism"
+          "unsanit" "expected" "time"
       else
         Printf.printf "%-20s %7s %5s %5s %5s %9s %8s\n" "configuration"
           "issues" "TP" "FP" "FN" "accuracy" "time";
+      let missed = ref 0 in
       List.iter
         (fun (r : Workloads.Score.run) ->
            match r.Workloads.Score.r_classification with
@@ -1002,6 +1065,27 @@ let score_cmd =
                   rf.Workloads.Score.plausible_issues
                   rf.Workloads.Score.confirmed_fp
                   r.Workloads.Score.r_seconds
+              | _ when contexts ->
+                let mism, unsan, expected =
+                  match r.Workloads.Score.r_sanitization with
+                  | Some s ->
+                    missed :=
+                      !missed
+                      + (s.Workloads.Score.sz_expected
+                         - s.Workloads.Score.sz_matched);
+                    ( string_of_int s.Workloads.Score.sz_mismatched,
+                      string_of_int s.Workloads.Score.sz_unsanitized,
+                      Printf.sprintf "%d/%d" s.Workloads.Score.sz_matched
+                        s.Workloads.Score.sz_expected )
+                  | None -> ("-", "-", "-")
+                in
+                Printf.printf "%-20s %7d %5d %5d %5d %9.2f %6s %7s %8s %7.2fs\n"
+                  (Config.algorithm_name r.Workloads.Score.r_algorithm)
+                  r.Workloads.Score.r_issues c.Workloads.Score.true_positives
+                  c.Workloads.Score.false_positives
+                  c.Workloads.Score.false_negatives
+                  (Workloads.Score.accuracy c) mism unsan expected
+                  r.Workloads.Score.r_seconds
               | _ ->
                 Printf.printf "%-20s %7d %5d %5d %5d %9.2f %7.2fs\n"
                   (Config.algorithm_name r.Workloads.Score.r_algorithm)
@@ -1009,7 +1093,13 @@ let score_cmd =
                   c.Workloads.Score.false_positives
                   c.Workloads.Score.false_negatives
                   (Workloads.Score.accuracy c) r.Workloads.Score.r_seconds))
-        runs
+        runs;
+      (* the acceptance gate: every planted mismatched-sanitizer pattern
+         must be reported with its expected (applied, required) pair *)
+      if contexts && !missed > 0 then begin
+        Printf.eprintf "%d planted sanitizer mismatch(es) missed\n" !missed;
+        exit 1
+      end
   in
   let doc =
     "Generate a benchmark app, run all five configurations (or, with \
@@ -1019,7 +1109,7 @@ let score_cmd =
   Cmd.v (Cmd.info "score" ~doc)
     Term.(const run $ app_name $ algorithm $ rung_flag $ rung_csv
           $ score_no_filter $ scale $ jobs $ refine_flag $ refine_k
-          $ refine_steps $ trace_file $ metrics_flag)
+          $ refine_steps $ contexts_flag $ trace_file $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                              *)

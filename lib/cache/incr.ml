@@ -153,7 +153,17 @@ let hooks s : Core.Cache_iface.t =
             : Sdg.Builder.defuse_summary option));
       dc_store = (fun m sum -> fill s ~tier:"defuse" ~key:(d_val m) sum) }
   in
-  { Core.Cache_iface.unit_ast; frontend; defuse = Some defuse }
+  (* string-template summaries key exactly like def/use: a summary is a
+     pure function of the method body, so the body digest validates it *)
+  let strings : Strings.Summary.cache =
+    { sc_lookup =
+        (fun m ->
+           (lookup s ~tier:"strings" ~key:(d_val m)
+            : Strings.Summary.t option));
+      sc_store = (fun m sum -> fill s ~tier:"strings" ~key:(d_val m) sum) }
+  in
+  { Core.Cache_iface.unit_ast; frontend; defuse = Some defuse;
+    strings = Some strings }
 
 (* ------------------------------------------------------------------ *)
 (* Summary tier: call-closure digests                                 *)

@@ -14,6 +14,10 @@
       "one-line edit" case.
     - {b defuse}: per-method SDG def/use summaries from
       {!Sdg.Builder}, keyed by the method body.
+    - {b strings}: per-method string-template summaries from
+      {!Strings.Summary} (the sanitization judge's interprocedural
+      walk), keyed by the method body exactly like [defuse] — a summary
+      is a pure function of the body.
     - {b summary}: the tabulation summary edges per method, stored under a
       call-closure (Merkle) digest — the digest of every method body
       reachable from it in the call graph. Editing a callee flips the
@@ -52,7 +56,8 @@ val start : t -> app:string -> session
     be discarded at load. *)
 val corruption : session -> Core.Diagnostics.degradation option
 
-(** Pipeline hooks (ast / front / defuse tiers) backed by this session,
+(** Pipeline hooks (ast / front / defuse / strings tiers) backed by this
+    session,
     for {!Core.Supervisor.options} or {!Core.Taj.load}/[run]. *)
 val hooks : session -> Core.Cache_iface.t
 

@@ -31,9 +31,14 @@ type t = {
   defuse : Sdg.Builder.defuse_cache option;
       (** tier 2 — per-method def/use summaries, threaded into
           {!Sdg.Builder.build} *)
+  strings : Strings.Summary.cache option;
+      (** tier 2b — per-method string-template summaries, threaded into
+          the sanitization judge ({!Sanitize}); a summary is a pure
+          function of the method body, so it keys like [defuse] *)
 }
 
 let none =
   { unit_ast = (fun ~src:_ ~parse -> parse ());
     frontend = (fun ~descriptor:_ ~asts:_ ~build -> build ());
-    defuse = None }
+    defuse = None;
+    strings = None }

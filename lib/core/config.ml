@@ -51,6 +51,12 @@ type t = {
          SDG, skipping methods proven untaint-reachable; reports are
          byte-identical either way (the filter is disabled internally
          when refinement runs, whose replay walks unfiltered indexes) *)
+  contexts : bool;
+      (* context-sensitive sanitization: propagate through sanitizers
+         instead of killing, reconstruct the sink's string template
+         interprocedurally, and judge each recorded sanitizer against
+         the sink context. Off by default; with it off, reports are
+         byte-identical to the kill-on-sanitizer behaviour *)
 }
 
 let default_whitelist = [ "Math"; "Random"; "Date"; "Logger" ]
@@ -77,7 +83,8 @@ let preset ?(scale = 1.0) (algorithm : algorithm) : t =
       refine_k = 3;
       refine_steps = 4096;
       cache_dir = None;
-      triage_filter = true }
+      triage_filter = true;
+      contexts = false }
   in
   match algorithm with
   | Hybrid_unbounded -> base
@@ -123,7 +130,8 @@ let degradation_ladder ?(scale = 1.0) (c : t) : (float * t) list =
                    refine_k = c.refine_k;
                    refine_steps = c.refine_steps;
                    cache_dir = c.cache_dir;
-                   triage_filter = c.triage_filter })
+                   triage_filter = c.triage_filter;
+                   contexts = c.contexts })
   in
   (* rung zero is always last: when every slicing preset has exhausted
      its budget, the type-qualifier triage still answers — no pointer

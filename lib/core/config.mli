@@ -36,6 +36,13 @@ type t = {
           default, disabled internally when [refine] is set (the replay
           walks unfiltered store indexes). Reports are byte-identical
           with the filter on or off. *)
+  contexts : bool;
+      (** context-sensitive sanitization (record-and-judge): propagate
+          through sanitizers instead of killing, reconstruct the sink's
+          string template interprocedurally, and judge every recorded
+          sanitizer against the computed sink context. Off by default;
+          with it off, reports are byte-identical to the classic
+          kill-on-sanitizer behaviour. *)
 }
 
 val default_whitelist : string list

@@ -178,6 +178,7 @@ let refine_flows ~jobs ~interrupt ~(prog : Program.t)
       { Sdg.Refine.is_sink_arg =
           (fun target i -> Rules.is_sink_arg m rule target i);
         is_sanitizer = (fun target -> Rules.is_sanitizer m rule target);
+        sanitizer_passthrough = config.Config.contexts;
         sink_reach }
     in
     let verdict, stats =
@@ -288,6 +289,7 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
       { Sdg.Tabulation.is_sink_arg =
           (fun target i -> Rules.is_sink_arg m rule target i);
         is_sanitizer = (fun target -> Rules.is_sanitizer m rule target);
+        sanitizer_passthrough = config.Config.contexts;
         carrier_sets }
     in
     let res =
@@ -311,7 +313,9 @@ let run ?(jobs = 1) ?(interrupt = fun () -> false)
                fl_kind = h.Sdg.Tabulation.h_kind;
                fl_path = path;
                fl_length = List.length path;
-               fl_verdict = None }
+               fl_verdict = None;
+               fl_template = None;
+               fl_sanitization = None }
            in
            match config.Config.max_flow_length with
            | Some cap when fl.Flows.fl_length > cap ->

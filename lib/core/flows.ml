@@ -13,6 +13,14 @@ type t = {
   fl_verdict : Sdg.Refine.verdict option;
       (* [None] when refinement did not run; [Plausible] demotes, never
          drops — a refined flow is always still reported *)
+  fl_template : Strings.Template.t option;
+      (* the sink value's reconstructed string template; [None] when the
+         sanitization judge did not run or could not recover it *)
+  fl_sanitization : Strings.Context.verdict option;
+      (* the sanitization judgement ([None] when contexts are off).
+         [Sanitized] flows are dropped before reporting — reproducing
+         the kill — so a reported flow carries [Mismatched_sanitizer]
+         or [Unsanitized] *)
 }
 
 let length fl = fl.fl_length

@@ -10,6 +10,12 @@ type issue_report = {
   ir_verdict : Sdg.Refine.verdict option;
       (* the best verdict in the group (the representative's, as members
          sort confirmed-first); None when refinement did not run *)
+  ir_sanitization : Strings.Context.verdict option;
+      (* the representative's sanitization judgement; None when contexts
+         were off ([Sanitized] flows never reach the report) *)
+  ir_template : Strings.Template.t option;
+      (* the representative's reconstructed sink template, when the
+         judge recovered one *)
 }
 
 type completeness =
@@ -35,7 +41,9 @@ let make ?(completeness = Complete) (b : Sdg.Builder.t)
              ir_lcp = g.Lcp.g_lcp;
              ir_representative = g.Lcp.g_representative;
              ir_flow_count = List.length g.Lcp.g_members;
-             ir_verdict = g.Lcp.g_representative.Flows.fl_verdict })
+             ir_verdict = g.Lcp.g_representative.Flows.fl_verdict;
+             ir_sanitization = g.Lcp.g_representative.Flows.fl_sanitization;
+             ir_template = g.Lcp.g_representative.Flows.fl_template })
         groups;
     raw_flows = flows;
     completeness }
@@ -68,6 +76,21 @@ let verdict_counts t =
             | None -> (c, p))
          (0, 0) refined)
 
+(** (mismatched, unsanitized) issue counts; [None] when the sanitization
+    judge did not run (no issue carries a sanitization verdict). *)
+let sanitization_counts t =
+  let judged = List.filter (fun ir -> ir.ir_sanitization <> None) t.issues in
+  if judged = [] then None
+  else
+    Some
+      (List.fold_left
+         (fun (m, u) ir ->
+            match ir.ir_sanitization with
+            | Some (Strings.Context.Mismatched_sanitizer _) -> (m + 1, u)
+            | Some Strings.Context.Unsanitized -> (m, u + 1)
+            | Some Strings.Context.Sanitized | None -> (m, u))
+         (0, 0) judged)
+
 let degradations t =
   match t.completeness with
   | Complete -> []
@@ -87,14 +110,26 @@ let pp_stmt (b : Sdg.Builder.t) ppf (s : Sdg.Stmt.t) =
        Fmt.pf ppf "%s: B%d.<throw>" (Tac.method_id m) blk)
 
 let pp_issue_report (b : Sdg.Builder.t) ppf (ir : issue_report) =
-  Fmt.pf ppf "@[<v2>[%a]%a %d flow(s); sink %a@,"
+  Fmt.pf ppf "@[<v2>[%a]%a%a %d flow(s); sink %a@,"
     Rules.pp_issue ir.ir_issue
     (fun ppf -> function
        | None -> ()
        | Some v -> Fmt.pf ppf " %s" (String.uppercase_ascii
                                        (Sdg.Refine.verdict_name v)))
-    ir.ir_verdict ir.ir_flow_count
+    ir.ir_verdict
+    (fun ppf -> function
+       | Some (Strings.Context.Mismatched_sanitizer _) ->
+         Fmt.string ppf " MISMATCHED-SANITIZER"
+       | Some _ | None -> ())
+    ir.ir_sanitization ir.ir_flow_count
     (pp_stmt b) ir.ir_representative.Flows.fl_sink;
+  (match ir.ir_sanitization with
+   | None -> ()
+   | Some v ->
+     Fmt.pf ppf "sanitization: %a@," Strings.Context.pp_verdict v;
+     (match ir.ir_template with
+      | Some tpl -> Fmt.pf ppf "sink template: %a@," Strings.Template.pp tpl
+      | None -> ()));
   (match ir.ir_lcp with
    | Some lcp -> Fmt.pf ppf "remediate at: %a@," (pp_stmt b) lcp
    | None -> ());
@@ -103,12 +138,17 @@ let pp_issue_report (b : Sdg.Builder.t) ppf (ir : issue_report) =
     ir.ir_representative.Flows.fl_path
 
 let pp (b : Sdg.Builder.t) ppf (t : t) =
-  Fmt.pf ppf "@[<v>%d issue(s) from %d flow(s)%a@,%a@]"
+  Fmt.pf ppf "@[<v>%d issue(s) from %d flow(s)%a%a@,%a@]"
     (issue_count t) (flow_count t)
     (fun ppf -> function
        | None -> ()
        | Some (c, p) -> Fmt.pf ppf " (%d confirmed, %d plausible)" c p)
     (verdict_counts t)
+    (fun ppf -> function
+       | None -> ()
+       | Some (m, u) ->
+         Fmt.pf ppf " (%d mismatched-sanitizer, %d unsanitized)" m u)
+    (sanitization_counts t)
     (Fmt.list ~sep:Fmt.cut (pp_issue_report b))
     t.issues;
   match t.completeness with

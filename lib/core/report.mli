@@ -8,6 +8,11 @@ type issue_report = {
   ir_verdict : Sdg.Refine.verdict option;
       (** the best verdict in the group (the representative's, as members
           sort confirmed-first); [None] when refinement did not run *)
+  ir_sanitization : Strings.Context.verdict option;
+      (** the representative's sanitization judgement; [None] when
+          contexts were off *)
+  ir_template : Strings.Template.t option;
+      (** the representative's reconstructed sink template, if any *)
 }
 
 (** Whether the flows in this report reflect a run to fixed point or a run
@@ -41,6 +46,10 @@ val degradations : t -> Diagnostics.degradation list
 (** (confirmed, plausible) issue counts; [None] when refinement did not
     run. *)
 val verdict_counts : t -> (int * int) option
+
+(** (mismatched-sanitizer, unsanitized) issue counts; [None] when the
+    sanitization judge did not run. *)
+val sanitization_counts : t -> (int * int) option
 
 val pp_stmt : Sdg.Builder.t -> Format.formatter -> Sdg.Stmt.t -> unit
 val pp_issue_report : Sdg.Builder.t -> Format.formatter -> issue_report -> unit

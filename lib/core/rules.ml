@@ -178,6 +178,22 @@ let is_sanitizer (m : matcher) (rule : rule) (target : Tac.mref) =
   let c = canonical m target in
   List.exists (String.equal c) rule.sanitizers
 
+(** The canonical id of [target] if any rule in [rules] lists it as a
+    sanitizer, [None] otherwise. The single sanitizer-identity question
+    every consumer (tabulation, refinement, triage, the sanitization
+    judge) must agree on: matching goes through [canonical], so a
+    subclass {e inheriting} a sanitizer matches while a subclass
+    {e overriding} it with its own body does not. *)
+let sanitizer_of (m : matcher) (rules : rule list) (target : Tac.mref) :
+  string option =
+  let c = canonical m target in
+  if
+    List.exists
+      (fun r -> List.exists (String.equal c) r.sanitizers)
+      rules
+  then Some c
+  else None
+
 (** Does any rule regard this method id as a source? Used to seed the
     priority-driven call-graph construction (§6.1). *)
 let is_source_method_id (rules : rule list) (m : matcher) (id : string) =

@@ -55,6 +55,13 @@ val is_sink_arg : matcher -> rule -> Jir.Tac.mref -> int -> bool
 val sink_of : matcher -> rule -> Jir.Tac.mref -> sink option
 val is_sanitizer : matcher -> rule -> Jir.Tac.mref -> bool
 
+(** The canonical id of the target if {e any} rule lists it as a
+    sanitizer, [None] otherwise. The single sanitizer-identity question
+    all consumers (tabulation, refinement, triage, the sanitization
+    judge) agree on: a subclass inheriting a sanitizer matches, a
+    subclass overriding it with its own body does not. *)
+val sanitizer_of : matcher -> rule list -> Jir.Tac.mref -> string option
+
 (** Does any rule regard this method id as a source? Seeds the §6.1
     priority scheme. *)
 val is_source_method_id : rule list -> matcher -> string -> bool

@@ -3,83 +3,37 @@
     capabilities, in the spirit of Minamide's string analysis").
 
     For a reported flow we reconstruct an abstract template of the string
-    value reaching the sink: the constant fragments surrounding the tainted
-    part, recovered by walking SSA definitions back through concatenations.
-    The template classifies the *syntactic context* the attacker controls —
-    HTML text vs. attribute value, quoted vs. raw SQL position — which is
-    what determines the concrete exploit shape and the right remediation.
+    value reaching the sink and classify the *syntactic context* the
+    attacker controls — HTML text vs. attribute value, quoted vs. raw SQL
+    position — which is what determines the concrete exploit shape and
+    the right remediation.
 
-    This is deliberately a lightweight single-method analysis: templates
-    stop at holes (calls, loads, parameters) rather than crossing the whole
-    program the way Minamide's grammar-based analysis does. *)
+    The algebra and classification live in {!Strings.Template}; this
+    module keeps the flow-facing surface. Reconstruction uses the
+    interprocedural {!Strings.Summary} walk (callee return summaries,
+    builder append chains, field-carried fragments), replacing the
+    SSA-local walk this module started with. When the sanitization judge
+    already ran, the template it attached to the flow is reused. *)
 
-type piece =
+type piece = Strings.Template.piece =
   | Lit of string     (** a known constant fragment *)
   | Tainted           (** the attacker-controlled part (on the flow path) *)
   | Hole              (** statically unknown fragment *)
 
-type template = piece list
+type template = Strings.Template.t
 
-let pp_piece ppf = function
-  | Lit s -> Fmt.pf ppf "%S" s
-  | Tainted -> Fmt.string ppf "TAINT"
-  | Hole -> Fmt.string ppf "?"
-
-let pp_template = Fmt.list ~sep:(Fmt.any " ++ ") pp_piece
-
-(* merge adjacent literals, drop empty ones *)
-let normalize (t : template) : template =
-  let rec go = function
-    | Lit a :: Lit b :: rest -> go (Lit (a ^ b) :: rest)
-    | Lit "" :: rest -> go rest
-    | p :: rest -> p :: go rest
-    | [] -> []
-  in
-  go t
+let pp_piece = Strings.Template.pp_piece
+let pp_template = Strings.Template.pp
 
 (** Reconstruct the template of the value flowing into the sink of [fl].
     Returns [None] when the sink argument cannot be recovered. *)
 let template_of (b : Sdg.Builder.t) (fl : Flows.t) : template option =
-  let path_set = Sdg.Stmt.Set.of_list fl.Flows.fl_path in
-  let node = fl.Flows.fl_sink.Sdg.Stmt.node in
-  let rec walk v fuel : template =
-    if fuel = 0 then [ Hole ]
-    else
-      match Sdg.Builder.def_of b ~node v with
-      | None -> [ Hole ]
-      | Some def ->
-        (* concatenations and copies are traversed even when they lie on the
-           flow path: the taint marker belongs to the atomic fragment *)
-        (match Sdg.Builder.instr_of b def with
-         | Some (Jir.Tac.Strcat (_, x, y)) ->
-           walk x (fuel - 1) @ walk y (fuel - 1)
-         | Some (Jir.Tac.Move (_, s)) | Some (Jir.Tac.Cast (_, _, s)) ->
-           walk s (fuel - 1)
-         | Some (Jir.Tac.Const (_, Jir.Tac.Cstr s)) -> [ Lit s ]
-         | Some (Jir.Tac.Const (_, Jir.Tac.Cint n)) ->
-           [ Lit (string_of_int n) ]
-         | Some _ | None ->
-           if Sdg.Stmt.Set.mem def path_set then [ Tainted ] else [ Hole ])
-  in
-  match Sdg.Builder.call_of b fl.Flows.fl_sink with
-  | None -> None
-  | Some call ->
-    (* find the sensitive argument: prefer one whose def lies on the path;
-       fall back to the last argument *)
-    let args = call.Jir.Tac.args in
-    let on_path v =
-      match Sdg.Builder.def_of b ~node v with
-      | Some def -> Sdg.Stmt.Set.mem def path_set
-      | None -> false
-    in
-    let arg =
-      match List.find_opt on_path (List.tl args @ [ List.hd args ]) with
-      | Some v -> Some v
-      | None -> List.nth_opt args (List.length args - 1)
-    in
-    (match arg with
-     | Some v -> Some (normalize (walk v 64))
-     | None -> None)
+  match fl.Flows.fl_template with
+  | Some t -> Some t
+  | None ->
+    let env = Strings.Summary.make b in
+    Strings.Summary.sink_template env ~path:fl.Flows.fl_path
+      ~sink:fl.Flows.fl_sink
 
 (* ------------------------------------------------------------------ *)
 (* Context classification                                              *)
@@ -95,47 +49,21 @@ type sql_context =
   | Sql_raw            (** taint lands in a raw position (numeric, keyword) *)
   | Sql_unknown
 
-let prefix_before_taint (t : template) : string option =
-  let rec go acc = function
-    | Lit s :: rest -> go (acc ^ s) rest
-    | Tainted :: _ -> Some acc
-    | Hole :: _ -> None
-    | [] -> None
-  in
-  go "" t
-
 (** Classify where in the surrounding HTML the tainted data lands. *)
 let html_context (t : template) : html_context =
-  match prefix_before_taint t with
-  | None -> Html_unknown
-  | Some prefix ->
-    (* inside a tag if a '<' is open; inside an attribute if additionally a
-       quote is open after the last '=' *)
-    let lt = ref false and quote = ref None in
-    String.iter
-      (fun c ->
-         match c with
-         | '<' -> lt := true
-         | '>' -> lt := false; quote := None
-         | '"' | '\'' when !lt ->
-           (match !quote with
-            | Some q when q = c -> quote := None
-            | Some _ -> ()
-            | None -> quote := Some c)
-         | _ -> ())
-      prefix;
-    if !lt && !quote <> None then Html_attribute
-    else if !lt then Html_unknown   (* inside a tag but unquoted: odd spot *)
-    else Html_text
+  match Strings.Template.html_context t with
+  | Strings.Context.Html_text -> Html_text
+  | Strings.Context.Html_attribute -> Html_attribute
+  | _ -> Html_unknown
 
-(** Classify whether the tainted data lands inside a SQL string literal. *)
+(** Classify whether the tainted data lands inside a SQL string literal.
+    A template opening with the tainted fragment is [Sql_raw]: the
+    attacker controls the statement head. *)
 let sql_context (t : template) : sql_context =
-  match prefix_before_taint t with
-  | None -> Sql_unknown
-  | Some prefix ->
-    let quotes = ref 0 in
-    String.iter (fun c -> if c = '\'' then incr quotes) prefix;
-    if !quotes mod 2 = 1 then Sql_quoted else Sql_raw
+  match Strings.Template.sql_context t with
+  | Strings.Context.Sql_quoted -> Sql_quoted
+  | Strings.Context.Sql_raw -> Sql_raw
+  | _ -> Sql_unknown
 
 (** One-line diagnostic for a flow, or [None] when no template is
     recoverable or the rule is not string-shaped. *)

@@ -5,12 +5,12 @@
     back through concatenations, and classifies the syntactic context the
     attacker controls. *)
 
-type piece =
+type piece = Strings.Template.piece =
   | Lit of string     (** a known constant fragment *)
   | Tainted           (** the attacker-controlled part (on the flow path) *)
   | Hole              (** statically unknown fragment *)
 
-type template = piece list
+type template = Strings.Template.t
 
 val pp_piece : Format.formatter -> piece -> unit
 val pp_template : Format.formatter -> template -> unit

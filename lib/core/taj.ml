@@ -421,6 +421,22 @@ let run ?(rules = Rules.default_rules) ?(jobs = 1) ?budget ?diagnostics
           end
           else begin
             match
+              (* the sanitization judge: with contexts on, flows carried
+                 their sanitizers through the engine; judge each against
+                 the computed sink context, dropping [Sanitized] ones.
+                 With contexts off this is the identity — reports stay
+                 byte-identical to the kill-on-sanitizer behaviour *)
+              let outcome =
+                if not config.Config.contexts then outcome
+                else
+                  let judged, _ =
+                    Telemetry.phase "phase.strings" @@ fun () ->
+                    Sanitize.judge ?cache:cache.Cache_iface.strings
+                      ~prog:loaded.program ~builder ~rules
+                      outcome.Engine.flows
+                  in
+                  { outcome with Engine.flows = judged }
+              in
               let run_events = events_since_mark () in
               let completeness =
                 if run_events = [] then Report.Complete

@@ -69,6 +69,9 @@ let default_limits =
 type callbacks = {
   is_sink_arg : Tac.mref -> int -> bool;
   is_sanitizer : Tac.mref -> bool;
+  sanitizer_passthrough : bool;
+      (** mirror of [Tabulation.callbacks.sanitizer_passthrough]: replay
+          through sanitizers instead of killing, for record-and-judge *)
   sink_reach : Int_set.t;
       (** instance keys reachable from the sink's sensitive arguments —
           the carrier-hit criterion (§4.1.1), precomputed by the engine *)
@@ -266,7 +269,15 @@ let handle_arg st (fact : fact) (call_stmt : Stmt.t) index =
   | None -> false
   | Some c ->
     let target = c.Tac.target in
-    if st.cb.is_sanitizer target then false
+    if st.cb.is_sanitizer target then begin
+      (* classic mode kills the replay here; record-and-judge carries the
+         fact through into the sanitizer's result, suffix unchanged *)
+      if st.cb.sanitizer_passthrough && c.Tac.ret <> None then begin
+        enqueue st { fact with r_stmt = call_stmt };
+        true
+      end
+      else false
+    end
     else begin
       (* direct confirmation: the tainted value itself (π = ε) reaches a
          sensitive argument position of exactly this flow's sink call *)

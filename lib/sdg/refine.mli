@@ -38,6 +38,9 @@ val default_limits : limits
 type callbacks = {
   is_sink_arg : Jir.Tac.mref -> int -> bool;
   is_sanitizer : Jir.Tac.mref -> bool;
+  sanitizer_passthrough : bool;
+      (** mirror of [Tabulation.callbacks.sanitizer_passthrough]: replay
+          through sanitizers instead of killing (record-and-judge) *)
   sink_reach : Int_set.t;
       (** instance keys reachable from the sink's sensitive arguments
           (the §4.1.1 carrier criterion), precomputed by the engine *)

@@ -68,6 +68,12 @@ type callbacks = {
   is_sink_arg : Tac.mref -> int -> bool;
       (** is argument position [i] of a call to this method sensitive? *)
   is_sanitizer : Tac.mref -> bool;
+  sanitizer_passthrough : bool;
+      (** [false]: a sanitizer call endorses the flow and stops it (the
+          classic kill). [true]: taint propagates through the sanitizer
+          into its result — the call statement lands on the witness path,
+          and a later judging pass compares the sanitizer's effect against
+          the sink context (record-and-judge). *)
   carrier_sets : (Stmt.t * Tac.mref * Int_set.t) list;
       (** sink call stmt, target, instance keys reachable from its sensitive
           arguments (precomputed by the taint engine per §4.1.1) *)
@@ -277,7 +283,15 @@ let flow_into_call st ~parent ~(fact : fact) (call_stmt : Stmt.t) index =
   | None -> ()
   | Some c ->
     let target = c.Tac.target in
-    if st.cb.is_sanitizer target then ()   (* flow endorsed: stop *)
+    if st.cb.is_sanitizer target then begin
+      (* flow endorsed. Classic mode stops here (kill); record-and-judge
+         propagates the tainted argument into the sanitizer's result so
+         the call lands on the witness path — native transfer summaries
+         for sanitizers are deliberately empty, so this is direct *)
+      if st.cb.sanitizer_passthrough && c.Tac.ret <> None then
+        enqueue st ~parent:(Some parent)
+          { f_stmt = call_stmt; f_origin = fact.f_origin }
+    end
     else begin
       if st.cb.is_sink_arg target index then
         add_hit st ~sink:call_stmt ~target ~via:parent ~kind:Direct;

@@ -33,6 +33,11 @@ type hit = {
 type callbacks = {
   is_sink_arg : Jir.Tac.mref -> int -> bool;
   is_sanitizer : Jir.Tac.mref -> bool;
+  sanitizer_passthrough : bool;
+      (** [false]: a sanitizer call kills the flow. [true]: taint
+          propagates through the sanitizer into its result and the call
+          lands on the witness path for a later judging pass
+          (record-and-judge). *)
   carrier_sets : (Stmt.t * Jir.Tac.mref * Int_set.t) list;
       (** sink call stmt, target, instance keys reachable from its
           sensitive arguments (§4.1.1) *)

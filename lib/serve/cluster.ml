@@ -500,7 +500,8 @@ let synth_response t (cj : cjob) status reason =
   { Service.rp_id = cj.cj_req.Service.rq_id; rp_status = status;
     rp_reason = reason; rp_verdict = None; rp_issues = 0;
     rp_attempts = cj.cj_crashes;
-    rp_degradations = 0; rp_seconds = now t -. cj.cj_submitted }
+    rp_degradations = 0; rp_seconds = now t -. cj.cj_submitted;
+    rp_mismatched = None }
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch and crash handling                                        *)

@@ -65,7 +65,9 @@ let request_json (rq : Service.request) =
           Json.Str (Core.Config.algorithm_name rq.rq_algorithm));
          ("scale", Json.Num rq.rq_scale) ]
      @ opt_num "deadline" rq.rq_deadline
-     @ [ ("priority", num rq.rq_priority) ])
+     @ [ ("priority", num rq.rq_priority) ]
+     @ (if rq.Service.rq_contexts then [ ("contexts", Json.Bool true) ]
+        else []))
 
 let status_of_string = function
   | "completed" -> Ok Service.Completed
@@ -81,6 +83,9 @@ let response_json (r : Service.response) =
        ("reason", Json.Str r.rp_reason) ]
      @ (match r.rp_verdict with
         | Some v -> [ ("verdict", Json.Str v) ]
+        | None -> [])
+     @ (match r.rp_mismatched with
+        | Some n -> [ ("mismatched", num n) ]
         | None -> [])
      @ [ ("issues", num r.rp_issues);
          ("attempts", num r.rp_attempts);
@@ -104,7 +109,8 @@ let response_of_json j : (Service.response, string) result =
            rp_attempts = int "attempts";
            rp_degradations = int "degradations";
            rp_seconds =
-             Option.value ~default:0.0 (Json.num_member "seconds" j) })
+             Option.value ~default:0.0 (Json.num_member "seconds" j);
+           rp_mismatched = Json.int_member "mismatched" j })
 
 let health_json (h : Service.health) =
   Json.Obj

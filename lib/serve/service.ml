@@ -39,14 +39,15 @@ type request = {
   rq_scale : float;
   rq_deadline : float option;      (** per-job wall-clock seconds *)
   rq_priority : int;               (** higher survives shedding longer *)
+  rq_contexts : bool;              (** sanitization-context judge on *)
 }
 
 let request ?app ?source ?(descriptor = "")
     ?(algorithm = Config.Hybrid_optimized) ?(scale = 0.05) ?deadline
-    ?(priority = 1) id =
+    ?(priority = 1) ?(contexts = false) id =
   { rq_id = id; rq_app = app; rq_source = source;
     rq_descriptor = descriptor; rq_algorithm = algorithm; rq_scale = scale;
-    rq_deadline = deadline; rq_priority = priority }
+    rq_deadline = deadline; rq_priority = priority; rq_contexts = contexts }
 
 type status = Completed | Degraded | Rejected | Failed
 
@@ -68,6 +69,9 @@ type response = {
   rp_attempts : int;               (** executions, incl. the final one *)
   rp_degradations : int;           (** supervisor events of the last run *)
   rp_seconds : float;              (** submit-to-terminal wall clock *)
+  rp_mismatched : int option;
+      (** mismatched-sanitizer issue count when the request asked for
+          the sanitization judge; [None] otherwise *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -224,7 +228,8 @@ let signal_dump_pending t =
 (* Job execution                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let respond ?verdict t (job : job) status reason ~issues ~degradations =
+let respond ?verdict ?mismatched t (job : job) status reason ~issues
+    ~degradations =
   (match status with
    | Completed -> Atomic.incr t.n_completed; Obs.Telemetry.incr m_completed
    | Degraded -> Atomic.incr t.n_degraded; Obs.Telemetry.incr m_degraded
@@ -240,7 +245,8 @@ let respond ?verdict t (job : job) status reason ~issues ~degradations =
     { rp_id = job.j_req.rq_id; rp_status = status; rp_reason = reason;
       rp_verdict = verdict; rp_issues = issues;
       rp_attempts = job.j_attempts;
-      rp_degradations = degradations; rp_seconds = seconds }
+      rp_degradations = degradations; rp_seconds = seconds;
+      rp_mismatched = mismatched }
   in
   (* a failing response sink must not take down the worker *)
   try job.j_respond r with _ -> ()
@@ -265,6 +271,7 @@ type exec_outcome =
       issues : int;
       degradations : int;
       verdict : string option;      (* Some "type_only" for rung zero *)
+      mismatched : int option;      (* judged sanitizer mismatches *)
     }
   | Exec_failed of {
       reason : string;
@@ -299,7 +306,8 @@ let execute t (job : job) : exec_outcome =
     in
     let scale, config =
       Watchdog.degrade_config ~scale:rq.rq_scale
-        (Config.preset ~scale:rq.rq_scale rq.rq_algorithm)
+        { (Config.preset ~scale:rq.rq_scale rq.rq_algorithm) with
+          Config.contexts = rq.rq_contexts }
         pressure
     in
     (* per-rung execution counters ("serve.rung.<algorithm>"): bounded
@@ -339,7 +347,7 @@ let execute t (job : job) : exec_outcome =
     | Some cr ->
       Exec_ok
         { st = Completed; why = ""; issues = cr.Cache.Incr.cr_issues;
-          degradations = 0; verdict = None }
+          degradations = 0; verdict = None; mismatched = None }
     | None ->
       let options =
         { Supervisor.default_options with
@@ -389,11 +397,15 @@ let execute t (job : job) : exec_outcome =
            Exec_ok
              { st = Degraded; why = "type_only";
                issues = List.length (Triage.findings v);
-               degradations; verdict = Some "type_only" }
+               degradations; verdict = Some "type_only";
+               mismatched = None }
          | None ->
          match outcome.Supervisor.sv_analysis with
          | Some { Taj.result = Taj.Completed c; _ } ->
            let issues = Report.issue_count c.Taj.report in
+           let mismatched =
+             Option.map fst (Report.sanitization_counts c.Taj.report)
+           in
            if
              Report.is_partial c.Taj.report
              || outcome.Supervisor.sv_diagnostics <> []
@@ -401,19 +413,19 @@ let execute t (job : job) : exec_outcome =
              commit ();
              Exec_ok
                { st = Degraded; why = "supervisor_degraded"; issues;
-                 degradations; verdict = None }
+                 degradations; verdict = None; mismatched }
            end
            else if pressure > 0 then begin
              commit ();
              Exec_ok
                { st = Degraded; why = "memory_pressure"; issues;
-                 degradations; verdict = None }
+                 degradations; verdict = None; mismatched }
            end
            else begin
              commit ~completed:c ();
              Exec_ok
                { st = Completed; why = ""; issues; degradations;
-                 verdict = None }
+                 verdict = None; mismatched }
            end
          | Some { Taj.result = Taj.Did_not_complete reason; _ } ->
            commit ();
@@ -436,9 +448,9 @@ let process t (job : job) =
   | (`Proceed | `Probe) as admission ->
     job.j_attempts <- job.j_attempts + 1;
     (match execute t job with
-     | Exec_ok { st; why; issues; degradations; verdict } ->
+     | Exec_ok { st; why; issues; degradations; verdict; mismatched } ->
        Breaker.success t.breaker key;
-       respond ?verdict t job st why ~issues ~degradations
+       respond ?verdict ?mismatched t job st why ~issues ~degradations
      | Exec_failed { reason; severity; breaker_counts } ->
        let retryable =
          severity = Fault.Transient
@@ -565,7 +577,8 @@ let submit t (rq : request) ~(respond : response -> unit) =
       { rp_id = job.j_req.rq_id; rp_status = Rejected; rp_reason = reason;
         rp_verdict = None; rp_issues = 0; rp_attempts = job.j_attempts;
         rp_degradations = 0;
-        rp_seconds = t.cfg.now () -. job.j_submitted }
+        rp_seconds = t.cfg.now () -. job.j_submitted;
+        rp_mismatched = None }
     in
     try job.j_respond r with _ -> ()
   in
@@ -773,7 +786,11 @@ let request_of_json (j : Json.t) : (request, string) result =
              ~algorithm
              ?scale:(Json.num_member "scale" j)
              ?deadline:(Json.num_member "deadline" j)
-             ?priority:(Json.int_member "priority" j))
+             ?priority:(Json.int_member "priority" j)
+             ?contexts:
+               (match Json.member "contexts" j with
+                | Some (Json.Bool b) -> Some b
+                | _ -> None))
     end
 
 let response_json (r : response) =
@@ -784,6 +801,9 @@ let response_json (r : response) =
           ("reason", Json.Str r.rp_reason) ]
         @ (match r.rp_verdict with
            | Some v -> [ ("verdict", Json.Str v) ]
+           | None -> [])
+        @ (match r.rp_mismatched with
+           | Some n -> [ ("mismatched", Json.Num (float_of_int n)) ]
            | None -> [])
         @ [ ("issues", Json.Num (float_of_int r.rp_issues));
             ("attempts", Json.Num (float_of_int r.rp_attempts));

@@ -19,6 +19,9 @@ type request = {
   rq_scale : float;
   rq_deadline : float option;      (** per-job wall-clock seconds *)
   rq_priority : int;               (** higher survives shedding longer *)
+  rq_contexts : bool;
+      (** run the sanitization-context judge and report the
+          mismatched-sanitizer count on the response *)
 }
 
 val request :
@@ -29,6 +32,7 @@ val request :
   ?scale:float ->
   ?deadline:float ->
   ?priority:int ->
+  ?contexts:bool ->
   string ->
   request
 
@@ -54,6 +58,9 @@ type response = {
   rp_attempts : int;               (** executions, incl. the final one *)
   rp_degradations : int;
   rp_seconds : float;              (** submit-to-terminal wall clock *)
+  rp_mismatched : int option;
+      (** mismatched-sanitizer issue count when the request asked for
+          the sanitization judge; [None] otherwise *)
 }
 
 (** {1 Configuration} *)

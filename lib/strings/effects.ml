@@ -1,0 +1,93 @@
+(** Per-sanitizer effect sets over the context lattice.
+
+    Every sanitizer protects a set of syntactic contexts — its {e effect
+    set}. The set is inferred from two signals: the sanitizer's name (the
+    model-library surface encodes its purpose: [encodeHtml], [escapeSql],
+    [cleansePath], [URLEncoder.encode]) and, as a fallback, the issue
+    type of the rules that list it (a sanitizer registered only for the
+    SQL-injection rule is presumed to protect quoted SQL positions). The
+    inference is deliberately name-driven so user-supplied rule files get
+    useful effect sets without annotations; unknown sanitizers fall back
+    to the rule-metadata signal alone. *)
+
+type table = (string * Context.t list) list
+
+(* Does the lowercased method name contain [needle]? *)
+let has ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (sub i 0 || at (i + 1))
+  and sub i j = j = nl || (hay.[i + j] = needle.[j] && sub i (j + 1)) in
+  nl > 0 && at 0
+
+(* "Class.name/arity" -> (lowercased class, lowercased name) *)
+let split_id id =
+  let stem =
+    match String.rindex_opt id '/' with
+    | Some slash -> String.sub id 0 slash
+    | None -> id
+  in
+  match String.rindex_opt stem '.' with
+  | Some dot ->
+    ( String.lowercase_ascii (String.sub stem 0 dot),
+      String.lowercase_ascii
+        (String.sub stem (dot + 1) (String.length stem - dot - 1)) )
+  | None -> ("", String.lowercase_ascii stem)
+
+(** Effect set suggested by the method name alone; [] when the name says
+    nothing. *)
+let of_name (id : string) : Context.t list =
+  let cls, name = split_id id in
+  if has ~needle:"html" name then [ Context.Html_text; Context.Html_attribute ]
+  else if has ~needle:"sql" name then [ Context.Sql_quoted ]
+  else if has ~needle:"path" name || has ~needle:"file" name then
+    [ Context.Path ]
+  else if has ~needle:"shell" name || has ~needle:"cmd" name
+          || has ~needle:"command" name then [ Context.Shell ]
+  else if has ~needle:"url" cls || has ~needle:"url" name then
+    (* percent-encoding escapes <, >, quotes and slashes: it protects
+       both HTML contexts and path components, but not SQL *)
+    [ Context.Html_text; Context.Html_attribute; Context.Path ]
+  else []
+
+(** Effect set implied by an issue type a rule associates the sanitizer
+    with (rule names as in [Rules.issue_name]). *)
+let of_issue (issue : string) : Context.t list =
+  match String.lowercase_ascii issue with
+  | "xss" | "cross-site scripting" ->
+    [ Context.Html_text; Context.Html_attribute ]
+  | "sqli" | "sql injection" -> [ Context.Sql_quoted ]
+  | "malicious-file" | "malicious file" -> [ Context.Path ]
+  | "command-injection" | "command injection" -> [ Context.Shell ]
+  | _ -> []
+
+let dedup l =
+  List.rev
+    (List.fold_left (fun acc c -> if List.mem c acc then acc else c :: acc)
+       [] l)
+
+(** Build the effect table. [sanitizers] pairs each canonical sanitizer
+    method id with the issue names of the rules listing it. The name
+    signal wins when it speaks; otherwise the union of the issue
+    fallbacks. *)
+let infer ~(sanitizers : (string * string list) list) : table =
+  List.map
+    (fun (id, issues) ->
+       let effs =
+         match of_name id with
+         | [] -> dedup (List.concat_map of_issue issues)
+         | e -> e
+       in
+       (id, effs))
+    (List.sort_uniq compare sanitizers)
+
+(** The effect set of a canonical sanitizer id; [] when unknown. *)
+let effects (t : table) (id : string) : Context.t list =
+  Option.value ~default:[] (List.assoc_opt id t)
+
+(** Does an effect set cover a required context? [Unknown] is covered by
+    any non-empty effect set: a mismatch is only reported when the sink
+    context is demonstrated. *)
+let covers (effs : Context.t list) (required : Context.t) : bool =
+  match required with
+  | Context.Unknown -> effs <> []
+  | c -> List.mem c effs

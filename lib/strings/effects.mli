@@ -1,0 +1,21 @@
+(** Per-sanitizer effect sets over the context lattice, inferred from the
+    model-library method names plus rule metadata. *)
+
+type table
+
+(** Effect set suggested by the method name alone ([] if silent). *)
+val of_name : string -> Context.t list
+
+(** Effect set implied by an issue name ([] if unrecognized). *)
+val of_issue : string -> Context.t list
+
+(** Build the table from (canonical sanitizer id, issue names of the
+    rules listing it) pairs. *)
+val infer : sanitizers:(string * string list) list -> table
+
+(** The effect set of a canonical sanitizer id; [] when unknown. *)
+val effects : table -> string -> Context.t list
+
+(** Does the effect set cover the required context? [Unknown] is covered
+    by any non-empty set. *)
+val covers : Context.t list -> Context.t -> bool

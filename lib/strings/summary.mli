@@ -1,0 +1,38 @@
+(** Interprocedural string-template reconstruction: memoized per-method
+    return summaries plus path-aware sink-template walks. *)
+
+(** A summary piece: the method's return value as a function of its
+    inputs. *)
+type piece =
+  | S_lit of string             (** constant fragment *)
+  | S_param of int              (** the caller's argument in this position *)
+  | S_field of string * string  (** a field-carried fragment (class, name) *)
+  | S_opaque                    (** anything the walk cannot see through *)
+
+type t = piece list
+
+(** Hooks into a persistent summary cache (the [strings] tier of the
+    incremental cache). [sc_lookup] must validate against the method
+    body on its side; both hooks may be called from worker domains. *)
+type cache = {
+  sc_lookup : Jir.Tac.meth -> t option;
+  sc_store : Jir.Tac.meth -> t -> unit;
+}
+
+(** Pure, cache-key-friendly summary of a method body (no environment
+    needed; exposed for the cache tier and tests). *)
+val summarize : Jir.Tac.meth -> t
+
+type env
+
+(** [make ?cache ?prog builder] — [prog] enables field-carried constant
+    fragments; [cache] persists per-method summaries. *)
+val make : ?cache:cache -> ?prog:Jir.Program.t -> Sdg.Builder.t -> env
+
+(** The (memoized, cache-backed) return summary of a method. *)
+val of_method : env -> Jir.Tac.meth -> t
+
+(** Reconstruct the template of the value flowing into [sink] along
+    [path]. [None] when the sink argument cannot be recovered. *)
+val sink_template :
+  env -> path:Sdg.Stmt.t list -> sink:Sdg.Stmt.t -> Template.t option

@@ -1,0 +1,107 @@
+(** The string-template algebra.
+
+    A template is an abstract concatenation: known constant fragments
+    ([Lit]), the attacker-controlled fragment ([Tainted]), and statically
+    unknown fragments ([Hole]). Templates form a monoid under
+    concatenation with [normalize] as the canonical form (adjacent
+    literals merged, empty literals dropped); classification reads the
+    constant prefix before the tainted fragment to decide the syntactic
+    context the attacker lands in. *)
+
+type piece =
+  | Lit of string     (** a known constant fragment *)
+  | Tainted           (** the attacker-controlled part (on the flow path) *)
+  | Hole              (** statically unknown fragment *)
+
+type t = piece list
+
+let pp_piece ppf = function
+  | Lit s -> Fmt.pf ppf "%S" s
+  | Tainted -> Fmt.string ppf "TAINT"
+  | Hole -> Fmt.string ppf "?"
+
+let pp = Fmt.list ~sep:(Fmt.any " ++ ") pp_piece
+
+(** Merge adjacent literals, drop empty ones. Does {e not} collapse
+    adjacent holes — hole multiplicity is printed in diagnostics, so the
+    canonical form keeps it; classification is insensitive to it (see
+    {!compact}). *)
+let normalize (t : t) : t =
+  let rec go = function
+    | Lit a :: Lit b :: rest -> go (Lit (a ^ b) :: rest)
+    | Lit "" :: rest -> go rest
+    | p :: rest -> p :: go rest
+    | [] -> []
+  in
+  go t
+
+(** Monoid operation: concatenation in canonical form. Associative up to
+    [normalize] (tested by the QCheck algebra properties). *)
+let concat (a : t) (b : t) : t = normalize (a @ b)
+
+(** [normalize] plus adjacent-hole absorption: two unknown fragments in a
+    row carry exactly the information of one. Classification is invariant
+    under [compact]. *)
+let compact (t : t) : t =
+  let rec go = function
+    | Hole :: Hole :: rest -> go (Hole :: rest)
+    | p :: rest -> p :: go rest
+    | [] -> []
+  in
+  go (normalize t)
+
+(** The known constant prefix before the tainted fragment, or [None] when
+    an unknown fragment (or the template's end) intervenes. *)
+let prefix_before_taint (t : t) : string option =
+  let rec go acc = function
+    | Lit s :: rest -> go (acc ^ s) rest
+    | Tainted :: _ -> Some acc
+    | Hole :: _ -> None
+    | [] -> None
+  in
+  go "" t
+
+(* ------------------------------------------------------------------ *)
+(* Context classification                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Where in the surrounding HTML the tainted fragment lands: scans the
+    constant prefix with a tag/quote state machine. *)
+let html_context (t : t) : Context.t =
+  match prefix_before_taint t with
+  | None -> Context.Unknown
+  | Some prefix ->
+    (* inside a tag if a '<' is open; inside an attribute if additionally
+       a quote is open *)
+    let lt = ref false and quote = ref None in
+    String.iter
+      (fun c ->
+         match c with
+         | '<' -> lt := true
+         | '>' -> lt := false; quote := None
+         | '"' | '\'' when !lt ->
+           (match !quote with
+            | Some q when q = c -> quote := None
+            | Some _ -> ()
+            | None -> quote := Some c)
+         | _ -> ())
+      prefix;
+    if !lt && !quote <> None then Context.Html_attribute
+    else if !lt then Context.Unknown (* inside a tag but unquoted *)
+    else Context.Html_text
+
+(** Whether the tainted fragment lands inside a SQL string literal
+    (odd number of quotes open in the prefix) or in a raw position. A
+    template that {e starts} with the tainted fragment — no leading
+    literal at all — is explicitly a raw position: the attacker controls
+    the statement head. *)
+let sql_context (t : t) : Context.t =
+  match normalize t with
+  | Tainted :: _ -> Context.Sql_raw
+  | _ ->
+    (match prefix_before_taint t with
+     | None -> Context.Unknown
+     | Some prefix ->
+       let quotes = ref 0 in
+       String.iter (fun c -> if c = '\'' then incr quotes) prefix;
+       if !quotes mod 2 = 1 then Context.Sql_quoted else Context.Sql_raw)

@@ -1,0 +1,35 @@
+(** The string-template algebra: abstract concatenations of constant,
+    tainted and unknown fragments, with syntactic-context classification
+    of the tainted position. *)
+
+type piece =
+  | Lit of string     (** a known constant fragment *)
+  | Tainted           (** the attacker-controlled part (on the flow path) *)
+  | Hole              (** statically unknown fragment *)
+
+type t = piece list
+
+val pp_piece : Format.formatter -> piece -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Canonical form: adjacent literals merged, empty literals dropped. *)
+val normalize : t -> t
+
+(** Monoid operation: concatenation in canonical form (associative). *)
+val concat : t -> t -> t
+
+(** [normalize] plus adjacent-hole absorption; classification is
+    invariant under it. *)
+val compact : t -> t
+
+(** The constant prefix before the tainted fragment, or [None] when an
+    unknown fragment (or the template's end) intervenes. *)
+val prefix_before_taint : t -> string option
+
+(** [Html_text], [Html_attribute] or [Unknown]. *)
+val html_context : t -> Context.t
+
+(** [Sql_quoted], [Sql_raw] or [Unknown]. A template whose first piece is
+    [Tainted] (no leading literal) classifies as [Sql_raw]: the attacker
+    controls the statement head. *)
+val sql_context : t -> Context.t

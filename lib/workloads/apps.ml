@@ -158,8 +158,27 @@ let table2 : app list =
       paper = row (r 48 276) (r 27 180) (r 39 193) dnc (r 102 485) };
   ]
 
+(* Ground-truth apps for the context-sensitive sanitization analysis.
+   Kept OUT of [table2] (whose length and drawn pattern mixes are frozen
+   — tests and the incremental cache key off them) but resolvable by
+   name, so `taj generate`/`score` and the contexts bench reach them. *)
+let contexts_apps : app list =
+  let small name patterns =
+    { name; version = "1.0"; files = 4; lines = 120;
+      classes_app = 4; methods_app = 600; classes_total = 4;
+      methods_total = 600; scored = true;
+      extra_patterns = patterns;
+      paper = row dnc dnc dnc dnc dnc }
+  in
+  [ small "CtxForum"
+      [ ("mismatch-html-sql", 1); ("mismatch-quote-raw", 1) ];
+    small "CtxGallery" [ ("mismatch-path", 1); ("mismatch-html-sql", 1) ];
+    small "CtxLedger" [ ("mismatch-quote-raw", 2) ] ]
+
 let find name =
-  List.find_opt (fun a -> String.equal a.name name) table2
+  List.find_opt
+    (fun a -> String.equal a.name name)
+    (table2 @ contexts_apps)
 
 let scored_apps = List.filter (fun a -> a.scored) table2
 

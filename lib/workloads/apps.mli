@@ -30,7 +30,15 @@ type app = {
 }
 
 val table2 : app list
+
+(** Ground-truth apps for the context-sensitive sanitization analysis:
+    planted mismatched-sanitizer flows with expected (applied, required)
+    pairs. Not part of [table2]; resolvable by name via [find]. *)
+val contexts_apps : app list
+
+(** Searches [table2] and [contexts_apps]. *)
 val find : string -> app option
+
 val scored_apps : app list
 
 (** Derive a generator spec; pattern count tracks the paper's hybrid-

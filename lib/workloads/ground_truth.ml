@@ -13,6 +13,10 @@ type planted = {
   p_sink_method : string;        (* method containing the sink call *)
   p_issue : Core.Rules.issue;
   p_real : bool;
+  p_expect : (string * string) option;
+      (* for planted mismatched-sanitizer patterns: the (applied
+         sanitizer id, required context name) pair the judge must
+         report; None for every other pattern *)
 }
 
 type t = planted list

@@ -29,7 +29,14 @@ type gen = id:int -> rng:Rng.t -> output
 
 let plant ~id ~kind ~cls ~meth ~issue ~real =
   { Ground_truth.p_id = id; p_kind = kind; p_class = cls;
-    p_sink_method = meth; p_issue = issue; p_real = real }
+    p_sink_method = meth; p_issue = issue; p_real = real;
+    p_expect = None }
+
+(* a planted mismatched-sanitizer pattern: [expect] is the (applied
+   sanitizer id, required context name) pair the judge must report *)
+let plant_expect ~expect ~id ~kind ~cls ~meth ~issue ~real =
+  { (plant ~id ~kind ~cls ~meth ~issue ~real) with
+    Ground_truth.p_expect = Some expect }
 
 (* ------------------------------------------------------------------ *)
 
@@ -637,6 +644,86 @@ let dead_code : gen = fun ~id ~rng:_ ->
       [ plant ~id ~kind:"dead" ~cls ~meth:"emitF" ~issue:Core.Rules.Xss
           ~real:false ] }
 
+(* ------------------------------------------------------------------ *)
+(* Mismatched-sanitizer patterns (context-sensitive sanitization)     *)
+(* ------------------------------------------------------------------ *)
+
+(* HTML-escaped value reaching a SQL sink through a helper method whose
+   query prefix is carried by a static field: the sanitizer protects
+   html-text, the sink demands sql-quoted. Reported either way (the
+   HTML encoder is no SQLi sanitizer), annotated mismatched with
+   contexts on. *)
+let mismatch_html_sql : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PMismatchHtmlSql%d" id in
+  let source =
+    Printf.sprintf
+      {|class %s extends HttpServlet {
+          static String PREFIX = "SELECT v FROM logs WHERE tag='";
+          String build(String t) { return %s.PREFIX + t + "'"; }
+          void emitR(Statement st, String q) { st.executeQuery(q); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            String t = Sanitizer.encodeHtml(req.getParameter("tag%d"));
+            Connection c = DriverManager.getConnection("jdbc:app");
+            this.emitR(c.createStatement(), this.build(t));
+          }
+        }|}
+      cls cls id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant_expect ~expect:("Sanitizer.encodeHtml/1", "sql-quoted") ~id ~kind:"mismatch-html-sql" ~cls ~meth:"emitR"
+          ~issue:Core.Rules.Sqli ~real:true ] }
+
+(* SQL-quote-escaped value in a raw (numeric) SQL position, assembled
+   through a StringBuilder chain: quote escaping is useless where no
+   quote encloses the value. The classic kill silently endorses this
+   flow — the sanitizer IS the SQLi sanitizer — so this is the finding
+   class that exists only with contexts on. *)
+let mismatch_quote_raw : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PMismatchQuoteRaw%d" id in
+  let source =
+    Printf.sprintf
+      {|class %s extends HttpServlet {
+          void emitR(Statement st, String q) { st.executeQuery(q); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            String n = Sanitizer.escapeSql(req.getParameter("n%d"));
+            StringBuilder sb = new StringBuilder("SELECT v FROM t WHERE id = ");
+            sb.append(n);
+            Connection c = DriverManager.getConnection("jdbc:app");
+            this.emitR(c.createStatement(), sb.toString());
+          }
+        }|}
+      cls id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant_expect ~expect:("Sanitizer.escapeSql/1", "sql-raw") ~id ~kind:"mismatch-quote-raw" ~cls ~meth:"emitR"
+          ~issue:Core.Rules.Sqli ~real:true ] }
+
+(* HTML-escaped value opening a file: the HTML encoder preserves path
+   traversal. Reported either way (it is no path sanitizer), annotated
+   mismatched with contexts on. *)
+let mismatch_path : gen = fun ~id ~rng:_ ->
+  let cls = Printf.sprintf "PMismatchPath%d" id in
+  let source =
+    Printf.sprintf
+      {|class %s extends HttpServlet {
+          void emitR(String path) { FileInputStream f = new FileInputStream(path); }
+          public void doGet(HttpServletRequest req, HttpServletResponse resp) {
+            String p = Sanitizer.encodeHtml(req.getParameter("doc%d"));
+            this.emitR("/var/data/" + p);
+          }
+        }|}
+      cls id
+  in
+  { source;
+    descriptor_lines = [];
+    planted =
+      [ plant_expect ~expect:("Sanitizer.encodeHtml/1", "path") ~id ~kind:"mismatch-path" ~cls ~meth:"emitR"
+          ~issue:Core.Rules.Malicious_file ~real:true ] }
+
 (** The full catalog with relative weights: the proportions determine how
     many imprecision traps a generated app contains relative to real
     flows. *)
@@ -666,4 +753,11 @@ let find_gen name : gen =
      | "long-real" -> long_real
      | "deep-carrier" -> deep_carrier
      | "ejb" -> ejb
+     (* context-sensitive sanitization patterns: resolvable by name for
+        the contexts apps, deliberately NOT in the weighted catalog —
+        changing catalog weights would perturb every drawn mix and
+        regenerate all 22 table-2 apps *)
+     | "mismatch-html-sql" -> mismatch_html_sql
+     | "mismatch-quote-raw" -> mismatch_quote_raw
+     | "mismatch-path" -> mismatch_path
      | _ -> invalid_arg ("unknown pattern kind: " ^ name))

@@ -25,6 +25,16 @@ type refined = {
          Confirmed subset* vs. the overall false-positive count *)
 }
 
+type sanitization = {
+  sz_mismatched : int;        (* issues judged mismatched-sanitizer *)
+  sz_unsanitized : int;
+  sz_expected : int;          (* planted patterns carrying an expected pair *)
+  sz_matched : int;
+      (* of those, reported as mismatched with exactly the expected
+         (applied sanitizer, required context). The acceptance gate is
+         [sz_matched = sz_expected]: no planted mismatch may be missed. *)
+}
+
 type run = {
   r_app : string;
   r_algorithm : Config.algorithm;
@@ -35,6 +45,7 @@ type run = {
   r_classification : classification option;  (* None if did not complete *)
   r_phases : Taj.phase_times option;         (* None if did not complete *)
   r_refined : refined option;                (* None unless refine ran *)
+  r_sanitization : sanitization option;      (* None unless contexts ran *)
 }
 
 (** Attribute each reported issue to its planted pattern and classify. *)
@@ -93,15 +104,51 @@ let refined_of (truth : Ground_truth.t) (builder : Sdg.Builder.t)
         confirmed_tp = c.true_positives;
         confirmed_fp = c.false_positives }
 
+(* Per-sanitization-verdict scoring: check every planted expected
+   (applied, required) pair against the judged reports. *)
+let sanitization_of (truth : Ground_truth.t) (builder : Sdg.Builder.t)
+    (report : Report.t) : sanitization option =
+  match Report.sanitization_counts report with
+  | None -> None
+  | Some (sz_mismatched, sz_unsanitized) ->
+    let expected =
+      List.filter
+        (fun (p : Ground_truth.planted) -> p.Ground_truth.p_expect <> None)
+        truth
+    in
+    let reported_pair (p : Ground_truth.planted) =
+      List.exists
+        (fun (ir : Report.issue_report) ->
+           let sink = ir.Report.ir_representative.Flows.fl_sink in
+           let m = Sdg.Builder.node_meth builder sink.Sdg.Stmt.node in
+           String.equal m.Jir.Tac.m_class p.Ground_truth.p_class
+           && String.equal m.Jir.Tac.m_name p.Ground_truth.p_sink_method
+           &&
+           match ir.Report.ir_sanitization, p.Ground_truth.p_expect with
+           | ( Some (Strings.Context.Mismatched_sanitizer
+                       { applied; required }),
+               Some (exp_applied, exp_required) ) ->
+             List.mem exp_applied applied
+             && String.equal (Strings.Context.name required) exp_required
+           | _ -> false)
+        report.Report.issues
+    in
+    Some
+      { sz_mismatched;
+        sz_unsanitized;
+        sz_expected = List.length expected;
+        sz_matched = List.length (List.filter reported_pair expected) }
+
 (** Run one algorithm over a loaded app and score it. [refine] switches on
-    the access-path second pass; [refine_k]/[refine_steps] tune it. *)
+    the access-path second pass; [refine_k]/[refine_steps] tune it;
+    [contexts] switches on the sanitization judge. *)
 let run_config ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
-    ?(refine_steps = 4096) ?(triage_filter = true) ~(loaded : Taj.loaded)
-    ~(truth : Ground_truth.t) ~(app : string) ~(scale : float)
-    (algorithm : Config.algorithm) : run =
+    ?(refine_steps = 4096) ?(triage_filter = true) ?(contexts = false)
+    ~(loaded : Taj.loaded) ~(truth : Ground_truth.t) ~(app : string)
+    ~(scale : float) (algorithm : Config.algorithm) : run =
   let config =
     { (Config.preset ~scale algorithm) with
-      Config.refine; refine_k; refine_steps; triage_filter }
+      Config.refine; refine_k; refine_steps; triage_filter; contexts }
   in
   (* wall clock, not CPU time: Table 3 reports elapsed analysis time *)
   let analysis, seconds =
@@ -111,7 +158,8 @@ let run_config ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
   | Taj.Did_not_complete _ ->
     { r_app = app; r_algorithm = algorithm; r_completed = false;
       r_issues = 0; r_seconds = seconds; r_cg_nodes = 0;
-      r_classification = None; r_phases = None; r_refined = None }
+      r_classification = None; r_phases = None; r_refined = None;
+      r_sanitization = None }
   | Taj.Completed c ->
     { r_app = app;
       r_algorithm = algorithm;
@@ -121,17 +169,18 @@ let run_config ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
       r_cg_nodes = c.Taj.cg_nodes;
       r_classification = Some (classify truth c.Taj.builder c.Taj.report);
       r_phases = Some c.Taj.times;
-      r_refined = refined_of truth c.Taj.builder c.Taj.report }
+      r_refined = refined_of truth c.Taj.builder c.Taj.report;
+      r_sanitization = sanitization_of truth c.Taj.builder c.Taj.report }
 
 (** Run all five Table 1 configurations over one app. *)
 let run_app ?(scale = 0.05) ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
-    ?(refine_steps = 4096) ?(triage_filter = true)
+    ?(refine_steps = 4096) ?(triage_filter = true) ?(contexts = false)
     ?(algorithms = Config.all_algorithms) (a : Apps.app) : run list =
   let g = Apps.generate ~scale a in
   let loaded = Taj.load ~jobs (Codegen.to_input g) in
   List.map
     (run_config ~jobs ~refine ~refine_k ~refine_steps ~triage_filter
-       ~loaded ~truth:g.Codegen.g_truth ~app:a.Apps.name ~scale)
+       ~contexts ~loaded ~truth:g.Codegen.g_truth ~app:a.Apps.name ~scale)
     algorithms
 
 (** {!run_app}, but a failure is returned as [(phase, error)] instead of
@@ -139,8 +188,8 @@ let run_app ?(scale = 0.05) ?(jobs = 1) ?(refine = false) ?(refine_k = 3)
     failure rows with phase attribution. *)
 let run_app_result ?(scale = 0.05) ?(jobs = 1) ?(refine = false)
     ?(refine_k = 3) ?(refine_steps = 4096) ?(triage_filter = true)
-    ?(algorithms = Config.all_algorithms) (a : Apps.app) :
-  (run list, string * string) result =
+    ?(contexts = false) ?(algorithms = Config.all_algorithms)
+    (a : Apps.app) : (run list, string * string) result =
   match Apps.generate ~scale a with
   | exception e -> Error ("generate", Printexc.to_string e)
   | g ->
@@ -150,7 +199,7 @@ let run_app_result ?(scale = 0.05) ?(jobs = 1) ?(refine = false)
        (match
           List.map
             (run_config ~jobs ~refine ~refine_k ~refine_steps
-               ~triage_filter ~loaded ~truth:g.Codegen.g_truth
+               ~triage_filter ~contexts ~loaded ~truth:g.Codegen.g_truth
                ~app:a.Apps.name ~scale)
             algorithms
         with

@@ -20,6 +20,16 @@ type refined = {
           Confirmed subset vs. the overall false-positive count *)
 }
 
+type sanitization = {
+  sz_mismatched : int;     (** issues judged mismatched-sanitizer *)
+  sz_unsanitized : int;
+  sz_expected : int;       (** planted patterns carrying an expected pair *)
+  sz_matched : int;
+      (** of those, reported as mismatched with exactly the expected
+          (applied sanitizer, required context); the acceptance gate is
+          [sz_matched = sz_expected] *)
+}
+
 type run = {
   r_app : string;
   r_algorithm : Core.Config.algorithm;
@@ -30,6 +40,7 @@ type run = {
   r_classification : classification option;  (** None = did not complete *)
   r_phases : Core.Taj.phase_times option;    (** None = did not complete *)
   r_refined : refined option;                (** None unless refine ran *)
+  r_sanitization : sanitization option;      (** None unless contexts ran *)
 }
 
 (** Attribute each reported issue to its planted pattern and classify. *)
@@ -43,7 +54,7 @@ val classify_issues :
 
 val run_config :
   ?jobs:int -> ?refine:bool -> ?refine_k:int -> ?refine_steps:int ->
-  ?triage_filter:bool ->
+  ?triage_filter:bool -> ?contexts:bool ->
   loaded:Core.Taj.loaded -> truth:Ground_truth.t ->
   app:string -> scale:float -> Core.Config.algorithm -> run
 
@@ -54,7 +65,7 @@ val run_config :
     the reports must not change. *)
 val run_app :
   ?scale:float -> ?jobs:int -> ?refine:bool -> ?refine_k:int ->
-  ?refine_steps:int -> ?triage_filter:bool ->
+  ?refine_steps:int -> ?triage_filter:bool -> ?contexts:bool ->
   ?algorithms:Core.Config.algorithm list ->
   Apps.app -> run list
 
@@ -63,7 +74,7 @@ val run_app :
     bench runs stay machine-readable. *)
 val run_app_result :
   ?scale:float -> ?jobs:int -> ?refine:bool -> ?refine_k:int ->
-  ?refine_steps:int -> ?triage_filter:bool ->
+  ?refine_steps:int -> ?triage_filter:bool -> ?contexts:bool ->
   ?algorithms:Core.Config.algorithm list ->
   Apps.app -> (run list, string * string) result
 

@@ -16,6 +16,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("models", Test_models.suite);
       ("string-context", Test_string_context.suite);
+      ("strings", Test_strings.suite);
       ("jsp", Test_jsp.suite);
       ("csrf", Test_csrf.suite);
       ("metamorphic", Test_metamorphic.suite);

@@ -70,7 +70,8 @@ let test_proto_roundtrip () =
   let rp =
     { Serve.Service.rp_id = "job-1"; rp_status = Serve.Service.Degraded;
       rp_reason = "deadline"; rp_issues = 4; rp_attempts = 2;
-      rp_degradations = 1; rp_seconds = 0.125; rp_verdict = None }
+      rp_degradations = 1; rp_seconds = 0.125; rp_verdict = None;
+      rp_mismatched = None }
   in
   Serve.Proto.write a (Serve.Proto.Job rq);
   Serve.Proto.write a Serve.Proto.Drain;

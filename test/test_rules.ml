@@ -63,6 +63,29 @@ let test_sanitizers_per_rule () =
   Alcotest.(check bool) "escapeSql does not sanitize xss" false
     (Rules.is_sanitizer m Rules.xss escape)
 
+(* Regression: tabulation, refinement and triage all resolve sanitizer
+   calls through [canonical], so a subclass that merely *inherits* a
+   sanitizer matches, while one that *overrides* it with its own body
+   does not — the override may not sanitize at all. *)
+let test_overriding_subclass_sanitizer () =
+  let table =
+    table_of
+      [ "class InheritSan extends Sanitizer { }";
+        "class OverrideSan extends Sanitizer { public static String \
+         encodeHtml(String s) { return s; } }" ]
+  in
+  let m = Rules.matcher table in
+  Alcotest.(check (option string)) "inheriting subclass matches"
+    (Some "Sanitizer.encodeHtml/1")
+    (Rules.sanitizer_of m Rules.default_rules (mref "InheritSan" "encodeHtml" 1));
+  Alcotest.(check (option string)) "overriding subclass does not match" None
+    (Rules.sanitizer_of m Rules.default_rules
+       (mref "OverrideSan" "encodeHtml" 1));
+  Alcotest.(check bool) "xss rule agrees for the inheriting subclass" true
+    (Rules.is_sanitizer m Rules.xss (mref "InheritSan" "encodeHtml" 1));
+  Alcotest.(check bool) "xss rule agrees for the overriding subclass" false
+    (Rules.is_sanitizer m Rules.xss (mref "OverrideSan" "encodeHtml" 1))
+
 let test_priority_seed_predicate () =
   let table =
     table_of [ "class MyRequest extends HttpServletRequest { }" ]
@@ -83,5 +106,7 @@ let suite =
     Alcotest.test_case "source matching" `Quick test_source_matching;
     Alcotest.test_case "sink positions" `Quick test_sink_positions;
     Alcotest.test_case "sanitizers per rule" `Quick test_sanitizers_per_rule;
+    Alcotest.test_case "overriding subclass sanitizer" `Quick
+      test_overriding_subclass_sanitizer;
     Alcotest.test_case "priority seed predicate" `Quick
       test_priority_seed_predicate ]

@@ -934,7 +934,7 @@ let test_request_decoding () =
   let r =
     { Serve.Service.rp_id = "a,b\"c"; rp_status = Serve.Service.Completed;
       rp_reason = ""; rp_issues = 2; rp_attempts = 1; rp_degradations = 0;
-      rp_seconds = 0.25; rp_verdict = None }
+      rp_seconds = 0.25; rp_verdict = None; rp_mismatched = None }
   in
   (match Serve.Json.parse (Serve.Service.response_json r) with
    | Ok j ->

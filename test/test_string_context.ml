@@ -187,6 +187,94 @@ let test_diagnose_strings () =
      | None -> Alcotest.fail "no diagnosis")
   | [] -> Alcotest.fail "no flows"
 
+(* ------------------------------------------------------------------ *)
+(* Template-algebra properties (QCheck)                               *)
+(* ------------------------------------------------------------------ *)
+
+let piece_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, map (fun s -> Strings.Template.Lit s)
+             (string_size ~gen:(oneofl [ '<'; '>'; '\''; '"'; '='; 'a'; ' ' ])
+                (int_range 0 4)));
+        (1, return Strings.Template.Tainted);
+        (1, return Strings.Template.Hole) ])
+
+let template_arb =
+  QCheck.make
+    ~print:(Fmt.str "%a" Strings.Template.pp)
+    QCheck.Gen.(list_size (int_range 0 8) piece_gen)
+
+let prop_concat_assoc =
+  QCheck.Test.make ~name:"concat is associative up to normalize" ~count:500
+    (QCheck.triple template_arb template_arb template_arb)
+    (fun (a, b, c) ->
+       Strings.Template.(concat (concat a b) c = concat a (concat b c)))
+
+let prop_hole_absorption =
+  QCheck.Test.make
+    ~name:"classification invariant under hole absorption" ~count:500
+    template_arb
+    (fun t ->
+       let c = Strings.Template.compact t in
+       Strings.Template.html_context c = Strings.Template.html_context t
+       && Strings.Template.sql_context c = Strings.Template.sql_context t)
+
+(* splitting any literal into two adjacent literals is a no-op for the
+   classifiers: they read the concatenated constant prefix *)
+let prop_literal_split_stable =
+  QCheck.Test.make
+    ~name:"classification stable under literal splitting" ~count:500
+    (QCheck.pair template_arb QCheck.small_nat)
+    (fun (t, k) ->
+       let split =
+         List.concat_map
+           (function
+             | Strings.Template.Lit s when String.length s > 1 ->
+               let i = 1 + (k mod (String.length s - 1)) in
+               [ Strings.Template.Lit (String.sub s 0 i);
+                 Strings.Template.Lit
+                   (String.sub s i (String.length s - i)) ]
+             | p -> [ p ])
+           t
+       in
+       Strings.Template.html_context split = Strings.Template.html_context t
+       && Strings.Template.sql_context split = Strings.Template.sql_context t)
+
+(* ------------------------------------------------------------------ *)
+(* Classification edges: nested quotes, numeric SQL                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_nested_attribute_quotes () =
+  let open String_context in
+  (* double-quoted attribute containing single quotes: still inside the
+     outer double quote at the taint *)
+  Alcotest.(check bool) "single quotes nested in double" true
+    (html_context
+       [ Lit "<a title=\"it's called '"; Tainted; Lit "'\">" ]
+     = Html_attribute);
+  (* the inner quote of the opposite kind does not close the outer one *)
+  Alcotest.(check bool) "double nested in single" true
+    (html_context [ Lit "<a title='say \""; Tainted; Lit "\"'>" ]
+     = Html_attribute);
+  (* matching quote closes: by the taint we are back in the tag, unquoted *)
+  Alcotest.(check bool) "closed attribute then taint in tag" true
+    (html_context [ Lit "<a title=\"x\" href="; Tainted ] = Html_unknown)
+
+let test_numeric_sql_positions () =
+  let open String_context in
+  Alcotest.(check bool) "numeric comparison" true
+    (sql_context [ Lit "SELECT v FROM t WHERE id = "; Tainted ] = Sql_raw);
+  Alcotest.(check bool) "LIMIT clause" true
+    (sql_context [ Lit "SELECT v FROM t LIMIT "; Tainted ] = Sql_raw);
+  (* a closed literal earlier in the query does not quote the taint *)
+  Alcotest.(check bool) "closed literal before numeric position" true
+    (sql_context [ Lit "SELECT v FROM t WHERE k='x' AND n="; Tainted ]
+     = Sql_raw);
+  (* the satellite fix: attacker controls the statement head *)
+  Alcotest.(check bool) "leading taint is raw" true
+    (sql_context [ Tainted; Lit " WHERE 1=1" ] = Sql_raw)
+
 let suite =
   [ Alcotest.test_case "template reconstruction" `Quick
       test_template_reconstruction;
@@ -202,4 +290,11 @@ let suite =
     Alcotest.test_case "quote/bracket edges" `Quick test_classify_quote_edges;
     Alcotest.test_case "template through carrier" `Quick
       test_template_through_carrier;
-    Alcotest.test_case "diagnose" `Quick test_diagnose_strings ]
+    Alcotest.test_case "diagnose" `Quick test_diagnose_strings;
+    QCheck_alcotest.to_alcotest prop_concat_assoc;
+    QCheck_alcotest.to_alcotest prop_hole_absorption;
+    QCheck_alcotest.to_alcotest prop_literal_split_stable;
+    Alcotest.test_case "nested attribute quotes" `Quick
+      test_nested_attribute_quotes;
+    Alcotest.test_case "numeric sql positions" `Quick
+      test_numeric_sql_positions ]

@@ -55,9 +55,11 @@ let test_traits_applied () =
 let test_attribution () =
   let truth =
     [ { Ground_truth.p_id = 0; p_kind = "direct"; p_class = "C1";
-        p_sink_method = "emitR"; p_issue = Core.Rules.Xss; p_real = true };
+        p_sink_method = "emitR"; p_issue = Core.Rules.Xss; p_real = true;
+        p_expect = None };
       { Ground_truth.p_id = 1; p_kind = "dict"; p_class = "C2";
-        p_sink_method = "emitF"; p_issue = Core.Rules.Xss; p_real = false } ]
+        p_sink_method = "emitF"; p_issue = Core.Rules.Xss; p_real = false;
+        p_expect = None } ]
   in
   (match Ground_truth.attribute truth ~cls:"C1" ~meth:"emitR" with
    | Some p -> Alcotest.(check bool) "real" true p.Ground_truth.p_real
